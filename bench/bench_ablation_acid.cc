@@ -1,0 +1,75 @@
+// Ablation (paper §V-C): DualTable's HBase-backed attached table vs the
+// HIVE-5317 base+delta design where deltas live in the same HDFS format and
+// must be scanned sequentially on every read.
+//
+// We apply N successive small update transactions and then time a full
+// read. ACID's merge-on-read must re-scan every delta file (cost grows with
+// the number of transactions and with deltas holding WHOLE records); the
+// DualTable UnionRead merges one sorted attached stream. Also measures
+// ACID's minor compaction as its mitigation.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "common/stopwatch.h"
+
+namespace {
+
+using dtl::bench::Env;
+using dtl::bench::MakeTpch;
+using dtl::bench::PlanMode;
+using dtl::bench::RunSql;
+
+std::string SmallUpdate(int index) {
+  // Each transaction touches a ~1% slice at a different date offset.
+  const int64_t lo = dtl::workload::kDateEpoch + index * 24;
+  const int64_t hi = lo + 24;
+  return "UPDATE lineitem SET l_discount = 0.5 WHERE l_shipdate >= " +
+         std::to_string(lo) + " AND l_shipdate < " + std::to_string(hi) +
+         " WITH RATIO 0.01";
+}
+
+const char kScanSql[] = "SELECT COUNT(*), SUM(l_discount) FROM lineitem";
+
+void RunReadAfterNTransactions(benchmark::State& state, const std::string& kind,
+                               PlanMode mode, bool minor_compact) {
+  const int transactions = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Env env = MakeTpch(kind, mode);
+    for (int i = 0; i < transactions; ++i) RunSql(&env, SmallUpdate(i));
+    if (minor_compact) {
+      auto entry = env.session->catalog()->Lookup("lineitem");
+      auto* acid = dynamic_cast<dtl::baseline::AcidTable*>(entry->table.get());
+      if (acid != nullptr) {
+        auto st = acid->MinorCompact();
+        if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+      }
+    }
+    auto stats = RunSql(&env, kScanSql);
+    state.SetIterationTime(stats.seconds);
+    state.counters["model_s"] = stats.modeled_seconds;
+  }
+  state.SetLabel(std::to_string(transactions) + " txns");
+}
+
+void BM_AblationAcid_DualTableUnionRead(benchmark::State& state) {
+  RunReadAfterNTransactions(state, "dualtable", PlanMode::kForceEdit, false);
+}
+void BM_AblationAcid_AcidMergeOnRead(benchmark::State& state) {
+  RunReadAfterNTransactions(state, "acid", PlanMode::kCostModel, false);
+}
+void BM_AblationAcid_AcidAfterMinorCompact(benchmark::State& state) {
+  RunReadAfterNTransactions(state, "acid", PlanMode::kCostModel, true);
+}
+
+void TxnArgs(benchmark::internal::Benchmark* bench) {
+  for (int txns : {1, 4, 16, 32, 64}) bench->Arg(txns);
+  bench->Unit(benchmark::kMillisecond)->UseManualTime()->Iterations(1);
+}
+
+}  // namespace
+
+BENCHMARK(BM_AblationAcid_DualTableUnionRead)->Apply(TxnArgs);
+BENCHMARK(BM_AblationAcid_AcidMergeOnRead)->Apply(TxnArgs);
+BENCHMARK(BM_AblationAcid_AcidAfterMinorCompact)->Apply(TxnArgs);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// Ablation: COMPACT policy. The paper notes "the more data is in the
+// Attached Table, the higher the cost of the UNION READ" and that COMPACT
+// "can be scheduled to off-line hours". This bench quantifies both sides:
+// read cost as the attached table grows, the one-time cost of COMPACT, and
+// the read cost afterwards — i.e. how many subsequent reads amortize a
+// compaction at each attached size.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "common/stopwatch.h"
+#include "dualtable/dual_table.h"
+
+namespace {
+
+using dtl::bench::Env;
+using dtl::bench::MakeTpch;
+using dtl::bench::PlanMode;
+using dtl::bench::RunSql;
+
+std::string UpdateSql(int percent) {
+  return "UPDATE lineitem SET l_discount = 0.99 WHERE " +
+         dtl::workload::LineitemRatioPredicate(percent / 100.0) + " WITH RATIO " +
+         std::to_string(percent / 100.0);
+}
+
+const char kScanSql[] = "SELECT COUNT(*), SUM(l_discount) FROM lineitem";
+
+void BM_ReadWithAttached(benchmark::State& state) {
+  const int percent = static_cast<int>(state.range(0));
+  Env env = MakeTpch("dualtable", PlanMode::kForceEdit);
+  if (percent > 0) RunSql(&env, UpdateSql(percent));
+  for (auto _ : state) {
+    auto stats = RunSql(&env, kScanSql);
+    state.SetIterationTime(stats.seconds);
+  }
+  state.SetLabel("attached=" + std::to_string(percent) + "%");
+}
+
+void BM_CompactCost(benchmark::State& state) {
+  const int percent = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Env env = MakeTpch("dualtable", PlanMode::kForceEdit);
+    RunSql(&env, UpdateSql(percent));
+    dtl::Stopwatch watch;
+    auto compact = env.session->Execute("COMPACT TABLE lineitem");
+    if (!compact.ok()) state.SkipWithError(compact.status().ToString().c_str());
+    state.SetIterationTime(watch.ElapsedSeconds());
+  }
+  state.SetLabel("attached=" + std::to_string(percent) + "%");
+}
+
+void BM_ReadAfterCompact(benchmark::State& state) {
+  const int percent = static_cast<int>(state.range(0));
+  Env env = MakeTpch("dualtable", PlanMode::kForceEdit);
+  RunSql(&env, UpdateSql(percent));
+  auto compact = env.session->Execute("COMPACT TABLE lineitem");
+  if (!compact.ok()) state.SkipWithError(compact.status().ToString().c_str());
+  for (auto _ : state) {
+    auto stats = RunSql(&env, kScanSql);
+    state.SetIterationTime(stats.seconds);
+  }
+  state.SetLabel("attached=" + std::to_string(percent) + "% (compacted)");
+}
+
+void PercentArgs(benchmark::internal::Benchmark* bench) {
+  for (int percent : {0, 5, 15, 30, 50}) bench->Arg(percent);
+  bench->Unit(benchmark::kMillisecond)->UseManualTime();
+}
+
+}  // namespace
+
+BENCHMARK(BM_ReadWithAttached)->Apply(PercentArgs);
+BENCHMARK(BM_CompactCost)->Apply(PercentArgs)->Iterations(1);
+BENCHMARK(BM_ReadAfterCompact)->Apply(PercentArgs);
+
+BENCHMARK_MAIN();

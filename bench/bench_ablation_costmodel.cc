@@ -1,0 +1,95 @@
+// Ablation: cost-model accuracy. Measures the EMPIRICAL crossover ratio
+// (where forced-EDIT becomes slower than forced-OVERWRITE on real runs) and
+// compares it with the decision the cost model takes at each ratio — the
+// model earns its keep when it switches plans on the correct side of the
+// empirical crossover. Also prints Eq. 1/2's analytic crossover for the
+// modelled paper-scale cluster.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "dualtable/dual_table.h"
+
+namespace {
+
+using dtl::bench::Env;
+using dtl::bench::MakeTpch;
+using dtl::bench::PlanMode;
+using dtl::bench::RunSql;
+
+std::string UpdateSql(int percent) {
+  return "UPDATE lineitem SET l_discount = 0.99 WHERE " +
+         dtl::workload::LineitemRatioPredicate(percent / 100.0) + " WITH RATIO " +
+         std::to_string(percent / 100.0);
+}
+
+const char kScanSql[] = "SELECT COUNT(*), SUM(l_discount) FROM lineitem";
+
+/// Update+read total for one forced plan at one ratio (measured, seconds).
+double MeasureForcedPlan(int percent, PlanMode mode) {
+  Env env = MakeTpch("dualtable", mode);
+  auto update = RunSql(&env, UpdateSql(percent));
+  auto read = RunSql(&env, kScanSql);
+  return update.seconds + read.seconds;
+}
+
+void PrintCrossoverStudy() {
+  std::printf("== Ablation: cost-model accuracy (update + 1 read, measured) ==\n");
+  std::printf("%8s %12s %14s %14s %12s\n", "ratio", "edit (ms)", "overwrite (ms)",
+              "faster plan", "model picks");
+
+  Env probe = MakeTpch("dualtable", PlanMode::kCostModel);
+  auto entry = probe.session->catalog()->Lookup("lineitem");
+  auto* dual = dynamic_cast<dtl::dual::DualTable*>(entry->table.get());
+
+  int measured_crossover = -1;
+  int model_crossover = -1;
+  for (int percent : {1, 5, 10, 15, 20, 25, 30, 35, 40, 45, 50, 60, 75, 90}) {
+    double edit_s = MeasureForcedPlan(percent, PlanMode::kForceEdit);
+    double over_s = MeasureForcedPlan(percent, PlanMode::kForceOverwrite);
+    const char* faster = edit_s < over_s ? "EDIT" : "OVERWRITE";
+    auto decision = dual->PreviewUpdateDecision(percent / 100.0);
+    const char* model = dtl::table::DmlPlanName(decision.plan);
+    std::printf("%7d%% %12.1f %14.1f %14s %12s\n", percent, edit_s * 1e3, over_s * 1e3,
+                faster, model);
+    if (measured_crossover < 0 && edit_s >= over_s) measured_crossover = percent;
+    if (model_crossover < 0 && decision.plan == dtl::table::DmlPlan::kOverwrite) {
+      model_crossover = percent;
+    }
+  }
+  std::printf("\nfirst ratio where OVERWRITE measured faster: %d%%\n", measured_crossover);
+  std::printf("first ratio where the model picks OVERWRITE:  %d%%\n", model_crossover);
+  std::printf("analytic crossover (Eq. 1, modelled cluster): %.1f%%\n\n",
+              100.0 * dual->cost_model().UpdateCrossoverRatio(
+                          dual->master()->TotalBytes()));
+}
+
+/// Registered benchmark: k-sensitivity of the analytic crossover.
+void BM_CrossoverVsK(benchmark::State& state) {
+  const double k = static_cast<double>(state.range(0));
+  Env env = MakeTpch("dualtable", PlanMode::kCostModel);
+  auto entry = env.session->catalog()->Lookup("lineitem");
+  auto* dual = dynamic_cast<dtl::dual::DualTable*>(entry->table.get());
+  dtl::dual::CostModelParams params;
+  params.k = k;
+  dtl::dual::CostModel model(env.session->cluster(), params);
+  double crossover = 0;
+  for (auto _ : state) {
+    crossover = model.UpdateCrossoverRatio(dual->master()->TotalBytes());
+    benchmark::DoNotOptimize(crossover);
+  }
+  state.counters["crossover_pct"] = crossover * 100.0;
+  state.SetLabel("k=" + std::to_string(static_cast<int>(k)));
+}
+
+}  // namespace
+
+BENCHMARK(BM_CrossoverVsK)->Arg(1)->Arg(2)->Arg(5)->Arg(10)->Arg(30);
+
+int main(int argc, char** argv) {
+  PrintCrossoverStudy();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Shared setup for the per-figure/per-table bench binaries: builds fresh
+// sessions loaded with the grid or TPC-H workloads at bench scale, runs SQL
+// with wall-clock + modelled-cluster timing, and aborts loudly on any error
+// (a bench must never silently measure a failed statement).
+//
+// Scale control: DTL_BENCH_SCALE multiplies data sizes (default 1.0). The
+// reproduced *shapes* are scale-invariant; absolute milliseconds are not.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "sql/session.h"
+#include "workload/grid_gen.h"
+#include "workload/tpch_gen.h"
+
+namespace dtl::bench {
+
+/// DTL_BENCH_SCALE env override, default 1.0.
+double ScaleMult();
+
+/// A session preloaded with one workload.
+struct Env {
+  std::unique_ptr<sql::Session> session;
+  uint64_t rows = 0;  // rows in the primary table
+};
+
+/// Outcome of one timed statement.
+struct RunStats {
+  double seconds = 0;
+  double modeled_seconds = 0;  // paper-scale cluster arithmetic from metered I/O
+  uint64_t affected_rows = 0;
+  std::string plan;
+};
+
+/// Plan-selection mode for DualTable-backed environments.
+using PlanMode = dual::DualTableOptions::PlanMode;
+
+/// Builds a session holding only tj_gbsjwzl_mx (the Fig. 5-10 sweep table)
+/// stored as `kind` ("hive" or "dualtable").
+Env MakeGridMx(const std::string& kind, PlanMode mode = PlanMode::kCostModel);
+
+/// Builds a session holding all six paper-Table-II grid tables.
+Env MakeGridTableII(const std::string& kind);
+
+/// Builds a session holding all six paper-Table-III grid tables.
+Env MakeGridTableIII(const std::string& kind, PlanMode mode = PlanMode::kCostModel);
+
+/// Builds a session holding TPC-H lineitem (and orders when requested).
+Env MakeTpch(const std::string& kind, PlanMode mode = PlanMode::kCostModel,
+             bool with_orders = false);
+
+/// Executes one statement; aborts the bench on failure.
+RunStats RunSql(Env* env, const std::string& sql);
+
+/// Renders a ratio like 5/36 for series labels.
+std::string DayLabel(int days);
+
+}  // namespace dtl::bench

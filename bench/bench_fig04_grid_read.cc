@@ -1,0 +1,50 @@
+// Paper Fig. 4: read performance of Hive vs DualTable with an EMPTY attached
+// table, on the two grid SELECT statements — #1 is a 3-way join with
+// predicates, #2 is COUNT(*) on the big consumption table. The paper finds
+// DualTable 8-12% slower due to the (empty) attached-table lookup overhead;
+// the shape to reproduce is "DualTable read overhead is small".
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using dtl::bench::Env;
+using dtl::bench::MakeGridTableII;
+using dtl::bench::RunSql;
+
+void BM_GridSelect1(benchmark::State& state, const std::string& kind) {
+  Env env = MakeGridTableII(kind);
+  for (auto _ : state) {
+    auto stats = RunSql(&env, dtl::workload::GridSelect1());
+    state.SetIterationTime(stats.seconds);
+    state.counters["model_s"] = stats.modeled_seconds;
+  }
+  state.counters["rows"] = static_cast<double>(env.rows);
+}
+
+void BM_GridSelect2(benchmark::State& state, const std::string& kind) {
+  Env env = MakeGridTableII(kind);
+  for (auto _ : state) {
+    auto stats = RunSql(&env, dtl::workload::GridSelect2());
+    state.SetIterationTime(stats.seconds);
+    state.counters["model_s"] = stats.modeled_seconds;
+  }
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_GridSelect1, hive, "hive")
+    ->Unit(benchmark::kMillisecond)
+    ->UseManualTime();
+BENCHMARK_CAPTURE(BM_GridSelect1, dualtable, "dualtable")
+    ->Unit(benchmark::kMillisecond)
+    ->UseManualTime();
+BENCHMARK_CAPTURE(BM_GridSelect2, hive, "hive")
+    ->Unit(benchmark::kMillisecond)
+    ->UseManualTime();
+BENCHMARK_CAPTURE(BM_GridSelect2, dualtable, "dualtable")
+    ->Unit(benchmark::kMillisecond)
+    ->UseManualTime();
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// Paper Fig. 6: DELETE run time vs deletion ratio (1/36 .. 17/36) for
+// Hive(HDFS), DualTable-EDIT, and DualTable with the cost model.
+//
+// Shapes to reproduce: Hive's time FALLS as the ratio grows (a rewrite
+// writes less data); DT-EDIT grows with the ratio (one delete marker per
+// removed row); the crossover sits LOWER than the update crossover, with
+// the cost model switching plans there (paper: 10/36).
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using dtl::bench::Env;
+using dtl::bench::MakeGridMx;
+using dtl::bench::PlanMode;
+using dtl::bench::RunSql;
+
+void RunDeleteSweep(benchmark::State& state, const std::string& kind, PlanMode mode) {
+  const int days = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Env env = MakeGridMx(kind, mode);
+    auto stats = RunSql(&env, dtl::workload::GridDeleteDays(days));
+    state.SetIterationTime(stats.seconds);
+    state.counters["model_s"] = stats.modeled_seconds;
+    state.counters["rows_changed"] = static_cast<double>(stats.affected_rows);
+    state.counters["plan_edit"] = stats.plan == "EDIT" ? 1 : 0;
+  }
+  state.SetLabel(dtl::bench::DayLabel(days));
+}
+
+void BM_Fig06_Hive(benchmark::State& state) {
+  RunDeleteSweep(state, "hive", PlanMode::kCostModel);
+}
+void BM_Fig06_DualTableEdit(benchmark::State& state) {
+  RunDeleteSweep(state, "dualtable", PlanMode::kForceEdit);
+}
+void BM_Fig06_DualTableCostModel(benchmark::State& state) {
+  RunDeleteSweep(state, "dualtable", PlanMode::kCostModel);
+}
+
+}  // namespace
+
+BENCHMARK(BM_Fig06_Hive)
+    ->DenseRange(1, 17, 2)
+    ->Unit(benchmark::kMillisecond)
+    ->UseManualTime()
+    ->Iterations(1);
+BENCHMARK(BM_Fig06_DualTableEdit)
+    ->DenseRange(1, 17, 2)
+    ->Unit(benchmark::kMillisecond)
+    ->UseManualTime()
+    ->Iterations(1);
+BENCHMARK(BM_Fig06_DualTableCostModel)
+    ->DenseRange(1, 17, 2)
+    ->Unit(benchmark::kMillisecond)
+    ->UseManualTime()
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

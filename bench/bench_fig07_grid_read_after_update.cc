@@ -1,0 +1,51 @@
+// Paper Fig. 7: run time of a SELECT issued AFTER the Fig. 5 UPDATE, i.e.
+// the UnionRead cost as a function of the attached-table size. Hive's read
+// is flat (data was rewritten in place); DualTable's UnionRead grows with
+// the update ratio because every read merges master rows with attached
+// deltas (paper: up to 2.7x slower at 18/36). DualTable runs in forced-EDIT
+// mode so that every ratio actually populates the attached table.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using dtl::bench::Env;
+using dtl::bench::MakeGridMx;
+using dtl::bench::PlanMode;
+using dtl::bench::RunSql;
+
+void RunReadAfterUpdate(benchmark::State& state, const std::string& kind, PlanMode mode) {
+  const int days = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Env env = MakeGridMx(kind, mode);
+    RunSql(&env, dtl::workload::GridUpdateDays(days));  // untimed setup
+    RunSql(&env, dtl::workload::GridReadAfterDml());     // warm-up read (untimed)
+    auto stats = RunSql(&env, dtl::workload::GridReadAfterDml());
+    state.SetIterationTime(stats.seconds);
+    state.counters["model_s"] = stats.modeled_seconds;
+  }
+  state.SetLabel(dtl::bench::DayLabel(days));
+}
+
+void BM_Fig07_ReadInHive(benchmark::State& state) {
+  RunReadAfterUpdate(state, "hive", PlanMode::kCostModel);
+}
+void BM_Fig07_UnionReadInDualTable(benchmark::State& state) {
+  RunReadAfterUpdate(state, "dualtable", PlanMode::kForceEdit);
+}
+
+}  // namespace
+
+BENCHMARK(BM_Fig07_ReadInHive)
+    ->DenseRange(1, 17, 2)
+    ->Unit(benchmark::kMillisecond)
+    ->UseManualTime()
+    ->Iterations(1);
+BENCHMARK(BM_Fig07_UnionReadInDualTable)
+    ->DenseRange(1, 17, 2)
+    ->Unit(benchmark::kMillisecond)
+    ->UseManualTime()
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

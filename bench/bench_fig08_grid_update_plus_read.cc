@@ -1,0 +1,57 @@
+// Paper Fig. 8: total run time of the UPDATE plus the following SELECT —
+// the realistic end-to-end cost. Series: Hive (+read), DualTable-EDIT
+// (+UnionRead), DualTable cost model (+read). The shape mirrors Fig. 5 with
+// the crossover pulled slightly lower by the UnionRead overhead.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using dtl::bench::Env;
+using dtl::bench::MakeGridMx;
+using dtl::bench::PlanMode;
+using dtl::bench::RunSql;
+
+void RunUpdatePlusRead(benchmark::State& state, const std::string& kind, PlanMode mode) {
+  const int days = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Env env = MakeGridMx(kind, mode);
+    auto update = RunSql(&env, dtl::workload::GridUpdateDays(days));
+    auto read = RunSql(&env, dtl::workload::GridReadAfterDml());
+    state.SetIterationTime(update.seconds + read.seconds);
+    state.counters["model_s"] = update.modeled_seconds + read.modeled_seconds;
+    state.counters["plan_edit"] = update.plan == "EDIT" ? 1 : 0;
+  }
+  state.SetLabel(dtl::bench::DayLabel(days));
+}
+
+void BM_Fig08_HivePlusRead(benchmark::State& state) {
+  RunUpdatePlusRead(state, "hive", PlanMode::kCostModel);
+}
+void BM_Fig08_DualTableEditPlusUnionRead(benchmark::State& state) {
+  RunUpdatePlusRead(state, "dualtable", PlanMode::kForceEdit);
+}
+void BM_Fig08_DualTablePlusRead(benchmark::State& state) {
+  RunUpdatePlusRead(state, "dualtable", PlanMode::kCostModel);
+}
+
+}  // namespace
+
+BENCHMARK(BM_Fig08_HivePlusRead)
+    ->DenseRange(1, 17, 2)
+    ->Unit(benchmark::kMillisecond)
+    ->UseManualTime()
+    ->Iterations(1);
+BENCHMARK(BM_Fig08_DualTableEditPlusUnionRead)
+    ->DenseRange(1, 17, 2)
+    ->Unit(benchmark::kMillisecond)
+    ->UseManualTime()
+    ->Iterations(1);
+BENCHMARK(BM_Fig08_DualTablePlusRead)
+    ->DenseRange(1, 17, 2)
+    ->Unit(benchmark::kMillisecond)
+    ->UseManualTime()
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

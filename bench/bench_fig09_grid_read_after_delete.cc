@@ -1,0 +1,49 @@
+// Paper Fig. 9: SELECT run time after the Fig. 6 DELETE. Hive's read gets
+// CHEAPER as the delete ratio grows (fewer surviving rows to scan after the
+// rewrite); DualTable's UnionRead keeps reading the full master plus the
+// delete markers, so it grows with the ratio.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using dtl::bench::Env;
+using dtl::bench::MakeGridMx;
+using dtl::bench::PlanMode;
+using dtl::bench::RunSql;
+
+void RunReadAfterDelete(benchmark::State& state, const std::string& kind, PlanMode mode) {
+  const int days = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Env env = MakeGridMx(kind, mode);
+    RunSql(&env, dtl::workload::GridDeleteDays(days));  // untimed setup
+    RunSql(&env, dtl::workload::GridReadAfterDml());     // warm-up read (untimed)
+    auto stats = RunSql(&env, dtl::workload::GridReadAfterDml());
+    state.SetIterationTime(stats.seconds);
+    state.counters["model_s"] = stats.modeled_seconds;
+  }
+  state.SetLabel(dtl::bench::DayLabel(days));
+}
+
+void BM_Fig09_ReadInHive(benchmark::State& state) {
+  RunReadAfterDelete(state, "hive", PlanMode::kCostModel);
+}
+void BM_Fig09_UnionReadInDualTable(benchmark::State& state) {
+  RunReadAfterDelete(state, "dualtable", PlanMode::kForceEdit);
+}
+
+}  // namespace
+
+BENCHMARK(BM_Fig09_ReadInHive)
+    ->DenseRange(1, 17, 2)
+    ->Unit(benchmark::kMillisecond)
+    ->UseManualTime()
+    ->Iterations(1);
+BENCHMARK(BM_Fig09_UnionReadInDualTable)
+    ->DenseRange(1, 17, 2)
+    ->Unit(benchmark::kMillisecond)
+    ->UseManualTime()
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+// Paper Fig. 10: total run time of the DELETE plus the following SELECT.
+// Series: Hive (+read), DualTable-EDIT (+UnionRead), DualTable cost model
+// (+read).
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using dtl::bench::Env;
+using dtl::bench::MakeGridMx;
+using dtl::bench::PlanMode;
+using dtl::bench::RunSql;
+
+void RunDeletePlusRead(benchmark::State& state, const std::string& kind, PlanMode mode) {
+  const int days = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Env env = MakeGridMx(kind, mode);
+    auto del = RunSql(&env, dtl::workload::GridDeleteDays(days));
+    auto read = RunSql(&env, dtl::workload::GridReadAfterDml());
+    state.SetIterationTime(del.seconds + read.seconds);
+    state.counters["model_s"] = del.modeled_seconds + read.modeled_seconds;
+    state.counters["plan_edit"] = del.plan == "EDIT" ? 1 : 0;
+  }
+  state.SetLabel(dtl::bench::DayLabel(days));
+}
+
+void BM_Fig10_HivePlusRead(benchmark::State& state) {
+  RunDeletePlusRead(state, "hive", PlanMode::kCostModel);
+}
+void BM_Fig10_DualTableEditPlusUnionRead(benchmark::State& state) {
+  RunDeletePlusRead(state, "dualtable", PlanMode::kForceEdit);
+}
+void BM_Fig10_DualTablePlusRead(benchmark::State& state) {
+  RunDeletePlusRead(state, "dualtable", PlanMode::kCostModel);
+}
+
+}  // namespace
+
+BENCHMARK(BM_Fig10_HivePlusRead)
+    ->DenseRange(1, 17, 2)
+    ->Unit(benchmark::kMillisecond)
+    ->UseManualTime()
+    ->Iterations(1);
+BENCHMARK(BM_Fig10_DualTableEditPlusUnionRead)
+    ->DenseRange(1, 17, 2)
+    ->Unit(benchmark::kMillisecond)
+    ->UseManualTime()
+    ->Iterations(1);
+BENCHMARK(BM_Fig10_DualTablePlusRead)
+    ->DenseRange(1, 17, 2)
+    ->Unit(benchmark::kMillisecond)
+    ->UseManualTime()
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

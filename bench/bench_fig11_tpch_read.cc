@@ -1,0 +1,57 @@
+// Paper Fig. 11: read performance on the TPC-H data set for Hive(HDFS),
+// Hive(HBase), and DualTable across Query-a (TPC-H Q1), Query-b (Q12 join),
+// and Query-c (COUNT on lineitem), with an empty attached table.
+//
+// Shapes to reproduce: DualTable's overhead over Hive(HDFS) is negligible;
+// Hive(HBase) is much slower on every query (LSM batch-read penalty).
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using dtl::bench::Env;
+using dtl::bench::MakeTpch;
+using dtl::bench::PlanMode;
+using dtl::bench::RunSql;
+
+void BM_QueryA(benchmark::State& state, const std::string& kind) {
+  Env env = MakeTpch(kind, PlanMode::kCostModel, /*with_orders=*/false);
+  for (auto _ : state) {
+    auto stats = RunSql(&env, dtl::workload::QueryA("lineitem"));
+    state.SetIterationTime(stats.seconds);
+    state.counters["model_s"] = stats.modeled_seconds;
+  }
+}
+
+void BM_QueryB(benchmark::State& state, const std::string& kind) {
+  Env env = MakeTpch(kind, PlanMode::kCostModel, /*with_orders=*/true);
+  for (auto _ : state) {
+    auto stats = RunSql(&env, dtl::workload::QueryB("lineitem", "orders"));
+    state.SetIterationTime(stats.seconds);
+    state.counters["model_s"] = stats.modeled_seconds;
+  }
+}
+
+void BM_QueryC(benchmark::State& state, const std::string& kind) {
+  Env env = MakeTpch(kind, PlanMode::kCostModel, /*with_orders=*/false);
+  for (auto _ : state) {
+    auto stats = RunSql(&env, dtl::workload::QueryC("lineitem"));
+    state.SetIterationTime(stats.seconds);
+    state.counters["model_s"] = stats.modeled_seconds;
+  }
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_QueryA, hive_hdfs, "hive")->Unit(benchmark::kMillisecond)->UseManualTime();
+BENCHMARK_CAPTURE(BM_QueryA, hive_hbase, "hbase")->Unit(benchmark::kMillisecond)->UseManualTime();
+BENCHMARK_CAPTURE(BM_QueryA, dualtable, "dualtable")->Unit(benchmark::kMillisecond)->UseManualTime();
+BENCHMARK_CAPTURE(BM_QueryB, hive_hdfs, "hive")->Unit(benchmark::kMillisecond)->UseManualTime();
+BENCHMARK_CAPTURE(BM_QueryB, hive_hbase, "hbase")->Unit(benchmark::kMillisecond)->UseManualTime();
+BENCHMARK_CAPTURE(BM_QueryB, dualtable, "dualtable")->Unit(benchmark::kMillisecond)->UseManualTime();
+BENCHMARK_CAPTURE(BM_QueryC, hive_hdfs, "hive")->Unit(benchmark::kMillisecond)->UseManualTime();
+BENCHMARK_CAPTURE(BM_QueryC, hive_hbase, "hbase")->Unit(benchmark::kMillisecond)->UseManualTime();
+BENCHMARK_CAPTURE(BM_QueryC, dualtable, "dualtable")->Unit(benchmark::kMillisecond)->UseManualTime();
+
+BENCHMARK_MAIN();

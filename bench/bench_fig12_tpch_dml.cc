@@ -1,0 +1,68 @@
+// Paper Fig. 12: DML performance on the TPC-H data set across the three
+// systems. DML-a updates 5% of lineitem, DML-b deletes 2% of lineitem,
+// DML-c joins lineitem with orders and updates ~16% of orders.
+//
+// Shape to reproduce: "DualTable is most efficient for all updates, since
+// it avoids unnecessary writes that Hive on HDFS would have to perform, but
+// features faster reads than HBase."
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "common/stopwatch.h"
+
+namespace {
+
+using dtl::bench::Env;
+using dtl::bench::MakeTpch;
+using dtl::bench::PlanMode;
+using dtl::bench::RunSql;
+
+void BM_DmlA(benchmark::State& state, const std::string& kind) {
+  for (auto _ : state) {
+    Env env = MakeTpch(kind);
+    auto stats = RunSql(&env, dtl::workload::DmlA("lineitem"));
+    state.SetIterationTime(stats.seconds);
+    state.counters["model_s"] = stats.modeled_seconds;
+    state.counters["rows_changed"] = static_cast<double>(stats.affected_rows);
+  }
+}
+
+void BM_DmlB(benchmark::State& state, const std::string& kind) {
+  for (auto _ : state) {
+    Env env = MakeTpch(kind);
+    auto stats = RunSql(&env, dtl::workload::DmlB("lineitem"));
+    state.SetIterationTime(stats.seconds);
+    state.counters["model_s"] = stats.modeled_seconds;
+    state.counters["rows_changed"] = static_cast<double>(stats.affected_rows);
+  }
+}
+
+void BM_DmlC(benchmark::State& state, const std::string& kind) {
+  for (auto _ : state) {
+    Env env = MakeTpch(kind, PlanMode::kCostModel, /*with_orders=*/true);
+    auto li = env.session->catalog()->Lookup("lineitem");
+    auto ord = env.session->catalog()->Lookup("orders");
+    dtl::Stopwatch watch;
+    auto result = dtl::workload::RunDmlC(ord->table.get(), li->table.get());
+    double seconds = watch.ElapsedSeconds();
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    state.SetIterationTime(seconds);
+    if (result.ok()) {
+      state.counters["rows_changed"] = static_cast<double>(result->rows_matched);
+    }
+  }
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_DmlA, hive_hdfs, "hive")->Unit(benchmark::kMillisecond)->UseManualTime()->Iterations(1);
+BENCHMARK_CAPTURE(BM_DmlA, hive_hbase, "hbase")->Unit(benchmark::kMillisecond)->UseManualTime()->Iterations(1);
+BENCHMARK_CAPTURE(BM_DmlA, dualtable, "dualtable")->Unit(benchmark::kMillisecond)->UseManualTime()->Iterations(1);
+BENCHMARK_CAPTURE(BM_DmlB, hive_hdfs, "hive")->Unit(benchmark::kMillisecond)->UseManualTime()->Iterations(1);
+BENCHMARK_CAPTURE(BM_DmlB, hive_hbase, "hbase")->Unit(benchmark::kMillisecond)->UseManualTime()->Iterations(1);
+BENCHMARK_CAPTURE(BM_DmlB, dualtable, "dualtable")->Unit(benchmark::kMillisecond)->UseManualTime()->Iterations(1);
+BENCHMARK_CAPTURE(BM_DmlC, hive_hdfs, "hive")->Unit(benchmark::kMillisecond)->UseManualTime()->Iterations(1);
+BENCHMARK_CAPTURE(BM_DmlC, hive_hbase, "hbase")->Unit(benchmark::kMillisecond)->UseManualTime()->Iterations(1);
+BENCHMARK_CAPTURE(BM_DmlC, dualtable, "dualtable")->Unit(benchmark::kMillisecond)->UseManualTime()->Iterations(1);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+// Paper Fig. 14: DELETE run time on TPC-H lineitem for ratios 1%..50%.
+// Unlike updates, Hive's rewrite gets CHEAPER with the ratio (less data
+// survives), so the crossover sits lower than Fig. 13's; the cost model
+// again finds the right switch point.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using dtl::bench::Env;
+using dtl::bench::MakeTpch;
+using dtl::bench::PlanMode;
+using dtl::bench::RunSql;
+
+std::string DeleteSql(int percent) {
+  return "DELETE FROM lineitem WHERE " +
+         dtl::workload::LineitemRatioPredicate(percent / 100.0) + " WITH RATIO " +
+         std::to_string(percent / 100.0);
+}
+
+void RunDeleteSweep(benchmark::State& state, const std::string& kind, PlanMode mode) {
+  const int percent = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Env env = MakeTpch(kind, mode);
+    auto stats = RunSql(&env, DeleteSql(percent));
+    state.SetIterationTime(stats.seconds);
+    state.counters["model_s"] = stats.modeled_seconds;
+    state.counters["rows_changed"] = static_cast<double>(stats.affected_rows);
+    state.counters["plan_edit"] = stats.plan == "EDIT" ? 1 : 0;
+  }
+  state.SetLabel(std::to_string(percent) + "%");
+}
+
+void BM_Fig14_DualTableEdit(benchmark::State& state) {
+  RunDeleteSweep(state, "dualtable", PlanMode::kForceEdit);
+}
+void BM_Fig14_Hive(benchmark::State& state) {
+  RunDeleteSweep(state, "hive", PlanMode::kCostModel);
+}
+void BM_Fig14_DualTableCostModel(benchmark::State& state) {
+  RunDeleteSweep(state, "dualtable", PlanMode::kCostModel);
+}
+
+void RatioArgs(benchmark::internal::Benchmark* bench) {
+  for (int percent : {1, 5, 10, 15, 20, 25, 30, 35, 40, 45, 50}) bench->Arg(percent);
+  bench->Unit(benchmark::kMillisecond)->UseManualTime()->Iterations(1);
+}
+
+}  // namespace
+
+BENCHMARK(BM_Fig14_DualTableEdit)->Apply(RatioArgs);
+BENCHMARK(BM_Fig14_Hive)->Apply(RatioArgs);
+BENCHMARK(BM_Fig14_DualTableCostModel)->Apply(RatioArgs);
+
+BENCHMARK_MAIN();

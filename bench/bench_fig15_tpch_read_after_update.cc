@@ -1,0 +1,55 @@
+// Paper Fig. 15: full-table-scan run time after updating 1%..50% of
+// lineitem, DualTable in forced-EDIT mode (no cost model, as in the paper's
+// experiment). The UnionRead overhead is linear in the attached-table size,
+// while Hive's read is unaffected (its update rewrote the data).
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using dtl::bench::Env;
+using dtl::bench::MakeTpch;
+using dtl::bench::PlanMode;
+using dtl::bench::RunSql;
+
+std::string UpdateSql(int percent) {
+  return "UPDATE lineitem SET l_discount = 0.99 WHERE " +
+         dtl::workload::LineitemRatioPredicate(percent / 100.0) + " WITH RATIO " +
+         std::to_string(percent / 100.0);
+}
+
+const char kScanSql[] =
+    "SELECT COUNT(*), SUM(l_quantity), SUM(l_discount) FROM lineitem";
+
+void RunReadAfterUpdate(benchmark::State& state, const std::string& kind, PlanMode mode) {
+  const int percent = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Env env = MakeTpch(kind, mode);
+    RunSql(&env, UpdateSql(percent));  // untimed setup
+    RunSql(&env, kScanSql);                              // warm-up read (untimed)
+    auto stats = RunSql(&env, kScanSql);
+    state.SetIterationTime(stats.seconds);
+    state.counters["model_s"] = stats.modeled_seconds;
+  }
+  state.SetLabel(std::to_string(percent) + "%");
+}
+
+void BM_Fig15_UnionReadInDualTable(benchmark::State& state) {
+  RunReadAfterUpdate(state, "dualtable", PlanMode::kForceEdit);
+}
+void BM_Fig15_ReadInHive(benchmark::State& state) {
+  RunReadAfterUpdate(state, "hive", PlanMode::kCostModel);
+}
+
+void RatioArgs(benchmark::internal::Benchmark* bench) {
+  for (int percent : {1, 5, 10, 15, 20, 25, 30, 35, 40, 45, 50}) bench->Arg(percent);
+  bench->Unit(benchmark::kMillisecond)->UseManualTime()->Iterations(1);
+}
+
+}  // namespace
+
+BENCHMARK(BM_Fig15_UnionReadInDualTable)->Apply(RatioArgs);
+BENCHMARK(BM_Fig15_ReadInHive)->Apply(RatioArgs);
+
+BENCHMARK_MAIN();

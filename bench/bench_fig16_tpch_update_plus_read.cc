@@ -1,0 +1,60 @@
+// Paper Fig. 16: update-plus-successive-read total on TPC-H lineitem, "the
+// most realistic case, where updates are performed and then the updated
+// data set is analyzed". Series: DualTable-EDIT (+UnionRead), Hive (+read),
+// DualTable cost model (+read). The crossover sits slightly below Fig. 13's
+// because of the extra UnionRead merging cost.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using dtl::bench::Env;
+using dtl::bench::MakeTpch;
+using dtl::bench::PlanMode;
+using dtl::bench::RunSql;
+
+std::string UpdateSql(int percent) {
+  return "UPDATE lineitem SET l_discount = 0.99 WHERE " +
+         dtl::workload::LineitemRatioPredicate(percent / 100.0) + " WITH RATIO " +
+         std::to_string(percent / 100.0);
+}
+
+const char kScanSql[] =
+    "SELECT COUNT(*), SUM(l_quantity), SUM(l_discount) FROM lineitem";
+
+void RunUpdatePlusRead(benchmark::State& state, const std::string& kind, PlanMode mode) {
+  const int percent = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Env env = MakeTpch(kind, mode);
+    auto update = RunSql(&env, UpdateSql(percent));
+    auto read = RunSql(&env, kScanSql);
+    state.SetIterationTime(update.seconds + read.seconds);
+    state.counters["model_s"] = update.modeled_seconds + read.modeled_seconds;
+    state.counters["plan_edit"] = update.plan == "EDIT" ? 1 : 0;
+  }
+  state.SetLabel(std::to_string(percent) + "%");
+}
+
+void BM_Fig16_DualTableEditPlusUnionRead(benchmark::State& state) {
+  RunUpdatePlusRead(state, "dualtable", PlanMode::kForceEdit);
+}
+void BM_Fig16_HivePlusRead(benchmark::State& state) {
+  RunUpdatePlusRead(state, "hive", PlanMode::kCostModel);
+}
+void BM_Fig16_DualTablePlusRead(benchmark::State& state) {
+  RunUpdatePlusRead(state, "dualtable", PlanMode::kCostModel);
+}
+
+void RatioArgs(benchmark::internal::Benchmark* bench) {
+  for (int percent : {1, 5, 10, 15, 20, 25, 30, 35, 40, 45, 50}) bench->Arg(percent);
+  bench->Unit(benchmark::kMillisecond)->UseManualTime()->Iterations(1);
+}
+
+}  // namespace
+
+BENCHMARK(BM_Fig16_DualTableEditPlusUnionRead)->Apply(RatioArgs);
+BENCHMARK(BM_Fig16_HivePlusRead)->Apply(RatioArgs);
+BENCHMARK(BM_Fig16_DualTablePlusRead)->Apply(RatioArgs);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+// Paper Fig. 17: full-table-scan run time after deleting 1%..50% of
+// lineitem. Hive's read shrinks with the ratio (less data survives its
+// rewrite); DualTable's UnionRead still reads the whole master plus the
+// delete markers, so the gap widens at high delete ratios.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using dtl::bench::Env;
+using dtl::bench::MakeTpch;
+using dtl::bench::PlanMode;
+using dtl::bench::RunSql;
+
+std::string DeleteSql(int percent) {
+  return "DELETE FROM lineitem WHERE " +
+         dtl::workload::LineitemRatioPredicate(percent / 100.0) + " WITH RATIO " +
+         std::to_string(percent / 100.0);
+}
+
+const char kScanSql[] =
+    "SELECT COUNT(*), SUM(l_quantity), SUM(l_discount) FROM lineitem";
+
+void RunReadAfterDelete(benchmark::State& state, const std::string& kind, PlanMode mode) {
+  const int percent = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Env env = MakeTpch(kind, mode);
+    RunSql(&env, DeleteSql(percent));  // untimed setup
+    RunSql(&env, kScanSql);                              // warm-up read (untimed)
+    auto stats = RunSql(&env, kScanSql);
+    state.SetIterationTime(stats.seconds);
+    state.counters["model_s"] = stats.modeled_seconds;
+  }
+  state.SetLabel(std::to_string(percent) + "%");
+}
+
+void BM_Fig17_UnionReadInDualTable(benchmark::State& state) {
+  RunReadAfterDelete(state, "dualtable", PlanMode::kForceEdit);
+}
+void BM_Fig17_ReadInHive(benchmark::State& state) {
+  RunReadAfterDelete(state, "hive", PlanMode::kCostModel);
+}
+
+void RatioArgs(benchmark::internal::Benchmark* bench) {
+  for (int percent : {1, 5, 10, 15, 20, 25, 30, 35, 40, 45, 50}) bench->Arg(percent);
+  bench->Unit(benchmark::kMillisecond)->UseManualTime()->Iterations(1);
+}
+
+}  // namespace
+
+BENCHMARK(BM_Fig17_UnionReadInDualTable)->Apply(RatioArgs);
+BENCHMARK(BM_Fig17_ReadInHive)->Apply(RatioArgs);
+
+BENCHMARK_MAIN();

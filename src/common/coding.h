@@ -1,0 +1,57 @@
+// Byte-level encoding primitives shared by the ORC writer, the KV store's
+// SSTable/WAL formats, and record-ID key packing: little-endian fixed ints,
+// LEB128 varints, zig-zag transforms, length-prefixed strings, and CRC32.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace dtl {
+
+// --- fixed-width little-endian ---------------------------------------------
+
+void PutFixed32(std::string* dst, uint32_t v);
+void PutFixed64(std::string* dst, uint64_t v);
+uint32_t DecodeFixed32(const char* p);
+uint64_t DecodeFixed64(const char* p);
+
+// --- LEB128 varints ----------------------------------------------------------
+
+void PutVarint32(std::string* dst, uint32_t v);
+void PutVarint64(std::string* dst, uint64_t v);
+
+/// Decodes a varint from the front of *input, advancing it. Returns
+/// Corruption if the input ends mid-varint.
+Status GetVarint32(Slice* input, uint32_t* value);
+Status GetVarint64(Slice* input, uint64_t* value);
+
+// --- zig-zag (signed <-> unsigned) ------------------------------------------
+
+inline uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+inline int64_t ZigZagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+// --- length-prefixed strings -------------------------------------------------
+
+void PutLengthPrefixed(std::string* dst, const Slice& value);
+Status GetLengthPrefixed(Slice* input, Slice* value);
+
+// --- big-endian fixed (memcmp-sortable keys) ---------------------------------
+
+/// Appends v in big-endian order so that byte order equals numeric order;
+/// used for record-ID row keys in the attached table.
+void PutBigEndian64(std::string* dst, uint64_t v);
+uint64_t DecodeBigEndian64(const char* p);
+
+// --- CRC32 (Castagnoli polynomial, software table) ----------------------------
+
+uint32_t Crc32(const char* data, size_t n);
+inline uint32_t Crc32(const Slice& s) { return Crc32(s.data(), s.size()); }
+
+}  // namespace dtl

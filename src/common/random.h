@@ -1,0 +1,67 @@
+// Deterministic pseudo-random generation (xorshift128+). All workload
+// generators seed from fixed constants so every bench and test is reproducible
+// bit-for-bit across runs and machines.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dtl {
+
+/// Small fast deterministic PRNG (xorshift128+). Not cryptographic.
+class Random {
+ public:
+  explicit Random(uint64_t seed) {
+    // SplitMix64 to spread the seed across both words.
+    s0_ = SplitMix(&seed);
+    s1_ = SplitMix(&seed);
+    if (s0_ == 0 && s1_ == 0) s1_ = 0x9E3779B97F4A7C15ull;
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Random lowercase alphanumeric string of the given length.
+  std::string NextString(size_t len) {
+    static const char kAlpha[] = "abcdefghijklmnopqrstuvwxyz0123456789";
+    std::string out;
+    out.reserve(len);
+    for (size_t i = 0; i < len; ++i) out.push_back(kAlpha[Uniform(36)]);
+    return out;
+  }
+
+ private:
+  static uint64_t SplitMix(uint64_t* state) {
+    uint64_t z = (*state += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace dtl

@@ -1,0 +1,67 @@
+// Relational schema and row types shared across the storage formats, the
+// query engine, and DualTable.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace dtl {
+
+/// One column: a name plus a declared type.
+struct Field {
+  std::string name;
+  DataType type = DataType::kNull;
+
+  bool operator==(const Field&) const = default;
+};
+
+/// Ordered list of fields. Column ordinals are stable and serve as HBase
+/// column qualifiers in the attached table.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Ordinal of the named column, or nullopt. Matching is case-insensitive,
+  /// as in HiveQL.
+  std::optional<size_t> IndexOf(const std::string& name) const;
+
+  /// Schema containing only the given ordinals, in the given order.
+  Schema Project(const std::vector<size_t>& ordinals) const;
+
+  /// "name type, name type, ..." rendering for diagnostics and DDL echo.
+  std::string ToString() const;
+
+  /// Compact serialization for file footers and the metadata table.
+  void EncodeTo(std::string* dst) const;
+  static Status DecodeFrom(Slice* input, Schema* out);
+
+  bool operator==(const Schema&) const = default;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+/// One tuple of values, positionally aligned with a Schema.
+using Row = std::vector<Value>;
+
+/// Serializes a full row (used by the shuffle and the text-format fallback).
+void EncodeRow(const Row& row, std::string* dst);
+Status DecodeRow(Slice* input, Row* out);
+
+/// Sum of per-cell ByteSize; approximates the row's storage footprint.
+size_t RowByteSize(const Row& row);
+
+/// Renders a row as a tab-separated line for examples and debugging.
+std::string RowToString(const Row& row);
+
+}  // namespace dtl

@@ -1,0 +1,160 @@
+// In-memory ordered map used as the KV store's memtable, mirroring the
+// skip-list memtables of HBase/LevelDB/RocksDB. Single-writer, multi-reader
+// is sufficient here because the KV store serializes writes per table.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/random.h"
+
+namespace dtl {
+
+/// Ordered map from Key to Value with probabilistic O(log n) operations.
+/// Comparator must define a strict weak ordering via operator()(a, b) < 0/0/>0.
+template <typename Key, typename Value, typename Comparator = std::compare_three_way>
+class SkipList {
+ public:
+  static constexpr int kMaxHeight = 12;
+
+  explicit SkipList(Comparator cmp = Comparator())
+      : cmp_(std::move(cmp)), rng_(0xDEADBEEF), head_(NewNode(Key(), Value(), kMaxHeight)) {}
+
+  ~SkipList() {
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* next = n->next[0];
+      delete n;
+      n = next;
+    }
+  }
+
+  SkipList(const SkipList&) = delete;
+  SkipList& operator=(const SkipList&) = delete;
+
+  /// Inserts or overwrites the value for key. Returns true when the key is new.
+  bool Insert(const Key& key, Value value) {
+    Node* prev[kMaxHeight];
+    Node* found = FindGreaterOrEqual(key, prev);
+    if (found != nullptr && Equal(found->key, key)) {
+      found->value = std::move(value);
+      return false;
+    }
+    int height = RandomHeight();
+    if (height > height_) {
+      for (int i = height_; i < height; ++i) prev[i] = head_;
+      height_ = height;
+    }
+    Node* node = NewNode(key, std::move(value), height);
+    for (int i = 0; i < height; ++i) {
+      node->next[i] = prev[i]->next[i];
+      prev[i]->next[i] = node;
+    }
+    ++size_;
+    return true;
+  }
+
+  /// Returns a pointer to the value for key, or nullptr when absent.
+  const Value* Find(const Key& key) const {
+    Node* prev[kMaxHeight];
+    Node* n = FindGreaterOrEqual(key, prev);
+    if (n != nullptr && Equal(n->key, key)) return &n->value;
+    return nullptr;
+  }
+
+  Value* FindMutable(const Key& key) {
+    return const_cast<Value*>(static_cast<const SkipList*>(this)->Find(key));
+  }
+
+  bool Contains(const Key& key) const { return Find(key) != nullptr; }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Forward iterator over entries in key order.
+  class Iterator {
+   public:
+    explicit Iterator(const SkipList* list) : list_(list), node_(nullptr) {}
+
+    bool Valid() const { return node_ != nullptr; }
+    void SeekToFirst() { node_ = list_->head_->next[0]; }
+    void Seek(const Key& target) {
+      Node* prev[kMaxHeight];
+      node_ = list_->FindGreaterOrEqual(target, prev);
+    }
+    void Next() {
+      assert(Valid());
+      node_ = node_->next[0];
+    }
+    const Key& key() const {
+      assert(Valid());
+      return node_->key;
+    }
+    const Value& value() const {
+      assert(Valid());
+      return node_->value;
+    }
+
+   private:
+    const SkipList* list_;
+    typename SkipList::Node* node_;
+  };
+
+ private:
+  struct Node {
+    Key key;
+    Value value;
+    Node* next[1];  // over-allocated to `height` entries
+  };
+
+  static Node* NewNode(const Key& key, Value value, int height) {
+    void* mem = ::operator new(sizeof(Node) + sizeof(Node*) * (height - 1));
+    Node* n = new (mem) Node{key, std::move(value), {nullptr}};
+    for (int i = 0; i < height; ++i) n->next[i] = nullptr;
+    return n;
+  }
+
+  int RandomHeight() {
+    int h = 1;
+    while (h < kMaxHeight && rng_.Uniform(4) == 0) ++h;
+    return h;
+  }
+
+  int Compare(const Key& a, const Key& b) const {
+    auto c = cmp_(a, b);
+    if constexpr (std::is_same_v<decltype(c), int>) {
+      return c;
+    } else {
+      if (c < 0) return -1;
+      if (c > 0) return 1;
+      return 0;
+    }
+  }
+
+  bool Equal(const Key& a, const Key& b) const { return Compare(a, b) == 0; }
+
+  Node* FindGreaterOrEqual(const Key& key, Node** prev) const {
+    Node* x = head_;
+    int level = height_ - 1;
+    while (true) {
+      Node* next = x->next[level];
+      if (next != nullptr && Compare(next->key, key) < 0) {
+        x = next;
+      } else {
+        prev[level] = x;
+        if (level == 0) return next;
+        --level;
+      }
+    }
+  }
+
+  Comparator cmp_;
+  Random rng_;
+  Node* head_;
+  int height_ = 1;
+  size_t size_ = 0;
+};
+
+}  // namespace dtl

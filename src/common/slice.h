@@ -1,0 +1,59 @@
+// A non-owning view over a byte range, in the RocksDB style. Used at storage
+// boundaries (KV store keys/values, file blocks) where copies would dominate.
+#pragma once
+
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace dtl {
+
+/// Non-owning pointer+length view of bytes. The referenced storage must
+/// outlive the Slice.
+class Slice {
+ public:
+  Slice() : data_(""), size_(0) {}
+  Slice(const char* data, size_t size) : data_(data), size_(size) {}
+  Slice(const std::string& s) : data_(s.data()), size_(s.size()) {}  // NOLINT
+  Slice(const char* cstr) : data_(cstr), size_(std::strlen(cstr)) {}  // NOLINT
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  char operator[](size_t i) const { return data_[i]; }
+
+  /// Drops the first n bytes from the view.
+  void RemovePrefix(size_t n) {
+    data_ += n;
+    size_ -= n;
+  }
+
+  std::string ToString() const { return std::string(data_, size_); }
+  std::string_view ToView() const { return std::string_view(data_, size_); }
+
+  /// Three-way bytewise comparison: <0, 0, >0 like memcmp.
+  int Compare(const Slice& other) const {
+    size_t min_len = size_ < other.size_ ? size_ : other.size_;
+    int r = std::memcmp(data_, other.data_, min_len);
+    if (r == 0) {
+      if (size_ < other.size_) return -1;
+      if (size_ > other.size_) return 1;
+    }
+    return r;
+  }
+
+  bool StartsWith(const Slice& prefix) const {
+    return size_ >= prefix.size_ && std::memcmp(data_, prefix.data_, prefix.size_) == 0;
+  }
+
+  bool operator==(const Slice& other) const { return Compare(other) == 0; }
+  bool operator!=(const Slice& other) const { return Compare(other) != 0; }
+  bool operator<(const Slice& other) const { return Compare(other) < 0; }
+
+ private:
+  const char* data_;
+  size_t size_;
+};
+
+}  // namespace dtl

@@ -1,0 +1,41 @@
+#include "common/status.h"
+
+namespace dtl {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid argument";
+    case StatusCode::kNotFound:
+      return "not found";
+    case StatusCode::kAlreadyExists:
+      return "already exists";
+    case StatusCode::kNotSupported:
+      return "not supported";
+    case StatusCode::kIoError:
+      return "io error";
+    case StatusCode::kCorruption:
+      return "corruption";
+    case StatusCode::kOutOfRange:
+      return "out of range";
+    case StatusCode::kBusy:
+      return "busy";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  if (!msg_.empty()) {
+    out += ": ";
+    out += msg_;
+  }
+  return out;
+}
+
+}  // namespace dtl

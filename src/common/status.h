@@ -1,0 +1,149 @@
+// Status and Result<T>: error-handling primitives in the Arrow/RocksDB idiom.
+// Every fallible operation in the library returns a Status (or a Result<T> when
+// it produces a value), never throws across module boundaries.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace dtl {
+
+/// Machine-readable error category carried by a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kNotSupported,
+  kIoError,
+  kCorruption,
+  kOutOfRange,
+  kBusy,
+  kInternal,
+};
+
+/// Returns the canonical lowercase name of a status code ("ok", "io error", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Outcome of a fallible operation: a code plus an optional human-readable message.
+///
+/// The default-constructed Status is OK and carries no allocation. Statuses are
+/// cheap to copy and intended to be returned by value.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Busy(std::string msg) { return Status(StatusCode::kBusy, std::move(msg)); }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsInvalidArgument() const { return code_ == StatusCode::kInvalidArgument; }
+  bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
+  bool IsIoError() const { return code_ == StatusCode::kIoError; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsBusy() const { return code_ == StatusCode::kBusy; }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// Either a value of type T or a non-OK Status explaining why there is none.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : var_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : var_(std::move(status)) {  // NOLINT: implicit by design
+    assert(!std::get<Status>(var_).ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(var_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(var_);
+  }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(var_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(var_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(var_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Returns the contained value or `fallback` when holding an error.
+  T ValueOr(T fallback) const { return ok() ? value() : std::move(fallback); }
+
+ private:
+  std::variant<T, Status> var_;
+};
+
+}  // namespace dtl
+
+/// Propagates a non-OK Status to the caller; evaluates `expr` exactly once.
+#define DTL_RETURN_NOT_OK(expr)                   \
+  do {                                            \
+    ::dtl::Status _st = (expr);                   \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+/// Unwraps a Result into `lhs`, returning its Status on error.
+#define DTL_ASSIGN_OR_RETURN(lhs, expr)           \
+  auto DTL_CONCAT_(_res_, __LINE__) = (expr);     \
+  if (!DTL_CONCAT_(_res_, __LINE__).ok())         \
+    return DTL_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(DTL_CONCAT_(_res_, __LINE__)).value()
+
+#define DTL_CONCAT_IMPL_(a, b) a##b
+#define DTL_CONCAT_(a, b) DTL_CONCAT_IMPL_(a, b)

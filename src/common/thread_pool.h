@@ -1,0 +1,44 @@
+// Fixed-size worker pool used by the MapReduce-like executor to run splits
+// in parallel, standing in for a cluster's task slots.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dtl {
+
+/// Simple FIFO thread pool. Tasks may not block on other tasks submitted to
+/// the same pool (no work stealing), which the executor respects by
+/// submitting only leaf-level split work.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; the returned future resolves when it completes.
+  std::future<void> Submit(std::function<void()> task);
+
+  /// Runs fn(i) for i in [0, n) across the pool and waits for all of them.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+};
+
+}  // namespace dtl

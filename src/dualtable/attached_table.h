@@ -1,0 +1,110 @@
+// The Attached Table (paper §III-B, §V-B): an HBase-backed store of record
+// modifications, keyed by record ID. UPDATE information is stored as
+// (record-ID row, updated column's ordinal as qualifier, encoded new value);
+// DELETE information is a special marker cell in the deleted record's row.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "fs/filesystem.h"
+#include "kv/store.h"
+
+namespace dtl::dual {
+
+/// Qualifier of the paper's "special HBase cell" delete marker; sorts after
+/// every real column ordinal but before the KV-level row tombstone.
+inline constexpr uint32_t kDeleteMarkerQualifier = 0xFFFFFFFEu;
+
+/// Visible modification state of one record.
+struct RecordModification {
+  uint64_t record_id = 0;
+  bool deleted = false;
+  /// Latest new value per updated column ordinal.
+  std::map<uint32_t, Value> updates;
+};
+
+/// Sorted stream of record modifications (ascending record ID), optionally
+/// bounded to [start_id, end_id).
+class ModificationScanner {
+ public:
+  bool Next();
+  const RecordModification& modification() const { return mod_; }
+  const Status& status() const { return status_; }
+
+ private:
+  friend class AttachedTable;
+  ModificationScanner(std::unique_ptr<kv::RowScanner> rows, uint64_t end_id)
+      : rows_(std::move(rows)), end_id_(end_id) {}
+
+  std::unique_ptr<kv::RowScanner> rows_;
+  uint64_t end_id_;
+  RecordModification mod_;
+  Status status_;
+};
+
+/// One DualTable's attached store.
+class AttachedTable {
+ public:
+  static Result<std::unique_ptr<AttachedTable>> Open(fs::SimFileSystem* fs,
+                                                     const std::string& table_name,
+                                                     kv::KvStoreOptions base_options = {});
+
+  /// EDIT-plan UPDATE: stores the new value of `column` for the record.
+  Status PutUpdate(uint64_t record_id, uint32_t column, const Value& value);
+
+  /// EDIT-plan DELETE: stores the delete marker for the record.
+  Status PutDeleteMarker(uint64_t record_id);
+
+  /// Random read of one record's visible modification state; nullopt when
+  /// the record has no attached data. This is the random-read capability the
+  /// paper credits for making UNION READ efficient.
+  Result<std::optional<RecordModification>> GetModification(uint64_t record_id);
+
+  /// Sorted scan over [start_id, end_id). Defaults cover everything.
+  /// `as_of` limits visibility to modifications written at or before that
+  /// store timestamp (time travel over the HBase versions; history written
+  /// before the last Clear()/Compact() is not reconstructible).
+  std::unique_ptr<ModificationScanner> NewScanner(uint64_t start_id = 0,
+                                                  uint64_t end_id = UINT64_MAX,
+                                                  uint64_t as_of = UINT64_MAX);
+
+  /// Store timestamp of the most recent modification; pass to ScanAsOf for a
+  /// snapshot "now".
+  uint64_t LastTimestamp() const { return store_->LastTimestamp(); }
+
+  /// Change history of one cell via HBase multi-versioning (paper §V-C):
+  /// (timestamp, value) pairs, newest first.
+  Status GetUpdateHistory(uint64_t record_id, uint32_t column, int max_versions,
+                          std::vector<std::pair<uint64_t, Value>>* out);
+
+  /// Number of modification cells currently stored.
+  uint64_t ApproximateCellCount() const { return store_->ApproximateCellCount(); }
+  uint64_t ApproximateBytes() const { return store_->ApproximateBytes(); }
+  bool Empty() const { return store_->ApproximateCellCount() == 0; }
+
+  /// Drops all modifications (after COMPACT or an OVERWRITE plan).
+  Status Clear() { return store_->Clear(); }
+
+  /// Removes backing storage entirely.
+  Status Drop();
+
+  kv::KvStore* store() { return store_.get(); }
+
+ private:
+  AttachedTable(fs::SimFileSystem* fs, std::string dir,
+                std::unique_ptr<kv::KvStore> store)
+      : fs_(fs), dir_(std::move(dir)), store_(std::move(store)) {}
+
+  fs::SimFileSystem* fs_;
+  std::string dir_;
+  std::unique_ptr<kv::KvStore> store_;
+};
+
+}  // namespace dtl::dual

@@ -1,0 +1,71 @@
+#include "dualtable/cost_model.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace dtl::dual {
+
+std::string PlanDecision::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%s (overwrite=%.3fs edit=%.3fs diff=%.3fs)",
+                table::DmlPlanName(plan), cost_overwrite_seconds, cost_edit_seconds,
+                cost_difference_seconds);
+  return buf;
+}
+
+PlanDecision CostModel::DecideUpdate(uint64_t table_bytes, double alpha) const {
+  const double d = static_cast<double>(table_bytes);
+  const double k = params_.k;
+  PlanDecision out;
+  out.cost_overwrite_seconds = MasterWrite(d) + k * MasterRead(d);
+  out.cost_edit_seconds =
+      AttachedWrite(alpha * d) + k * (AttachedRead(alpha * d) + MasterRead(d));
+  out.cost_difference_seconds = out.cost_overwrite_seconds - out.cost_edit_seconds;
+  out.plan = out.cost_difference_seconds > 0 ? table::DmlPlan::kEdit
+                                             : table::DmlPlan::kOverwrite;
+  return out;
+}
+
+PlanDecision CostModel::DecideDelete(uint64_t table_bytes, double beta,
+                                     double avg_row_bytes) const {
+  const double d_total = static_cast<double>(table_bytes);
+  const double k = params_.k;
+  const double marker_ratio =
+      avg_row_bytes > 0 ? params_.delete_marker_bytes / avg_row_bytes : 1.0;
+  PlanDecision out;
+  // OVERWRITE keeps (1-β) of the data; its following reads also shrink.
+  out.cost_overwrite_seconds =
+      MasterWrite((1.0 - beta) * d_total) + k * MasterRead((1.0 - beta) * d_total);
+  const double marker_bytes = beta * d_total * marker_ratio;
+  out.cost_edit_seconds =
+      AttachedWrite(marker_bytes) + k * (AttachedRead(marker_bytes) + MasterRead(d_total));
+  out.cost_difference_seconds = out.cost_overwrite_seconds - out.cost_edit_seconds;
+  out.plan = out.cost_difference_seconds > 0 ? table::DmlPlan::kEdit
+                                             : table::DmlPlan::kOverwrite;
+  return out;
+}
+
+double CostModel::UpdateCrossoverRatio(uint64_t table_bytes) const {
+  // Eq. 1 is linear in alpha; solve CostU(alpha) = 0.
+  const double d = static_cast<double>(table_bytes);
+  const double denom = AttachedWrite(d) + params_.k * AttachedRead(d);
+  if (denom <= 0) return 1.0;
+  return std::clamp(MasterWrite(d) / denom, 0.0, 1.0);
+}
+
+double CostModel::DeleteCrossoverRatio(uint64_t table_bytes,
+                                       double avg_row_bytes) const {
+  // Eq. 2 is linear in beta as well; CostD = MW(D) - beta * (MW(D) + k MR(D)
+  // + (m/d) AW(D) + k (m/d) AR(D)).
+  const double d_total = static_cast<double>(table_bytes);
+  const double marker_ratio =
+      avg_row_bytes > 0 ? params_.delete_marker_bytes / avg_row_bytes : 1.0;
+  const double denom = MasterWrite(d_total) + params_.k * MasterRead(d_total) +
+                       marker_ratio * AttachedWrite(d_total) +
+                       params_.k * marker_ratio * AttachedRead(d_total);
+  if (denom <= 0) return 1.0;
+  return std::clamp(MasterWrite(d_total) / denom, 0.0, 1.0);
+}
+
+}  // namespace dtl::dual

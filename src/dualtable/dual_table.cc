@@ -1,0 +1,362 @@
+#include "dualtable/dual_table.h"
+
+#include <algorithm>
+
+#include "dualtable/record_id.h"
+
+namespace dtl::dual {
+
+Result<std::shared_ptr<DualTable>> DualTable::Open(fs::SimFileSystem* fs,
+                                                   MetadataTable* metadata,
+                                                   const fs::ClusterModel* cluster,
+                                                   const std::string& name, Schema schema,
+                                                   DualTableOptions options) {
+  auto dual = std::shared_ptr<DualTable>(
+      new DualTable(fs, metadata, name, schema, std::move(options), cluster));
+  DTL_ASSIGN_OR_RETURN(dual->master_,
+                       MasterTable::Open(fs, metadata, name, std::move(schema),
+                                         dual->options_.warehouse_dir,
+                                         dual->options_.writer_options));
+  DTL_ASSIGN_OR_RETURN(dual->attached_,
+                       AttachedTable::Open(fs, name, dual->options_.attached_options));
+  return dual;
+}
+
+Result<std::unique_ptr<UnionReadIterator>> DualTable::NewUnionRead(
+    const table::ScanSpec& spec) {
+  table::ScanSpec master_spec = spec;
+  // Attached updates can move cell values across stripe-stat boundaries, so
+  // stats pruning is only sound against an empty attached table.
+  if (!attached_->Empty()) master_spec.bounds.clear();
+  DTL_ASSIGN_OR_RETURN(auto master_it,
+                       master_->NewScanIterator(master_spec, /*apply_predicate=*/false));
+  auto attached_it = attached_->NewScanner();
+  return std::make_unique<UnionReadIterator>(std::move(master_it), std::move(attached_it),
+                                             spec.predicate, schema_.num_fields());
+}
+
+Result<std::unique_ptr<UnionReadIterator>> DualTable::NewUnionReadForFile(
+    uint64_t file_id, const table::ScanSpec& spec) {
+  table::ScanSpec master_spec = spec;
+  if (!attached_->Empty()) master_spec.bounds.clear();
+  DTL_ASSIGN_OR_RETURN(auto master_it, master_->NewFileScanIterator(
+                                           file_id, master_spec, /*apply_predicate=*/false));
+  auto attached_it =
+      attached_->NewScanner(MakeRecordId(file_id, 0), MakeRecordId(file_id + 1, 0));
+  return std::make_unique<UnionReadIterator>(std::move(master_it), std::move(attached_it),
+                                             spec.predicate, schema_.num_fields());
+}
+
+Result<std::unique_ptr<table::RowIterator>> DualTable::Scan(const table::ScanSpec& spec) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  DTL_ASSIGN_OR_RETURN(auto it, NewUnionRead(spec));
+  return std::unique_ptr<table::RowIterator>(std::move(it));
+}
+
+Result<std::unique_ptr<table::RowIterator>> DualTable::ScanAsOf(
+    const table::ScanSpec& spec, uint64_t as_of) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  table::ScanSpec master_spec = spec;
+  if (!attached_->Empty()) master_spec.bounds.clear();
+  DTL_ASSIGN_OR_RETURN(auto master_it,
+                       master_->NewScanIterator(master_spec, /*apply_predicate=*/false));
+  auto attached_it = attached_->NewScanner(0, UINT64_MAX, as_of);
+  return std::unique_ptr<table::RowIterator>(
+      std::make_unique<UnionReadIterator>(std::move(master_it), std::move(attached_it),
+                                          spec.predicate, schema_.num_fields()));
+}
+
+Result<std::vector<table::ScanSplit>> DualTable::CreateSplits(const table::ScanSpec& spec) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::vector<table::ScanSplit> splits;
+  for (const MasterFileInfo& info : master_->files()) {
+    const uint64_t file_id = info.file_id;
+    DualTable* self = this;
+    table::ScanSpec copy = spec;
+    splits.push_back(table::ScanSplit{
+        name_ + "/f_" + std::to_string(file_id),
+        [self, file_id, copy]() -> Result<std::unique_ptr<table::RowIterator>> {
+          DTL_ASSIGN_OR_RETURN(auto it, self->NewUnionReadForFile(file_id, copy));
+          return std::unique_ptr<table::RowIterator>(std::move(it));
+        }});
+  }
+  return splits;
+}
+
+Status DualTable::InsertRows(const std::vector<Row>& rows) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  if (rows.empty()) return Status::OK();
+  DTL_ASSIGN_OR_RETURN(auto writer, master_->NewFileWriter());
+  for (const Row& row : rows) DTL_RETURN_NOT_OK(writer->Append(row));
+  DTL_ASSIGN_OR_RETURN(auto info, writer->Close());
+  master_->RegisterFile(std::move(info));
+  return Status::OK();
+}
+
+Status DualTable::OverwriteRows(const std::vector<Row>& rows) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::vector<MasterFileInfo> new_files;
+  if (!rows.empty()) {
+    std::unique_ptr<MasterFileWriter> writer;
+    for (const Row& row : rows) {
+      if (writer == nullptr) {
+        DTL_ASSIGN_OR_RETURN(writer, master_->NewFileWriter());
+      }
+      DTL_RETURN_NOT_OK(writer->Append(row));
+      if (writer->rows_written() >= options_.rewrite_file_rows) {
+        DTL_ASSIGN_OR_RETURN(auto info, writer->Close());
+        new_files.push_back(std::move(info));
+        writer.reset();
+      }
+    }
+    if (writer != nullptr) {
+      DTL_ASSIGN_OR_RETURN(auto info, writer->Close());
+      new_files.push_back(std::move(info));
+    }
+  }
+  DTL_RETURN_NOT_OK(master_->ReplaceAllFiles(std::move(new_files)));
+  return attached_->Clear();
+}
+
+table::ScanSpec DualTable::DmlScanSpec(
+    const table::ScanSpec& filter, const std::vector<table::Assignment>& assignments) const {
+  table::ScanSpec spec = filter;
+  // The DML scan must materialize the predicate columns plus everything the
+  // SET expressions read. Fold those into the projection.
+  std::vector<size_t> needed = filter.predicate_columns;
+  for (const auto& a : assignments) {
+    needed.insert(needed.end(), a.input_columns.begin(), a.input_columns.end());
+  }
+  if (needed.empty()) needed.push_back(0);
+  std::sort(needed.begin(), needed.end());
+  needed.erase(std::unique(needed.begin(), needed.end()), needed.end());
+  spec.projection = needed;
+  return spec;
+}
+
+double DualTable::ResolveRatio(std::optional<double> hint) const {
+  if (hint.has_value()) return std::clamp(*hint, 0.0, 1.0);
+  auto hist = metadata_->HistoricalModificationRatio(name_,
+                                                     options_.default_modification_ratio);
+  return hist.ok() ? std::clamp(*hist, 0.0, 1.0) : options_.default_modification_ratio;
+}
+
+double DualTable::AvgRowBytes() const {
+  const uint64_t rows = master_->TotalRows();
+  if (rows == 0) return 1.0;
+  return static_cast<double>(master_->TotalBytes()) / static_cast<double>(rows);
+}
+
+PlanDecision DualTable::PreviewUpdateDecision(double alpha) const {
+  return cost_model_.DecideUpdate(master_->TotalBytes(), alpha);
+}
+
+PlanDecision DualTable::PreviewDeleteDecision(double beta) const {
+  return cost_model_.DecideDelete(master_->TotalBytes(), beta, AvgRowBytes());
+}
+
+Result<table::DmlResult> DualTable::Update(
+    const table::ScanSpec& filter, const std::vector<table::Assignment>& assignments) {
+  return UpdateWithHint(filter, assignments, std::nullopt);
+}
+
+Result<table::DmlResult> DualTable::UpdateWithHint(
+    const table::ScanSpec& filter, const std::vector<table::Assignment>& assignments,
+    std::optional<double> ratio_hint) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  if (assignments.empty()) return Status::InvalidArgument("UPDATE with no assignments");
+
+  table::DmlPlan plan;
+  switch (options_.plan_mode) {
+    case DualTableOptions::PlanMode::kForceEdit:
+      plan = table::DmlPlan::kEdit;
+      break;
+    case DualTableOptions::PlanMode::kForceOverwrite:
+      plan = table::DmlPlan::kOverwrite;
+      break;
+    case DualTableOptions::PlanMode::kCostModel:
+      plan = cost_model_.DecideUpdate(master_->TotalBytes(), ResolveRatio(ratio_hint)).plan;
+      break;
+  }
+  last_plan_ = plan;
+
+  Result<table::DmlResult> result = plan == table::DmlPlan::kEdit
+                                        ? ExecuteEditUpdate(filter, assignments)
+                                        : ExecuteOverwriteUpdate(filter, assignments);
+  if (result.ok() && result->rows_scanned > 0) {
+    (void)metadata_->RecordModificationRatio(
+        name_, static_cast<double>(result->rows_matched) /
+                   static_cast<double>(result->rows_scanned));
+  }
+  if (result.ok() && options_.auto_compact && NeedsCompaction()) {
+    DTL_RETURN_NOT_OK(Compact());
+  }
+  return result;
+}
+
+Result<table::DmlResult> DualTable::ExecuteEditUpdate(
+    const table::ScanSpec& filter, const std::vector<table::Assignment>& assignments) {
+  // The paper's UPDATE UDTF: scan the up-to-date view, and for every
+  // matching record put the new field values into the attached table.
+  table::ScanSpec spec = DmlScanSpec(filter, assignments);
+  DTL_ASSIGN_OR_RETURN(auto it, NewUnionRead(spec));
+  table::DmlResult result;
+  result.plan = table::DmlPlan::kEdit;
+  while (it->Next()) {
+    ++result.rows_matched;  // predicate applied inside the union read
+    for (const table::Assignment& a : assignments) {
+      DTL_RETURN_NOT_OK(attached_->PutUpdate(it->record_id(),
+                                             static_cast<uint32_t>(a.column),
+                                             a.compute(it->row())));
+    }
+  }
+  DTL_RETURN_NOT_OK(it->status());
+  result.rows_scanned = master_->TotalRows();
+  return result;
+}
+
+Result<uint64_t> DualTable::RewriteMaster(
+    const std::function<bool(uint64_t record_id, Row* row)>& transform) {
+  // Stream the merged view into a staged new master generation.
+  table::ScanSpec all;  // every column, no predicate
+  DTL_ASSIGN_OR_RETURN(auto it, NewUnionRead(all));
+
+  std::vector<MasterFileInfo> new_files;
+  std::unique_ptr<MasterFileWriter> writer;
+  uint64_t rows_out = 0;
+  Row row;
+  while (it->Next()) {
+    row = it->row();
+    if (!transform(it->record_id(), &row)) continue;
+    if (writer == nullptr) {
+      DTL_ASSIGN_OR_RETURN(writer, master_->NewFileWriter());
+    }
+    DTL_RETURN_NOT_OK(writer->Append(row));
+    ++rows_out;
+    if (writer->rows_written() >= options_.rewrite_file_rows) {
+      DTL_ASSIGN_OR_RETURN(auto info, writer->Close());
+      new_files.push_back(std::move(info));
+      writer.reset();
+    }
+  }
+  DTL_RETURN_NOT_OK(it->status());
+  if (writer != nullptr) {
+    DTL_ASSIGN_OR_RETURN(auto info, writer->Close());
+    new_files.push_back(std::move(info));
+  }
+  DTL_RETURN_NOT_OK(master_->ReplaceAllFiles(std::move(new_files)));
+  DTL_RETURN_NOT_OK(attached_->Clear());
+  return rows_out;
+}
+
+Result<table::DmlResult> DualTable::ExecuteOverwriteUpdate(
+    const table::ScanSpec& filter, const std::vector<table::Assignment>& assignments) {
+  // Hive's INSERT OVERWRITE path: rewrite every row, with matching rows
+  // getting their SET columns replaced; ends with a fresh empty attached
+  // table (paper §III-C).
+  table::DmlResult result;
+  result.plan = table::DmlPlan::kOverwrite;
+  result.rows_scanned = master_->TotalRows();
+  auto transform = [&](uint64_t, Row* row) {
+    if (!filter.predicate || filter.predicate(*row)) {
+      ++result.rows_matched;
+      for (const table::Assignment& a : assignments) (*row)[a.column] = a.compute(*row);
+    }
+    return true;
+  };
+  DTL_ASSIGN_OR_RETURN(uint64_t rows, RewriteMaster(transform));
+  (void)rows;
+  return result;
+}
+
+Result<table::DmlResult> DualTable::Delete(const table::ScanSpec& filter) {
+  return DeleteWithHint(filter, std::nullopt);
+}
+
+Result<table::DmlResult> DualTable::DeleteWithHint(const table::ScanSpec& filter,
+                                                   std::optional<double> ratio_hint) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  table::DmlPlan plan;
+  switch (options_.plan_mode) {
+    case DualTableOptions::PlanMode::kForceEdit:
+      plan = table::DmlPlan::kEdit;
+      break;
+    case DualTableOptions::PlanMode::kForceOverwrite:
+      plan = table::DmlPlan::kOverwrite;
+      break;
+    case DualTableOptions::PlanMode::kCostModel:
+      plan = cost_model_
+                 .DecideDelete(master_->TotalBytes(), ResolveRatio(ratio_hint), AvgRowBytes())
+                 .plan;
+      break;
+  }
+  last_plan_ = plan;
+
+  Result<table::DmlResult> result = plan == table::DmlPlan::kEdit
+                                        ? ExecuteEditDelete(filter)
+                                        : ExecuteOverwriteDelete(filter);
+  if (result.ok() && result->rows_scanned > 0) {
+    (void)metadata_->RecordModificationRatio(
+        name_, static_cast<double>(result->rows_matched) /
+                   static_cast<double>(result->rows_scanned));
+  }
+  if (result.ok() && options_.auto_compact && NeedsCompaction()) {
+    DTL_RETURN_NOT_OK(Compact());
+  }
+  return result;
+}
+
+Result<table::DmlResult> DualTable::ExecuteEditDelete(const table::ScanSpec& filter) {
+  // The paper's DELETE UDTF: put a DELETE marker for each matching record.
+  table::ScanSpec spec = DmlScanSpec(filter, {});
+  DTL_ASSIGN_OR_RETURN(auto it, NewUnionRead(spec));
+  table::DmlResult result;
+  result.plan = table::DmlPlan::kEdit;
+  while (it->Next()) {
+    ++result.rows_matched;
+    DTL_RETURN_NOT_OK(attached_->PutDeleteMarker(it->record_id()));
+  }
+  DTL_RETURN_NOT_OK(it->status());
+  result.rows_scanned = master_->TotalRows();
+  return result;
+}
+
+Result<table::DmlResult> DualTable::ExecuteOverwriteDelete(const table::ScanSpec& filter) {
+  table::DmlResult result;
+  result.plan = table::DmlPlan::kOverwrite;
+  result.rows_scanned = master_->TotalRows();
+  auto transform = [&](uint64_t, Row* row) {
+    if (!filter.predicate || filter.predicate(*row)) {
+      ++result.rows_matched;
+      return false;  // drop the row
+    }
+    return true;
+  };
+  DTL_ASSIGN_OR_RETURN(uint64_t rows, RewriteMaster(transform));
+  (void)rows;
+  return result;
+}
+
+Status DualTable::Compact() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  if (attached_->Empty()) return Status::OK();
+  auto keep_all = [](uint64_t, Row*) { return true; };
+  DTL_ASSIGN_OR_RETURN(uint64_t rows, RewriteMaster(keep_all));
+  (void)rows;
+  return Status::OK();
+}
+
+bool DualTable::NeedsCompaction() const {
+  const uint64_t master_bytes = master_->TotalBytes();
+  if (master_bytes == 0) return attached_->ApproximateCellCount() > 0;
+  return static_cast<double>(attached_->ApproximateBytes()) >=
+         options_.compact_threshold * static_cast<double>(master_bytes);
+}
+
+Status DualTable::Drop() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  DTL_RETURN_NOT_OK(master_->Drop());
+  return attached_->Drop();
+}
+
+}  // namespace dtl::dual

@@ -1,0 +1,158 @@
+// DualTable (paper §III): the hybrid-storage table. Batch data lives in the
+// ORC-on-HDFS Master Table; record modifications live in the HBase-backed
+// Attached Table; reads go through UNION READ; UPDATE/DELETE choose between
+// the OVERWRITE plan and the EDIT plan with the §IV cost model; COMPACT
+// folds the attached table back into a new master generation.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dualtable/attached_table.h"
+#include "dualtable/cost_model.h"
+#include "dualtable/master_table.h"
+#include "dualtable/metadata.h"
+#include "dualtable/union_read.h"
+#include "fs/cluster_model.h"
+#include "table/storage_table.h"
+
+namespace dtl::dual {
+
+struct DualTableOptions {
+  orc::WriterOptions writer_options;
+  kv::KvStoreOptions attached_options;  // dir is derived from the table name
+  std::string warehouse_dir = "/warehouse";
+  CostModelParams cost_params;
+
+  /// Plan selection: the cost model (paper default), or forced plans for the
+  /// "DualTable EDIT" series and ablations in the evaluation.
+  enum class PlanMode { kCostModel, kForceEdit, kForceOverwrite };
+  PlanMode plan_mode = PlanMode::kCostModel;
+
+  /// Rows per master file written by OVERWRITE/COMPACT (keeps per-file
+  /// parallelism comparable to the pre-rewrite layout).
+  uint64_t rewrite_file_rows = 1ull << 20;
+
+  /// Fallback modification ratio when a statement carries no hint and the
+  /// metadata table has no history yet.
+  double default_modification_ratio = 0.01;
+
+  /// When the attached table holds at least this fraction of master bytes,
+  /// Scan suggests compaction (surfaced via NeedsCompaction()).
+  double compact_threshold = 0.25;
+
+  /// Compact automatically after a DML statement pushes the attached table
+  /// past the threshold (the paper schedules COMPACT to off-line hours; this
+  /// is the inline alternative).
+  bool auto_compact = false;
+};
+
+class DualTable : public table::StorageTable {
+ public:
+  /// Opens or creates the DualTable `name` (CREATE in paper §III-C makes
+  /// both the master and the attached table).
+  static Result<std::shared_ptr<DualTable>> Open(fs::SimFileSystem* fs,
+                                                 MetadataTable* metadata,
+                                                 const fs::ClusterModel* cluster,
+                                                 const std::string& name, Schema schema,
+                                                 DualTableOptions options = {});
+
+  // --- StorageTable interface ---
+  const std::string& name() const override { return name_; }
+  const Schema& schema() const override { return schema_; }
+  Result<std::unique_ptr<table::RowIterator>> Scan(const table::ScanSpec& spec) override;
+  Result<std::vector<table::ScanSplit>> CreateSplits(const table::ScanSpec& spec) override;
+  Status InsertRows(const std::vector<Row>& rows) override;
+  /// INSERT OVERWRITE TABLE: a fresh master generation + empty attached.
+  Status OverwriteRows(const std::vector<Row>& rows) override;
+  Result<table::DmlResult> Update(const table::ScanSpec& filter,
+                                  const std::vector<table::Assignment>& assignments) override;
+  Result<table::DmlResult> Delete(const table::ScanSpec& filter) override;
+  Status Drop() override;
+
+  // --- DualTable-specific operations ---
+
+  /// UPDATE with an explicit modification-ratio hint for the cost model
+  /// ("directly be given by the designer").
+  Result<table::DmlResult> UpdateWithHint(const table::ScanSpec& filter,
+                                          const std::vector<table::Assignment>& assignments,
+                                          std::optional<double> ratio_hint);
+
+  Result<table::DmlResult> DeleteWithHint(const table::ScanSpec& filter,
+                                          std::optional<double> ratio_hint);
+
+  /// COMPACT (paper §III-C): UNION READ into a new master generation, then
+  /// clear the attached table. Blocks every other operation on this table.
+  Status Compact();
+
+  /// True when the attached table exceeds the compaction threshold.
+  bool NeedsCompaction() const;
+
+  /// Snapshot read: the table as it looked when the attached table's clock
+  /// was at `as_of` (see AttachedTable::LastTimestamp). Built on the HBase
+  /// multi-version feature the paper highlights in §V-C; only history since
+  /// the last COMPACT/OVERWRITE is reconstructible (both reset the clock).
+  Result<std::unique_ptr<table::RowIterator>> ScanAsOf(const table::ScanSpec& spec,
+                                                       uint64_t as_of);
+
+  /// Cost-model decision that WOULD be taken for the given parameters
+  /// (exposed for the cost-model ablation bench).
+  PlanDecision PreviewUpdateDecision(double alpha) const;
+  PlanDecision PreviewDeleteDecision(double beta) const;
+
+  MasterTable* master() { return master_.get(); }
+  AttachedTable* attached() { return attached_.get(); }
+  const CostModel& cost_model() const { return cost_model_; }
+  /// Plan used by the most recent UPDATE/DELETE.
+  table::DmlPlan last_plan() const { return last_plan_; }
+
+ private:
+  DualTable(fs::SimFileSystem* fs, MetadataTable* metadata, std::string name,
+            Schema schema, DualTableOptions options, const fs::ClusterModel* cluster)
+      : fs_(fs),
+        metadata_(metadata),
+        name_(std::move(name)),
+        schema_(std::move(schema)),
+        options_(std::move(options)),
+        cost_model_(cluster, options_.cost_params) {}
+
+  Result<std::unique_ptr<UnionReadIterator>> NewUnionRead(const table::ScanSpec& spec);
+  Result<std::unique_ptr<UnionReadIterator>> NewUnionReadForFile(
+      uint64_t file_id, const table::ScanSpec& spec);
+
+  /// Builds the scan spec a DML statement needs (filter + assignment inputs).
+  table::ScanSpec DmlScanSpec(const table::ScanSpec& filter,
+                              const std::vector<table::Assignment>& assignments) const;
+
+  Result<table::DmlResult> ExecuteEditUpdate(const table::ScanSpec& filter,
+                                             const std::vector<table::Assignment>& assignments);
+  Result<table::DmlResult> ExecuteOverwriteUpdate(
+      const table::ScanSpec& filter, const std::vector<table::Assignment>& assignments);
+  Result<table::DmlResult> ExecuteEditDelete(const table::ScanSpec& filter);
+  Result<table::DmlResult> ExecuteOverwriteDelete(const table::ScanSpec& filter);
+
+  /// Streams the union-read view through `transform` into a fresh master
+  /// generation; used by OVERWRITE plans and COMPACT. `transform` returns
+  /// false to drop the row and may mutate it in place.
+  Result<uint64_t> RewriteMaster(
+      const std::function<bool(uint64_t record_id, Row* row)>& transform);
+
+  double ResolveRatio(std::optional<double> hint) const;
+  double AvgRowBytes() const;
+
+  fs::SimFileSystem* fs_;
+  MetadataTable* metadata_;
+  std::string name_;
+  Schema schema_;
+  DualTableOptions options_;
+  CostModel cost_model_;
+  std::unique_ptr<MasterTable> master_;
+  std::unique_ptr<AttachedTable> attached_;
+  mutable std::recursive_mutex mu_;  // COMPACT blocks all other operations
+  table::DmlPlan last_plan_ = table::DmlPlan::kEdit;
+};
+
+}  // namespace dtl::dual

@@ -1,0 +1,229 @@
+#include "dualtable/master_table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "dualtable/record_id.h"
+
+namespace dtl::dual {
+
+namespace {
+
+std::string MasterFilePath(const std::string& dir, uint64_t file_id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "f_%08llu.orc", static_cast<unsigned long long>(file_id));
+  return fs::JoinPath(dir, buf);
+}
+
+}  // namespace
+
+bool StripeMayMatch(const orc::StripeInfo& stripe,
+                    const std::vector<table::ColumnBound>& bounds) {
+  for (const table::ColumnBound& bound : bounds) {
+    if (bound.column >= stripe.stats.size()) continue;
+    const orc::ColumnStats& stats = stripe.stats[bound.column];
+    if (!stats.has_min_max) continue;  // all-null stripe: cannot prune safely
+    if (bound.lower.has_value() && stats.max.Compare(*bound.lower) < 0) return false;
+    if (bound.upper.has_value() && stats.min.Compare(*bound.upper) > 0) return false;
+  }
+  return true;
+}
+
+// --- MasterFileWriter -----------------------------------------------------------
+
+Status MasterFileWriter::Append(const Row& row) { return writer_->Append(row); }
+
+Result<MasterFileInfo> MasterFileWriter::Close() {
+  DTL_RETURN_NOT_OK(writer_->Close());
+  info_.num_rows = writer_->rows_written();
+  DTL_ASSIGN_OR_RETURN(info_.bytes, fs_->FileSize(info_.path));
+  return info_;
+}
+
+// --- MasterScanIterator -----------------------------------------------------------
+
+MasterScanIterator::MasterScanIterator(std::vector<std::shared_ptr<orc::OrcReader>> readers,
+                                       std::vector<uint64_t> file_ids,
+                                       table::ScanSpec spec, size_t num_fields,
+                                       bool apply_predicate)
+    : readers_(std::move(readers)),
+      file_ids_(std::move(file_ids)),
+      spec_(std::move(spec)),
+      num_fields_(num_fields),
+      apply_predicate_(apply_predicate) {
+  required_ = spec_.RequiredColumns(num_fields_);
+}
+
+bool MasterScanIterator::LoadNextBatch() {
+  while (file_index_ < readers_.size()) {
+    const orc::OrcReader* reader = readers_[file_index_].get();
+    if (stripe_index_ >= reader->num_stripes()) {
+      ++file_index_;
+      stripe_index_ = 0;
+      continue;
+    }
+    const orc::StripeInfo& info = reader->stripe(stripe_index_);
+    if (!StripeMayMatch(info, spec_.bounds)) {
+      ++stripe_index_;
+      continue;
+    }
+    auto batch = reader->ReadStripe(stripe_index_, required_);
+    if (!batch.ok()) {
+      status_ = batch.status();
+      return false;
+    }
+    batch_ = std::move(batch).value();
+    batch_loaded_ = true;
+    index_in_batch_ = 0;
+    ++stripe_index_;
+    return true;
+  }
+  return false;
+}
+
+bool MasterScanIterator::Next() {
+  if (!status_.ok()) return false;
+  while (true) {
+    if (!batch_loaded_ || index_in_batch_ >= batch_.num_rows) {
+      batch_loaded_ = false;
+      if (!LoadNextBatch()) return false;
+    }
+    const size_t i = index_in_batch_++;
+    row_.assign(num_fields_, Value::Null());
+    for (size_t p = 0; p < batch_.projection.size(); ++p) {
+      row_[batch_.projection[p]] = batch_.columns[p][i];
+    }
+    if (apply_predicate_ && spec_.predicate && !spec_.predicate(row_)) continue;
+    record_id_ = MakeRecordId(file_ids_[file_index_], batch_.first_row + i);
+    return true;
+  }
+}
+
+// --- MasterTable -------------------------------------------------------------------
+
+Result<std::unique_ptr<MasterTable>> MasterTable::Open(fs::SimFileSystem* fs,
+                                                       MetadataTable* metadata,
+                                                       const std::string& table_name,
+                                                       Schema schema,
+                                                       const std::string& warehouse_dir,
+                                                       orc::WriterOptions writer_options) {
+  std::string dir = fs::JoinPath(warehouse_dir, table_name);
+  DTL_RETURN_NOT_OK(fs->CreateDir(dir));
+  auto master = std::unique_ptr<MasterTable>(new MasterTable(
+      fs, metadata, table_name, std::move(schema), dir, writer_options));
+
+  DTL_ASSIGN_OR_RETURN(auto names, fs->ListDir(dir));
+  for (const std::string& name : names) {
+    if (name.rfind("f_", 0) != 0) continue;
+    std::string path = fs::JoinPath(dir, name);
+    DTL_ASSIGN_OR_RETURN(auto reader, orc::OrcReader::Open(fs, path));
+    MasterFileInfo info;
+    info.file_id = reader->file_id();
+    info.path = path;
+    info.num_rows = reader->num_rows();
+    DTL_ASSIGN_OR_RETURN(info.bytes, fs->FileSize(path));
+    master->files_.push_back(std::move(info));
+  }
+  std::sort(master->files_.begin(), master->files_.end(),
+            [](const MasterFileInfo& a, const MasterFileInfo& b) {
+              return a.file_id < b.file_id;
+            });
+  return master;
+}
+
+uint64_t MasterTable::TotalRows() const {
+  uint64_t total = 0;
+  for (const auto& f : files_) total += f.num_rows;
+  return total;
+}
+
+uint64_t MasterTable::TotalBytes() const {
+  uint64_t total = 0;
+  for (const auto& f : files_) total += f.bytes;
+  return total;
+}
+
+Result<std::unique_ptr<MasterFileWriter>> MasterTable::NewFileWriter() {
+  DTL_ASSIGN_OR_RETURN(uint64_t file_id, metadata_->NextFileId(table_name_));
+  if (file_id > kMaxFileId) return Status::OutOfRange("master file ID space exhausted");
+  MasterFileInfo info;
+  info.file_id = file_id;
+  info.path = MasterFilePath(dir_, file_id);
+  DTL_ASSIGN_OR_RETURN(auto writer, orc::OrcWriter::Create(fs_, info.path, schema_,
+                                                           file_id, writer_options_));
+  return std::unique_ptr<MasterFileWriter>(
+      new MasterFileWriter(std::move(writer), std::move(info), fs_));
+}
+
+void MasterTable::RegisterFile(MasterFileInfo info) {
+  files_.push_back(std::move(info));
+  std::sort(files_.begin(), files_.end(),
+            [](const MasterFileInfo& a, const MasterFileInfo& b) {
+              return a.file_id < b.file_id;
+            });
+}
+
+Status MasterTable::ReplaceAllFiles(std::vector<MasterFileInfo> new_files) {
+  std::vector<std::string> old_paths;
+  old_paths.reserve(files_.size());
+  for (const auto& f : files_) old_paths.push_back(f.path);
+  {
+    std::lock_guard<std::mutex> lock(reader_cache_mu_);
+    reader_cache_.clear();
+  }
+  files_ = std::move(new_files);
+  std::sort(files_.begin(), files_.end(),
+            [](const MasterFileInfo& a, const MasterFileInfo& b) {
+              return a.file_id < b.file_id;
+            });
+  for (const std::string& path : old_paths) DTL_RETURN_NOT_OK(fs_->Delete(path));
+  return Status::OK();
+}
+
+Result<std::shared_ptr<orc::OrcReader>> MasterTable::OpenReader(
+    const MasterFileInfo& info) const {
+  std::lock_guard<std::mutex> lock(reader_cache_mu_);
+  auto it = reader_cache_.find(info.file_id);
+  if (it != reader_cache_.end()) return it->second;
+  DTL_ASSIGN_OR_RETURN(auto reader, orc::OrcReader::Open(fs_, info.path));
+  std::shared_ptr<orc::OrcReader> shared = std::move(reader);
+  reader_cache_[info.file_id] = shared;
+  return shared;
+}
+
+Result<std::unique_ptr<MasterScanIterator>> MasterTable::NewScanIterator(
+    const table::ScanSpec& spec, bool apply_predicate) {
+  std::vector<std::shared_ptr<orc::OrcReader>> readers;
+  std::vector<uint64_t> file_ids;
+  readers.reserve(files_.size());
+  for (const MasterFileInfo& info : files_) {
+    DTL_ASSIGN_OR_RETURN(auto reader, OpenReader(info));
+    readers.push_back(std::move(reader));
+    file_ids.push_back(info.file_id);
+  }
+  return std::unique_ptr<MasterScanIterator>(
+      new MasterScanIterator(std::move(readers), std::move(file_ids), spec,
+                             schema_.num_fields(), apply_predicate));
+}
+
+Result<std::unique_ptr<MasterScanIterator>> MasterTable::NewFileScanIterator(
+    uint64_t file_id, const table::ScanSpec& spec, bool apply_predicate) {
+  for (const MasterFileInfo& info : files_) {
+    if (info.file_id != file_id) continue;
+    DTL_ASSIGN_OR_RETURN(auto reader, OpenReader(info));
+    return std::unique_ptr<MasterScanIterator>(new MasterScanIterator(
+        {std::move(reader)}, {file_id}, spec, schema_.num_fields(), apply_predicate));
+  }
+  return Status::NotFound("no master file with ID " + std::to_string(file_id));
+}
+
+Status MasterTable::Drop() {
+  {
+    std::lock_guard<std::mutex> lock(reader_cache_mu_);
+    reader_cache_.clear();
+  }
+  files_.clear();
+  return fs_->DeleteRecursively(dir_);
+}
+
+}  // namespace dtl::dual

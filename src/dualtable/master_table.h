@@ -1,0 +1,156 @@
+// The Master Table (paper §III-A): the main, batch-read-optimized data
+// store — a set of ORC files in an HDFS directory. Every file carries a
+// unique incremental file ID from the metadata table; record IDs are
+// (file ID, row number) pairs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/status.h"
+#include "dualtable/metadata.h"
+#include "fs/filesystem.h"
+#include "orc/reader.h"
+#include "orc/writer.h"
+#include "table/spec.h"
+
+namespace dtl::dual {
+
+/// Directory entry for one master ORC file.
+struct MasterFileInfo {
+  uint64_t file_id = 0;
+  std::string path;
+  uint64_t num_rows = 0;
+  uint64_t bytes = 0;
+};
+
+class MasterTable;
+
+/// Writer for one new master file. The file is NOT registered with the
+/// table until Close() returns its info to the caller, which lets OVERWRITE
+/// plans stage a whole new generation before swapping it in.
+class MasterFileWriter {
+ public:
+  Status Append(const Row& row);
+  /// Seals the ORC file and returns its directory entry.
+  Result<MasterFileInfo> Close();
+
+  uint64_t file_id() const { return info_.file_id; }
+  uint64_t rows_written() const { return writer_->rows_written(); }
+
+ private:
+  friend class MasterTable;
+  MasterFileWriter(std::unique_ptr<orc::OrcWriter> writer, MasterFileInfo info,
+                   fs::SimFileSystem* fs)
+      : writer_(std::move(writer)), info_(std::move(info)), fs_(fs) {}
+
+  std::unique_ptr<orc::OrcWriter> writer_;
+  MasterFileInfo info_;
+  fs::SimFileSystem* fs_;
+};
+
+/// Streams (record_id, row) pairs from the master files in record-ID order,
+/// honoring projection, stripe pruning, and (optionally deferred) predicate
+/// evaluation. Rows are full schema width with non-required columns NULL.
+class MasterScanIterator {
+ public:
+  /// Advances to the next surviving row; false at end or error.
+  bool Next();
+  uint64_t record_id() const { return record_id_; }
+  const Row& row() const { return row_; }
+  const Status& status() const { return status_; }
+
+ private:
+  friend class MasterTable;
+  MasterScanIterator(std::vector<std::shared_ptr<orc::OrcReader>> readers,
+                     std::vector<uint64_t> file_ids, table::ScanSpec spec,
+                     size_t num_fields, bool apply_predicate);
+
+  bool LoadNextBatch();
+
+  std::vector<std::shared_ptr<orc::OrcReader>> readers_;
+  std::vector<uint64_t> file_ids_;
+  table::ScanSpec spec_;
+  std::vector<size_t> required_;
+  size_t num_fields_;
+  bool apply_predicate_;
+
+  size_t file_index_ = 0;
+  size_t stripe_index_ = 0;
+  orc::StripeBatch batch_;
+  bool batch_loaded_ = false;
+  size_t index_in_batch_ = 0;
+  uint64_t record_id_ = 0;
+  Row row_;
+  Status status_;
+};
+
+/// One DualTable's master store.
+class MasterTable {
+ public:
+  /// Opens (or creates) the master directory and indexes existing files.
+  static Result<std::unique_ptr<MasterTable>> Open(
+      fs::SimFileSystem* fs, MetadataTable* metadata, const std::string& table_name,
+      Schema schema, const std::string& warehouse_dir = "/warehouse",
+      orc::WriterOptions writer_options = orc::WriterOptions());
+
+  const Schema& schema() const { return schema_; }
+  const std::vector<MasterFileInfo>& files() const { return files_; }
+  uint64_t TotalRows() const;
+  uint64_t TotalBytes() const;
+
+  /// Starts a new master file with a fresh metadata-assigned file ID.
+  Result<std::unique_ptr<MasterFileWriter>> NewFileWriter();
+
+  /// Registers a closed file produced by NewFileWriter.
+  void RegisterFile(MasterFileInfo info);
+
+  /// Swaps the live file set: registers `new_files`, deletes current ones.
+  Status ReplaceAllFiles(std::vector<MasterFileInfo> new_files);
+
+  /// Sequential scan in record-ID order. `apply_predicate` false defers the
+  /// residual filter to the caller (UNION READ filters after merging).
+  Result<std::unique_ptr<MasterScanIterator>> NewScanIterator(const table::ScanSpec& spec,
+                                                              bool apply_predicate);
+
+  /// Scan over a single master file (the per-file MapReduce split).
+  Result<std::unique_ptr<MasterScanIterator>> NewFileScanIterator(
+      uint64_t file_id, const table::ScanSpec& spec, bool apply_predicate);
+
+  /// Removes every master file and the directory.
+  Status Drop();
+
+ private:
+  MasterTable(fs::SimFileSystem* fs, MetadataTable* metadata, std::string table_name,
+              Schema schema, std::string dir, orc::WriterOptions writer_options)
+      : fs_(fs),
+        metadata_(metadata),
+        table_name_(std::move(table_name)),
+        schema_(std::move(schema)),
+        dir_(std::move(dir)),
+        writer_options_(writer_options) {}
+
+  Result<std::shared_ptr<orc::OrcReader>> OpenReader(const MasterFileInfo& info) const;
+
+  fs::SimFileSystem* fs_;
+  MetadataTable* metadata_;
+  std::string table_name_;
+  Schema schema_;
+  std::string dir_;
+  orc::WriterOptions writer_options_;
+  std::vector<MasterFileInfo> files_;  // ascending file_id
+  mutable std::mutex reader_cache_mu_;
+  mutable std::map<uint64_t, std::shared_ptr<orc::OrcReader>> reader_cache_;
+};
+
+/// True when the stripe's statistics cannot rule out rows satisfying every
+/// bound. Exposed for tests.
+bool StripeMayMatch(const orc::StripeInfo& stripe,
+                    const std::vector<table::ColumnBound>& bounds);
+
+}  // namespace dtl::dual

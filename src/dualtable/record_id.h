@@ -1,0 +1,42 @@
+// DualTable record IDs (paper §V-B): the unique ID of a row is the
+// concatenation of its master file's ID (assigned from the system-wide
+// metadata table when a writer creates the file) and its row number within
+// that file (recovered for free while reading ORC).
+//
+// Packed as (file_id << 40) | row_number and rendered big-endian as the
+// attached table's HBase row key, so lexicographic key order equals
+// (file, row) order — the property that makes UNION READ a linear merge of
+// two sorted streams.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/coding.h"
+
+namespace dtl::dual {
+
+inline constexpr int kRowNumberBits = 40;
+inline constexpr uint64_t kRowNumberMask = (1ull << kRowNumberBits) - 1;
+inline constexpr uint64_t kMaxFileId = (1ull << (64 - kRowNumberBits)) - 1;
+
+/// Packs a (file, row) pair; file_id must fit 24 bits, row_number 40 bits.
+inline uint64_t MakeRecordId(uint64_t file_id, uint64_t row_number) {
+  return (file_id << kRowNumberBits) | (row_number & kRowNumberMask);
+}
+
+inline uint64_t RecordFileId(uint64_t record_id) { return record_id >> kRowNumberBits; }
+inline uint64_t RecordRowNumber(uint64_t record_id) { return record_id & kRowNumberMask; }
+
+/// Big-endian 8-byte row key; memcmp order == numeric order.
+inline std::string RecordIdKey(uint64_t record_id) {
+  std::string key;
+  PutBigEndian64(&key, record_id);
+  return key;
+}
+
+inline uint64_t RecordIdFromKey(const std::string& key) {
+  return DecodeBigEndian64(key.data());
+}
+
+}  // namespace dtl::dual

@@ -1,0 +1,50 @@
+// UNION READ (paper §III-C): merges the Master Table's sorted record-ID
+// stream with the Attached Table's sorted modification stream. Because both
+// streams are ordered by record ID, the merge is a single linear pass —
+// "it only needs to read through and merge two sorted ID lists" (§V-B).
+#pragma once
+
+#include <memory>
+
+#include "dualtable/attached_table.h"
+#include "dualtable/master_table.h"
+#include "table/storage_table.h"
+
+namespace dtl::dual {
+
+/// Row iterator producing the up-to-date view: master rows with attached
+/// updates overlaid and deleted records skipped. The residual predicate is
+/// evaluated AFTER the merge so it sees current values.
+class UnionReadIterator : public table::RowIterator {
+ public:
+  UnionReadIterator(std::unique_ptr<MasterScanIterator> master,
+                    std::unique_ptr<ModificationScanner> attached,
+                    table::RowPredicateFn predicate, size_t num_fields);
+
+  bool Next() override;
+  const Row& row() const override { return row_; }
+  uint64_t record_id() const override { return record_id_; }
+  const Status& status() const override { return status_; }
+
+  /// True when the current row had attached modifications applied.
+  bool current_row_modified() const { return current_modified_; }
+
+ private:
+  /// Advances the attached stream until its head is >= id; returns the head
+  /// when it equals id.
+  const RecordModification* AttachedAt(uint64_t id);
+
+  std::unique_ptr<MasterScanIterator> master_;
+  std::unique_ptr<ModificationScanner> attached_;
+  table::RowPredicateFn predicate_;
+  size_t num_fields_;
+
+  bool attached_valid_ = false;
+  bool attached_primed_ = false;
+  Row row_;
+  uint64_t record_id_ = 0;
+  bool current_modified_ = false;
+  Status status_;
+};
+
+}  // namespace dtl::dual

@@ -1,0 +1,122 @@
+#include "exec/mapreduce.h"
+
+#include <atomic>
+#include <map>
+#include <mutex>
+
+namespace dtl::exec {
+
+Result<std::vector<Row>> RunMapReduce(const std::vector<table::ScanSplit>& splits,
+                                      const MapFn& map, const ReduceFn& reduce,
+                                      const MapReduceConfig& config,
+                                      MapReduceStats* stats) {
+  if (config.pool == nullptr) return Status::InvalidArgument("MapReduce needs a pool");
+  const size_t num_reducers = reduce ? std::max<size_t>(1, config.num_reducers) : 1;
+
+  // Per-mapper, per-reducer emission buffers (no cross-task locking on the
+  // hot path, like real map output spills).
+  std::vector<std::vector<std::vector<std::pair<Value, Row>>>> spills(
+      splits.size(), std::vector<std::vector<std::pair<Value, Row>>>(num_reducers));
+  std::vector<Status> map_status(splits.size());
+  std::atomic<uint64_t> input_records{0};
+
+  config.pool->ParallelFor(splits.size(), [&](size_t i) {
+    auto it_result = splits[i].open();
+    if (!it_result.ok()) {
+      map_status[i] = it_result.status();
+      return;
+    }
+    auto& it = *it_result;
+    std::vector<std::pair<Value, Row>> emitted;
+    uint64_t records = 0;
+    while (it->Next()) {
+      ++records;
+      emitted.clear();
+      map(it->row(), it->record_id(), &emitted);
+      for (auto& [key, value] : emitted) {
+        size_t part = reduce ? key.HashCode() % num_reducers : 0;
+        spills[i][part].emplace_back(std::move(key), std::move(value));
+      }
+    }
+    map_status[i] = it->status();
+    input_records.fetch_add(records, std::memory_order_relaxed);
+  });
+  for (const Status& st : map_status) DTL_RETURN_NOT_OK(st);
+
+  uint64_t shuffled = 0;
+  for (const auto& spill : spills) {
+    for (const auto& part : spill) shuffled += part.size();
+  }
+  if (stats != nullptr) {
+    stats->map_tasks = splits.size();
+    stats->input_records = input_records.load();
+    stats->shuffled_records = shuffled;
+  }
+
+  if (!reduce) {
+    // Map-only job: concatenate emissions in split order (deterministic).
+    std::vector<Row> out;
+    out.reserve(shuffled);
+    for (auto& spill : spills) {
+      for (auto& [key, value] : spill[0]) out.push_back(std::move(value));
+    }
+    if (stats != nullptr) stats->output_records = out.size();
+    return out;
+  }
+
+  // Shuffle: group by key within each reducer partition. Ordered map keeps
+  // reducer output deterministic.
+  std::vector<std::vector<Row>> reducer_out(num_reducers);
+  std::vector<Status> reduce_status(num_reducers);
+  config.pool->ParallelFor(num_reducers, [&](size_t r) {
+    std::map<Value, std::vector<Row>, std::function<bool(const Value&, const Value&)>>
+        groups([](const Value& a, const Value& b) { return a.Compare(b) < 0; });
+    for (auto& spill : spills) {
+      for (auto& [key, value] : spill[r]) {
+        groups[key].push_back(std::move(value));
+      }
+    }
+    for (auto& [key, values] : groups) {
+      reduce(key, values, &reducer_out[r]);
+    }
+  });
+  for (const Status& st : reduce_status) DTL_RETURN_NOT_OK(st);
+
+  std::vector<Row> out;
+  for (auto& part : reducer_out) {
+    out.insert(out.end(), std::make_move_iterator(part.begin()),
+               std::make_move_iterator(part.end()));
+  }
+  if (stats != nullptr) {
+    stats->reduce_tasks = num_reducers;
+    stats->output_records = out.size();
+  }
+  return out;
+}
+
+Result<uint64_t> ParallelCount(const std::vector<table::ScanSplit>& splits,
+                               ThreadPool* pool) {
+  if (pool == nullptr) return Status::InvalidArgument("ParallelCount needs a pool");
+  std::vector<uint64_t> counts(splits.size(), 0);
+  std::vector<Status> statuses(splits.size());
+  pool->ParallelFor(splits.size(), [&](size_t i) {
+    auto it_result = splits[i].open();
+    if (!it_result.ok()) {
+      statuses[i] = it_result.status();
+      return;
+    }
+    auto& it = *it_result;
+    uint64_t n = 0;
+    while (it->Next()) ++n;
+    statuses[i] = it->status();
+    counts[i] = n;
+  });
+  uint64_t total = 0;
+  for (size_t i = 0; i < splits.size(); ++i) {
+    DTL_RETURN_NOT_OK(statuses[i]);
+    total += counts[i];
+  }
+  return total;
+}
+
+}  // namespace dtl::exec

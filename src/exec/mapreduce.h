@@ -1,0 +1,54 @@
+// A miniature MapReduce framework mirroring how Hive executes queries:
+// one map task per input split (≈ HDFS chunk / master file), a hash
+// shuffle, and parallel reduce tasks. The UNION READ merge runs inside the
+// map task exactly as the paper's custom InputFormat does.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "table/storage_table.h"
+
+namespace dtl::exec {
+
+struct MapReduceConfig {
+  /// Worker pool (stands in for the cluster's task slots). Required.
+  ThreadPool* pool = nullptr;
+  size_t num_reducers = 4;
+};
+
+struct MapReduceStats {
+  uint64_t map_tasks = 0;
+  uint64_t input_records = 0;
+  uint64_t shuffled_records = 0;
+  uint64_t reduce_tasks = 0;
+  uint64_t output_records = 0;
+};
+
+/// Emits (key, value-row) pairs from one input row. `record_id` is the
+/// DualTable record ID when the split provides one, else 0.
+using MapFn =
+    std::function<void(const Row& row, uint64_t record_id,
+                       std::vector<std::pair<Value, Row>>* out)>;
+
+/// Folds all rows of one key into output rows.
+using ReduceFn = std::function<void(const Value& key, const std::vector<Row>& values,
+                                    std::vector<Row>* out)>;
+
+/// Runs a MapReduce job over the given splits. A null `reduce` makes the job
+/// map-only (emitted value-rows are returned directly, keys ignored).
+Result<std::vector<Row>> RunMapReduce(const std::vector<table::ScanSplit>& splits,
+                                      const MapFn& map, const ReduceFn& reduce,
+                                      const MapReduceConfig& config,
+                                      MapReduceStats* stats = nullptr);
+
+/// Convenience: parallel COUNT(*) with an optional extra predicate.
+Result<uint64_t> ParallelCount(const std::vector<table::ScanSplit>& splits,
+                               ThreadPool* pool);
+
+}  // namespace dtl::exec

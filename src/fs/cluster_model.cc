@@ -1,0 +1,52 @@
+#include "fs/cluster_model.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace dtl::fs {
+
+std::string IoSnapshot::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "hdfs[r=%llu w=%llu files=%llu seeks=%llu] hbase[r=%llu w=%llu rop=%llu "
+                "wop=%llu]",
+                static_cast<unsigned long long>(hdfs_bytes_read),
+                static_cast<unsigned long long>(hdfs_bytes_written),
+                static_cast<unsigned long long>(hdfs_files_created),
+                static_cast<unsigned long long>(hdfs_seeks),
+                static_cast<unsigned long long>(hbase_bytes_read),
+                static_cast<unsigned long long>(hbase_bytes_written),
+                static_cast<unsigned long long>(hbase_read_ops),
+                static_cast<unsigned long long>(hbase_write_ops));
+  return buf;
+}
+
+double ClusterModel::JobSeconds(const IoSnapshot& delta, int num_tasks) const {
+  double io = ReadSeconds(Channel::kHdfs, delta.hdfs_bytes_read) +
+              WriteSeconds(Channel::kHdfs, delta.hdfs_bytes_written) +
+              ReadSeconds(Channel::kHBase, delta.hbase_bytes_read) +
+              WriteSeconds(Channel::kHBase, delta.hbase_bytes_written);
+  // Task launches serialize in waves over the available slots.
+  double sched = 0.0;
+  if (num_tasks > 0) {
+    int waves = (num_tasks + config_.total_map_slots() - 1) /
+                std::max(1, config_.total_map_slots());
+    sched = config_.job_overhead_seconds + waves * config_.per_task_overhead_seconds;
+  }
+  return io + sched;
+}
+
+std::string ClusterModel::Describe() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%d nodes x (%dm+%dr), repl=%d, chunk=%lluMB, hdfs r/w %.1f/%.1f GBps, "
+                "hbase r/w %.1f/%.1f GBps",
+                config_.num_nodes, config_.mappers_per_node, config_.reducers_per_node,
+                config_.hdfs_replication,
+                static_cast<unsigned long long>(config_.chunk_size_bytes >> 20),
+                config_.hdfs_read_bps / 1e9, config_.hdfs_write_bps / 1e9,
+                config_.hbase_read_bps / 1e9, config_.hbase_write_bps / 1e9);
+  return buf;
+}
+
+}  // namespace dtl::fs

@@ -1,0 +1,65 @@
+// Converts metered substrate I/O into modelled cluster seconds. Default
+// parameters follow the worked example in the paper's Section IV: aggregate
+// HDFS write 1 GB/s, HBase read 0.5 GB/s, HBase write 0.8 GB/s; and the
+// evaluation cluster: 8-core nodes, 6 mappers + 2 reducers per worker,
+// 3 HDFS replicas, 64 MB chunks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fs/io_stats.h"
+
+namespace dtl::fs {
+
+/// Static description of the modelled cluster.
+struct ClusterConfig {
+  int num_nodes = 10;
+  int mappers_per_node = 6;
+  int reducers_per_node = 2;
+  int hdfs_replication = 3;
+  uint64_t chunk_size_bytes = 64ull << 20;
+
+  // Aggregate cluster throughputs in bytes/second (paper Section IV example).
+  double hdfs_read_bps = 2.0e9;   // streaming batch read across all mappers
+  double hdfs_write_bps = 1.0e9;  // "HDFS writes using multiple Map tasks ... 1GB/s"
+  double hbase_read_bps = 0.5e9;  // "HBase reading ... 0.5GB/s"
+  double hbase_write_bps = 0.8e9;  // "HBase ... writing ... 0.8GB/s"
+
+  // Fixed MapReduce job scheduling overhead (job setup, task launch).
+  double job_overhead_seconds = 15.0;
+  double per_task_overhead_seconds = 0.5;
+
+  int total_map_slots() const { return num_nodes * mappers_per_node; }
+};
+
+/// Translates an I/O delta into modelled seconds on the configured cluster.
+class ClusterModel {
+ public:
+  explicit ClusterModel(ClusterConfig config = ClusterConfig()) : config_(config) {}
+
+  const ClusterConfig& config() const { return config_; }
+  ClusterConfig* mutable_config() { return &config_; }
+
+  /// Seconds to move `bytes` through a channel in the given direction.
+  double ReadSeconds(Channel c, uint64_t bytes) const {
+    return static_cast<double>(bytes) /
+           (c == Channel::kHdfs ? config_.hdfs_read_bps : config_.hbase_read_bps);
+  }
+  double WriteSeconds(Channel c, uint64_t bytes) const {
+    double effective = static_cast<double>(bytes);
+    if (c == Channel::kHdfs) effective *= config_.hdfs_replication;
+    return effective / (c == Channel::kHdfs ? config_.hdfs_write_bps : config_.hbase_write_bps);
+  }
+
+  /// Modelled seconds for one MapReduce-style job that performed the given
+  /// I/O delta, including scheduling overhead for `num_tasks` tasks.
+  double JobSeconds(const IoSnapshot& delta, int num_tasks = 0) const;
+
+  std::string Describe() const;
+
+ private:
+  ClusterConfig config_;
+};
+
+}  // namespace dtl::fs

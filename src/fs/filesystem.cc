@@ -1,0 +1,217 @@
+#include "fs/filesystem.h"
+
+#include <algorithm>
+
+namespace dtl::fs {
+
+std::string JoinPath(const std::string& dir, const std::string& name) {
+  if (dir.empty()) return name;
+  if (dir.back() == '/') return dir + name;
+  return dir + "/" + name;
+}
+
+// --- WritableFile -----------------------------------------------------------
+
+WritableFile::~WritableFile() {
+  // Dropping an unclosed writer discards the data, like an HDFS lease abort.
+}
+
+Status WritableFile::Append(const Slice& data) {
+  if (closed_) return Status::IoError("append to closed file " + path_);
+  buffer_.append(data.data(), data.size());
+  total_appended_ += data.size();
+  return Status::OK();
+}
+
+Status WritableFile::Sync() {
+  if (closed_) return Status::IoError("sync on closed file " + path_);
+  // Only the newly appended suffix is charged; earlier bytes were charged by
+  // previous syncs.
+  return fs_->CommitFileDelta(path_, buffer_, buffer_.size() - synced_bytes_,
+                              &synced_bytes_);
+}
+
+Status WritableFile::Close() {
+  if (closed_) return Status::OK();
+  closed_ = true;
+  uint64_t unsynced = buffer_.size() - synced_bytes_;
+  Status st = fs_->CommitFileDelta(path_, buffer_, unsynced, &synced_bytes_);
+  buffer_.clear();
+  return st;
+}
+
+// --- SequentialFile ----------------------------------------------------------
+
+Status SequentialFile::Read(size_t n, std::string* out) {
+  out->clear();
+  if (offset_ >= data_->size()) return Status::OK();
+  size_t avail = data_->size() - offset_;
+  size_t take = std::min(n, avail);
+  out->assign(data_->data() + offset_, take);
+  offset_ += take;
+  meter_->ChargeRead(channel_, take);
+  return Status::OK();
+}
+
+Status SequentialFile::Skip(uint64_t n) {
+  if (offset_ + n > data_->size()) return Status::OutOfRange("skip past end of file");
+  offset_ += n;
+  return Status::OK();
+}
+
+bool SequentialFile::AtEnd() const { return offset_ >= data_->size(); }
+
+// --- RandomAccessFile --------------------------------------------------------
+
+Status RandomAccessFile::ReadAt(uint64_t offset, size_t n, std::string* out) const {
+  out->clear();
+  if (offset > data_->size()) return Status::OutOfRange("read past end of file");
+  size_t take = std::min<uint64_t>(n, data_->size() - offset);
+  out->assign(data_->data() + offset, take);
+  meter_->ChargeSeek();
+  meter_->ChargeRead(channel_, take);
+  return Status::OK();
+}
+
+// --- SimFileSystem -----------------------------------------------------------
+
+SimFileSystem::SimFileSystem(FileSystemOptions options) : options_(std::move(options)) {
+  dirs_["/"] = true;
+}
+
+Channel SimFileSystem::ChannelFor(const std::string& path) const {
+  if (!options_.hbase_prefix.empty() &&
+      path.compare(0, options_.hbase_prefix.size(), options_.hbase_prefix) == 0) {
+    return Channel::kHBase;
+  }
+  return Channel::kHdfs;
+}
+
+Status SimFileSystem::CreateDir(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  dirs_[path] = true;
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> SimFileSystem::ListDir(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string prefix = path;
+  if (prefix.empty() || prefix.back() != '/') prefix += '/';
+  std::vector<std::string> names;
+  for (auto it = files_.lower_bound(prefix); it != files_.end(); ++it) {
+    const std::string& p = it->first;
+    if (p.compare(0, prefix.size(), prefix) != 0) break;
+    // Only direct children.
+    if (p.find('/', prefix.size()) == std::string::npos) {
+      names.push_back(p.substr(prefix.size()));
+    }
+  }
+  return names;
+}
+
+bool SimFileSystem::Exists(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.count(path) > 0 || dirs_.count(path) > 0;
+}
+
+Result<uint64_t> SimFileSystem::FileSize(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  return static_cast<uint64_t>(it->second.data->size());
+}
+
+Status SimFileSystem::Delete(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (files_.erase(path) == 0 && dirs_.erase(path) == 0) {
+    return Status::NotFound("no such file: " + path);
+  }
+  return Status::OK();
+}
+
+Status SimFileSystem::DeleteRecursively(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string prefix = path;
+  if (prefix.empty() || prefix.back() != '/') prefix += '/';
+  for (auto it = files_.lower_bound(prefix); it != files_.end();) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    it = files_.erase(it);
+  }
+  for (auto it = dirs_.lower_bound(prefix); it != dirs_.end();) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    it = dirs_.erase(it);
+  }
+  dirs_.erase(path);
+  files_.erase(path);
+  return Status::OK();
+}
+
+Status SimFileSystem::Rename(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(from);
+  if (it == files_.end()) return Status::NotFound("no such file: " + from);
+  files_[to] = std::move(it->second);
+  files_.erase(it);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<WritableFile>> SimFileSystem::NewWritableFile(
+    const std::string& path) {
+  if (path.empty() || path[0] != '/') {
+    return Status::InvalidArgument("path must be absolute: " + path);
+  }
+  return std::unique_ptr<WritableFile>(new WritableFile(this, path));
+}
+
+Status SimFileSystem::CommitFileDelta(const std::string& path,
+                                      const std::string& contents, uint64_t new_bytes,
+                                      uint64_t* synced_bytes) {
+  Channel channel = ChannelFor(path);
+  meter_.ChargeWrite(channel, new_bytes);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (files_.find(path) == files_.end()) meter_.ChargeFileCreate();
+  files_[path] = FileNode{std::make_shared<const std::string>(contents)};
+  *synced_bytes = contents.size();
+  return Status::OK();
+}
+
+Result<std::unique_ptr<SequentialFile>> SimFileSystem::NewSequentialFile(
+    const std::string& path) const {
+  std::shared_ptr<const std::string> data;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(path);
+    if (it == files_.end()) return Status::NotFound("no such file: " + path);
+    data = it->second.data;
+  }
+  return std::unique_ptr<SequentialFile>(
+      new SequentialFile(std::move(data), &meter_, ChannelFor(path)));
+}
+
+Result<std::unique_ptr<RandomAccessFile>> SimFileSystem::NewRandomAccessFile(
+    const std::string& path) const {
+  std::shared_ptr<const std::string> data;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(path);
+    if (it == files_.end()) return Status::NotFound("no such file: " + path);
+    data = it->second.data;
+  }
+  return std::unique_ptr<RandomAccessFile>(
+      new RandomAccessFile(std::move(data), &meter_, ChannelFor(path)));
+}
+
+Result<int> SimFileSystem::NumChunks(const std::string& path) const {
+  DTL_ASSIGN_OR_RETURN(uint64_t size, FileSize(path));
+  if (size == 0) return 1;
+  return static_cast<int>((size + options_.chunk_size_bytes - 1) / options_.chunk_size_bytes);
+}
+
+uint64_t SimFileSystem::TotalBytesStored() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [path, node] : files_) total += node.data->size();
+  return total;
+}
+
+}  // namespace dtl::fs

@@ -1,0 +1,156 @@
+// SimFileSystem: an in-memory simulation of HDFS semantics.
+//
+// The properties that matter for DualTable are enforced faithfully:
+//   * files are append-only — there is no API for in-place mutation, so any
+//     "update" of HDFS-resident data must rewrite whole files (the root cause
+//     of Hive's INSERT OVERWRITE cost that the paper attacks);
+//   * files are divided into fixed-size chunks used for MapReduce splits;
+//   * streaming (sequential) reads are the fast path; positioned reads are
+//     supported (HDFS allows seek-on-read) and metered as seeks;
+//   * a namespace (the namenode) maps paths to file metadata;
+//   * every byte moved is charged to an IoMeter channel so the ClusterModel
+//     can convert runs into modelled cluster seconds.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "fs/io_stats.h"
+
+namespace dtl::fs {
+
+class SimFileSystem;
+
+/// Append-only writer handle; the file becomes visible to readers on Close
+/// (HDFS visibility-on-close semantics).
+class WritableFile {
+ public:
+  ~WritableFile();
+
+  Status Append(const Slice& data);
+  /// Publishes everything appended so far to readers while keeping the file
+  /// open for further appends (hflush semantics; used by the KV store's WAL).
+  Status Sync();
+  /// Finalizes the file; further Appends fail. Idempotent.
+  Status Close();
+
+  uint64_t bytes_written() const { return total_appended_; }
+
+ private:
+  friend class SimFileSystem;
+  WritableFile(SimFileSystem* fs, std::string path) : fs_(fs), path_(std::move(path)) {}
+
+  SimFileSystem* fs_;
+  std::string path_;
+  std::string buffer_;
+  uint64_t total_appended_ = 0;
+  uint64_t synced_bytes_ = 0;
+  bool closed_ = false;
+};
+
+/// Streaming reader over a closed file.
+class SequentialFile {
+ public:
+  /// Reads up to n bytes into *out (cleared first); short read at EOF.
+  Status Read(size_t n, std::string* out);
+  /// Skips forward without charging read bytes.
+  Status Skip(uint64_t n);
+  bool AtEnd() const;
+  uint64_t offset() const { return offset_; }
+
+ private:
+  friend class SimFileSystem;
+  SequentialFile(std::shared_ptr<const std::string> data, IoMeter* meter, Channel channel)
+      : data_(std::move(data)), meter_(meter), channel_(channel) {}
+
+  std::shared_ptr<const std::string> data_;
+  IoMeter* meter_;
+  Channel channel_;
+  uint64_t offset_ = 0;
+};
+
+/// Positioned reader over a closed file. Each ReadAt is metered as one seek
+/// plus the bytes read.
+class RandomAccessFile {
+ public:
+  Status ReadAt(uint64_t offset, size_t n, std::string* out) const;
+  uint64_t size() const { return data_->size(); }
+
+ private:
+  friend class SimFileSystem;
+  RandomAccessFile(std::shared_ptr<const std::string> data, IoMeter* meter, Channel channel)
+      : data_(std::move(data)), meter_(meter), channel_(channel) {}
+
+  std::shared_ptr<const std::string> data_;
+  IoMeter* meter_;
+  Channel channel_;
+};
+
+/// Options controlling the simulated cluster file system.
+struct FileSystemOptions {
+  uint64_t chunk_size_bytes = 8ull << 20;  // laptop-scale default; 64 MB on paper scale
+  /// Paths under this prefix are charged to the HBase channel (the KV store
+  /// hosts its WAL and SSTables here, mirroring HBase-on-HDFS).
+  std::string hbase_prefix = "/hbase/";
+};
+
+/// The simulated namenode + datanodes. Thread-safe.
+class SimFileSystem {
+ public:
+  explicit SimFileSystem(FileSystemOptions options = FileSystemOptions());
+
+  // -- namespace operations (namenode) --
+  Status CreateDir(const std::string& path);
+  Result<std::vector<std::string>> ListDir(const std::string& path) const;
+  bool Exists(const std::string& path) const;
+  Result<uint64_t> FileSize(const std::string& path) const;
+  Status Delete(const std::string& path);
+  /// Removes a directory and every file under it.
+  Status DeleteRecursively(const std::string& path);
+  Status Rename(const std::string& from, const std::string& to);
+
+  // -- data operations (datanodes) --
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(const std::string& path);
+  Result<std::unique_ptr<SequentialFile>> NewSequentialFile(const std::string& path) const;
+  Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) const;
+
+  /// Number of chunk-aligned splits a file would produce in a MapReduce job.
+  Result<int> NumChunks(const std::string& path) const;
+
+  IoMeter* meter() { return &meter_; }
+  const FileSystemOptions& options() const { return options_; }
+
+  /// Total bytes stored across all files (unreplicated logical size).
+  uint64_t TotalBytesStored() const;
+
+ private:
+  friend class WritableFile;
+
+  Channel ChannelFor(const std::string& path) const;
+  /// Publishes `contents` as the file body, charging only `new_bytes` (the
+  /// suffix not covered by a previous sync). Updates *synced_bytes.
+  Status CommitFileDelta(const std::string& path, const std::string& contents,
+                         uint64_t new_bytes, uint64_t* synced_bytes);
+
+  struct FileNode {
+    std::shared_ptr<const std::string> data;
+  };
+
+  FileSystemOptions options_;
+  mutable std::mutex mu_;
+  std::map<std::string, FileNode> files_;
+  std::map<std::string, bool> dirs_;
+  mutable IoMeter meter_;
+};
+
+/// Joins two path segments with exactly one '/'.
+std::string JoinPath(const std::string& dir, const std::string& name);
+
+}  // namespace dtl::fs

@@ -1,0 +1,104 @@
+// I/O metering shared by the file system and the KV store. Every byte moved
+// by a substrate is charged to a channel; the ClusterModel converts a metered
+// delta into modelled cluster seconds so benches can report paper-scale
+// arithmetic next to real wall-clock.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace dtl::fs {
+
+/// Which substrate a byte was moved through. HBase traffic is metered
+/// separately from plain HDFS traffic because the paper's cost model assigns
+/// them different throughputs (C^M vs C^A in Eq. 1/2).
+enum class Channel { kHdfs = 0, kHBase = 1 };
+
+/// Point-in-time copy of the counters; subtract two to get a delta.
+struct IoSnapshot {
+  uint64_t hdfs_bytes_read = 0;
+  uint64_t hdfs_bytes_written = 0;
+  uint64_t hdfs_files_created = 0;
+  uint64_t hdfs_seeks = 0;
+  uint64_t hbase_bytes_read = 0;
+  uint64_t hbase_bytes_written = 0;
+  uint64_t hbase_read_ops = 0;
+  uint64_t hbase_write_ops = 0;
+
+  IoSnapshot operator-(const IoSnapshot& rhs) const {
+    IoSnapshot d;
+    d.hdfs_bytes_read = hdfs_bytes_read - rhs.hdfs_bytes_read;
+    d.hdfs_bytes_written = hdfs_bytes_written - rhs.hdfs_bytes_written;
+    d.hdfs_files_created = hdfs_files_created - rhs.hdfs_files_created;
+    d.hdfs_seeks = hdfs_seeks - rhs.hdfs_seeks;
+    d.hbase_bytes_read = hbase_bytes_read - rhs.hbase_bytes_read;
+    d.hbase_bytes_written = hbase_bytes_written - rhs.hbase_bytes_written;
+    d.hbase_read_ops = hbase_read_ops - rhs.hbase_read_ops;
+    d.hbase_write_ops = hbase_write_ops - rhs.hbase_write_ops;
+    return d;
+  }
+
+  std::string ToString() const;
+};
+
+/// Thread-safe accumulator for all substrate I/O.
+class IoMeter {
+ public:
+  void ChargeRead(Channel c, uint64_t bytes) {
+    if (c == Channel::kHdfs) {
+      hdfs_bytes_read_.fetch_add(bytes, std::memory_order_relaxed);
+    } else {
+      hbase_bytes_read_.fetch_add(bytes, std::memory_order_relaxed);
+      hbase_read_ops_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  void ChargeWrite(Channel c, uint64_t bytes) {
+    if (c == Channel::kHdfs) {
+      hdfs_bytes_written_.fetch_add(bytes, std::memory_order_relaxed);
+    } else {
+      hbase_bytes_written_.fetch_add(bytes, std::memory_order_relaxed);
+      hbase_write_ops_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  void ChargeSeek() { hdfs_seeks_.fetch_add(1, std::memory_order_relaxed); }
+  void ChargeFileCreate() { hdfs_files_created_.fetch_add(1, std::memory_order_relaxed); }
+
+  IoSnapshot Snapshot() const {
+    IoSnapshot s;
+    s.hdfs_bytes_read = hdfs_bytes_read_.load(std::memory_order_relaxed);
+    s.hdfs_bytes_written = hdfs_bytes_written_.load(std::memory_order_relaxed);
+    s.hdfs_files_created = hdfs_files_created_.load(std::memory_order_relaxed);
+    s.hdfs_seeks = hdfs_seeks_.load(std::memory_order_relaxed);
+    s.hbase_bytes_read = hbase_bytes_read_.load(std::memory_order_relaxed);
+    s.hbase_bytes_written = hbase_bytes_written_.load(std::memory_order_relaxed);
+    s.hbase_read_ops = hbase_read_ops_.load(std::memory_order_relaxed);
+    s.hbase_write_ops = hbase_write_ops_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  void Reset() {
+    hdfs_bytes_read_ = 0;
+    hdfs_bytes_written_ = 0;
+    hdfs_files_created_ = 0;
+    hdfs_seeks_ = 0;
+    hbase_bytes_read_ = 0;
+    hbase_bytes_written_ = 0;
+    hbase_read_ops_ = 0;
+    hbase_write_ops_ = 0;
+  }
+
+ private:
+  std::atomic<uint64_t> hdfs_bytes_read_{0};
+  std::atomic<uint64_t> hdfs_bytes_written_{0};
+  std::atomic<uint64_t> hdfs_files_created_{0};
+  std::atomic<uint64_t> hdfs_seeks_{0};
+  std::atomic<uint64_t> hbase_bytes_read_{0};
+  std::atomic<uint64_t> hbase_bytes_written_{0};
+  std::atomic<uint64_t> hbase_read_ops_{0};
+  std::atomic<uint64_t> hbase_write_ops_{0};
+};
+
+}  // namespace dtl::fs

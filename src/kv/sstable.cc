@@ -1,0 +1,242 @@
+#include "kv/sstable.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+
+namespace dtl::kv {
+
+namespace {
+
+void EncodeIndexKey(const CellKey& key, std::string* dst) {
+  PutLengthPrefixed(dst, Slice(key.row));
+  PutVarint32(dst, key.qualifier);
+  PutVarint64(dst, key.timestamp);
+}
+
+Status DecodeIndexKey(Slice* input, CellKey* out) {
+  Slice row;
+  DTL_RETURN_NOT_OK(GetLengthPrefixed(input, &row));
+  out->row = row.ToString();
+  DTL_RETURN_NOT_OK(GetVarint32(input, &out->qualifier));
+  DTL_RETURN_NOT_OK(GetVarint64(input, &out->timestamp));
+  return Status::OK();
+}
+
+}  // namespace
+
+// --- SstWriter ----------------------------------------------------------------
+
+Result<std::unique_ptr<SstWriter>> SstWriter::Create(fs::SimFileSystem* fs,
+                                                     const std::string& path,
+                                                     size_t expected_cells) {
+  DTL_ASSIGN_OR_RETURN(auto file, fs->NewWritableFile(path));
+  return std::unique_ptr<SstWriter>(new SstWriter(std::move(file), expected_cells));
+}
+
+Status SstWriter::Add(const Cell& cell) {
+  if (finished_) return Status::IoError("add to finished SSTable");
+  if (last_key_.has_value() && last_key_->Compare(cell.key) > 0) {
+    return Status::InvalidArgument("SSTable cells must be added in key order");
+  }
+  last_key_ = cell.key;
+  if (!block_first_key_.has_value()) block_first_key_ = cell.key;
+  EncodeCell(cell, &block_);
+  bloom_.Add(Slice(cell.key.row));
+  ++cell_count_;
+  if (block_.size() >= kSstBlockBytes) return FlushBlock();
+  return Status::OK();
+}
+
+Status SstWriter::FlushBlock() {
+  if (block_.empty()) return Status::OK();
+  IndexEntry entry;
+  entry.first_key = *block_first_key_;
+  entry.offset = offset_;
+  entry.length = block_.size();
+  index_.push_back(std::move(entry));
+  DTL_RETURN_NOT_OK(file_->Append(block_));
+  offset_ += block_.size();
+  block_.clear();
+  block_first_key_.reset();
+  return Status::OK();
+}
+
+Status SstWriter::Finish() {
+  if (finished_) return Status::OK();
+  DTL_RETURN_NOT_OK(FlushBlock());
+
+  std::string index_bytes;
+  PutVarint64(&index_bytes, index_.size());
+  for (const IndexEntry& e : index_) {
+    EncodeIndexKey(e.first_key, &index_bytes);
+    PutVarint64(&index_bytes, e.offset);
+    PutVarint64(&index_bytes, e.length);
+  }
+  const uint64_t index_off = offset_;
+  DTL_RETURN_NOT_OK(file_->Append(index_bytes));
+  offset_ += index_bytes.size();
+
+  std::string bloom_bytes = bloom_.Serialize();
+  const uint64_t bloom_off = offset_;
+  DTL_RETURN_NOT_OK(file_->Append(bloom_bytes));
+  offset_ += bloom_bytes.size();
+
+  std::string footer;
+  PutFixed64(&footer, index_off);
+  PutFixed64(&footer, index_bytes.size());
+  PutFixed64(&footer, bloom_off);
+  PutFixed64(&footer, bloom_bytes.size());
+  PutFixed64(&footer, cell_count_);
+  PutFixed32(&footer, Crc32(index_bytes.data(), index_bytes.size()));
+  PutFixed32(&footer, kSstMagic);
+  DTL_RETURN_NOT_OK(file_->Append(footer));
+  finished_ = true;
+  return file_->Close();
+}
+
+// --- SstReader ----------------------------------------------------------------
+
+Result<std::unique_ptr<SstReader>> SstReader::Open(const fs::SimFileSystem* fs,
+                                                   const std::string& path) {
+  DTL_ASSIGN_OR_RETURN(auto file, fs->NewRandomAccessFile(path));
+  const uint64_t size = file->size();
+  constexpr uint64_t kFooterSize = 8 * 5 + 4 + 4;
+  if (size < kFooterSize) return Status::Corruption("file too small to be SSTable");
+
+  std::string footer;
+  DTL_RETURN_NOT_OK(file->ReadAt(size - kFooterSize, kFooterSize, &footer));
+  const uint64_t index_off = DecodeFixed64(footer.data());
+  const uint64_t index_len = DecodeFixed64(footer.data() + 8);
+  const uint64_t bloom_off = DecodeFixed64(footer.data() + 16);
+  const uint64_t bloom_len = DecodeFixed64(footer.data() + 24);
+  const uint64_t cell_count = DecodeFixed64(footer.data() + 32);
+  const uint32_t crc = DecodeFixed32(footer.data() + 40);
+  const uint32_t magic = DecodeFixed32(footer.data() + 44);
+  if (magic != kSstMagic) return Status::Corruption("bad SSTable magic in " + path);
+  if (index_off + index_len > size || bloom_off + bloom_len > size) {
+    return Status::Corruption("bad SSTable footer offsets");
+  }
+
+  std::string index_bytes;
+  DTL_RETURN_NOT_OK(file->ReadAt(index_off, index_len, &index_bytes));
+  if (Crc32(index_bytes.data(), index_bytes.size()) != crc) {
+    return Status::Corruption("SSTable index checksum mismatch in " + path);
+  }
+  std::string bloom_bytes;
+  DTL_RETURN_NOT_OK(file->ReadAt(bloom_off, bloom_len, &bloom_bytes));
+
+  auto reader = std::unique_ptr<SstReader>(new SstReader());
+  reader->file_ = std::move(file);
+  reader->path_ = path;
+  reader->cell_count_ = cell_count;
+  reader->bloom_ = BloomFilter::Deserialize(Slice(bloom_bytes));
+
+  Slice in(index_bytes);
+  uint64_t n = 0;
+  DTL_RETURN_NOT_OK(GetVarint64(&in, &n));
+  reader->index_.resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    DTL_RETURN_NOT_OK(DecodeIndexKey(&in, &reader->index_[i].first_key));
+    DTL_RETURN_NOT_OK(GetVarint64(&in, &reader->index_[i].offset));
+    DTL_RETURN_NOT_OK(GetVarint64(&in, &reader->index_[i].length));
+  }
+  return reader;
+}
+
+bool SstReader::MayContainRow(const Slice& row) const { return bloom_.MayContain(row); }
+
+Status SstReader::ReadBlock(size_t block_index, std::string* out) const {
+  const IndexEntry& e = index_[block_index];
+  return file_->ReadAt(e.offset, e.length, out);
+}
+
+Status SstReader::GetVersions(const Slice& row, uint32_t qualifier, int max_versions,
+                              std::vector<Cell>* out) const {
+  if (!bloom_.MayContain(row)) return Status::OK();
+  CellKey target{row.ToString(), qualifier, UINT64_MAX};  // newest version first
+  Iterator it(this);
+  it.Seek(target);
+  int found = 0;
+  for (; it.Valid() && found < max_versions; it.Next()) {
+    const Cell& c = it.cell();
+    if (Slice(c.key.row) != row || c.key.qualifier != qualifier) break;
+    out->push_back(c);
+    ++found;
+  }
+  return it.status();
+}
+
+// --- SstReader::Iterator --------------------------------------------------------
+
+SstReader::Iterator::Iterator(const SstReader* reader) : reader_(reader) {}
+
+void SstReader::Iterator::SeekToFirst() {
+  status_ = Status::OK();
+  valid_ = false;
+  block_index_ = 0;
+  if (reader_->index_.empty()) return;
+  if (!LoadBlock(0)) return;
+  DecodeNextInBlock();
+}
+
+void SstReader::Iterator::Seek(const CellKey& target) {
+  status_ = Status::OK();
+  valid_ = false;
+  const auto& index = reader_->index_;
+  if (index.empty()) return;
+  // Last block whose first key <= target (it may contain the target).
+  size_t lo = 0, hi = index.size();
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (index[mid].first_key.Compare(target) <= 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  size_t block = (lo == 0) ? 0 : lo - 1;
+  if (!LoadBlock(block)) return;
+  DecodeNextInBlock();
+  while (valid_ && cell_.key.Compare(target) < 0) Next();
+}
+
+void SstReader::Iterator::Next() {
+  if (!valid_) return;
+  if (block_rest_.empty()) {
+    if (block_index_ + 1 >= reader_->index_.size()) {
+      valid_ = false;
+      return;
+    }
+    if (!LoadBlock(block_index_ + 1)) return;
+  }
+  DecodeNextInBlock();
+}
+
+bool SstReader::Iterator::LoadBlock(size_t block_index) {
+  block_index_ = block_index;
+  Status st = reader_->ReadBlock(block_index, &block_data_);
+  if (!st.ok()) {
+    status_ = st;
+    valid_ = false;
+    return false;
+  }
+  block_rest_ = Slice(block_data_);
+  return true;
+}
+
+void SstReader::Iterator::DecodeNextInBlock() {
+  if (block_rest_.empty()) {
+    valid_ = false;
+    return;
+  }
+  Status st = DecodeCell(&block_rest_, &cell_);
+  if (!st.ok()) {
+    status_ = st;
+    valid_ = false;
+    return;
+  }
+  valid_ = true;
+}
+
+}  // namespace dtl::kv

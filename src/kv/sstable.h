@@ -1,0 +1,125 @@
+// SSTable: the immutable sorted on-"disk" file of the KV store, hosted on
+// the simulated file system under the HBase channel prefix (HFiles live on
+// HDFS in real HBase).
+//
+// Layout:
+//   [block 0][block 1]...[index][bloom][footer]
+//   footer = [index_off:8][index_len:8][bloom_off:8][bloom_len:8]
+//            [entry_count:8][crc:4][magic "DSST":4]
+// Blocks hold consecutive encoded cells; the index stores each block's first
+// cell key and offset for binary search; the bloom filter is over row keys.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bloom.h"
+#include "common/status.h"
+#include "fs/filesystem.h"
+#include "kv/cell.h"
+
+namespace dtl::kv {
+
+inline constexpr uint32_t kSstMagic = 0x54535344;  // "DSST" little-endian
+inline constexpr size_t kSstBlockBytes = 32 * 1024;
+
+/// Writes cells (which must arrive in CellKey order) into an SSTable file.
+class SstWriter {
+ public:
+  static Result<std::unique_ptr<SstWriter>> Create(fs::SimFileSystem* fs,
+                                                   const std::string& path,
+                                                   size_t expected_cells);
+
+  /// Appends a cell; keys must be non-decreasing in CellKey order.
+  Status Add(const Cell& cell);
+
+  Status Finish();
+
+  uint64_t cell_count() const { return cell_count_; }
+
+ private:
+  SstWriter(std::unique_ptr<fs::WritableFile> file, size_t expected_cells)
+      : file_(std::move(file)), bloom_(expected_cells) {}
+
+  Status FlushBlock();
+
+  struct IndexEntry {
+    CellKey first_key;
+    uint64_t offset = 0;
+    uint64_t length = 0;
+  };
+
+  std::unique_ptr<fs::WritableFile> file_;
+  BloomFilter bloom_;
+  std::string block_;
+  std::optional<CellKey> block_first_key_;
+  std::optional<CellKey> last_key_;
+  std::vector<IndexEntry> index_;
+  uint64_t offset_ = 0;
+  uint64_t cell_count_ = 0;
+  bool finished_ = false;
+};
+
+/// Immutable reader over one SSTable. Thread-safe.
+class SstReader {
+ public:
+  static Result<std::unique_ptr<SstReader>> Open(const fs::SimFileSystem* fs,
+                                                 const std::string& path);
+
+  /// Returns all versions of (row, qualifier) cells in this table, newest
+  /// first, via the bloom filter + block index. `out` is appended to.
+  Status GetVersions(const Slice& row, uint32_t qualifier, int max_versions,
+                     std::vector<Cell>* out) const;
+
+  /// True when the bloom filter admits the row (possibly false positive).
+  bool MayContainRow(const Slice& row) const;
+
+  uint64_t cell_count() const { return cell_count_; }
+  const std::string& path() const { return path_; }
+
+  /// Forward iterator over every cell in key order.
+  class Iterator {
+   public:
+    explicit Iterator(const SstReader* reader);
+    bool Valid() const { return valid_; }
+    void SeekToFirst();
+    /// Positions at the first cell with key >= target.
+    void Seek(const CellKey& target);
+    void Next();
+    const Cell& cell() const { return cell_; }
+    const Status& status() const { return status_; }
+
+   private:
+    bool LoadBlock(size_t block_index);
+    void DecodeNextInBlock();
+
+    const SstReader* reader_;
+    size_t block_index_ = 0;
+    std::string block_data_;
+    Slice block_rest_;
+    Cell cell_;
+    bool valid_ = false;
+    Status status_;
+  };
+
+ private:
+  struct IndexEntry {
+    CellKey first_key;
+    uint64_t offset = 0;
+    uint64_t length = 0;
+  };
+
+  SstReader() : bloom_(BloomFilter::Deserialize(Slice())) {}
+
+  Status ReadBlock(size_t block_index, std::string* out) const;
+
+  std::unique_ptr<fs::RandomAccessFile> file_;
+  std::string path_;
+  std::vector<IndexEntry> index_;
+  BloomFilter bloom_;
+  uint64_t cell_count_ = 0;
+};
+
+}  // namespace dtl::kv

@@ -1,0 +1,450 @@
+#include "kv/store.h"
+
+#include <algorithm>
+#include <charconv>
+#include <map>
+
+namespace dtl::kv {
+
+// --- CellScanner --------------------------------------------------------------
+
+/// One input of the k-way merge: the memtable or an SSTable. Lower rank wins
+/// ties on identical keys (rank 0 = memtable = newest data).
+struct CellScanner::Source {
+  std::unique_ptr<MemTable::Iterator> mem_it;
+  std::unique_ptr<SstReader::Iterator> sst_it;
+  int rank = 0;
+
+  bool Valid() const { return mem_it ? mem_it->Valid() : sst_it->Valid(); }
+  Cell cell() const { return mem_it ? mem_it->cell() : sst_it->cell(); }
+  void Next() {
+    if (mem_it) {
+      mem_it->Next();
+    } else {
+      sst_it->Next();
+    }
+  }
+  Status status() const { return mem_it ? Status::OK() : sst_it->status(); }
+};
+
+CellScanner::~CellScanner() = default;
+
+CellScanner::CellScanner(const MemTable* mem,
+                         std::vector<std::shared_ptr<SstReader>> tables,
+                         const CellKey* start) {
+  int rank = 0;
+  if (mem != nullptr) {
+    auto src = std::make_unique<Source>();
+    src->mem_it = std::make_unique<MemTable::Iterator>(mem);
+    if (start != nullptr) {
+      src->mem_it->Seek(*start);
+    } else {
+      src->mem_it->SeekToFirst();
+    }
+    src->rank = rank++;
+    sources_.push_back(std::move(src));
+  }
+  // Newest SSTable gets the lower rank.
+  for (auto it = tables.rbegin(); it != tables.rend(); ++it) {
+    auto src = std::make_unique<Source>();
+    src->sst_it = std::make_unique<SstReader::Iterator>(it->get());
+    if (start != nullptr) {
+      src->sst_it->Seek(*start);
+    } else {
+      src->sst_it->SeekToFirst();
+    }
+    src->rank = rank++;
+    sources_.push_back(std::move(src));
+  }
+  // Keep the SstReaders alive for the life of the scan.
+  keepalive_ = std::move(tables);
+  FindNext();
+}
+
+void CellScanner::FindNext() {
+  while (true) {
+    Source* best = nullptr;
+    for (auto& src : sources_) {
+      if (!src->status().ok()) {
+        status_ = src->status();
+        valid_ = false;
+        return;
+      }
+      if (!src->Valid()) continue;
+      if (best == nullptr) {
+        best = src.get();
+        continue;
+      }
+      int c = src->cell().key.Compare(best->cell().key);
+      if (c < 0 || (c == 0 && src->rank < best->rank)) best = src.get();
+    }
+    if (best == nullptr) {
+      valid_ = false;
+      return;
+    }
+    Cell candidate = best->cell();
+    // Advance every source positioned at this exact key (dedup shadowed copies).
+    for (auto& src : sources_) {
+      while (src->Valid() && src->cell().key.Compare(candidate.key) == 0) src->Next();
+    }
+    cell_ = std::move(candidate);
+    valid_ = true;
+    return;
+  }
+}
+
+void CellScanner::Next() {
+  if (!valid_) return;
+  FindNext();
+}
+
+// --- visibility resolution -----------------------------------------------------
+
+void ResolveRowCells(const std::vector<Cell>& raw, int max_versions,
+                     std::vector<Cell>* visible, uint64_t as_of) {
+  visible->clear();
+  if (raw.empty()) return;
+  // Row tombstone timestamp (cells may appear anywhere; reserved qualifier
+  // sorts last, so scan for it first).
+  uint64_t row_tomb_ts = 0;
+  for (const Cell& c : raw) {
+    if (c.key.timestamp > as_of) continue;
+    if (c.value.type == CellType::kDeleteRow && c.key.timestamp > row_tomb_ts) {
+      row_tomb_ts = c.key.timestamp;
+    }
+  }
+  // Cells arrive qualifier-ascending, timestamp-descending.
+  size_t i = 0;
+  while (i < raw.size()) {
+    const uint32_t qual = raw[i].key.qualifier;
+    uint64_t col_tomb_ts = 0;
+    // First pass over this qualifier group: find the column tombstone.
+    size_t j = i;
+    while (j < raw.size() && raw[j].key.qualifier == qual) {
+      if (raw[j].value.type == CellType::kDeleteColumn &&
+          raw[j].key.timestamp <= as_of && raw[j].key.timestamp > col_tomb_ts) {
+        col_tomb_ts = raw[j].key.timestamp;
+      }
+      ++j;
+    }
+    const uint64_t mask_ts = std::max(row_tomb_ts, col_tomb_ts);
+    int taken = 0;
+    for (size_t k = i; k < j && taken < max_versions; ++k) {
+      const Cell& c = raw[k];
+      if (c.value.type != CellType::kPut) continue;
+      if (c.key.timestamp > as_of) continue;
+      if (c.key.timestamp <= mask_ts) continue;
+      visible->push_back(c);
+      ++taken;
+    }
+    i = j;
+  }
+}
+
+// --- RowScanner ----------------------------------------------------------------
+
+bool RowScanner::Next() {
+  if (!status_.ok()) return false;
+  while (true) {
+    if (!cells_->Valid()) {
+      status_ = cells_->status();
+      return false;
+    }
+    std::vector<Cell> raw;
+    const std::string row = cells_->cell().key.row;
+    while (cells_->Valid() && cells_->cell().key.row == row) {
+      raw.push_back(cells_->cell());
+      cells_->Next();
+    }
+    if (!cells_->status().ok()) {
+      status_ = cells_->status();
+      return false;
+    }
+    std::vector<Cell> visible;
+    ResolveRowCells(raw, /*max_versions=*/1, &visible, as_of_);
+    if (visible.empty()) continue;  // fully deleted (or not-yet-written) row
+    view_.row = row;
+    view_.cells = std::move(visible);
+    return true;
+  }
+}
+
+// --- KvStore --------------------------------------------------------------------
+
+Result<std::unique_ptr<KvStore>> KvStore::Open(fs::SimFileSystem* fs,
+                                               KvStoreOptions options) {
+  if (options.dir.empty() || options.dir.back() == '/') {
+    return Status::InvalidArgument("KvStore dir must be a non-slash-terminated path");
+  }
+  auto store = std::unique_ptr<KvStore>(new KvStore(fs, std::move(options)));
+  DTL_RETURN_NOT_OK(fs->CreateDir(store->options_.dir));
+  store->memtable_ = std::make_unique<MemTable>();
+
+  // Register existing SSTables: names are "sst_<seq>_<maxts>.sst".
+  DTL_ASSIGN_OR_RETURN(auto names, fs->ListDir(store->options_.dir));
+  std::vector<std::pair<uint64_t, std::string>> found;  // (seq, name)
+  for (const std::string& name : names) {
+    if (name.rfind("sst_", 0) != 0 || name.size() < 9) continue;
+    uint64_t seq = 0, max_ts = 0;
+    const char* p = name.data() + 4;
+    const char* end = name.data() + name.size();
+    auto r1 = std::from_chars(p, end, seq);
+    if (r1.ec != std::errc() || r1.ptr >= end || *r1.ptr != '_') continue;
+    auto r2 = std::from_chars(r1.ptr + 1, end, max_ts);
+    if (r2.ec != std::errc()) continue;
+    found.emplace_back(seq, name);
+    store->next_sst_seq_ = std::max(store->next_sst_seq_, seq + 1);
+    store->last_ts_ = std::max(store->last_ts_, max_ts);
+  }
+  std::sort(found.begin(), found.end());
+  for (const auto& [seq, name] : found) {
+    DTL_ASSIGN_OR_RETURN(auto reader,
+                         SstReader::Open(fs, fs::JoinPath(store->options_.dir, name)));
+    store->sstables_.push_back(std::move(reader));
+  }
+
+  // Replay the WAL into the memtable.
+  std::vector<Cell> recovered;
+  DTL_RETURN_NOT_OK(ReplayWal(fs, store->WalPath(), &recovered));
+  for (Cell& cell : recovered) {
+    store->last_ts_ = std::max(store->last_ts_, cell.key.timestamp);
+    store->memtable_->Add(cell);
+  }
+
+  DTL_ASSIGN_OR_RETURN(store->wal_, WalWriter::Create(fs, store->WalPath(),
+                                                      store->options_.wal_sync_interval_bytes));
+  return store;
+}
+
+KvStore::~KvStore() {
+  if (wal_ != nullptr) (void)wal_->Close();
+}
+
+std::string KvStore::SstPath(uint64_t seq, uint64_t max_ts) const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "sst_%06llu_%llu.sst",
+                static_cast<unsigned long long>(seq),
+                static_cast<unsigned long long>(max_ts));
+  return fs::JoinPath(options_.dir, buf);
+}
+
+Status KvStore::WriteCell(Cell cell) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (options_.put_latency_micros > 0) {
+    latency_debt_micros_ += options_.put_latency_micros;
+    if (latency_debt_micros_ >= 2000.0) {  // pay the debt in >=2ms slices
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(static_cast<int64_t>(latency_debt_micros_)));
+      latency_debt_micros_ = 0;
+    }
+  }
+  DTL_RETURN_NOT_OK(wal_->Append(cell));
+  memtable_->Add(cell);
+  if (memtable_->approximate_bytes() >= options_.memtable_flush_bytes) {
+    DTL_RETURN_NOT_OK(FlushLocked());
+    if (static_cast<int>(sstables_.size()) > options_.l0_compaction_trigger) {
+      DTL_RETURN_NOT_OK(CompactLocked());
+    }
+  }
+  return Status::OK();
+}
+
+Status KvStore::Put(const Slice& row, uint32_t qualifier, const Slice& value) {
+  if (qualifier == kRowTombstoneQualifier) {
+    return Status::InvalidArgument("qualifier is reserved for row tombstones");
+  }
+  ++stats_.puts;
+  Cell cell;
+  cell.key = CellKey{row.ToString(), qualifier, ++last_ts_};
+  cell.value = CellValue{CellType::kPut, value.ToString()};
+  return WriteCell(std::move(cell));
+}
+
+Status KvStore::PutCell(Cell cell) {
+  ++stats_.puts;
+  last_ts_ = std::max(last_ts_, cell.key.timestamp);
+  return WriteCell(std::move(cell));
+}
+
+Status KvStore::DeleteRow(const Slice& row) {
+  ++stats_.deletes;
+  Cell cell;
+  cell.key = CellKey{row.ToString(), kRowTombstoneQualifier, ++last_ts_};
+  cell.value = CellValue{CellType::kDeleteRow, ""};
+  return WriteCell(std::move(cell));
+}
+
+Status KvStore::DeleteColumn(const Slice& row, uint32_t qualifier) {
+  if (qualifier == kRowTombstoneQualifier) {
+    return Status::InvalidArgument("qualifier is reserved for row tombstones");
+  }
+  ++stats_.deletes;
+  Cell cell;
+  cell.key = CellKey{row.ToString(), qualifier, ++last_ts_};
+  cell.value = CellValue{CellType::kDeleteColumn, ""};
+  return WriteCell(std::move(cell));
+}
+
+Status KvStore::GetVersions(const Slice& row, uint32_t qualifier, int max_versions,
+                            std::vector<std::pair<uint64_t, std::string>>* out) {
+  ++stats_.gets;
+  out->clear();
+  // Collect every version of (row, qualifier) plus the row tombstone, then
+  // resolve. Row groups are tiny, so materializing them is cheap.
+  std::vector<Cell> raw;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto collect = [&raw, &row](auto& it, uint32_t qual) {
+      CellKey start{row.ToString(), qual, UINT64_MAX};
+      it.Seek(start);
+      while (it.Valid()) {
+        Cell c = it.cell();
+        if (c.key.row != row.ToView() || c.key.qualifier != qual) break;
+        raw.push_back(std::move(c));
+        it.Next();
+      }
+    };
+    for (uint32_t qual : {qualifier, kRowTombstoneQualifier}) {
+      MemTable::Iterator mem_it(memtable_.get());
+      collect(mem_it, qual);
+      for (auto& sst : sstables_) {
+        if (!sst->MayContainRow(row)) continue;
+        SstReader::Iterator sst_it(sst.get());
+        collect(sst_it, qual);
+        DTL_RETURN_NOT_OK(sst_it.status());
+      }
+    }
+  }
+  std::sort(raw.begin(), raw.end(),
+            [](const Cell& a, const Cell& b) { return a.key.Compare(b.key) < 0; });
+  raw.erase(std::unique(raw.begin(), raw.end(),
+                        [](const Cell& a, const Cell& b) {
+                          return a.key.Compare(b.key) == 0;
+                        }),
+            raw.end());
+  std::vector<Cell> visible;
+  ResolveRowCells(raw, max_versions, &visible);
+  for (const Cell& c : visible) {
+    if (c.key.qualifier == qualifier) out->emplace_back(c.key.timestamp, c.value.value);
+  }
+  return Status::OK();
+}
+
+Result<std::optional<std::string>> KvStore::Get(const Slice& row, uint32_t qualifier) {
+  std::vector<std::pair<uint64_t, std::string>> versions;
+  DTL_RETURN_NOT_OK(GetVersions(row, qualifier, 1, &versions));
+  if (versions.empty()) return std::optional<std::string>();
+  return std::optional<std::string>(std::move(versions[0].second));
+}
+
+std::unique_ptr<CellScanner> KvStore::NewCellScanner(const std::string* start_row) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::optional<CellKey> start;
+  if (start_row != nullptr) start = CellKey{*start_row, 0, UINT64_MAX};
+  return std::unique_ptr<CellScanner>(new CellScanner(
+      memtable_.get(), sstables_, start.has_value() ? &*start : nullptr));
+}
+
+std::unique_ptr<RowScanner> KvStore::NewRowScanner(const std::string* start_row,
+                                                   uint64_t as_of) {
+  return std::unique_ptr<RowScanner>(new RowScanner(NewCellScanner(start_row), as_of));
+}
+
+Status KvStore::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FlushLocked();
+}
+
+Status KvStore::FlushLocked() {
+  if (memtable_->empty()) return Status::OK();
+  ++stats_.flushes;
+  const std::string path = SstPath(next_sst_seq_++, last_ts_);
+  DTL_ASSIGN_OR_RETURN(auto writer, SstWriter::Create(fs_, path, memtable_->cell_count()));
+  MemTable::Iterator it(memtable_.get());
+  for (it.SeekToFirst(); it.Valid(); it.Next()) {
+    DTL_RETURN_NOT_OK(writer->Add(it.cell()));
+  }
+  DTL_RETURN_NOT_OK(writer->Finish());
+  DTL_ASSIGN_OR_RETURN(auto reader, SstReader::Open(fs_, path));
+  sstables_.push_back(std::move(reader));
+  memtable_ = std::make_unique<MemTable>();
+  // Start a fresh WAL: the flushed cells no longer need replay.
+  DTL_RETURN_NOT_OK(wal_->Close());
+  DTL_RETURN_NOT_OK(fs_->Delete(WalPath()));
+  DTL_ASSIGN_OR_RETURN(wal_,
+                       WalWriter::Create(fs_, WalPath(), options_.wal_sync_interval_bytes));
+  return Status::OK();
+}
+
+Status KvStore::Compact() {
+  std::lock_guard<std::mutex> lock(mu_);
+  DTL_RETURN_NOT_OK(FlushLocked());
+  return CompactLocked();
+}
+
+Status KvStore::CompactLocked() {
+  if (sstables_.size() <= 1) return Status::OK();
+  ++stats_.compactions;
+  // Full merge with visibility resolution per row; tombstones and shadowed
+  // versions are dropped (nothing below survives a full compaction).
+  CellScanner scanner(nullptr, sstables_, nullptr);
+  const std::string path = SstPath(next_sst_seq_++, last_ts_);
+  uint64_t expected = 0;
+  for (const auto& sst : sstables_) expected += sst->cell_count();
+  DTL_ASSIGN_OR_RETURN(auto writer, SstWriter::Create(fs_, path, expected));
+
+  while (scanner.Valid()) {
+    std::vector<Cell> raw;
+    const std::string row = scanner.cell().key.row;
+    while (scanner.Valid() && scanner.cell().key.row == row) {
+      raw.push_back(scanner.cell());
+      scanner.Next();
+    }
+    DTL_RETURN_NOT_OK(scanner.status());
+    std::vector<Cell> visible;
+    ResolveRowCells(raw, options_.max_versions, &visible);
+    for (const Cell& c : visible) DTL_RETURN_NOT_OK(writer->Add(c));
+  }
+  DTL_RETURN_NOT_OK(scanner.status());
+  DTL_RETURN_NOT_OK(writer->Finish());
+
+  std::vector<std::string> old_paths;
+  old_paths.reserve(sstables_.size());
+  for (const auto& sst : sstables_) old_paths.push_back(sst->path());
+  sstables_.clear();
+  DTL_ASSIGN_OR_RETURN(auto reader, SstReader::Open(fs_, path));
+  sstables_.push_back(std::move(reader));
+  for (const std::string& p : old_paths) DTL_RETURN_NOT_OK(fs_->Delete(p));
+  return Status::OK();
+}
+
+Status KvStore::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& sst : sstables_) DTL_RETURN_NOT_OK(fs_->Delete(sst->path()));
+  sstables_.clear();
+  memtable_ = std::make_unique<MemTable>();
+  DTL_RETURN_NOT_OK(wal_->Close());
+  DTL_RETURN_NOT_OK(fs_->Delete(WalPath()));
+  DTL_ASSIGN_OR_RETURN(wal_,
+                       WalWriter::Create(fs_, WalPath(), options_.wal_sync_interval_bytes));
+  return Status::OK();
+}
+
+uint64_t KvStore::ApproximateCellCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = memtable_->cell_count();
+  for (const auto& sst : sstables_) total += sst->cell_count();
+  return total;
+}
+
+uint64_t KvStore::ApproximateBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = memtable_->approximate_bytes();
+  for (const auto& sst : sstables_) {
+    auto size = fs_->FileSize(sst->path());
+    if (size.ok()) total += *size;
+  }
+  return total;
+}
+
+}  // namespace dtl::kv

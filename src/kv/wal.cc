@@ -1,0 +1,63 @@
+#include "kv/wal.h"
+
+#include "common/coding.h"
+
+namespace dtl::kv {
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Create(fs::SimFileSystem* fs,
+                                                     const std::string& path,
+                                                     size_t sync_interval_bytes) {
+  DTL_ASSIGN_OR_RETURN(auto file, fs->NewWritableFile(path));
+  return std::unique_ptr<WalWriter>(new WalWriter(std::move(file), sync_interval_bytes));
+}
+
+Status WalWriter::Append(const Cell& cell) {
+  std::string payload;
+  EncodeCell(cell, &payload);
+  std::string frame;
+  PutFixed32(&frame, Crc32(payload.data(), payload.size()));
+  PutFixed32(&frame, static_cast<uint32_t>(payload.size()));
+  frame += payload;
+  DTL_RETURN_NOT_OK(file_->Append(frame));
+  unsynced_bytes_ += frame.size();
+  if (unsynced_bytes_ >= sync_interval_bytes_) return Sync();
+  return Status::OK();
+}
+
+Status WalWriter::Sync() {
+  if (unsynced_bytes_ == 0) return Status::OK();
+  unsynced_bytes_ = 0;
+  return file_->Sync();
+}
+
+Status WalWriter::Close() { return file_->Close(); }
+
+Status ReplayWal(const fs::SimFileSystem* fs, const std::string& path,
+                 std::vector<Cell>* out) {
+  auto file_result = fs->NewSequentialFile(path);
+  if (!file_result.ok()) {
+    if (file_result.status().IsNotFound()) return Status::OK();  // nothing to replay
+    return file_result.status();
+  }
+  auto& file = *file_result;
+  while (!file->AtEnd()) {
+    std::string header;
+    DTL_RETURN_NOT_OK(file->Read(8, &header));
+    if (header.size() < 8) break;  // truncated tail: stop cleanly
+    const uint32_t crc = DecodeFixed32(header.data());
+    const uint32_t len = DecodeFixed32(header.data() + 4);
+    std::string payload;
+    DTL_RETURN_NOT_OK(file->Read(len, &payload));
+    if (payload.size() < len) break;  // truncated tail
+    if (Crc32(payload.data(), payload.size()) != crc) {
+      return Status::Corruption("WAL record checksum mismatch in " + path);
+    }
+    Slice in(payload);
+    Cell cell;
+    DTL_RETURN_NOT_OK(DecodeCell(&in, &cell));
+    out->push_back(std::move(cell));
+  }
+  return Status::OK();
+}
+
+}  // namespace dtl::kv

@@ -1,0 +1,44 @@
+// Write-ahead log of the KV store. Each record is one cell framed as
+// [crc32:4][len:4][payload]; the log is synced (published to the file
+// system) at a configurable byte interval, mirroring HBase's group commit.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "fs/filesystem.h"
+#include "kv/cell.h"
+
+namespace dtl::kv {
+
+/// Appender for the live WAL segment.
+class WalWriter {
+ public:
+  static Result<std::unique_ptr<WalWriter>> Create(fs::SimFileSystem* fs,
+                                                   const std::string& path,
+                                                   size_t sync_interval_bytes = 256 * 1024);
+
+  /// Frames and appends one cell; syncs when the interval has elapsed.
+  Status Append(const Cell& cell);
+
+  /// Forces a sync of everything appended so far.
+  Status Sync();
+
+  Status Close();
+
+ private:
+  WalWriter(std::unique_ptr<fs::WritableFile> file, size_t sync_interval_bytes)
+      : file_(std::move(file)), sync_interval_bytes_(sync_interval_bytes) {}
+
+  std::unique_ptr<fs::WritableFile> file_;
+  size_t sync_interval_bytes_;
+  size_t unsynced_bytes_ = 0;
+};
+
+/// Replays a WAL segment; tolerates a truncated final record (crash tail).
+Status ReplayWal(const fs::SimFileSystem* fs, const std::string& path,
+                 std::vector<Cell>* out);
+
+}  // namespace dtl::kv

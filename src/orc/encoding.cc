@@ -1,0 +1,188 @@
+#include "orc/encoding.h"
+
+#include <map>
+
+#include "common/coding.h"
+
+namespace dtl::orc {
+
+namespace {
+constexpr size_t kMaxGroup = 0x7FFFFFFF;  // control fits a varint32 comfortably
+}
+
+void EncodeInt64Stream(const std::vector<int64_t>& values, std::string* dst) {
+  PutVarint64(dst, values.size());
+  size_t i = 0;
+  const size_t n = values.size();
+  while (i < n) {
+    // Measure the run starting at i.
+    size_t run = 1;
+    while (i + run < n && values[i + run] == values[i] && run < kMaxGroup) ++run;
+    if (run >= 3) {
+      PutVarint64(dst, (static_cast<uint64_t>(run) << 1) | 1);
+      PutVarint64(dst, ZigZagEncode(values[i]));
+      i += run;
+      continue;
+    }
+    // Collect a literal group up to the next run of >=3.
+    size_t start = i;
+    while (i < n && i - start < kMaxGroup) {
+      size_t r = 1;
+      while (i + r < n && values[i + r] == values[i] && r < 3) ++r;
+      if (r >= 3) break;
+      i += 1;
+    }
+    size_t count = i - start;
+    if (count == 0) {  // immediately at a run boundary; force progress
+      count = 1;
+      i = start + 1;
+    }
+    PutVarint64(dst, static_cast<uint64_t>(count) << 1);
+    for (size_t j = start; j < start + count; ++j) {
+      PutVarint64(dst, ZigZagEncode(values[j]));
+    }
+  }
+}
+
+Status DecodeInt64Stream(Slice input, std::vector<int64_t>* out) {
+  uint64_t total = 0;
+  DTL_RETURN_NOT_OK(GetVarint64(&input, &total));
+  out->clear();
+  out->reserve(total);
+  while (out->size() < total) {
+    uint64_t control = 0;
+    DTL_RETURN_NOT_OK(GetVarint64(&input, &control));
+    uint64_t count = control >> 1;
+    if (count == 0 || out->size() + count > total) {
+      return Status::Corruption("bad int64 RLE group");
+    }
+    if (control & 1) {
+      uint64_t zz = 0;
+      DTL_RETURN_NOT_OK(GetVarint64(&input, &zz));
+      out->insert(out->end(), count, ZigZagDecode(zz));
+    } else {
+      for (uint64_t j = 0; j < count; ++j) {
+        uint64_t zz = 0;
+        DTL_RETURN_NOT_OK(GetVarint64(&input, &zz));
+        out->push_back(ZigZagDecode(zz));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+void EncodeDoubleStream(const std::vector<double>& values, std::string* dst) {
+  PutVarint64(dst, values.size());
+  for (double d : values) {
+    uint64_t bits;
+    std::memcpy(&bits, &d, sizeof(bits));
+    PutFixed64(dst, bits);
+  }
+}
+
+Status DecodeDoubleStream(Slice input, std::vector<double>* out) {
+  uint64_t total = 0;
+  DTL_RETURN_NOT_OK(GetVarint64(&input, &total));
+  if (input.size() < total * 8) return Status::Corruption("truncated double stream");
+  out->clear();
+  out->reserve(total);
+  for (uint64_t i = 0; i < total; ++i) {
+    uint64_t bits = DecodeFixed64(input.data() + i * 8);
+    double d;
+    std::memcpy(&d, &bits, sizeof(d));
+    out->push_back(d);
+  }
+  return Status::OK();
+}
+
+void EncodeStringStream(const std::vector<std::string>& values, std::string* dst) {
+  // First pass: distinct count via an ordered map (keeps encoding deterministic).
+  std::map<std::string, int64_t> dict;
+  for (const auto& v : values) dict.emplace(v, 0);
+  const bool use_dict = !values.empty() && dict.size() * 2 <= values.size();
+  if (use_dict) {
+    dst->push_back(1);
+    int64_t next_id = 0;
+    for (auto& [key, id] : dict) id = next_id++;
+    PutVarint64(dst, dict.size());
+    for (const auto& [key, id] : dict) PutLengthPrefixed(dst, Slice(key));
+    std::vector<int64_t> indices;
+    indices.reserve(values.size());
+    for (const auto& v : values) indices.push_back(dict[v]);
+    EncodeInt64Stream(indices, dst);
+  } else {
+    dst->push_back(0);
+    PutVarint64(dst, values.size());
+    for (const auto& v : values) PutLengthPrefixed(dst, Slice(v));
+  }
+}
+
+Status DecodeStringStream(Slice input, std::vector<std::string>* out) {
+  if (input.empty()) return Status::Corruption("empty string stream");
+  const char mode = input[0];
+  input.RemovePrefix(1);
+  out->clear();
+  if (mode == 1) {
+    uint64_t dict_size = 0;
+    DTL_RETURN_NOT_OK(GetVarint64(&input, &dict_size));
+    std::vector<std::string> dict;
+    dict.reserve(dict_size);
+    for (uint64_t i = 0; i < dict_size; ++i) {
+      Slice s;
+      DTL_RETURN_NOT_OK(GetLengthPrefixed(&input, &s));
+      dict.push_back(s.ToString());
+    }
+    std::vector<int64_t> indices;
+    DTL_RETURN_NOT_OK(DecodeInt64Stream(input, &indices));
+    out->reserve(indices.size());
+    for (int64_t idx : indices) {
+      if (idx < 0 || static_cast<uint64_t>(idx) >= dict.size()) {
+        return Status::Corruption("dictionary index out of range");
+      }
+      out->push_back(dict[static_cast<size_t>(idx)]);
+    }
+    return Status::OK();
+  }
+  if (mode == 0) {
+    uint64_t total = 0;
+    DTL_RETURN_NOT_OK(GetVarint64(&input, &total));
+    out->reserve(total);
+    for (uint64_t i = 0; i < total; ++i) {
+      Slice s;
+      DTL_RETURN_NOT_OK(GetLengthPrefixed(&input, &s));
+      out->push_back(s.ToString());
+    }
+    return Status::OK();
+  }
+  return Status::Corruption("bad string stream mode");
+}
+
+void EncodeBoolStream(const std::vector<bool>& values, std::string* dst) {
+  PutVarint64(dst, values.size());
+  uint8_t byte = 0;
+  int bit = 0;
+  for (bool v : values) {
+    if (v) byte |= static_cast<uint8_t>(1u << bit);
+    if (++bit == 8) {
+      dst->push_back(static_cast<char>(byte));
+      byte = 0;
+      bit = 0;
+    }
+  }
+  if (bit != 0) dst->push_back(static_cast<char>(byte));
+}
+
+Status DecodeBoolStream(Slice input, std::vector<bool>* out) {
+  uint64_t total = 0;
+  DTL_RETURN_NOT_OK(GetVarint64(&input, &total));
+  if (input.size() * 8 < total) return Status::Corruption("truncated bool stream");
+  out->clear();
+  out->reserve(total);
+  for (uint64_t i = 0; i < total; ++i) {
+    auto byte = static_cast<unsigned char>(input[i / 8]);
+    out->push_back((byte >> (i % 8)) & 1);
+  }
+  return Status::OK();
+}
+
+}  // namespace dtl::orc

@@ -1,0 +1,44 @@
+// Per-column stream encodings for the ORC-like container:
+//   * int64 / date — zig-zag varints with run-length groups,
+//   * double       — raw little-endian fixed64,
+//   * string       — dictionary-encoded when the dictionary pays off,
+//                    direct length-prefixed otherwise,
+//   * boolean      — bit-packed,
+//   * presence     — bit-packed null bitmap (data streams hold only
+//                    non-null values, as in real ORC).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace dtl::orc {
+
+// --- integer RLE -------------------------------------------------------------
+
+/// Encodes values as groups: control varint c; if c&1 the group is a run of
+/// (c>>1) copies of one zig-zag varint, else (c>>1) literal zig-zag varints.
+void EncodeInt64Stream(const std::vector<int64_t>& values, std::string* dst);
+Status DecodeInt64Stream(Slice input, std::vector<int64_t>* out);
+
+// --- doubles ------------------------------------------------------------------
+
+void EncodeDoubleStream(const std::vector<double>& values, std::string* dst);
+Status DecodeDoubleStream(Slice input, std::vector<double>* out);
+
+// --- strings ------------------------------------------------------------------
+
+/// Chooses dictionary encoding when distinct values are at most half of the
+/// total (mirrors ORC's dictionary heuristic), direct encoding otherwise.
+void EncodeStringStream(const std::vector<std::string>& values, std::string* dst);
+Status DecodeStringStream(Slice input, std::vector<std::string>* out);
+
+// --- booleans / presence bitmaps ----------------------------------------------
+
+void EncodeBoolStream(const std::vector<bool>& values, std::string* dst);
+Status DecodeBoolStream(Slice input, std::vector<bool>* out);
+
+}  // namespace dtl::orc

@@ -1,0 +1,97 @@
+#include "orc/orc_types.h"
+
+#include "common/coding.h"
+
+namespace dtl::orc {
+
+void ColumnStats::Update(const Value& v) {
+  ++value_count;
+  if (v.is_null()) {
+    ++null_count;
+    return;
+  }
+  if (!has_min_max) {
+    min = v;
+    max = v;
+    has_min_max = true;
+    return;
+  }
+  if (v.Compare(min) < 0) min = v;
+  if (v.Compare(max) > 0) max = v;
+}
+
+void ColumnStats::EncodeTo(std::string* dst) const {
+  dst->push_back(has_min_max ? 1 : 0);
+  if (has_min_max) {
+    min.EncodeTo(dst);
+    max.EncodeTo(dst);
+  }
+  PutVarint64(dst, null_count);
+  PutVarint64(dst, value_count);
+}
+
+Status ColumnStats::DecodeFrom(Slice* input, ColumnStats* out) {
+  if (input->empty()) return Status::Corruption("truncated column stats");
+  out->has_min_max = (*input)[0] != 0;
+  input->RemovePrefix(1);
+  if (out->has_min_max) {
+    DTL_RETURN_NOT_OK(Value::DecodeFrom(input, &out->min));
+    DTL_RETURN_NOT_OK(Value::DecodeFrom(input, &out->max));
+  }
+  DTL_RETURN_NOT_OK(GetVarint64(input, &out->null_count));
+  DTL_RETURN_NOT_OK(GetVarint64(input, &out->value_count));
+  return Status::OK();
+}
+
+void StripeInfo::EncodeTo(std::string* dst) const {
+  PutVarint64(dst, offset);
+  PutVarint64(dst, length);
+  PutVarint64(dst, first_row);
+  PutVarint64(dst, num_rows);
+  for (const StreamInfo& s : streams) {
+    PutVarint64(dst, s.presence_length);
+    PutVarint64(dst, s.data_length);
+  }
+  for (const ColumnStats& cs : stats) cs.EncodeTo(dst);
+}
+
+Status StripeInfo::DecodeFrom(Slice* input, size_t num_columns, StripeInfo* out) {
+  DTL_RETURN_NOT_OK(GetVarint64(input, &out->offset));
+  DTL_RETURN_NOT_OK(GetVarint64(input, &out->length));
+  DTL_RETURN_NOT_OK(GetVarint64(input, &out->first_row));
+  DTL_RETURN_NOT_OK(GetVarint64(input, &out->num_rows));
+  out->streams.resize(num_columns);
+  for (size_t i = 0; i < num_columns; ++i) {
+    DTL_RETURN_NOT_OK(GetVarint64(input, &out->streams[i].presence_length));
+    DTL_RETURN_NOT_OK(GetVarint64(input, &out->streams[i].data_length));
+  }
+  out->stats.resize(num_columns);
+  for (size_t i = 0; i < num_columns; ++i) {
+    DTL_RETURN_NOT_OK(ColumnStats::DecodeFrom(input, &out->stats[i]));
+  }
+  return Status::OK();
+}
+
+void FileFooter::EncodeTo(std::string* dst) const {
+  PutVarint64(dst, file_id);
+  schema.EncodeTo(dst);
+  PutVarint64(dst, num_rows);
+  PutVarint64(dst, stripes.size());
+  for (const StripeInfo& s : stripes) s.EncodeTo(dst);
+}
+
+Status FileFooter::DecodeFrom(Slice input, FileFooter* out) {
+  DTL_RETURN_NOT_OK(GetVarint64(&input, &out->file_id));
+  DTL_RETURN_NOT_OK(Schema::DecodeFrom(&input, &out->schema));
+  DTL_RETURN_NOT_OK(GetVarint64(&input, &out->num_rows));
+  uint64_t num_stripes = 0;
+  DTL_RETURN_NOT_OK(GetVarint64(&input, &num_stripes));
+  out->stripes.resize(num_stripes);
+  for (uint64_t i = 0; i < num_stripes; ++i) {
+    DTL_RETURN_NOT_OK(
+        StripeInfo::DecodeFrom(&input, out->schema.num_fields(), &out->stripes[i]));
+  }
+  return Status::OK();
+}
+
+}  // namespace dtl::orc

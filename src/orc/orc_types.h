@@ -1,0 +1,69 @@
+// Metadata structures of the ORC-like file: per-column statistics, stripe
+// directory entries, and the file footer.
+//
+// File layout:
+//   [stripe 0][stripe 1]...[footer][crc32:4][footer_len:4][magic "DOR1":4]
+// Each stripe is the concatenation of per-column (presence, data) stream
+// pairs; their lengths live in the footer so readers can position-read only
+// the projected columns.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace dtl::orc {
+
+inline constexpr uint32_t kOrcMagic = 0x31524F44;  // "DOR1" little-endian
+
+/// Min/max/null statistics for one column within one stripe; drives
+/// stripe-level predicate pruning.
+struct ColumnStats {
+  bool has_min_max = false;
+  Value min;
+  Value max;
+  uint64_t null_count = 0;
+  uint64_t value_count = 0;  // includes nulls
+
+  /// Folds one observed cell into the stats.
+  void Update(const Value& v);
+
+  void EncodeTo(std::string* dst) const;
+  static Status DecodeFrom(Slice* input, ColumnStats* out);
+};
+
+/// Location and size of one column's streams within a stripe.
+struct StreamInfo {
+  uint64_t presence_length = 0;
+  uint64_t data_length = 0;
+};
+
+/// Directory entry for one stripe.
+struct StripeInfo {
+  uint64_t offset = 0;       // byte offset of the stripe in the file
+  uint64_t length = 0;       // total stripe bytes
+  uint64_t first_row = 0;    // file-level row number of the stripe's first row
+  uint64_t num_rows = 0;
+  std::vector<StreamInfo> streams;    // one per column
+  std::vector<ColumnStats> stats;     // one per column
+
+  void EncodeTo(std::string* dst) const;
+  static Status DecodeFrom(Slice* input, size_t num_columns, StripeInfo* out);
+};
+
+/// File footer: identity, schema, and the stripe directory.
+struct FileFooter {
+  uint64_t file_id = 0;  // DualTable-wide unique file ID (record-ID high bits)
+  Schema schema;
+  uint64_t num_rows = 0;
+  std::vector<StripeInfo> stripes;
+
+  void EncodeTo(std::string* dst) const;
+  static Status DecodeFrom(Slice input, FileFooter* out);
+};
+
+}  // namespace dtl::orc

@@ -1,0 +1,165 @@
+#include "orc/reader.h"
+
+#include <numeric>
+
+#include "common/coding.h"
+#include "orc/encoding.h"
+
+namespace dtl::orc {
+
+Result<std::unique_ptr<OrcReader>> OrcReader::Open(const fs::SimFileSystem* fs,
+                                                   const std::string& path) {
+  DTL_ASSIGN_OR_RETURN(auto file, fs->NewRandomAccessFile(path));
+  const uint64_t size = file->size();
+  if (size < 12) return Status::Corruption("file too small to be ORC: " + path);
+
+  std::string tail;
+  DTL_RETURN_NOT_OK(file->ReadAt(size - 12, 12, &tail));
+  const uint32_t crc = DecodeFixed32(tail.data());
+  const uint32_t footer_len = DecodeFixed32(tail.data() + 4);
+  const uint32_t magic = DecodeFixed32(tail.data() + 8);
+  if (magic != kOrcMagic) return Status::Corruption("bad ORC magic in " + path);
+  if (footer_len + 12 > size) return Status::Corruption("bad ORC footer length");
+
+  std::string footer_bytes;
+  DTL_RETURN_NOT_OK(file->ReadAt(size - 12 - footer_len, footer_len, &footer_bytes));
+  if (Crc32(footer_bytes.data(), footer_bytes.size()) != crc) {
+    return Status::Corruption("ORC footer checksum mismatch in " + path);
+  }
+  FileFooter footer;
+  DTL_RETURN_NOT_OK(FileFooter::DecodeFrom(Slice(footer_bytes), &footer));
+  return std::unique_ptr<OrcReader>(new OrcReader(std::move(file), std::move(footer)));
+}
+
+namespace {
+
+/// Expands a typed data stream plus presence bitmap into Values with nulls.
+template <typename T, typename MakeValue>
+Status Materialize(const std::vector<bool>& presence, const std::vector<T>& data,
+                   MakeValue make, std::vector<Value>* out) {
+  out->clear();
+  out->reserve(presence.size());
+  size_t data_index = 0;
+  for (bool present : presence) {
+    if (present) {
+      if (data_index >= data.size()) return Status::Corruption("presence/data mismatch");
+      out->push_back(make(data[data_index++]));
+    } else {
+      out->push_back(Value::Null());
+    }
+  }
+  if (data_index != data.size()) return Status::Corruption("presence/data mismatch");
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<StripeBatch> OrcReader::ReadStripe(size_t stripe_index,
+                                          std::vector<size_t> projection) const {
+  if (stripe_index >= footer_.stripes.size()) {
+    return Status::OutOfRange("stripe index out of range");
+  }
+  const StripeInfo& info = footer_.stripes[stripe_index];
+  const size_t num_cols = footer_.schema.num_fields();
+  if (projection.empty()) {
+    projection.resize(num_cols);
+    std::iota(projection.begin(), projection.end(), 0);
+  }
+
+  StripeBatch batch;
+  batch.first_row = info.first_row;
+  batch.num_rows = info.num_rows;
+  batch.projection = projection;
+  batch.columns.resize(projection.size());
+
+  // Precompute each column's stream offset within the stripe.
+  std::vector<uint64_t> col_offset(num_cols + 1, 0);
+  for (size_t c = 0; c < num_cols; ++c) {
+    col_offset[c + 1] =
+        col_offset[c] + info.streams[c].presence_length + info.streams[c].data_length;
+  }
+
+  for (size_t p = 0; p < projection.size(); ++p) {
+    const size_t col = projection[p];
+    if (col >= num_cols) return Status::OutOfRange("projection ordinal out of range");
+    const StreamInfo& streams = info.streams[col];
+    std::string raw;
+    DTL_RETURN_NOT_OK(file_->ReadAt(info.offset + col_offset[col],
+                                    streams.presence_length + streams.data_length, &raw));
+    Slice presence_slice(raw.data(), streams.presence_length);
+    Slice data_slice(raw.data() + streams.presence_length, streams.data_length);
+
+    std::vector<bool> presence;
+    DTL_RETURN_NOT_OK(DecodeBoolStream(presence_slice, &presence));
+    if (presence.size() != info.num_rows) {
+      return Status::Corruption("presence bitmap row-count mismatch");
+    }
+
+    std::vector<Value>* out = &batch.columns[p];
+    switch (footer_.schema.field(col).type) {
+      case DataType::kInt64:
+      case DataType::kDate: {
+        std::vector<int64_t> data;
+        DTL_RETURN_NOT_OK(DecodeInt64Stream(data_slice, &data));
+        DTL_RETURN_NOT_OK(
+            Materialize(presence, data, [](int64_t v) { return Value::Int64(v); }, out));
+        break;
+      }
+      case DataType::kDouble: {
+        std::vector<double> data;
+        DTL_RETURN_NOT_OK(DecodeDoubleStream(data_slice, &data));
+        DTL_RETURN_NOT_OK(
+            Materialize(presence, data, [](double v) { return Value::Double(v); }, out));
+        break;
+      }
+      case DataType::kString: {
+        std::vector<std::string> data;
+        DTL_RETURN_NOT_OK(DecodeStringStream(data_slice, &data));
+        DTL_RETURN_NOT_OK(Materialize(
+            presence, data, [](const std::string& v) { return Value::String(v); }, out));
+        break;
+      }
+      case DataType::kBool: {
+        std::vector<bool> data;
+        DTL_RETURN_NOT_OK(DecodeBoolStream(data_slice, &data));
+        DTL_RETURN_NOT_OK(
+            Materialize(presence, data, [](bool v) { return Value::Bool(v); }, out));
+        break;
+      }
+      case DataType::kNull:
+        return Status::Corruption("column with null type in footer");
+    }
+  }
+  return batch;
+}
+
+OrcRowIterator::OrcRowIterator(const OrcReader* reader, std::vector<size_t> projection)
+    : reader_(reader), projection_(std::move(projection)) {}
+
+bool OrcRowIterator::Next() {
+  if (!status_.ok()) return false;
+  while (true) {
+    if (!batch_loaded_) {
+      if (stripe_index_ >= reader_->num_stripes()) return false;
+      auto batch = reader_->ReadStripe(stripe_index_, projection_);
+      if (!batch.ok()) {
+        status_ = batch.status();
+        return false;
+      }
+      batch_ = std::move(batch).value();
+      batch_loaded_ = true;
+      index_in_stripe_ = 0;
+    }
+    if (index_in_stripe_ >= batch_.num_rows) {
+      batch_loaded_ = false;
+      ++stripe_index_;
+      continue;
+    }
+    row_number_ = batch_.first_row + index_in_stripe_;
+    row_ = batch_.GetRow(index_in_stripe_);
+    ++index_in_stripe_;
+    return true;
+  }
+}
+
+}  // namespace dtl::orc

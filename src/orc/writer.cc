@@ -1,0 +1,154 @@
+#include "orc/writer.h"
+
+#include "common/coding.h"
+#include "orc/encoding.h"
+
+namespace dtl::orc {
+
+Result<std::unique_ptr<OrcWriter>> OrcWriter::Create(fs::SimFileSystem* fs,
+                                                     const std::string& path,
+                                                     const Schema& schema, uint64_t file_id,
+                                                     WriterOptions options) {
+  if (schema.num_fields() == 0) {
+    return Status::InvalidArgument("ORC schema must have at least one column");
+  }
+  if (options.stripe_rows == 0) {
+    return Status::InvalidArgument("stripe_rows must be positive");
+  }
+  DTL_ASSIGN_OR_RETURN(auto file, fs->NewWritableFile(path));
+  return std::unique_ptr<OrcWriter>(
+      new OrcWriter(std::move(file), schema, file_id, options));
+}
+
+OrcWriter::OrcWriter(std::unique_ptr<fs::WritableFile> file, Schema schema,
+                     uint64_t file_id, WriterOptions options)
+    : file_(std::move(file)), schema_(std::move(schema)), options_(options) {
+  footer_.file_id = file_id;
+  footer_.schema = schema_;
+}
+
+Status OrcWriter::Append(const Row& row) {
+  if (closed_) return Status::IoError("append to closed ORC writer");
+  if (row.size() != schema_.num_fields()) {
+    return Status::InvalidArgument("row arity " + std::to_string(row.size()) +
+                                   " does not match schema arity " +
+                                   std::to_string(schema_.num_fields()));
+  }
+  pending_.push_back(row);
+  ++rows_written_;
+  if (pending_.size() >= options_.stripe_rows) return FlushStripe();
+  return Status::OK();
+}
+
+Status OrcWriter::FlushStripe() {
+  if (pending_.empty()) return Status::OK();
+  const size_t num_cols = schema_.num_fields();
+  const size_t num_rows = pending_.size();
+
+  StripeInfo stripe;
+  stripe.offset = file_offset_;
+  stripe.first_row = rows_written_ - num_rows;
+  stripe.num_rows = num_rows;
+  stripe.streams.resize(num_cols);
+  stripe.stats.resize(num_cols);
+
+  std::string stripe_bytes;
+  for (size_t col = 0; col < num_cols; ++col) {
+    std::vector<bool> presence;
+    presence.reserve(num_rows);
+    ColumnStats& stats = stripe.stats[col];
+
+    std::string presence_stream;
+    std::string data_stream;
+    const DataType type = schema_.field(col).type;
+
+    switch (type) {
+      case DataType::kInt64:
+      case DataType::kDate: {
+        std::vector<int64_t> data;
+        data.reserve(num_rows);
+        for (const Row& r : pending_) {
+          const Value& v = r[col];
+          stats.Update(v);
+          presence.push_back(!v.is_null());
+          if (!v.is_null()) data.push_back(v.AsInt64());
+        }
+        EncodeInt64Stream(data, &data_stream);
+        break;
+      }
+      case DataType::kDouble: {
+        std::vector<double> data;
+        data.reserve(num_rows);
+        for (const Row& r : pending_) {
+          const Value& v = r[col];
+          stats.Update(v);
+          presence.push_back(!v.is_null());
+          if (!v.is_null()) data.push_back(v.AsDouble());
+        }
+        EncodeDoubleStream(data, &data_stream);
+        break;
+      }
+      case DataType::kString: {
+        std::vector<std::string> data;
+        data.reserve(num_rows);
+        for (const Row& r : pending_) {
+          const Value& v = r[col];
+          stats.Update(v);
+          presence.push_back(!v.is_null());
+          if (!v.is_null()) data.push_back(v.AsString());
+        }
+        EncodeStringStream(data, &data_stream);
+        break;
+      }
+      case DataType::kBool: {
+        std::vector<bool> data;
+        data.reserve(num_rows);
+        for (const Row& r : pending_) {
+          const Value& v = r[col];
+          stats.Update(v);
+          presence.push_back(!v.is_null());
+          if (!v.is_null()) data.push_back(v.AsBool());
+        }
+        EncodeBoolStream(data, &data_stream);
+        break;
+      }
+      case DataType::kNull:
+        return Status::InvalidArgument("column " + schema_.field(col).name +
+                                       " has unsupported type null");
+    }
+
+    EncodeBoolStream(presence, &presence_stream);
+    stripe.streams[col].presence_length = presence_stream.size();
+    stripe.streams[col].data_length = data_stream.size();
+    stripe_bytes += presence_stream;
+    stripe_bytes += data_stream;
+  }
+
+  stripe.length = stripe_bytes.size();
+  DTL_RETURN_NOT_OK(file_->Append(stripe_bytes));
+  file_offset_ += stripe_bytes.size();
+  footer_.stripes.push_back(std::move(stripe));
+  pending_.clear();
+  return Status::OK();
+}
+
+Status OrcWriter::Close() {
+  if (closed_) return Status::OK();
+  DTL_RETURN_NOT_OK(FlushStripe());
+  footer_.num_rows = rows_written_;
+
+  std::string footer_bytes;
+  footer_.EncodeTo(&footer_bytes);
+
+  std::string tail;
+  PutFixed32(&tail, Crc32(footer_bytes.data(), footer_bytes.size()));
+  PutFixed32(&tail, static_cast<uint32_t>(footer_bytes.size()));
+  PutFixed32(&tail, kOrcMagic);
+
+  DTL_RETURN_NOT_OK(file_->Append(footer_bytes));
+  DTL_RETURN_NOT_OK(file_->Append(tail));
+  closed_ = true;
+  return file_->Close();
+}
+
+}  // namespace dtl::orc

@@ -1,0 +1,55 @@
+// Streaming writer for the ORC-like columnar file format.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/status.h"
+#include "fs/filesystem.h"
+#include "orc/orc_types.h"
+
+namespace dtl::orc {
+
+struct WriterOptions {
+  /// Rows buffered per stripe before encoding and flushing.
+  uint64_t stripe_rows = 64 * 1024;
+};
+
+/// Buffers rows column-wise, flushes encoded stripes, and finishes the file
+/// with a footer on Close. Not thread-safe; one writer per file.
+class OrcWriter {
+ public:
+  /// Creates a writer for `path`; `file_id` is the DualTable-wide unique ID
+  /// recorded in the footer (high bits of every record ID in this file).
+  static Result<std::unique_ptr<OrcWriter>> Create(fs::SimFileSystem* fs,
+                                                   const std::string& path,
+                                                   const Schema& schema, uint64_t file_id,
+                                                   WriterOptions options = WriterOptions());
+
+  /// Appends one row; must match the schema arity.
+  Status Append(const Row& row);
+
+  /// Flushes the pending stripe, writes the footer, and seals the file.
+  Status Close();
+
+  uint64_t rows_written() const { return rows_written_; }
+
+ private:
+  OrcWriter(std::unique_ptr<fs::WritableFile> file, Schema schema, uint64_t file_id,
+            WriterOptions options);
+
+  Status FlushStripe();
+
+  std::unique_ptr<fs::WritableFile> file_;
+  Schema schema_;
+  WriterOptions options_;
+  FileFooter footer_;
+  std::vector<Row> pending_;  // row-major buffer for the current stripe
+  uint64_t rows_written_ = 0;
+  uint64_t file_offset_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace dtl::orc

@@ -1,0 +1,115 @@
+#include "sql/ast.h"
+
+namespace dtl::sql {
+
+bool Expr::Equals(const Expr& other) const {
+  if (kind != other.kind) return false;
+  switch (kind) {
+    case Kind::kLiteral:
+      return literal.Compare(other.literal) == 0 &&
+             literal.is_null() == other.literal.is_null();
+    case Kind::kColumnRef:
+      return qualifier == other.qualifier && column == other.column;
+    case Kind::kBinary:
+    case Kind::kUnary:
+      if (op != other.op) return false;
+      break;
+    case Kind::kFuncCall:
+      if (func_name != other.func_name || star_arg != other.star_arg) return false;
+      break;
+    case Kind::kIsNull:
+    case Kind::kInList:
+      if (negated != other.negated) return false;
+      break;
+  }
+  if (args.size() != other.args.size()) return false;
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (!args[i]->Equals(*other.args[i])) return false;
+  }
+  return true;
+}
+
+ExprPtr Expr::Clone() const {
+  auto copy = std::make_unique<Expr>();
+  copy->kind = kind;
+  copy->literal = literal;
+  copy->qualifier = qualifier;
+  copy->column = column;
+  copy->op = op;
+  copy->func_name = func_name;
+  copy->star_arg = star_arg;
+  copy->negated = negated;
+  copy->args.reserve(args.size());
+  for (const auto& a : args) copy->args.push_back(a->Clone());
+  return copy;
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case Kind::kLiteral:
+      return literal.is_string() ? "'" + literal.ToString() + "'" : literal.ToString();
+    case Kind::kColumnRef:
+      return qualifier.empty() ? column : qualifier + "." + column;
+    case Kind::kBinary:
+      return "(" + args[0]->ToString() + " " + op + " " + args[1]->ToString() + ")";
+    case Kind::kUnary:
+      return "(" + op + " " + args[0]->ToString() + ")";
+    case Kind::kFuncCall: {
+      std::string out = func_name + "(";
+      if (star_arg) {
+        out += "*";
+      } else {
+        for (size_t i = 0; i < args.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += args[i]->ToString();
+        }
+      }
+      return out + ")";
+    }
+    case Kind::kIsNull:
+      return "(" + args[0]->ToString() + (negated ? " is not null)" : " is null)");
+    case Kind::kInList: {
+      std::string out = "(" + args[0]->ToString() + (negated ? " not in (" : " in (");
+      for (size_t i = 1; i < args.size(); ++i) {
+        if (i > 1) out += ", ";
+        out += args[i]->ToString();
+      }
+      return out + "))";
+    }
+  }
+  return "?";
+}
+
+ExprPtr MakeLiteral(Value v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr MakeColumnRef(std::string qualifier, std::string column) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::kColumnRef;
+  e->qualifier = std::move(qualifier);
+  e->column = std::move(column);
+  return e;
+}
+
+ExprPtr MakeBinary(std::string op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::kBinary;
+  e->op = std::move(op);
+  e->args.push_back(std::move(lhs));
+  e->args.push_back(std::move(rhs));
+  return e;
+}
+
+ExprPtr MakeUnary(std::string op, ExprPtr operand) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::kUnary;
+  e->op = std::move(op);
+  e->args.push_back(std::move(operand));
+  return e;
+}
+
+}  // namespace dtl::sql

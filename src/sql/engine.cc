@@ -1,0 +1,914 @@
+#include "sql/engine.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "baseline/acid_table.h"
+#include "dualtable/dual_table.h"
+#include "exec/operators.h"
+#include "table/csv.h"
+#include "sql/binder.h"
+#include "sql/parser.h"
+
+namespace dtl::sql {
+
+namespace {
+
+/// Recursively resolves every column ref in `expr` and records the flat
+/// ordinals; returns the first resolution error.
+Status CollectColumns(const Expr& expr, const Scope& scope, std::set<size_t>* out) {
+  if (expr.kind == Expr::Kind::kColumnRef) {
+    DTL_ASSIGN_OR_RETURN(size_t ordinal, scope.Resolve(expr.qualifier, expr.column));
+    out->insert(ordinal);
+    return Status::OK();
+  }
+  for (const auto& a : expr.args) DTL_RETURN_NOT_OK(CollectColumns(*a, scope, out));
+  return Status::OK();
+}
+
+/// Replaces column refs matching a SELECT alias with a clone of the aliased
+/// expression (HiveQL allows aliases in GROUP BY / HAVING / ORDER BY).
+ExprPtr SubstituteAliases(const Expr& expr, const std::vector<SelectItem>& items) {
+  if (expr.kind == Expr::Kind::kColumnRef && expr.qualifier.empty()) {
+    for (const SelectItem& item : items) {
+      if (!item.star && !item.alias.empty() && item.alias == expr.column) {
+        return item.expr->Clone();
+      }
+    }
+  }
+  ExprPtr copy = expr.Clone();
+  for (auto& a : copy->args) a = SubstituteAliases(*a, items);
+  return copy;
+}
+
+struct TableSlot {
+  std::string qualifier;
+  std::shared_ptr<table::StorageTable> storage;  // null for derived tables
+  std::shared_ptr<std::vector<Row>> derived_rows;  // FROM (SELECT ...) results
+  size_t offset = 0;  // first flat ordinal of this table
+  size_t width = 0;
+};
+
+/// Schema for a derived table: column names from the subquery's output,
+/// types inferred from the first non-null value per column.
+Schema DeriveSchema(const QueryResult& result) {
+  std::vector<Field> fields;
+  for (size_t c = 0; c < result.column_names.size(); ++c) {
+    DataType type = DataType::kString;
+    for (const Row& row : result.rows) {
+      if (c >= row.size() || row[c].is_null()) continue;
+      if (row[c].is_int64()) type = DataType::kInt64;
+      else if (row[c].is_double()) type = DataType::kDouble;
+      else if (row[c].is_bool()) type = DataType::kBool;
+      else type = DataType::kString;
+      break;
+    }
+    fields.push_back(Field{result.column_names[c], type});
+  }
+  return Schema(std::move(fields));
+}
+
+/// Index of the table a flat ordinal belongs to.
+size_t TableOf(const std::vector<TableSlot>& slots, size_t ordinal) {
+  for (size_t i = 0; i < slots.size(); ++i) {
+    if (ordinal >= slots[i].offset && ordinal < slots[i].offset + slots[i].width) return i;
+  }
+  return slots.size();
+}
+
+}  // namespace
+
+Result<Value> CoerceValue(const Value& v, DataType type, const std::string& column) {
+  if (v.is_null()) return v;
+  switch (type) {
+    case DataType::kInt64:
+    case DataType::kDate:
+      if (v.is_int64()) return v;
+      if (v.is_double()) return Value::Int64(static_cast<int64_t>(v.AsDouble()));
+      break;
+    case DataType::kDouble: {
+      auto n = v.ToNumeric();
+      if (n.ok()) return Value::Double(*n);
+      break;
+    }
+    case DataType::kString:
+      if (v.is_string()) return v;
+      return Value::String(v.ToString());
+    case DataType::kBool:
+      if (v.is_bool()) return v;
+      break;
+    case DataType::kNull:
+      break;
+  }
+  return Status::InvalidArgument("cannot store " + v.ToString() + " into column " +
+                                 column + " of type " + DataTypeName(type));
+}
+
+std::string QueryResult::ToString(size_t max_rows) const {
+  std::string out;
+  for (size_t i = 0; i < column_names.size(); ++i) {
+    if (i > 0) out += "\t";
+    out += column_names[i];
+  }
+  if (!column_names.empty()) out += "\n";
+  for (size_t r = 0; r < rows.size() && r < max_rows; ++r) {
+    out += RowToString(rows[r]);
+    out += "\n";
+  }
+  if (rows.size() > max_rows) {
+    out += "... (" + std::to_string(rows.size()) + " rows total)\n";
+  }
+  if (!message.empty()) {
+    out += message;
+    out += "\n";
+  }
+  return out;
+}
+
+Result<QueryResult> Engine::Execute(const std::string& sql) {
+  DTL_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+  return ExecuteStatement(stmt);
+}
+
+Result<QueryResult> Engine::ExecuteStatement(const Statement& stmt) {
+  if (const auto* s = std::get_if<SelectStmt>(&stmt)) return ExecuteSelect(*s);
+  if (const auto* s = std::get_if<CreateTableStmt>(&stmt)) return ExecuteCreate(*s);
+  if (const auto* s = std::get_if<DropTableStmt>(&stmt)) return ExecuteDrop(*s);
+  if (const auto* s = std::get_if<InsertStmt>(&stmt)) return ExecuteInsert(*s);
+  if (const auto* s = std::get_if<UpdateStmt>(&stmt)) return ExecuteUpdate(*s);
+  if (const auto* s = std::get_if<DeleteStmt>(&stmt)) return ExecuteDelete(*s);
+  if (const auto* s = std::get_if<CompactStmt>(&stmt)) return ExecuteCompact(*s);
+  if (std::get_if<ShowTablesStmt>(&stmt)) return ExecuteShowTables();
+  if (const auto* s = std::get_if<MergeStmt>(&stmt)) return ExecuteMerge(*s);
+  if (const auto* s = std::get_if<LoadStmt>(&stmt)) return ExecuteLoad(*s);
+  if (const auto* s = std::get_if<ExplainStmt>(&stmt)) return ExecuteExplain(*s);
+  return Status::Internal("unhandled statement kind");
+}
+
+Result<QueryResult> Engine::ExecuteSelect(const SelectStmt& stmt) {
+  // ---- resolve tables and build the flat scope ----
+  std::vector<TableSlot> slots;
+  Scope scope;
+  auto add_table = [&](const TableRef& ref) -> Status {
+    TableSlot slot;
+    slot.qualifier = ref.EffectiveName();
+    slot.offset = scope.num_columns();
+    if (ref.subquery != nullptr) {
+      DTL_ASSIGN_OR_RETURN(QueryResult sub, ExecuteSelect(*ref.subquery));
+      Schema schema = DeriveSchema(sub);
+      slot.derived_rows = std::make_shared<std::vector<Row>>(std::move(sub.rows));
+      slot.width = schema.num_fields();
+      scope.AddTable(slot.qualifier, schema);
+    } else {
+      DTL_ASSIGN_OR_RETURN(auto entry, catalog_->Lookup(ref.table));
+      slot.storage = entry.table;
+      slot.width = entry.table->schema().num_fields();
+      scope.AddTable(slot.qualifier, entry.table->schema());
+    }
+    slots.push_back(std::move(slot));
+    return Status::OK();
+  };
+  DTL_RETURN_NOT_OK(add_table(stmt.from));
+  for (const JoinClause& join : stmt.joins) DTL_RETURN_NOT_OK(add_table(join.table));
+
+  // ---- normalize aliased expressions ----
+  ExprPtr where = stmt.where ? SubstituteAliases(*stmt.where, stmt.items) : nullptr;
+  ExprPtr having = stmt.having ? SubstituteAliases(*stmt.having, stmt.items) : nullptr;
+  std::vector<ExprPtr> group_by;
+  for (const auto& g : stmt.group_by) group_by.push_back(SubstituteAliases(*g, stmt.items));
+  std::vector<ExprPtr> order_exprs;
+  for (const auto& o : stmt.order_by) {
+    order_exprs.push_back(SubstituteAliases(*o.expr, stmt.items));
+  }
+
+  // ---- expand stars and collect referenced columns ----
+  std::vector<const Expr*> select_exprs;
+  std::vector<std::string> column_names;
+  std::vector<ExprPtr> star_storage;
+  for (const SelectItem& item : stmt.items) {
+    if (item.star) {
+      for (size_t i = 0; i < scope.num_columns(); ++i) {
+        star_storage.push_back(
+            MakeColumnRef(scope.column(i).qualifier, scope.column(i).name));
+        select_exprs.push_back(star_storage.back().get());
+        column_names.push_back(scope.column(i).name);
+      }
+      continue;
+    }
+    select_exprs.push_back(item.expr.get());
+    if (!item.alias.empty()) {
+      column_names.push_back(item.alias);
+    } else if (item.expr->kind == Expr::Kind::kColumnRef) {
+      column_names.push_back(item.expr->column);
+    } else {
+      column_names.push_back(item.expr->ToString());
+    }
+  }
+
+  std::set<size_t> needed;
+  for (const Expr* e : select_exprs) DTL_RETURN_NOT_OK(CollectColumns(*e, scope, &needed));
+  if (where) DTL_RETURN_NOT_OK(CollectColumns(*where, scope, &needed));
+  if (having) DTL_RETURN_NOT_OK(CollectColumns(*having, scope, &needed));
+  for (const auto& g : group_by) DTL_RETURN_NOT_OK(CollectColumns(*g, scope, &needed));
+  for (const auto& o : order_exprs) DTL_RETURN_NOT_OK(CollectColumns(*o, scope, &needed));
+  for (const JoinClause& join : stmt.joins) {
+    DTL_RETURN_NOT_OK(CollectColumns(*join.on, scope, &needed));
+  }
+
+  // ---- classify WHERE conjuncts for pushdown ----
+  std::vector<const Expr*> conjuncts;
+  if (where) SplitConjuncts(*where, &conjuncts);
+  std::vector<std::vector<const Expr*>> pushed(slots.size());
+  std::vector<const Expr*> residual;
+  for (const Expr* c : conjuncts) {
+    if (ContainsAggregate(*c)) {
+      return Status::InvalidArgument("aggregates are not allowed in WHERE");
+    }
+    std::set<size_t> cols;
+    DTL_RETURN_NOT_OK(CollectColumns(*c, scope, &cols));
+    std::set<size_t> tables;
+    for (size_t ord : cols) tables.insert(TableOf(slots, ord));
+    bool pushable = tables.size() <= 1;
+    size_t target = tables.empty() ? 0 : *tables.begin();
+    // Pushing below the NULL-producing side of a LEFT OUTER JOIN would
+    // change semantics; keep those conjuncts above the join.
+    if (pushable && target > 0 && stmt.joins[target - 1].left_outer) pushable = false;
+    if (pushable) {
+      pushed[target].push_back(c);
+    } else {
+      residual.push_back(c);
+    }
+  }
+
+  // ---- per-table scans ----
+  auto local_scope = [&](const TableSlot& slot) {
+    Scope local;
+    if (slot.storage != nullptr) {
+      local.AddTable(slot.qualifier, slot.storage->schema());
+    } else {
+      std::vector<Field> fields;
+      for (size_t i = slot.offset; i < slot.offset + slot.width; ++i) {
+        fields.push_back(Field{scope.column(i).name, scope.column(i).type});
+      }
+      local.AddTable(slot.qualifier, Schema(std::move(fields)));
+    }
+    return local;
+  };
+
+  auto build_scan = [&](size_t slot_index) -> Result<std::unique_ptr<exec::Operator>> {
+    const TableSlot& slot = slots[slot_index];
+    // Rebind pushed conjuncts against a single-table scope.
+    Scope local = local_scope(slot);
+    if (slot.storage == nullptr) {
+      // Derived table: materialized rows, filtered in memory.
+      std::unique_ptr<exec::Operator> op =
+          std::make_unique<exec::RowsOperator>(*slot.derived_rows);
+      if (!pushed[slot_index].empty()) {
+        std::vector<exec::ValueFn> fns;
+        for (const Expr* c : pushed[slot_index]) {
+          DTL_ASSIGN_OR_RETURN(BoundExpr bound, BindScalar(*c, local));
+          fns.push_back(std::move(bound.fn));
+        }
+        op = std::make_unique<exec::FilterOperator>(std::move(op),
+                                                    [fns](const Row& row) {
+                                                      for (const auto& fn : fns) {
+                                                        if (!ValueIsTrue(fn(row))) return false;
+                                                      }
+                                                      return true;
+                                                    });
+      }
+      return op;
+    }
+    table::ScanSpec spec;
+    for (size_t ord : needed) {
+      if (TableOf(slots, ord) == slot_index) spec.projection.push_back(ord - slot.offset);
+    }
+    if (spec.projection.empty()) spec.projection.push_back(0);
+    if (!pushed[slot_index].empty()) {
+      // AND together the pushed conjuncts.
+      std::vector<exec::ValueFn> fns;
+      std::set<size_t> pred_cols;
+      for (const Expr* c : pushed[slot_index]) {
+        DTL_ASSIGN_OR_RETURN(BoundExpr bound, BindScalar(*c, local));
+        fns.push_back(std::move(bound.fn));
+        pred_cols.insert(bound.columns.begin(), bound.columns.end());
+      }
+      spec.predicate = [fns](const Row& row) {
+        for (const auto& fn : fns) {
+          if (!ValueIsTrue(fn(row))) return false;
+        }
+        return true;
+      };
+      spec.predicate_columns.assign(pred_cols.begin(), pred_cols.end());
+      spec.bounds = ExtractBounds(pushed[slot_index], local);
+    }
+    DTL_ASSIGN_OR_RETURN(auto it, slot.storage->Scan(spec));
+    return std::unique_ptr<exec::Operator>(new exec::ScanOperator(std::move(it)));
+  };
+
+  // ---- join tree (left-deep; probe = accumulated left, build = new table) ----
+  DTL_ASSIGN_OR_RETURN(std::unique_ptr<exec::Operator> plan, build_scan(0));
+  for (size_t j = 0; j < stmt.joins.size(); ++j) {
+    const JoinClause& join = stmt.joins[j];
+    const TableSlot& right = slots[j + 1];
+    // Split the ON condition into equi pairs (left vs right) + residual.
+    std::vector<const Expr*> on_terms;
+    SplitConjuncts(*join.on, &on_terms);
+    std::vector<exec::ValueFn> probe_keys;
+    std::vector<exec::ValueFn> build_keys;
+    std::vector<const Expr*> on_residual;
+    Scope right_scope = local_scope(right);
+    for (const Expr* term : on_terms) {
+      bool handled = false;
+      if (term->kind == Expr::Kind::kBinary && term->op == "=") {
+        const Expr* a = term->args[0].get();
+        const Expr* b = term->args[1].get();
+        std::set<size_t> ca, cb;
+        Status sa = CollectColumns(*a, scope, &ca);
+        Status sb = CollectColumns(*b, scope, &cb);
+        if (sa.ok() && sb.ok() && !ca.empty() && !cb.empty()) {
+          auto side = [&](const std::set<size_t>& cols) {
+            bool all_right = true, all_left = true;
+            for (size_t ord : cols) {
+              if (TableOf(slots, ord) == j + 1) {
+                all_left = false;
+              } else if (TableOf(slots, ord) <= j) {
+                all_right = false;
+              }
+            }
+            return all_right ? 1 : (all_left ? 0 : -1);
+          };
+          int side_a = side(ca), side_b = side(cb);
+          if (side_a == 0 && side_b == 1) {
+            DTL_ASSIGN_OR_RETURN(BoundExpr pk, BindScalar(*a, scope));
+            DTL_ASSIGN_OR_RETURN(BoundExpr bk, BindScalar(*b, right_scope));
+            probe_keys.push_back(std::move(pk.fn));
+            build_keys.push_back(std::move(bk.fn));
+            handled = true;
+          } else if (side_a == 1 && side_b == 0) {
+            DTL_ASSIGN_OR_RETURN(BoundExpr pk, BindScalar(*b, scope));
+            DTL_ASSIGN_OR_RETURN(BoundExpr bk, BindScalar(*a, right_scope));
+            probe_keys.push_back(std::move(pk.fn));
+            build_keys.push_back(std::move(bk.fn));
+            handled = true;
+          }
+        }
+      }
+      if (!handled) on_residual.push_back(term);
+    }
+    if (probe_keys.empty()) {
+      return Status::NotSupported("JOIN requires at least one equi condition in ON");
+    }
+    if (join.left_outer && !on_residual.empty()) {
+      return Status::NotSupported("LEFT OUTER JOIN supports only equi ON conditions");
+    }
+    DTL_ASSIGN_OR_RETURN(std::unique_ptr<exec::Operator> build_op, build_scan(j + 1));
+    plan = std::make_unique<exec::HashJoinOperator>(
+        std::move(plan), std::move(build_op), std::move(probe_keys),
+        std::move(build_keys), right.width,
+        join.left_outer ? exec::HashJoinOperator::Kind::kLeftOuter
+                        : exec::HashJoinOperator::Kind::kInner);
+    // Residual ON terms of an inner join become a post-join filter.
+    if (!on_residual.empty()) {
+      std::vector<exec::ValueFn> fns;
+      for (const Expr* term : on_residual) {
+        DTL_ASSIGN_OR_RETURN(BoundExpr bound, BindScalar(*term, scope));
+        fns.push_back(std::move(bound.fn));
+      }
+      plan = std::make_unique<exec::FilterOperator>(
+          std::move(plan), [fns](const Row& row) {
+            for (const auto& fn : fns) {
+              if (!ValueIsTrue(fn(row))) return false;
+            }
+            return true;
+          });
+    }
+  }
+
+  // ---- residual WHERE ----
+  if (!residual.empty()) {
+    std::vector<exec::ValueFn> fns;
+    for (const Expr* c : residual) {
+      DTL_ASSIGN_OR_RETURN(BoundExpr bound, BindScalar(*c, scope));
+      fns.push_back(std::move(bound.fn));
+    }
+    plan = std::make_unique<exec::FilterOperator>(std::move(plan), [fns](const Row& row) {
+      for (const auto& fn : fns) {
+        if (!ValueIsTrue(fn(row))) return false;
+      }
+      return true;
+    });
+  }
+
+  // ---- aggregation / projection ----
+  bool has_aggregate = having != nullptr;
+  for (const Expr* e : select_exprs) has_aggregate |= ContainsAggregate(*e);
+  for (const auto& o : order_exprs) has_aggregate |= ContainsAggregate(*o);
+  has_aggregate |= !group_by.empty();
+
+  std::vector<exec::ValueFn> output_fns;
+  if (has_aggregate) {
+    std::vector<const Expr*> group_ptrs;
+    for (const auto& g : group_by) group_ptrs.push_back(g.get());
+    std::vector<const Expr*> agg_ptrs;
+    for (const Expr* e : select_exprs) CollectAggregates(*e, &agg_ptrs);
+    if (having) CollectAggregates(*having, &agg_ptrs);
+    for (const auto& o : order_exprs) CollectAggregates(*o, &agg_ptrs);
+
+    std::vector<exec::ValueFn> key_fns;
+    for (const Expr* g : group_ptrs) {
+      DTL_ASSIGN_OR_RETURN(BoundExpr bound, BindScalar(*g, scope));
+      key_fns.push_back(std::move(bound.fn));
+    }
+    std::vector<exec::AggSpec> agg_specs;
+    for (const Expr* a : agg_ptrs) {
+      DTL_ASSIGN_OR_RETURN(exec::AggSpec spec, BindAggregateCall(*a, scope));
+      agg_specs.push_back(std::move(spec));
+    }
+    plan = std::make_unique<exec::HashAggregateOperator>(std::move(plan),
+                                                         std::move(key_fns),
+                                                         std::move(agg_specs));
+    if (having) {
+      DTL_ASSIGN_OR_RETURN(exec::ValueFn fn,
+                           BindPostAggregate(*having, group_ptrs, agg_ptrs, scope));
+      plan = std::make_unique<exec::FilterOperator>(std::move(plan), MakePredicate(fn));
+    }
+    if (!order_exprs.empty()) {
+      std::vector<exec::ValueFn> sort_keys;
+      std::vector<bool> ascending;
+      for (size_t i = 0; i < order_exprs.size(); ++i) {
+        DTL_ASSIGN_OR_RETURN(
+            exec::ValueFn fn,
+            BindPostAggregate(*order_exprs[i], group_ptrs, agg_ptrs, scope));
+        sort_keys.push_back(std::move(fn));
+        ascending.push_back(stmt.order_by[i].ascending);
+      }
+      plan = std::make_unique<exec::SortOperator>(std::move(plan), std::move(sort_keys),
+                                                  std::move(ascending));
+    }
+    for (const Expr* e : select_exprs) {
+      DTL_ASSIGN_OR_RETURN(exec::ValueFn fn,
+                           BindPostAggregate(*e, group_ptrs, agg_ptrs, scope));
+      output_fns.push_back(std::move(fn));
+    }
+  } else {
+    if (!order_exprs.empty()) {
+      std::vector<exec::ValueFn> sort_keys;
+      std::vector<bool> ascending;
+      for (size_t i = 0; i < order_exprs.size(); ++i) {
+        DTL_ASSIGN_OR_RETURN(BoundExpr bound, BindScalar(*order_exprs[i], scope));
+        sort_keys.push_back(std::move(bound.fn));
+        ascending.push_back(stmt.order_by[i].ascending);
+      }
+      plan = std::make_unique<exec::SortOperator>(std::move(plan), std::move(sort_keys),
+                                                  std::move(ascending));
+    }
+    for (const Expr* e : select_exprs) {
+      DTL_ASSIGN_OR_RETURN(BoundExpr bound, BindScalar(*e, scope));
+      output_fns.push_back(std::move(bound.fn));
+    }
+  }
+  plan = std::make_unique<exec::ProjectOperator>(std::move(plan), std::move(output_fns));
+  if (stmt.limit.has_value()) {
+    plan = std::make_unique<exec::LimitOperator>(std::move(plan), *stmt.limit);
+  }
+
+  QueryResult result;
+  result.column_names = std::move(column_names);
+  DTL_ASSIGN_OR_RETURN(result.rows, exec::Collect(plan.get()));
+  return result;
+}
+
+Result<QueryResult> Engine::ExecuteCreate(const CreateTableStmt& stmt) {
+  if (catalog_->Contains(stmt.table)) {
+    if (stmt.if_not_exists) {
+      QueryResult result;
+      result.message = "table " + stmt.table + " already exists (skipped)";
+      return result;
+    }
+    return Status::AlreadyExists("table already exists: " + stmt.table);
+  }
+  std::vector<Field> fields;
+  for (const ColumnDef& def : stmt.columns) {
+    DTL_ASSIGN_OR_RETURN(DataType type, ParseDataType(def.type_name));
+    fields.push_back(Field{def.name, type});
+  }
+  Schema schema(std::move(fields));
+  table::TableKind kind = table::TableKind::kDual;
+  if (!stmt.stored_as.empty()) {
+    DTL_ASSIGN_OR_RETURN(kind, table::ParseTableKind(stmt.stored_as));
+  }
+  DTL_ASSIGN_OR_RETURN(auto storage, factory_(stmt.table, kind, schema));
+  DTL_RETURN_NOT_OK(catalog_->Register(stmt.table, kind, std::move(storage)));
+  QueryResult result;
+  result.message = "created " + std::string(table::TableKindName(kind)) + " table " +
+                   stmt.table + " (" + schema.ToString() + ")";
+  return result;
+}
+
+Result<QueryResult> Engine::ExecuteDrop(const DropTableStmt& stmt) {
+  auto entry = catalog_->Lookup(stmt.table);
+  if (!entry.ok()) {
+    if (stmt.if_exists && entry.status().IsNotFound()) {
+      QueryResult result;
+      result.message = "table " + stmt.table + " does not exist (skipped)";
+      return result;
+    }
+    return entry.status();
+  }
+  DTL_RETURN_NOT_OK(entry->table->Drop());
+  DTL_RETURN_NOT_OK(catalog_->Unregister(stmt.table));
+  QueryResult result;
+  result.message = "dropped table " + stmt.table;
+  return result;
+}
+
+Result<QueryResult> Engine::ExecuteInsert(const InsertStmt& stmt) {
+  DTL_ASSIGN_OR_RETURN(auto entry, catalog_->Lookup(stmt.table));
+  const Schema& schema = entry.table->schema();
+  std::vector<Row> rows;
+
+  if (stmt.select != nullptr) {
+    // INSERT [OVERWRITE] ... SELECT: the paper's Listing-2 idiom.
+    DTL_ASSIGN_OR_RETURN(QueryResult sub, ExecuteSelect(*stmt.select));
+    rows.reserve(sub.rows.size());
+    for (Row& in : sub.rows) {
+      if (in.size() != schema.num_fields()) {
+        return Status::InvalidArgument("INSERT SELECT arity mismatch: expected " +
+                                       std::to_string(schema.num_fields()) + " columns");
+      }
+      Row row;
+      row.reserve(in.size());
+      for (size_t i = 0; i < in.size(); ++i) {
+        DTL_ASSIGN_OR_RETURN(
+            Value v, CoerceValue(in[i], schema.field(i).type, schema.field(i).name));
+        row.push_back(std::move(v));
+      }
+      rows.push_back(std::move(row));
+    }
+  } else {
+    Scope empty_scope;
+    Row dummy;
+    rows.reserve(stmt.rows.size());
+    for (const auto& tuple : stmt.rows) {
+      if (tuple.size() != schema.num_fields()) {
+        return Status::InvalidArgument("INSERT arity mismatch: expected " +
+                                       std::to_string(schema.num_fields()) + " values");
+      }
+      Row row;
+      row.reserve(tuple.size());
+      for (size_t i = 0; i < tuple.size(); ++i) {
+        DTL_ASSIGN_OR_RETURN(BoundExpr bound, BindScalar(*tuple[i], empty_scope));
+        DTL_ASSIGN_OR_RETURN(Value v, CoerceValue(bound.fn(dummy), schema.field(i).type,
+                                                  schema.field(i).name));
+        row.push_back(std::move(v));
+      }
+      rows.push_back(std::move(row));
+    }
+  }
+
+  if (stmt.overwrite) {
+    DTL_RETURN_NOT_OK(entry.table->OverwriteRows(rows));
+  } else {
+    DTL_RETURN_NOT_OK(entry.table->InsertRows(rows));
+  }
+  QueryResult result;
+  result.affected_rows = rows.size();
+  result.message = std::string(stmt.overwrite ? "overwrote table with " : "inserted ") +
+                   std::to_string(rows.size()) + " rows";
+  return result;
+}
+
+Result<QueryResult> Engine::ExecuteUpdate(const UpdateStmt& stmt) {
+  DTL_ASSIGN_OR_RETURN(auto entry, catalog_->Lookup(stmt.table));
+  const Schema& schema = entry.table->schema();
+  Scope scope;
+  scope.AddTable(stmt.alias.empty() ? stmt.table : stmt.alias, schema);
+
+  table::ScanSpec filter;
+  if (stmt.where) {
+    DTL_ASSIGN_OR_RETURN(BoundExpr bound, BindScalar(*stmt.where, scope));
+    filter.predicate = MakePredicate(bound.fn);
+    filter.predicate_columns = bound.columns;
+    std::vector<const Expr*> conjuncts;
+    SplitConjuncts(*stmt.where, &conjuncts);
+    filter.bounds = ExtractBounds(conjuncts, scope);
+  }
+
+  std::vector<table::Assignment> assignments;
+  for (const auto& [column, expr] : stmt.assignments) {
+    auto ordinal = schema.IndexOf(column);
+    if (!ordinal.has_value()) {
+      return Status::NotFound("unknown column in SET: " + column);
+    }
+    DTL_ASSIGN_OR_RETURN(BoundExpr bound, BindScalar(*expr, scope));
+    table::Assignment a;
+    a.column = *ordinal;
+    const DataType type = schema.field(*ordinal).type;
+    const std::string name = schema.field(*ordinal).name;
+    auto fn = bound.fn;
+    a.compute = [fn, type, name](const Row& row) {
+      auto coerced = CoerceValue(fn(row), type, name);
+      return coerced.ok() ? *coerced : Value::Null();
+    };
+    a.input_columns = bound.columns;
+    assignments.push_back(std::move(a));
+  }
+
+  Result<table::DmlResult> dml = Status::Internal("unset");
+  if (entry.kind == table::TableKind::kDual) {
+    auto* dual = dynamic_cast<dual::DualTable*>(entry.table.get());
+    dml = dual->UpdateWithHint(filter, assignments, stmt.ratio_hint);
+  } else {
+    dml = entry.table->Update(filter, assignments);
+  }
+  DTL_RETURN_NOT_OK(dml.status());
+  QueryResult result;
+  result.affected_rows = dml->rows_matched;
+  result.dml_plan = table::DmlPlanName(dml->plan);
+  result.message = "updated " + std::to_string(dml->rows_matched) + " rows via " +
+                   result.dml_plan + " plan";
+  return result;
+}
+
+Result<QueryResult> Engine::ExecuteDelete(const DeleteStmt& stmt) {
+  DTL_ASSIGN_OR_RETURN(auto entry, catalog_->Lookup(stmt.table));
+  Scope scope;
+  scope.AddTable(stmt.table, entry.table->schema());
+
+  table::ScanSpec filter;
+  if (stmt.where) {
+    DTL_ASSIGN_OR_RETURN(BoundExpr bound, BindScalar(*stmt.where, scope));
+    filter.predicate = MakePredicate(bound.fn);
+    filter.predicate_columns = bound.columns;
+    std::vector<const Expr*> conjuncts;
+    SplitConjuncts(*stmt.where, &conjuncts);
+    filter.bounds = ExtractBounds(conjuncts, scope);
+  }
+
+  Result<table::DmlResult> dml = Status::Internal("unset");
+  if (entry.kind == table::TableKind::kDual) {
+    auto* dual = dynamic_cast<dual::DualTable*>(entry.table.get());
+    dml = dual->DeleteWithHint(filter, stmt.ratio_hint);
+  } else {
+    dml = entry.table->Delete(filter);
+  }
+  DTL_RETURN_NOT_OK(dml.status());
+  QueryResult result;
+  result.affected_rows = dml->rows_matched;
+  result.dml_plan = table::DmlPlanName(dml->plan);
+  result.message = "deleted " + std::to_string(dml->rows_matched) + " rows via " +
+                   result.dml_plan + " plan";
+  return result;
+}
+
+Result<QueryResult> Engine::ExecuteCompact(const CompactStmt& stmt) {
+  DTL_ASSIGN_OR_RETURN(auto entry, catalog_->Lookup(stmt.table));
+  if (entry.kind == table::TableKind::kDual) {
+    auto* dual = dynamic_cast<dual::DualTable*>(entry.table.get());
+    DTL_RETURN_NOT_OK(dual->Compact());
+  } else if (entry.kind == table::TableKind::kAcid) {
+    auto* acid = dynamic_cast<baseline::AcidTable*>(entry.table.get());
+    DTL_RETURN_NOT_OK(acid->MajorCompact());
+  } else {
+    return Status::NotSupported("COMPACT supports dualtable and acid tables only");
+  }
+  QueryResult result;
+  result.message = "compacted table " + stmt.table;
+  return result;
+}
+
+namespace {
+
+struct RowKeyHash {
+  size_t operator()(const Row& key) const {
+    size_t h = 0;
+    for (const Value& v : key) h = h * 1315423911u + v.HashCode();
+    return h;
+  }
+};
+struct RowKeyEq {
+  bool operator()(const Row& a, const Row& b) const {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (a[i].Compare(b[i]) != 0) return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+Result<QueryResult> Engine::ExecuteMerge(const MergeStmt& stmt) {
+  DTL_ASSIGN_OR_RETURN(auto entry, catalog_->Lookup(stmt.table));
+  const Schema& schema = entry.table->schema();
+
+  // Resolve key ordinals.
+  std::vector<size_t> key_ordinals;
+  for (const std::string& name : stmt.key_columns) {
+    auto ordinal = schema.IndexOf(name);
+    if (!ordinal.has_value()) return Status::NotFound("unknown key column: " + name);
+    key_ordinals.push_back(*ordinal);
+  }
+
+  // Evaluate source tuples and index them by key.
+  Scope empty_scope;
+  Row dummy;
+  auto source = std::make_shared<std::unordered_map<Row, Row, RowKeyHash, RowKeyEq>>();
+  for (const auto& tuple : stmt.rows) {
+    if (tuple.size() != schema.num_fields()) {
+      return Status::InvalidArgument("MERGE tuple arity mismatch: expected " +
+                                     std::to_string(schema.num_fields()) + " values");
+    }
+    Row row;
+    row.reserve(tuple.size());
+    for (size_t i = 0; i < tuple.size(); ++i) {
+      DTL_ASSIGN_OR_RETURN(BoundExpr bound, BindScalar(*tuple[i], empty_scope));
+      DTL_ASSIGN_OR_RETURN(Value v, CoerceValue(bound.fn(dummy), schema.field(i).type,
+                                                schema.field(i).name));
+      row.push_back(std::move(v));
+    }
+    Row key;
+    for (size_t ord : key_ordinals) key.push_back(row[ord]);
+    (*source)[std::move(key)] = std::move(row);
+  }
+
+  // Pass 1: which source keys already exist in the table?
+  auto matched = std::make_shared<std::unordered_map<Row, Row, RowKeyHash, RowKeyEq>>();
+  {
+    table::ScanSpec probe;
+    probe.projection = key_ordinals;
+    probe.predicate_columns = key_ordinals;
+    auto key_ords = key_ordinals;
+    probe.predicate = [source, key_ords](const Row& row) {
+      Row key;
+      key.reserve(key_ords.size());
+      for (size_t ord : key_ords) key.push_back(row[ord]);
+      return source->count(key) > 0;
+    };
+    DTL_ASSIGN_OR_RETURN(auto it, entry.table->Scan(probe));
+    while (it->Next()) {
+      Row key;
+      for (size_t ord : key_ordinals) key.push_back(it->row()[ord]);
+      (*matched)[std::move(key)] = Row{};
+    }
+    DTL_RETURN_NOT_OK(it->status());
+  }
+
+  QueryResult result;
+  // Pass 2: update matched rows to the source values of their key.
+  if (!matched->empty()) {
+    table::ScanSpec filter;
+    filter.predicate_columns = key_ordinals;
+    auto key_ords = key_ordinals;
+    filter.predicate = [matched, key_ords](const Row& row) {
+      Row key;
+      key.reserve(key_ords.size());
+      for (size_t ord : key_ords) key.push_back(row[ord]);
+      return matched->count(key) > 0;
+    };
+    std::vector<table::Assignment> assignments;
+    for (size_t c = 0; c < schema.num_fields(); ++c) {
+      bool is_key = false;
+      for (size_t ord : key_ordinals) is_key |= ord == c;
+      if (is_key) continue;
+      table::Assignment a;
+      a.column = c;
+      a.input_columns = key_ordinals;
+      a.compute = [source, key_ords, c](const Row& row) {
+        Row key;
+        key.reserve(key_ords.size());
+        for (size_t ord : key_ords) key.push_back(row[ord]);
+        auto it = source->find(key);
+        return it == source->end() ? Value::Null() : it->second[c];
+      };
+      assignments.push_back(std::move(a));
+    }
+    Result<table::DmlResult> dml = Status::Internal("unset");
+    if (entry.kind == table::TableKind::kDual) {
+      auto* dual = dynamic_cast<dual::DualTable*>(entry.table.get());
+      dml = dual->UpdateWithHint(filter, assignments, stmt.ratio_hint);
+    } else {
+      dml = entry.table->Update(filter, assignments);
+    }
+    DTL_RETURN_NOT_OK(dml.status());
+    result.affected_rows += dml->rows_matched;
+    result.dml_plan = table::DmlPlanName(dml->plan);
+  }
+
+  // Pass 3: insert the source tuples whose keys did not match.
+  std::vector<Row> inserts;
+  for (const auto& [key, row] : *source) {
+    if (matched->count(key) == 0) inserts.push_back(row);
+  }
+  if (!inserts.empty()) {
+    DTL_RETURN_NOT_OK(entry.table->InsertRows(inserts));
+    result.affected_rows += inserts.size();
+  }
+  result.message = "merged: " + std::to_string(matched->size()) + " updated, " +
+                   std::to_string(inserts.size()) + " inserted";
+  return result;
+}
+
+Result<QueryResult> Engine::ExecuteLoad(const LoadStmt& stmt) {
+  if (fs_ == nullptr) {
+    return Status::NotSupported("LOAD DATA requires a file system");
+  }
+  DTL_ASSIGN_OR_RETURN(auto entry, catalog_->Lookup(stmt.table));
+  DTL_ASSIGN_OR_RETURN(auto rows,
+                       table::ReadCsvFile(fs_, stmt.path, entry.table->schema()));
+  if (stmt.overwrite) {
+    DTL_RETURN_NOT_OK(entry.table->OverwriteRows(rows));
+  } else {
+    DTL_RETURN_NOT_OK(entry.table->InsertRows(rows));
+  }
+  QueryResult result;
+  result.affected_rows = rows.size();
+  result.message = "loaded " + std::to_string(rows.size()) + " rows from " + stmt.path;
+  return result;
+}
+
+Result<QueryResult> Engine::ExecuteExplain(const ExplainStmt& stmt) {
+  QueryResult result;
+  result.column_names = {"plan"};
+  auto emit = [&result](const std::string& line) {
+    result.rows.push_back(Row{Value::String(line)});
+  };
+
+  if (const auto* update = std::get_if<UpdateStmt>(stmt.inner.get())) {
+    DTL_ASSIGN_OR_RETURN(auto entry, catalog_->Lookup(update->table));
+    emit("UPDATE " + update->table + " (" + table::TableKindName(entry.kind) + ")");
+    if (update->where) emit("  where: " + update->where->ToString());
+    if (entry.kind == table::TableKind::kDual) {
+      auto* dual = dynamic_cast<dual::DualTable*>(entry.table.get());
+      const double ratio = update->ratio_hint.value_or(0.01);
+      auto decision = dual->PreviewUpdateDecision(ratio);
+      emit("  ratio: " + std::to_string(ratio) +
+           (update->ratio_hint ? " (WITH RATIO hint)" : " (default/history)"));
+      emit("  cost model: " + decision.ToString());
+      emit("  crossover ratio: " +
+           std::to_string(dual->cost_model().UpdateCrossoverRatio(
+               dual->master()->TotalBytes())));
+    } else {
+      emit("  plan: full INSERT OVERWRITE rewrite");
+    }
+    return result;
+  }
+  if (const auto* del = std::get_if<DeleteStmt>(stmt.inner.get())) {
+    DTL_ASSIGN_OR_RETURN(auto entry, catalog_->Lookup(del->table));
+    emit("DELETE FROM " + del->table + " (" + table::TableKindName(entry.kind) + ")");
+    if (del->where) emit("  where: " + del->where->ToString());
+    if (entry.kind == table::TableKind::kDual) {
+      auto* dual = dynamic_cast<dual::DualTable*>(entry.table.get());
+      const double ratio = del->ratio_hint.value_or(0.01);
+      auto decision = dual->PreviewDeleteDecision(ratio);
+      emit("  ratio: " + std::to_string(ratio));
+      emit("  cost model: " + decision.ToString());
+    } else {
+      emit("  plan: full INSERT OVERWRITE rewrite");
+    }
+    return result;
+  }
+  if (const auto* select = std::get_if<SelectStmt>(stmt.inner.get())) {
+    auto describe_ref = [&](const TableRef& ref) -> Result<std::string> {
+      if (ref.subquery != nullptr) return "(subquery) " + ref.EffectiveName();
+      DTL_ASSIGN_OR_RETURN(auto entry, catalog_->Lookup(ref.table));
+      return ref.table + " (" + table::TableKindName(entry.kind) +
+             (entry.kind == table::TableKind::kDual ? ", UNION READ scan)" : ")");
+    };
+    DTL_ASSIGN_OR_RETURN(std::string from, describe_ref(select->from));
+    emit("SELECT: scan " + from);
+    for (const JoinClause& join : select->joins) {
+      DTL_ASSIGN_OR_RETURN(std::string right, describe_ref(join.table));
+      emit(std::string("  ") + (join.left_outer ? "left outer " : "") + "hash join " +
+           right + " on " + join.on->ToString());
+    }
+    if (select->where) {
+      std::vector<const Expr*> conjuncts;
+      SplitConjuncts(*select->where, &conjuncts);
+      emit("  filter: " + std::to_string(conjuncts.size()) +
+           " conjunct(s), single-table terms pushed into scans");
+    }
+    if (!select->group_by.empty() || select->having) emit("  hash aggregate");
+    if (!select->order_by.empty()) emit("  sort");
+    if (select->limit) emit("  limit " + std::to_string(*select->limit));
+    return result;
+  }
+  emit("statement executes directly (no plan choices)");
+  return result;
+}
+
+Result<QueryResult> Engine::ExecuteShowTables() {
+  QueryResult result;
+  result.column_names = {"table_name", "storage"};
+  for (const std::string& name : catalog_->TableNames()) {
+    auto entry = catalog_->Lookup(name);
+    if (!entry.ok()) continue;
+    result.rows.push_back(
+        Row{Value::String(name), Value::String(table::TableKindName(entry->kind))});
+  }
+  return result;
+}
+
+}  // namespace dtl::sql

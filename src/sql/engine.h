@@ -1,0 +1,70 @@
+// Statement execution: plans SELECTs into exec operator trees (with
+// predicate pushdown, stats-bound extraction, and hash joins/aggregates) and
+// routes DML to the storage tables — DualTable DML carries the WITH RATIO
+// hint into the cost model, mirroring the paper's DualTable parser that
+// "will choose to generate a Hive-compatible statement ... or our UDTFs,
+// based on the cost evaluator".
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/status.h"
+#include "fs/filesystem.h"
+#include "sql/ast.h"
+#include "table/catalog.h"
+
+namespace dtl::sql {
+
+struct QueryResult {
+  std::vector<std::string> column_names;
+  std::vector<Row> rows;
+  uint64_t affected_rows = 0;
+  /// Physical plan used by DML ("EDIT", "OVERWRITE", ...), empty otherwise.
+  std::string dml_plan;
+  std::string message;
+
+  std::string ToString(size_t max_rows = 20) const;
+};
+
+/// Creates backing storage for CREATE TABLE.
+using TableFactory = std::function<Result<std::shared_ptr<table::StorageTable>>(
+    const std::string& name, table::TableKind kind, const Schema& schema)>;
+
+class Engine {
+ public:
+  /// `fs` is required for LOAD DATA INPATH; may be null otherwise.
+  Engine(table::Catalog* catalog, TableFactory factory,
+         const fs::SimFileSystem* fs = nullptr)
+      : catalog_(catalog), factory_(std::move(factory)), fs_(fs) {}
+
+  /// Parses and executes one statement.
+  Result<QueryResult> Execute(const std::string& sql);
+
+  Result<QueryResult> ExecuteStatement(const Statement& stmt);
+
+ private:
+  Result<QueryResult> ExecuteSelect(const SelectStmt& stmt);
+  Result<QueryResult> ExecuteCreate(const CreateTableStmt& stmt);
+  Result<QueryResult> ExecuteDrop(const DropTableStmt& stmt);
+  Result<QueryResult> ExecuteInsert(const InsertStmt& stmt);
+  Result<QueryResult> ExecuteUpdate(const UpdateStmt& stmt);
+  Result<QueryResult> ExecuteDelete(const DeleteStmt& stmt);
+  Result<QueryResult> ExecuteCompact(const CompactStmt& stmt);
+  Result<QueryResult> ExecuteShowTables();
+  Result<QueryResult> ExecuteMerge(const MergeStmt& stmt);
+  Result<QueryResult> ExecuteLoad(const LoadStmt& stmt);
+  Result<QueryResult> ExecuteExplain(const ExplainStmt& stmt);
+
+  table::Catalog* catalog_;
+  TableFactory factory_;
+  const fs::SimFileSystem* fs_;
+};
+
+/// Coerces a value to a column type (int→double widening, int↔date).
+Result<Value> CoerceValue(const Value& v, DataType type, const std::string& column);
+
+}  // namespace dtl::sql

@@ -1,0 +1,131 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace dtl::sql {
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // -- comments: "--" to end of line
+    if (c == '-' && i + 1 < n && input[i + 1] == '-') {
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    Token tok;
+    tok.position = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '_')) {
+        ++i;
+      }
+      tok.kind = TokenKind::kIdentifier;
+      tok.text = input.substr(start, i - start);
+      for (char& ch : tok.text) ch = static_cast<char>(std::tolower(ch));
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n && std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      size_t start = i;
+      bool is_float = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) ++i;
+      if (i < n && input[i] == '.') {
+        is_float = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) ++i;
+      }
+      if (i < n && (input[i] == 'e' || input[i] == 'E')) {
+        is_float = true;
+        ++i;
+        if (i < n && (input[i] == '+' || input[i] == '-')) ++i;
+        if (i >= n || !std::isdigit(static_cast<unsigned char>(input[i]))) {
+          return Status::InvalidArgument("malformed exponent at position " +
+                                         std::to_string(start));
+        }
+        while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) ++i;
+      }
+      tok.text = input.substr(start, i - start);
+      if (is_float) {
+        tok.kind = TokenKind::kFloat;
+        tok.double_value = std::strtod(tok.text.c_str(), nullptr);
+      } else {
+        tok.kind = TokenKind::kInteger;
+        tok.int_value = std::strtoll(tok.text.c_str(), nullptr, 10);
+      }
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string text;
+      bool closed = false;
+      while (i < n) {
+        if (input[i] == '\'') {
+          if (i + 1 < n && input[i + 1] == '\'') {  // escaped quote
+            text.push_back('\'');
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        text.push_back(input[i]);
+        ++i;
+      }
+      if (!closed) {
+        return Status::InvalidArgument("unterminated string at position " +
+                                       std::to_string(tok.position));
+      }
+      tok.kind = TokenKind::kString;
+      tok.text = std::move(text);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    // operators / punctuation, longest match first
+    static const char* kTwoChar[] = {"<=", ">=", "<>", "!=", "=="};
+    bool matched = false;
+    for (const char* two : kTwoChar) {
+      if (i + 1 < n && input[i] == two[0] && input[i + 1] == two[1]) {
+        tok.kind = TokenKind::kOperator;
+        tok.text = two;
+        if (tok.text == "!=") tok.text = "<>";
+        if (tok.text == "==") tok.text = "=";
+        i += 2;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) {
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    static const std::string kSingle = "()+-*/%,.<>=;";
+    if (kSingle.find(c) != std::string::npos) {
+      tok.kind = TokenKind::kOperator;
+      tok.text = std::string(1, c);
+      ++i;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    return Status::InvalidArgument("unexpected character '" + std::string(1, c) +
+                                   "' at position " + std::to_string(i));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.position = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace dtl::sql

@@ -1,0 +1,33 @@
+// Hand-rolled tokenizer for the HiveQL subset. Identifiers and keywords are
+// case-insensitive (normalized to lowercase); string literals use single
+// quotes with '' as the escape.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dtl::sql {
+
+enum class TokenKind {
+  kIdentifier,  // lowercased
+  kInteger,
+  kFloat,
+  kString,
+  kOperator,  // punctuation and multi-char operators like <= <> !=
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;    // normalized (identifiers lowercased)
+  int64_t int_value = 0;
+  double double_value = 0;
+  size_t position = 0;  // byte offset, for error messages
+};
+
+/// Tokenizes `input`; returns InvalidArgument on malformed literals.
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace dtl::sql

@@ -1,0 +1,590 @@
+#include "sql/parser.h"
+
+#include <unordered_set>
+
+#include "sql/lexer.h"
+
+namespace dtl::sql {
+
+namespace {
+
+/// Reserved words that terminate an alias-free identifier position.
+const std::unordered_set<std::string> kKeywords = {
+    "select", "from",  "where",  "group",  "by",     "having", "order",  "limit",
+    "join",   "left",  "right",  "outer",  "inner",  "on",     "and",    "or",
+    "not",    "in",    "is",     "null",   "as",     "asc",    "desc",   "insert",
+    "into",   "values", "update", "set",   "delete", "create", "table",  "drop",
+    "stored", "if",    "exists", "with",   "ratio",  "compact", "show",  "tables",
+    "like",   "between", "merge", "overwrite", "load", "data", "inpath", "explain",
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Statement> ParseTop() {
+    DTL_ASSIGN_OR_RETURN(Statement stmt, ParseStatementInner());
+    AcceptOp(";");
+    if (!AtEnd()) {
+      return Status::InvalidArgument("trailing input after statement near '" +
+                                     Peek().text + "'");
+    }
+    return stmt;
+  }
+
+  Result<ExprPtr> ParseExprTop() {
+    DTL_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    if (!AtEnd()) {
+      return Status::InvalidArgument("trailing input after expression");
+    }
+    return e;
+  }
+
+ private:
+  // --- token helpers ---
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  bool AtEnd() const { return Peek().kind == TokenKind::kEnd; }
+  Token Advance() { return tokens_[pos_++]; }
+
+  bool CheckKeyword(const std::string& kw) const {
+    return Peek().kind == TokenKind::kIdentifier && Peek().text == kw;
+  }
+  bool AcceptKeyword(const std::string& kw) {
+    if (!CheckKeyword(kw)) return false;
+    ++pos_;
+    return true;
+  }
+  Status ExpectKeyword(const std::string& kw) {
+    if (!AcceptKeyword(kw)) {
+      return Status::InvalidArgument("expected '" + kw + "' near '" + Peek().text + "'");
+    }
+    return Status::OK();
+  }
+  bool CheckOp(const std::string& op) const {
+    return Peek().kind == TokenKind::kOperator && Peek().text == op;
+  }
+  bool AcceptOp(const std::string& op) {
+    if (!CheckOp(op)) return false;
+    ++pos_;
+    return true;
+  }
+  Status ExpectOp(const std::string& op) {
+    if (!AcceptOp(op)) {
+      return Status::InvalidArgument("expected '" + op + "' near '" + Peek().text + "'");
+    }
+    return Status::OK();
+  }
+  Result<std::string> ExpectIdentifier(const char* what) {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Status::InvalidArgument(std::string("expected ") + what + " near '" +
+                                     Peek().text + "'");
+    }
+    return Advance().text;
+  }
+
+  // --- statements ---
+  Result<Statement> ParseStatementInner() {
+    if (CheckKeyword("select")) return ParseSelect();
+    if (CheckKeyword("create")) return ParseCreate();
+    if (CheckKeyword("drop")) return ParseDrop();
+    if (CheckKeyword("insert")) return ParseInsert();
+    if (CheckKeyword("update")) return ParseUpdate();
+    if (CheckKeyword("delete")) return ParseDelete();
+    if (CheckKeyword("compact")) return ParseCompact();
+    if (CheckKeyword("show")) return ParseShow();
+    if (CheckKeyword("merge")) return ParseMerge();
+    if (CheckKeyword("load")) return ParseLoad();
+    if (AcceptKeyword("explain")) {
+      DTL_ASSIGN_OR_RETURN(Statement inner, ParseStatementInner());
+      ExplainStmt stmt;
+      stmt.inner = std::make_unique<Statement>(std::move(inner));
+      return Statement(std::move(stmt));
+    }
+    return Status::InvalidArgument("unrecognized statement near '" + Peek().text + "'");
+  }
+
+  Result<Statement> ParseSelect() {
+    DTL_RETURN_NOT_OK(ExpectKeyword("select"));
+    SelectStmt stmt;
+    // select list
+    while (true) {
+      SelectItem item;
+      if (AcceptOp("*")) {
+        item.star = true;
+      } else {
+        DTL_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (AcceptKeyword("as")) {
+          DTL_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier("alias"));
+        } else if (Peek().kind == TokenKind::kIdentifier &&
+                   kKeywords.count(Peek().text) == 0) {
+          item.alias = Advance().text;
+        }
+      }
+      stmt.items.push_back(std::move(item));
+      if (!AcceptOp(",")) break;
+    }
+    DTL_RETURN_NOT_OK(ExpectKeyword("from"));
+    DTL_ASSIGN_OR_RETURN(stmt.from, ParseTableRef());
+    // joins
+    while (CheckKeyword("join") || CheckKeyword("left") || CheckKeyword("inner")) {
+      JoinClause join;
+      if (AcceptKeyword("left")) {
+        AcceptKeyword("outer");
+        join.left_outer = true;
+      } else {
+        AcceptKeyword("inner");
+      }
+      DTL_RETURN_NOT_OK(ExpectKeyword("join"));
+      DTL_ASSIGN_OR_RETURN(join.table, ParseTableRef());
+      DTL_RETURN_NOT_OK(ExpectKeyword("on"));
+      DTL_ASSIGN_OR_RETURN(join.on, ParseExpr());
+      stmt.joins.push_back(std::move(join));
+    }
+    if (AcceptKeyword("where")) {
+      DTL_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+    }
+    if (AcceptKeyword("group")) {
+      DTL_RETURN_NOT_OK(ExpectKeyword("by"));
+      while (true) {
+        DTL_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        stmt.group_by.push_back(std::move(e));
+        if (!AcceptOp(",")) break;
+      }
+    }
+    if (AcceptKeyword("having")) {
+      DTL_ASSIGN_OR_RETURN(stmt.having, ParseExpr());
+    }
+    if (AcceptKeyword("order")) {
+      DTL_RETURN_NOT_OK(ExpectKeyword("by"));
+      while (true) {
+        OrderItem item;
+        DTL_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (AcceptKeyword("desc")) {
+          item.ascending = false;
+        } else {
+          AcceptKeyword("asc");
+        }
+        stmt.order_by.push_back(std::move(item));
+        if (!AcceptOp(",")) break;
+      }
+    }
+    if (AcceptKeyword("limit")) {
+      if (Peek().kind != TokenKind::kInteger) {
+        return Status::InvalidArgument("LIMIT expects an integer");
+      }
+      stmt.limit = static_cast<uint64_t>(Advance().int_value);
+    }
+    return Statement(std::move(stmt));
+  }
+
+  Result<TableRef> ParseTableRef() {
+    TableRef ref;
+    if (AcceptOp("(")) {
+      // Derived table: ( SELECT ... ) alias
+      DTL_ASSIGN_OR_RETURN(Statement sub, ParseSelect());
+      ref.subquery = std::make_unique<SelectStmt>(std::move(std::get<SelectStmt>(sub)));
+      DTL_RETURN_NOT_OK(ExpectOp(")"));
+    } else {
+      DTL_ASSIGN_OR_RETURN(ref.table, ExpectIdentifier("table name"));
+    }
+    if (AcceptKeyword("as")) {
+      DTL_ASSIGN_OR_RETURN(ref.alias, ExpectIdentifier("alias"));
+    } else if (Peek().kind == TokenKind::kIdentifier && kKeywords.count(Peek().text) == 0) {
+      ref.alias = Advance().text;
+    }
+    if (ref.subquery != nullptr && ref.alias.empty()) {
+      return Status::InvalidArgument("derived table requires an alias");
+    }
+    return ref;
+  }
+
+  Result<Statement> ParseCreate() {
+    DTL_RETURN_NOT_OK(ExpectKeyword("create"));
+    DTL_RETURN_NOT_OK(ExpectKeyword("table"));
+    CreateTableStmt stmt;
+    if (AcceptKeyword("if")) {
+      DTL_RETURN_NOT_OK(ExpectKeyword("not"));
+      DTL_RETURN_NOT_OK(ExpectKeyword("exists"));
+      stmt.if_not_exists = true;
+    }
+    DTL_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
+    DTL_RETURN_NOT_OK(ExpectOp("("));
+    while (true) {
+      ColumnDef def;
+      DTL_ASSIGN_OR_RETURN(def.name, ExpectIdentifier("column name"));
+      DTL_ASSIGN_OR_RETURN(def.type_name, ExpectIdentifier("column type"));
+      stmt.columns.push_back(std::move(def));
+      if (!AcceptOp(",")) break;
+    }
+    DTL_RETURN_NOT_OK(ExpectOp(")"));
+    if (AcceptKeyword("stored")) {
+      DTL_RETURN_NOT_OK(ExpectKeyword("as"));
+      DTL_ASSIGN_OR_RETURN(stmt.stored_as, ExpectIdentifier("storage kind"));
+    }
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> ParseDrop() {
+    DTL_RETURN_NOT_OK(ExpectKeyword("drop"));
+    DTL_RETURN_NOT_OK(ExpectKeyword("table"));
+    DropTableStmt stmt;
+    if (AcceptKeyword("if")) {
+      DTL_RETURN_NOT_OK(ExpectKeyword("exists"));
+      stmt.if_exists = true;
+    }
+    DTL_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> ParseInsert() {
+    DTL_RETURN_NOT_OK(ExpectKeyword("insert"));
+    InsertStmt stmt;
+    if (AcceptKeyword("overwrite")) {
+      stmt.overwrite = true;
+    } else {
+      DTL_RETURN_NOT_OK(ExpectKeyword("into"));
+    }
+    AcceptKeyword("table");  // optional HiveQL noise word
+    DTL_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
+    if (CheckKeyword("select")) {
+      DTL_ASSIGN_OR_RETURN(Statement sub, ParseSelect());
+      stmt.select = std::make_unique<SelectStmt>(std::move(std::get<SelectStmt>(sub)));
+      return Statement(std::move(stmt));
+    }
+    DTL_RETURN_NOT_OK(ExpectKeyword("values"));
+    while (true) {
+      DTL_RETURN_NOT_OK(ExpectOp("("));
+      std::vector<ExprPtr> row;
+      while (true) {
+        DTL_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        row.push_back(std::move(e));
+        if (!AcceptOp(",")) break;
+      }
+      DTL_RETURN_NOT_OK(ExpectOp(")"));
+      stmt.rows.push_back(std::move(row));
+      if (!AcceptOp(",")) break;
+    }
+    return Statement(std::move(stmt));
+  }
+
+  Result<std::optional<double>> ParseRatioHint() {
+    if (!AcceptKeyword("with")) return std::optional<double>();
+    DTL_RETURN_NOT_OK(ExpectKeyword("ratio"));
+    const Token& t = Peek();
+    if (t.kind == TokenKind::kFloat) {
+      Advance();
+      return std::optional<double>(t.double_value);
+    }
+    if (t.kind == TokenKind::kInteger) {
+      Advance();
+      return std::optional<double>(static_cast<double>(t.int_value));
+    }
+    return Status::InvalidArgument("WITH RATIO expects a number");
+  }
+
+  Result<Statement> ParseUpdate() {
+    DTL_RETURN_NOT_OK(ExpectKeyword("update"));
+    UpdateStmt stmt;
+    DTL_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
+    if (Peek().kind == TokenKind::kIdentifier && kKeywords.count(Peek().text) == 0) {
+      stmt.alias = Advance().text;
+    }
+    DTL_RETURN_NOT_OK(ExpectKeyword("set"));
+    while (true) {
+      DTL_ASSIGN_OR_RETURN(std::string column, ExpectIdentifier("column name"));
+      // Accept an optional alias qualifier ("t.col").
+      if (AcceptOp(".")) {
+        DTL_ASSIGN_OR_RETURN(column, ExpectIdentifier("column name"));
+      }
+      DTL_RETURN_NOT_OK(ExpectOp("="));
+      DTL_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      stmt.assignments.emplace_back(std::move(column), std::move(e));
+      if (!AcceptOp(",")) break;
+    }
+    if (AcceptKeyword("where")) {
+      DTL_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+    }
+    DTL_ASSIGN_OR_RETURN(stmt.ratio_hint, ParseRatioHint());
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> ParseDelete() {
+    DTL_RETURN_NOT_OK(ExpectKeyword("delete"));
+    DTL_RETURN_NOT_OK(ExpectKeyword("from"));
+    DeleteStmt stmt;
+    DTL_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
+    if (AcceptKeyword("where")) {
+      DTL_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+    }
+    DTL_ASSIGN_OR_RETURN(stmt.ratio_hint, ParseRatioHint());
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> ParseCompact() {
+    DTL_RETURN_NOT_OK(ExpectKeyword("compact"));
+    DTL_RETURN_NOT_OK(ExpectKeyword("table"));
+    CompactStmt stmt;
+    DTL_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> ParseMerge() {
+    DTL_RETURN_NOT_OK(ExpectKeyword("merge"));
+    DTL_RETURN_NOT_OK(ExpectKeyword("into"));
+    MergeStmt stmt;
+    DTL_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
+    DTL_RETURN_NOT_OK(ExpectKeyword("on"));
+    DTL_RETURN_NOT_OK(ExpectOp("("));
+    while (true) {
+      DTL_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier("key column"));
+      stmt.key_columns.push_back(std::move(col));
+      if (!AcceptOp(",")) break;
+    }
+    DTL_RETURN_NOT_OK(ExpectOp(")"));
+    DTL_RETURN_NOT_OK(ExpectKeyword("values"));
+    while (true) {
+      DTL_RETURN_NOT_OK(ExpectOp("("));
+      std::vector<ExprPtr> row;
+      while (true) {
+        DTL_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        row.push_back(std::move(e));
+        if (!AcceptOp(",")) break;
+      }
+      DTL_RETURN_NOT_OK(ExpectOp(")"));
+      stmt.rows.push_back(std::move(row));
+      if (!AcceptOp(",")) break;
+    }
+    DTL_ASSIGN_OR_RETURN(stmt.ratio_hint, ParseRatioHint());
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> ParseLoad() {
+    DTL_RETURN_NOT_OK(ExpectKeyword("load"));
+    DTL_RETURN_NOT_OK(ExpectKeyword("data"));
+    DTL_RETURN_NOT_OK(ExpectKeyword("inpath"));
+    LoadStmt stmt;
+    if (Peek().kind != TokenKind::kString) {
+      return Status::InvalidArgument("LOAD DATA INPATH expects a quoted path");
+    }
+    stmt.path = Advance().text;
+    stmt.overwrite = AcceptKeyword("overwrite");
+    DTL_RETURN_NOT_OK(ExpectKeyword("into"));
+    DTL_RETURN_NOT_OK(ExpectKeyword("table"));
+    DTL_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> ParseShow() {
+    DTL_RETURN_NOT_OK(ExpectKeyword("show"));
+    DTL_RETURN_NOT_OK(ExpectKeyword("tables"));
+    return Statement(ShowTablesStmt{});
+  }
+
+  // --- expressions (precedence climbing) ---
+  // or < and < not < comparison/in/is < additive < multiplicative < unary
+
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    DTL_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (AcceptKeyword("or")) {
+      DTL_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = MakeBinary("or", std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    DTL_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+    while (AcceptKeyword("and")) {
+      DTL_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+      lhs = MakeBinary("and", std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (AcceptKeyword("not")) {
+      DTL_ASSIGN_OR_RETURN(ExprPtr e, ParseNot());
+      return MakeUnary("not", std::move(e));
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    DTL_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+    // IS [NOT] NULL
+    if (AcceptKeyword("is")) {
+      bool negated = AcceptKeyword("not");
+      DTL_RETURN_NOT_OK(ExpectKeyword("null"));
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kIsNull;
+      e->negated = negated;
+      e->args.push_back(std::move(lhs));
+      return ExprPtr(std::move(e));
+    }
+    // [NOT] IN (list)
+    bool not_in = false;
+    if (CheckKeyword("not") && Peek(1).kind == TokenKind::kIdentifier &&
+        Peek(1).text == "in") {
+      Advance();
+      not_in = true;
+    }
+    if (AcceptKeyword("in")) {
+      DTL_RETURN_NOT_OK(ExpectOp("("));
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kInList;
+      e->negated = not_in;
+      e->args.push_back(std::move(lhs));
+      while (true) {
+        DTL_ASSIGN_OR_RETURN(ExprPtr item, ParseExpr());
+        e->args.push_back(std::move(item));
+        if (!AcceptOp(",")) break;
+      }
+      DTL_RETURN_NOT_OK(ExpectOp(")"));
+      return ExprPtr(std::move(e));
+    }
+    if (not_in) return Status::InvalidArgument("expected IN after NOT");
+    // BETWEEN a AND b  →  (lhs >= a and lhs <= b)
+    if (AcceptKeyword("between")) {
+      DTL_ASSIGN_OR_RETURN(ExprPtr lo, ParseAdditive());
+      DTL_RETURN_NOT_OK(ExpectKeyword("and"));
+      DTL_ASSIGN_OR_RETURN(ExprPtr hi, ParseAdditive());
+      ExprPtr ge = MakeBinary(">=", lhs->Clone(), std::move(lo));
+      ExprPtr le = MakeBinary("<=", std::move(lhs), std::move(hi));
+      return MakeBinary("and", std::move(ge), std::move(le));
+    }
+    for (const char* op : {"=", "<>", "<=", ">=", "<", ">"}) {
+      if (AcceptOp(op)) {
+        DTL_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+        return MakeBinary(op, std::move(lhs), std::move(rhs));
+      }
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    DTL_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+    while (true) {
+      if (AcceptOp("+")) {
+        DTL_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+        lhs = MakeBinary("+", std::move(lhs), std::move(rhs));
+      } else if (AcceptOp("-")) {
+        DTL_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+        lhs = MakeBinary("-", std::move(lhs), std::move(rhs));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    DTL_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    while (true) {
+      if (AcceptOp("*")) {
+        DTL_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+        lhs = MakeBinary("*", std::move(lhs), std::move(rhs));
+      } else if (AcceptOp("/")) {
+        DTL_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+        lhs = MakeBinary("/", std::move(lhs), std::move(rhs));
+      } else if (AcceptOp("%")) {
+        DTL_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+        lhs = MakeBinary("%", std::move(lhs), std::move(rhs));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (AcceptOp("-")) {
+      DTL_ASSIGN_OR_RETURN(ExprPtr e, ParseUnary());
+      return MakeUnary("-", std::move(e));
+    }
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kInteger:
+        Advance();
+        return MakeLiteral(Value::Int64(t.int_value));
+      case TokenKind::kFloat:
+        Advance();
+        return MakeLiteral(Value::Double(t.double_value));
+      case TokenKind::kString:
+        Advance();
+        return MakeLiteral(Value::String(t.text));
+      case TokenKind::kOperator:
+        if (AcceptOp("(")) {
+          DTL_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+          DTL_RETURN_NOT_OK(ExpectOp(")"));
+          return e;
+        }
+        break;
+      case TokenKind::kIdentifier: {
+        if (t.text == "null") {
+          Advance();
+          return MakeLiteral(Value::Null());
+        }
+        if (t.text == "true" || t.text == "false") {
+          Advance();
+          return MakeLiteral(Value::Bool(t.text == "true"));
+        }
+        std::string first = Advance().text;
+        // function call?
+        if (AcceptOp("(")) {
+          auto e = std::make_unique<Expr>();
+          e->kind = Expr::Kind::kFuncCall;
+          e->func_name = first;
+          if (AcceptOp("*")) {
+            e->star_arg = true;
+            DTL_RETURN_NOT_OK(ExpectOp(")"));
+            return ExprPtr(std::move(e));
+          }
+          if (!AcceptOp(")")) {
+            while (true) {
+              DTL_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+              e->args.push_back(std::move(arg));
+              if (!AcceptOp(",")) break;
+            }
+            DTL_RETURN_NOT_OK(ExpectOp(")"));
+          }
+          return ExprPtr(std::move(e));
+        }
+        // qualified column?
+        if (AcceptOp(".")) {
+          DTL_ASSIGN_OR_RETURN(std::string column, ExpectIdentifier("column name"));
+          return MakeColumnRef(std::move(first), std::move(column));
+        }
+        return MakeColumnRef("", std::move(first));
+      }
+      case TokenKind::kEnd:
+        break;
+    }
+    return Status::InvalidArgument("unexpected token '" + t.text + "' in expression");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Statement> ParseStatement(const std::string& input) {
+  DTL_ASSIGN_OR_RETURN(auto tokens, Tokenize(input));
+  Parser parser(std::move(tokens));
+  return parser.ParseTop();
+}
+
+Result<ExprPtr> ParseExpression(const std::string& input) {
+  DTL_ASSIGN_OR_RETURN(auto tokens, Tokenize(input));
+  Parser parser(std::move(tokens));
+  return parser.ParseExprTop();
+}
+
+}  // namespace dtl::sql

@@ -1,0 +1,17 @@
+// Recursive-descent parser for the HiveQL subset (grammar in ast.h).
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace dtl::sql {
+
+/// Parses one statement (an optional trailing ';' is accepted).
+Result<Statement> ParseStatement(const std::string& input);
+
+/// Parses a standalone expression (used by tests).
+Result<ExprPtr> ParseExpression(const std::string& input);
+
+}  // namespace dtl::sql

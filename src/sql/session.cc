@@ -1,0 +1,96 @@
+#include "sql/session.h"
+
+namespace dtl::sql {
+
+Result<std::unique_ptr<Session>> Session::Create(SessionOptions options) {
+  auto session = std::unique_ptr<Session>(new Session(std::move(options)));
+  session->fs_ = std::make_unique<fs::SimFileSystem>(session->options_.fs_options);
+  DTL_ASSIGN_OR_RETURN(session->metadata_, dual::MetadataTable::Open(session->fs_.get()));
+  size_t threads = session->options_.pool_threads;
+  if (threads == 0) {
+    threads = std::max<size_t>(2, std::thread::hardware_concurrency());
+  }
+  session->pool_ = std::make_unique<ThreadPool>(threads);
+  Session* self = session.get();
+  session->engine_ = std::make_unique<Engine>(
+      &session->catalog_,
+      [self](const std::string& name, table::TableKind kind,
+             const Schema& schema) { return self->MakeTable(name, kind, schema); },
+      session->fs_.get());
+  session->MarkIo();
+  return session;
+}
+
+Result<std::shared_ptr<table::StorageTable>> Session::MakeTable(const std::string& name,
+                                                                table::TableKind kind,
+                                                                const Schema& schema) {
+  switch (kind) {
+    case table::TableKind::kDual: {
+      DTL_ASSIGN_OR_RETURN(auto t, dual::DualTable::Open(fs_.get(), metadata_.get(),
+                                                         &cluster_, name, schema,
+                                                         options_.dual_defaults));
+      return std::shared_ptr<table::StorageTable>(std::move(t));
+    }
+    case table::TableKind::kHiveOrc: {
+      DTL_ASSIGN_OR_RETURN(auto t, baseline::HiveTable::Open(fs_.get(), metadata_.get(),
+                                                             name, schema,
+                                                             options_.hive_defaults));
+      return std::shared_ptr<table::StorageTable>(std::move(t));
+    }
+    case table::TableKind::kHiveHBase: {
+      DTL_ASSIGN_OR_RETURN(
+          auto t, baseline::HBaseTable::Open(fs_.get(), name, schema,
+                                             options_.hbase_defaults));
+      return std::shared_ptr<table::StorageTable>(std::move(t));
+    }
+    case table::TableKind::kAcid: {
+      DTL_ASSIGN_OR_RETURN(auto t, baseline::AcidTable::Open(fs_.get(), metadata_.get(),
+                                                             name, schema,
+                                                             options_.acid_defaults));
+      return std::shared_ptr<table::StorageTable>(std::move(t));
+    }
+  }
+  return Status::Internal("unhandled table kind");
+}
+
+Result<std::shared_ptr<dual::DualTable>> Session::CreateDualTable(
+    const std::string& name, const Schema& schema,
+    std::optional<dual::DualTableOptions> options) {
+  DTL_ASSIGN_OR_RETURN(auto t, dual::DualTable::Open(
+                                   fs_.get(), metadata_.get(), &cluster_, name, schema,
+                                   options.value_or(options_.dual_defaults)));
+  DTL_RETURN_NOT_OK(catalog_.Register(name, table::TableKind::kDual, t));
+  return t;
+}
+
+Result<std::shared_ptr<baseline::HiveTable>> Session::CreateHiveTable(
+    const std::string& name, const Schema& schema) {
+  DTL_ASSIGN_OR_RETURN(auto t, baseline::HiveTable::Open(fs_.get(), metadata_.get(), name,
+                                                         schema, options_.hive_defaults));
+  DTL_RETURN_NOT_OK(catalog_.Register(name, table::TableKind::kHiveOrc, t));
+  return t;
+}
+
+Result<std::shared_ptr<baseline::HBaseTable>> Session::CreateHBaseTable(
+    const std::string& name, const Schema& schema) {
+  DTL_ASSIGN_OR_RETURN(
+      auto t, baseline::HBaseTable::Open(fs_.get(), name, schema, options_.hbase_defaults));
+  DTL_RETURN_NOT_OK(catalog_.Register(name, table::TableKind::kHiveHBase, t));
+  return t;
+}
+
+Result<std::shared_ptr<baseline::AcidTable>> Session::CreateAcidTable(
+    const std::string& name, const Schema& schema) {
+  DTL_ASSIGN_OR_RETURN(auto t, baseline::AcidTable::Open(fs_.get(), metadata_.get(), name,
+                                                         schema, options_.acid_defaults));
+  DTL_RETURN_NOT_OK(catalog_.Register(name, table::TableKind::kAcid, t));
+  return t;
+}
+
+Status Session::DropTable(const std::string& name) {
+  DTL_ASSIGN_OR_RETURN(auto entry, catalog_.Lookup(name));
+  DTL_RETURN_NOT_OK(entry.table->Drop());
+  return catalog_.Unregister(name);
+}
+
+}  // namespace dtl::sql

@@ -1,0 +1,92 @@
+// Session: the deployment facade. Owns the simulated cluster (file system,
+// metadata table, cluster model, worker pool), the catalog, and the SQL
+// engine; creates tables of every storage kind. This is the public entry
+// point examples and benches use.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "baseline/acid_table.h"
+#include "baseline/hbase_table.h"
+#include "baseline/hive_table.h"
+#include "common/thread_pool.h"
+#include "dualtable/dual_table.h"
+#include "fs/cluster_model.h"
+#include "fs/filesystem.h"
+#include "sql/engine.h"
+#include "table/catalog.h"
+
+namespace dtl::sql {
+
+struct SessionOptions {
+  fs::FileSystemOptions fs_options;
+  fs::ClusterConfig cluster;
+  /// Worker threads for MapReduce-style parallel scans; 0 = hardware threads.
+  size_t pool_threads = 0;
+  /// Defaults applied to tables created through SQL / factory helpers.
+  dual::DualTableOptions dual_defaults;
+  baseline::HiveTableOptions hive_defaults;
+  baseline::HBaseTableOptions hbase_defaults;
+  baseline::AcidTableOptions acid_defaults;
+};
+
+class Session {
+ public:
+  static Result<std::unique_ptr<Session>> Create(SessionOptions options = {});
+
+  /// Parses and executes one SQL statement.
+  Result<QueryResult> Execute(const std::string& sql) { return engine_->Execute(sql); }
+
+  // --- factory helpers (programmatic table creation) ---
+  Result<std::shared_ptr<dual::DualTable>> CreateDualTable(
+      const std::string& name, const Schema& schema,
+      std::optional<dual::DualTableOptions> options = std::nullopt);
+  Result<std::shared_ptr<baseline::HiveTable>> CreateHiveTable(const std::string& name,
+                                                               const Schema& schema);
+  Result<std::shared_ptr<baseline::HBaseTable>> CreateHBaseTable(const std::string& name,
+                                                                 const Schema& schema);
+  Result<std::shared_ptr<baseline::AcidTable>> CreateAcidTable(const std::string& name,
+                                                               const Schema& schema);
+
+  /// Drops the table and removes it from the catalog.
+  Status DropTable(const std::string& name);
+
+  // --- component access ---
+  fs::SimFileSystem* fs() { return fs_.get(); }
+  dual::MetadataTable* metadata() { return metadata_.get(); }
+  fs::ClusterModel* cluster() { return &cluster_; }
+  table::Catalog* catalog() { return &catalog_; }
+  ThreadPool* pool() { return pool_.get(); }
+  Engine* engine() { return engine_.get(); }
+  const SessionOptions& options() const { return options_; }
+
+  // --- I/O metering for benches ---
+  /// Remembers the current meter state; IoDelta() reports I/O since then.
+  void MarkIo() { io_mark_ = fs_->meter()->Snapshot(); }
+  fs::IoSnapshot IoDelta() const { return fs_->meter()->Snapshot() - io_mark_; }
+  /// Modelled cluster seconds for an I/O delta (paper-scale arithmetic).
+  double ModeledSeconds(const fs::IoSnapshot& delta, int num_tasks = 0) const {
+    return cluster_.JobSeconds(delta, num_tasks);
+  }
+
+ private:
+  explicit Session(SessionOptions options)
+      : options_(std::move(options)), cluster_(options_.cluster) {}
+
+  Result<std::shared_ptr<table::StorageTable>> MakeTable(const std::string& name,
+                                                         table::TableKind kind,
+                                                         const Schema& schema);
+
+  SessionOptions options_;
+  std::unique_ptr<fs::SimFileSystem> fs_;
+  std::unique_ptr<dual::MetadataTable> metadata_;
+  fs::ClusterModel cluster_;
+  table::Catalog catalog_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<Engine> engine_;
+  fs::IoSnapshot io_mark_;
+};
+
+}  // namespace dtl::sql

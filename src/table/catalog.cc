@@ -1,0 +1,78 @@
+#include "table/catalog.h"
+
+#include <cctype>
+
+namespace dtl::table {
+
+namespace {
+std::string ToLower(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) out.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  return out;
+}
+}  // namespace
+
+const char* TableKindName(TableKind kind) {
+  switch (kind) {
+    case TableKind::kDual:
+      return "dualtable";
+    case TableKind::kHiveOrc:
+      return "hive";
+    case TableKind::kHiveHBase:
+      return "hbase";
+    case TableKind::kAcid:
+      return "acid";
+  }
+  return "?";
+}
+
+Result<TableKind> ParseTableKind(const std::string& name) {
+  std::string lower = ToLower(name);
+  if (lower == "dualtable" || lower == "dual") return TableKind::kDual;
+  if (lower == "hive" || lower == "orc" || lower == "hdfs") return TableKind::kHiveOrc;
+  if (lower == "hbase") return TableKind::kHiveHBase;
+  if (lower == "acid") return TableKind::kAcid;
+  return Status::InvalidArgument("unknown table kind: " + name);
+}
+
+Status Catalog::Register(const std::string& name, TableKind kind,
+                         std::shared_ptr<StorageTable> table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string key = ToLower(name);
+  if (tables_.count(key) > 0) {
+    return Status::AlreadyExists("table already exists: " + name);
+  }
+  tables_[key] = Entry{kind, std::move(table)};
+  return Status::OK();
+}
+
+Result<Catalog::Entry> Catalog::Lookup(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) return Status::NotFound("no such table: " + name);
+  return it->second;
+}
+
+Status Catalog::Unregister(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tables_.erase(ToLower(name)) == 0) {
+    return Status::NotFound("no such table: " + name);
+  }
+  return Status::OK();
+}
+
+bool Catalog::Contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tables_.count(ToLower(name)) > 0;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, entry] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace dtl::table

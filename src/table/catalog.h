@@ -1,0 +1,52 @@
+// Name → table registry (the Hive metastore analog). Storage systems
+// register concrete StorageTable instances; the SQL layer resolves names
+// here.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "table/storage_table.h"
+
+namespace dtl::table {
+
+/// Storage backend of a catalog table.
+enum class TableKind {
+  kDual,      // the paper's contribution: ORC master + HBase attached
+  kHiveOrc,   // plain Hive on HDFS/ORC (INSERT OVERWRITE updates)
+  kHiveHBase, // Hive-on-HBase (whole table in the KV store)
+  kAcid,      // HIVE-5317-style base + delta files
+};
+
+const char* TableKindName(TableKind kind);
+Result<TableKind> ParseTableKind(const std::string& name);
+
+/// Thread-safe table registry.
+class Catalog {
+ public:
+  struct Entry {
+    TableKind kind;
+    std::shared_ptr<StorageTable> table;
+  };
+
+  Status Register(const std::string& name, TableKind kind,
+                  std::shared_ptr<StorageTable> table);
+
+  Result<Entry> Lookup(const std::string& name) const;
+
+  /// Removes the entry; the caller drops the storage itself.
+  Status Unregister(const std::string& name);
+
+  bool Contains(const std::string& name) const;
+  std::vector<std::string> TableNames() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> tables_;
+};
+
+}  // namespace dtl::table

@@ -1,0 +1,147 @@
+#include "table/csv.h"
+
+#include <cstdlib>
+
+namespace dtl::table {
+
+Result<std::vector<std::string>> SplitCsvLine(const std::string& line,
+                                              const CsvOptions& options) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {  // escaped quote
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+      continue;
+    }
+    if (c == '"' && current.empty()) {
+      in_quotes = true;
+    } else if (c == options.delimiter) {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (in_quotes) return Status::InvalidArgument("unterminated quote in CSV line");
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+Result<Value> ParseCsvField(const std::string& text, DataType type,
+                            const std::string& column, const CsvOptions& options) {
+  if (text == options.null_token) return Value::Null();
+  switch (type) {
+    case DataType::kInt64:
+    case DataType::kDate: {
+      char* end = nullptr;
+      const int64_t v = std::strtoll(text.c_str(), &end, 10);
+      if (end == text.c_str() || *end != '\0') {
+        return Status::InvalidArgument("bad integer '" + text + "' for column " + column);
+      }
+      return Value::Int64(v);
+    }
+    case DataType::kDouble: {
+      char* end = nullptr;
+      const double v = std::strtod(text.c_str(), &end);
+      if (end == text.c_str() || *end != '\0') {
+        return Status::InvalidArgument("bad double '" + text + "' for column " + column);
+      }
+      return Value::Double(v);
+    }
+    case DataType::kBool:
+      if (text == "true" || text == "1") return Value::Bool(true);
+      if (text == "false" || text == "0") return Value::Bool(false);
+      return Status::InvalidArgument("bad boolean '" + text + "' for column " + column);
+    case DataType::kString:
+      return Value::String(text);
+    case DataType::kNull:
+      break;
+  }
+  return Status::InvalidArgument("unsupported column type for CSV column " + column);
+}
+
+Result<std::vector<Row>> ReadCsvFile(const fs::SimFileSystem* fs, const std::string& path,
+                                     const Schema& schema, const CsvOptions& options) {
+  DTL_ASSIGN_OR_RETURN(auto file, fs->NewSequentialFile(path));
+  std::string contents;
+  std::string chunk;
+  while (!file->AtEnd()) {
+    DTL_RETURN_NOT_OK(file->Read(1 << 20, &chunk));
+    contents += chunk;
+  }
+
+  std::vector<Row> rows;
+  size_t start = 0;
+  bool first_line = true;
+  size_t line_number = 0;
+  while (start <= contents.size()) {
+    size_t end = contents.find('\n', start);
+    std::string line = contents.substr(
+        start, end == std::string::npos ? std::string::npos : end - start);
+    start = end == std::string::npos ? contents.size() + 1 : end + 1;
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (first_line && options.skip_header) {
+      first_line = false;
+      continue;
+    }
+    first_line = false;
+
+    DTL_ASSIGN_OR_RETURN(auto fields, SplitCsvLine(line, options));
+    if (fields.size() != schema.num_fields()) {
+      return Status::InvalidArgument(
+          "CSV line " + std::to_string(line_number) + " has " +
+          std::to_string(fields.size()) + " fields, schema expects " +
+          std::to_string(schema.num_fields()));
+    }
+    Row row;
+    row.reserve(fields.size());
+    for (size_t i = 0; i < fields.size(); ++i) {
+      DTL_ASSIGN_OR_RETURN(Value v, ParseCsvField(fields[i], schema.field(i).type,
+                                                  schema.field(i).name, options));
+      row.push_back(std::move(v));
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::string FormatCsvRow(const Row& row, const CsvOptions& options) {
+  std::string out;
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out.push_back(options.delimiter);
+    if (row[i].is_null()) {
+      out += options.null_token;
+      continue;
+    }
+    std::string text = row[i].ToString();
+    const bool needs_quotes = text.find(options.delimiter) != std::string::npos ||
+                              text.find('"') != std::string::npos ||
+                              text.find('\n') != std::string::npos;
+    if (needs_quotes) {
+      out.push_back('"');
+      for (char c : text) {
+        if (c == '"') out.push_back('"');
+        out.push_back(c);
+      }
+      out.push_back('"');
+    } else {
+      out += text;
+    }
+  }
+  return out;
+}
+
+}  // namespace dtl::table

@@ -1,0 +1,38 @@
+// CSV codec for LOAD DATA INPATH: parses files staged on the simulated file
+// system into typed rows (the FEP cluster's ingest path in the paper's
+// Figure 1 delivers files exactly like this).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/status.h"
+#include "fs/filesystem.h"
+
+namespace dtl::table {
+
+struct CsvOptions {
+  char delimiter = ',';
+  /// Unquoted token treated as NULL.
+  std::string null_token = "\\N";
+  bool skip_header = false;
+};
+
+/// Parses one CSV line into fields (supports "" quoting with "" escapes).
+Result<std::vector<std::string>> SplitCsvLine(const std::string& line,
+                                              const CsvOptions& options);
+
+/// Converts one textual field to a typed value per the column type.
+Result<Value> ParseCsvField(const std::string& text, DataType type,
+                            const std::string& column, const CsvOptions& options);
+
+/// Reads the whole staged file and parses every line against `schema`.
+Result<std::vector<Row>> ReadCsvFile(const fs::SimFileSystem* fs, const std::string& path,
+                                     const Schema& schema,
+                                     const CsvOptions& options = CsvOptions());
+
+/// Renders one row as a CSV line (used by tests and tooling).
+std::string FormatCsvRow(const Row& row, const CsvOptions& options = CsvOptions());
+
+}  // namespace dtl::table

@@ -1,0 +1,65 @@
+#include "table/storage_table.h"
+
+#include <algorithm>
+
+namespace dtl::table {
+
+const char* DmlPlanName(DmlPlan plan) {
+  switch (plan) {
+    case DmlPlan::kOverwrite:
+      return "OVERWRITE";
+    case DmlPlan::kEdit:
+      return "EDIT";
+    case DmlPlan::kInPlace:
+      return "INPLACE";
+    case DmlPlan::kDelta:
+      return "DELTA";
+  }
+  return "?";
+}
+
+std::vector<size_t> ScanSpec::RequiredColumns(size_t num_fields) const {
+  if (projection.empty()) {
+    std::vector<size_t> all(num_fields);
+    for (size_t i = 0; i < num_fields; ++i) all[i] = i;
+    return all;
+  }
+  std::vector<size_t> required = projection;
+  required.insert(required.end(), predicate_columns.begin(), predicate_columns.end());
+  std::sort(required.begin(), required.end());
+  required.erase(std::unique(required.begin(), required.end()), required.end());
+  return required;
+}
+
+Result<std::vector<ScanSplit>> StorageTable::CreateSplits(const ScanSpec& spec) {
+  std::vector<ScanSplit> splits;
+  ScanSpec copy = spec;
+  StorageTable* self = this;
+  splits.push_back(ScanSplit{
+      name(), [self, copy]() -> Result<std::unique_ptr<RowIterator>> {
+        return self->Scan(copy);
+      }});
+  return splits;
+}
+
+Result<uint64_t> StorageTable::CountRows() {
+  ScanSpec spec;
+  // Project the narrowest single column; counting does not need data, but a
+  // scan must materialize something.
+  spec.projection = {0};
+  DTL_ASSIGN_OR_RETURN(auto it, Scan(spec));
+  uint64_t count = 0;
+  while (it->Next()) ++count;
+  DTL_RETURN_NOT_OK(it->status());
+  return count;
+}
+
+Result<std::vector<Row>> CollectRows(StorageTable* table, const ScanSpec& spec) {
+  DTL_ASSIGN_OR_RETURN(auto it, table->Scan(spec));
+  std::vector<Row> rows;
+  while (it->Next()) rows.push_back(it->row());
+  DTL_RETURN_NOT_OK(it->status());
+  return rows;
+}
+
+}  // namespace dtl::table

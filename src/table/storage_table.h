@@ -1,0 +1,74 @@
+// The storage-agnostic table interface every system under test implements.
+// The SQL executor, the benches, and the examples talk only to this.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/status.h"
+#include "table/spec.h"
+
+namespace dtl::table {
+
+/// Pull iterator over scan results. Rows are full schema width; columns
+/// outside the scan's required set are NULL.
+class RowIterator {
+ public:
+  virtual ~RowIterator() = default;
+
+  /// Advances; false at end or error (check status()).
+  virtual bool Next() = 0;
+  virtual const Row& row() const = 0;
+  /// DualTable record ID of the current row; 0 for systems without one.
+  virtual uint64_t record_id() const { return 0; }
+  virtual const Status& status() const = 0;
+};
+
+/// One independently openable unit of a scan (≈ a MapReduce input split:
+/// a master file, a chunk, or a region range).
+struct ScanSplit {
+  std::string label;
+  std::function<Result<std::unique_ptr<RowIterator>>()> open;
+};
+
+/// A named table in some storage system.
+class StorageTable {
+ public:
+  virtual ~StorageTable() = default;
+
+  virtual const std::string& name() const = 0;
+  virtual const Schema& schema() const = 0;
+
+  /// Sequential scan honoring the spec (projection, predicate, pruning).
+  virtual Result<std::unique_ptr<RowIterator>> Scan(const ScanSpec& spec) = 0;
+
+  /// Splits for MapReduce-style parallel scans. Default: one split wrapping
+  /// the sequential scan.
+  virtual Result<std::vector<ScanSplit>> CreateSplits(const ScanSpec& spec);
+
+  /// Appends rows (INSERT INTO / LOAD).
+  virtual Status InsertRows(const std::vector<Row>& rows) = 0;
+
+  /// Replaces the table's entire contents (INSERT OVERWRITE TABLE).
+  virtual Status OverwriteRows(const std::vector<Row>& rows) = 0;
+
+  /// UPDATE <table> SET <assignments> WHERE <predicate>.
+  virtual Result<DmlResult> Update(const ScanSpec& filter,
+                                   const std::vector<Assignment>& assignments) = 0;
+
+  /// DELETE FROM <table> WHERE <predicate>.
+  virtual Result<DmlResult> Delete(const ScanSpec& filter) = 0;
+
+  /// Total number of live rows (post-merge view).
+  virtual Result<uint64_t> CountRows();
+
+  /// Removes all backing storage.
+  virtual Status Drop() = 0;
+};
+
+/// Drains a scan into memory (tests/examples; not for big tables).
+Result<std::vector<Row>> CollectRows(StorageTable* table, const ScanSpec& spec);
+
+}  // namespace dtl::table

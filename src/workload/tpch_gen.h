@@ -1,0 +1,99 @@
+// Seeded dbgen-style generator for the two TPC-H tables the paper's
+// evaluation uses (lineitem, orders), plus the evaluation's query and DML
+// statements: Query-a = Q1, Query-b = Q12, Query-c = COUNT(*) on lineitem;
+// DML-a updates 5% of lineitem, DML-b deletes 2% of lineitem, DML-c joins
+// lineitem and orders and updates 16% of orders.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/schema.h"
+#include "common/status.h"
+#include "table/storage_table.h"
+
+namespace dtl::workload {
+
+/// TPC-H scale: rows = base rows × scale_factor (SF 1 = 6M lineitem rows).
+struct TpchConfig {
+  double scale_factor = 0.01;
+  uint64_t seed = 20150401;  // fixed: runs are reproducible
+  uint64_t batch_rows = 32768;
+
+  uint64_t lineitem_rows() const {
+    return static_cast<uint64_t>(6000000.0 * scale_factor);
+  }
+  uint64_t orders_rows() const {
+    return static_cast<uint64_t>(1500000.0 * scale_factor);
+  }
+};
+
+Schema LineitemSchema();
+Schema OrdersSchema();
+
+/// Column ordinals used by queries and DML (kept in sync with the schemas).
+namespace lineitem {
+inline constexpr size_t kOrderKey = 0;
+inline constexpr size_t kPartKey = 1;
+inline constexpr size_t kSuppKey = 2;
+inline constexpr size_t kLineNumber = 3;
+inline constexpr size_t kQuantity = 4;
+inline constexpr size_t kExtendedPrice = 5;
+inline constexpr size_t kDiscount = 6;
+inline constexpr size_t kTax = 7;
+inline constexpr size_t kReturnFlag = 8;
+inline constexpr size_t kLineStatus = 9;
+inline constexpr size_t kShipDate = 10;
+inline constexpr size_t kCommitDate = 11;
+inline constexpr size_t kReceiptDate = 12;
+inline constexpr size_t kShipInstruct = 13;
+inline constexpr size_t kShipMode = 14;
+inline constexpr size_t kComment = 15;
+}  // namespace lineitem
+
+namespace orders {
+inline constexpr size_t kOrderKey = 0;
+inline constexpr size_t kCustKey = 1;
+inline constexpr size_t kOrderStatus = 2;
+inline constexpr size_t kTotalPrice = 3;
+inline constexpr size_t kOrderDate = 4;
+inline constexpr size_t kOrderPriority = 5;
+inline constexpr size_t kClerk = 6;
+inline constexpr size_t kShipPriority = 7;
+inline constexpr size_t kComment = 8;
+}  // namespace orders
+
+/// Ship dates span [kDateEpoch, kDateEpoch + kDateSpanDays); predicates that
+/// select "the first p% of dates" hit ~p% of rows (uniform distribution).
+inline constexpr int64_t kDateEpoch = 8400;      // ~1993-01-01 in days
+inline constexpr int64_t kDateSpanDays = 2400;   // ~6.5 years
+
+/// Populates `table` with deterministic lineitem rows.
+Status GenerateLineitem(table::StorageTable* table, const TpchConfig& config);
+
+/// Populates `table` with deterministic orders rows.
+Status GenerateOrders(table::StorageTable* table, const TpchConfig& config);
+
+/// TPC-H Q1 (Query-a) over the given table name, as engine SQL.
+std::string QueryA(const std::string& lineitem_table);
+/// TPC-H Q12 (Query-b) joining orders with lineitem.
+std::string QueryB(const std::string& lineitem_table, const std::string& orders_table);
+/// COUNT(*) on lineitem (Query-c).
+std::string QueryC(const std::string& lineitem_table);
+
+/// Predicate spec selecting ~ratio of lineitem rows by ship date (used by
+/// the sweep benches); returned as SQL WHERE fragment.
+std::string LineitemRatioPredicate(double ratio);
+
+/// DML-a: UPDATE ~5% of lineitem (sets one field), as engine SQL.
+std::string DmlA(const std::string& lineitem_table);
+/// DML-b: DELETE ~2% of lineitem.
+std::string DmlB(const std::string& lineitem_table);
+
+/// DML-c: join lineitem and orders, update ~16% of orders. Executed through
+/// the storage API because the SQL subset has no join-update; the join runs
+/// as a SELECT, the update as an IN-set predicate.
+Result<table::DmlResult> RunDmlC(table::StorageTable* orders_table,
+                                 table::StorageTable* lineitem_table);
+
+}  // namespace dtl::workload

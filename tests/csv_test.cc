@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "sql/session.h"
+#include "table/csv.h"
+
+namespace dtl::table {
+namespace {
+
+TEST(CsvSplitTest, PlainAndQuotedFields) {
+  CsvOptions options;
+  auto fields = SplitCsvLine("a,b,,\"c,d\",\"he said \"\"hi\"\"\"", options);
+  ASSERT_TRUE(fields.ok());
+  ASSERT_EQ(fields->size(), 5u);
+  EXPECT_EQ((*fields)[0], "a");
+  EXPECT_EQ((*fields)[2], "");
+  EXPECT_EQ((*fields)[3], "c,d");
+  EXPECT_EQ((*fields)[4], "he said \"hi\"");
+}
+
+TEST(CsvSplitTest, UnterminatedQuoteRejected) {
+  EXPECT_FALSE(SplitCsvLine("a,\"oops", CsvOptions()).ok());
+}
+
+TEST(CsvFieldTest, TypedParsingAndErrors) {
+  CsvOptions options;
+  EXPECT_EQ(ParseCsvField("42", DataType::kInt64, "c", options)->AsInt64(), 42);
+  EXPECT_EQ(ParseCsvField("-7", DataType::kDate, "c", options)->AsInt64(), -7);
+  EXPECT_DOUBLE_EQ(ParseCsvField("2.5", DataType::kDouble, "c", options)->AsDouble(), 2.5);
+  EXPECT_TRUE(ParseCsvField("true", DataType::kBool, "c", options)->AsBool());
+  EXPECT_EQ(ParseCsvField("hi", DataType::kString, "c", options)->AsString(), "hi");
+  EXPECT_TRUE(ParseCsvField("\\N", DataType::kInt64, "c", options)->is_null());
+  EXPECT_FALSE(ParseCsvField("4x", DataType::kInt64, "c", options).ok());
+  EXPECT_FALSE(ParseCsvField("maybe", DataType::kBool, "c", options).ok());
+}
+
+TEST(CsvFormatTest, RoundTripThroughFormatAndSplit) {
+  Row row{Value::Int64(1), Value::String("a,b"), Value::Null(), Value::Double(2.5)};
+  CsvOptions options;
+  std::string line = FormatCsvRow(row, options);
+  auto fields = SplitCsvLine(line, options);
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ((*fields)[0], "1");
+  EXPECT_EQ((*fields)[1], "a,b");
+  EXPECT_EQ((*fields)[2], "\\N");
+}
+
+TEST(CsvFileTest, ReadFromSimulatedFs) {
+  fs::SimFileSystem fs;
+  auto w = fs.NewWritableFile("/staging/data.csv");
+  ASSERT_TRUE((*w)->Append("id,name,score\n1,alice,9.5\n2,bob,\\N\n").ok());
+  ASSERT_TRUE((*w)->Close().ok());
+
+  Schema schema({{"id", DataType::kInt64},
+                 {"name", DataType::kString},
+                 {"score", DataType::kDouble}});
+  CsvOptions options;
+  options.skip_header = true;
+  auto rows = ReadCsvFile(&fs, "/staging/data.csv", schema, options);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0][1].AsString(), "alice");
+  EXPECT_TRUE((*rows)[1][2].is_null());
+}
+
+TEST(CsvFileTest, ArityMismatchReportsLine) {
+  fs::SimFileSystem fs;
+  auto w = fs.NewWritableFile("/staging/bad.csv");
+  ASSERT_TRUE((*w)->Append("1,a\n2\n").ok());
+  ASSERT_TRUE((*w)->Close().ok());
+  Schema schema({{"id", DataType::kInt64}, {"name", DataType::kString}});
+  auto rows = ReadCsvFile(&fs, "/staging/bad.csv", schema);
+  ASSERT_FALSE(rows.ok());
+  EXPECT_NE(rows.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(LoadDataTest, LoadIntoDualTableViaSql) {
+  auto session = sql::Session::Create();
+  ASSERT_TRUE(session.ok());
+  auto w = (*session)->fs()->NewWritableFile("/staging/meters.csv");
+  std::string body;
+  for (int i = 0; i < 100; ++i) {
+    body += std::to_string(i) + "," + std::to_string(i % 36) + "," +
+            std::to_string(i * 0.5) + "\n";
+  }
+  ASSERT_TRUE((*w)->Append(body).ok());
+  ASSERT_TRUE((*w)->Close().ok());
+
+  auto create = (*session)->Execute(
+      "CREATE TABLE meters (id BIGINT, day DATE, kwh DOUBLE) STORED AS dualtable");
+  ASSERT_TRUE(create.ok());
+  auto load =
+      (*session)->Execute("LOAD DATA INPATH '/staging/meters.csv' INTO TABLE meters");
+  ASSERT_TRUE(load.ok()) << load.status().ToString();
+  EXPECT_EQ(load->affected_rows, 100u);
+
+  auto count = (*session)->Execute("SELECT COUNT(*) FROM meters");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->rows[0][0].AsInt64(), 100);
+
+  // LOAD ... OVERWRITE replaces.
+  auto reload = (*session)->Execute(
+      "LOAD DATA INPATH '/staging/meters.csv' OVERWRITE INTO TABLE meters");
+  ASSERT_TRUE(reload.ok());
+  count = (*session)->Execute("SELECT COUNT(*) FROM meters");
+  EXPECT_EQ(count->rows[0][0].AsInt64(), 100);
+}
+
+TEST(LoadDataTest, MissingFileIsError) {
+  auto session = sql::Session::Create();
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE((*session)->Execute("CREATE TABLE t (x BIGINT)").ok());
+  auto load = (*session)->Execute("LOAD DATA INPATH '/nope.csv' INTO TABLE t");
+  EXPECT_FALSE(load.ok());
+}
+
+}  // namespace
+}  // namespace dtl::table

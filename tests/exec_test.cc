@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include "exec/mapreduce.h"
+#include "exec/operators.h"
+
+namespace dtl::exec {
+namespace {
+
+std::unique_ptr<Operator> MakeRows(std::vector<Row> rows) {
+  return std::make_unique<RowsOperator>(std::move(rows));
+}
+
+Row R(std::initializer_list<int64_t> values) {
+  Row row;
+  for (int64_t v : values) row.push_back(Value::Int64(v));
+  return row;
+}
+
+ValueFn Col(size_t i) {
+  return [i](const Row& row) { return row[i]; };
+}
+
+TEST(OperatorTest, FilterKeepsMatches) {
+  auto plan = std::make_unique<FilterOperator>(
+      MakeRows({R({1}), R({2}), R({3}), R({4})}),
+      [](const Row& row) { return row[0].AsInt64() % 2 == 0; });
+  auto rows = Collect(plan.get());
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0][0].AsInt64(), 2);
+}
+
+TEST(OperatorTest, ProjectComputes) {
+  auto plan = std::make_unique<ProjectOperator>(
+      MakeRows({R({3, 4})}),
+      std::vector<ValueFn>{[](const Row& row) {
+        return Value::Int64(row[0].AsInt64() + row[1].AsInt64());
+      }});
+  auto rows = Collect(plan.get());
+  ASSERT_EQ((*rows)[0][0].AsInt64(), 7);
+}
+
+TEST(OperatorTest, InnerHashJoinMatchesKeys) {
+  auto probe = MakeRows({R({1, 10}), R({2, 20}), R({3, 30})});
+  auto build = MakeRows({R({2, 200}), R({3, 300}), R({3, 301}), R({9, 900})});
+  auto plan = std::make_unique<HashJoinOperator>(
+      std::move(probe), std::move(build), std::vector<ValueFn>{Col(0)},
+      std::vector<ValueFn>{Col(0)}, 2, HashJoinOperator::Kind::kInner);
+  auto rows = Collect(plan.get());
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 3u);  // key2 ×1, key3 ×2
+  for (const Row& row : *rows) {
+    EXPECT_EQ(row.size(), 4u);
+    EXPECT_EQ(row[0].AsInt64(), row[2].AsInt64());
+  }
+}
+
+TEST(OperatorTest, LeftOuterJoinPreservesProbeRows) {
+  auto probe = MakeRows({R({1}), R({2})});
+  auto build = MakeRows({R({2, 200})});
+  auto plan = std::make_unique<HashJoinOperator>(
+      std::move(probe), std::move(build), std::vector<ValueFn>{Col(0)},
+      std::vector<ValueFn>{Col(0)}, 2, HashJoinOperator::Kind::kLeftOuter);
+  auto rows = Collect(plan.get());
+  ASSERT_EQ(rows->size(), 2u);
+  // Unmatched probe row gets NULL build columns.
+  EXPECT_TRUE((*rows)[0][1].is_null());
+  EXPECT_EQ((*rows)[1][2].AsInt64(), 200);
+}
+
+TEST(OperatorTest, JoinNullKeysNeverMatch) {
+  std::vector<Row> probe_rows = {{Value::Null(), Value::Int64(1)}};
+  std::vector<Row> build_rows = {{Value::Null(), Value::Int64(2)}};
+  auto plan = std::make_unique<HashJoinOperator>(
+      MakeRows(probe_rows), MakeRows(build_rows), std::vector<ValueFn>{Col(0)},
+      std::vector<ValueFn>{Col(0)}, 2, HashJoinOperator::Kind::kInner);
+  auto rows = Collect(plan.get());
+  EXPECT_TRUE(rows->empty());
+}
+
+TEST(OperatorTest, AggregateGroupsAndComputes) {
+  auto input = MakeRows({R({1, 10}), R({1, 20}), R({2, 5})});
+  std::vector<AggSpec> aggs;
+  aggs.push_back(AggSpec{AggKind::kSum, Col(1)});
+  aggs.push_back(AggSpec{AggKind::kCountStar, nullptr});
+  aggs.push_back(AggSpec{AggKind::kMax, Col(1)});
+  auto plan = std::make_unique<HashAggregateOperator>(
+      std::move(input), std::vector<ValueFn>{Col(0)}, std::move(aggs));
+  auto rows = Collect(plan.get());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0][0].AsInt64(), 1);
+  EXPECT_EQ((*rows)[0][1].AsInt64(), 30);
+  EXPECT_EQ((*rows)[0][2].AsInt64(), 2);
+  EXPECT_EQ((*rows)[0][3].AsInt64(), 20);
+}
+
+TEST(OperatorTest, GlobalAggregateOnEmptyInputYieldsOneRow) {
+  std::vector<AggSpec> aggs;
+  aggs.push_back(AggSpec{AggKind::kCountStar, nullptr});
+  aggs.push_back(AggSpec{AggKind::kSum, Col(0)});
+  auto plan = std::make_unique<HashAggregateOperator>(MakeRows({}), std::vector<ValueFn>{},
+                                                      std::move(aggs));
+  auto rows = Collect(plan.get());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][0].AsInt64(), 0);
+  EXPECT_TRUE((*rows)[0][1].is_null());  // SUM of nothing is NULL
+}
+
+TEST(OperatorTest, AggregatesSkipNulls) {
+  std::vector<Row> input = {{Value::Int64(5)}, {Value::Null()}, {Value::Int64(15)}};
+  std::vector<AggSpec> aggs;
+  aggs.push_back(AggSpec{AggKind::kAvg, Col(0)});
+  aggs.push_back(AggSpec{AggKind::kCount, Col(0)});
+  auto plan = std::make_unique<HashAggregateOperator>(
+      MakeRows(input), std::vector<ValueFn>{}, std::move(aggs));
+  auto rows = Collect(plan.get());
+  EXPECT_DOUBLE_EQ((*rows)[0][0].AsDouble(), 10.0);
+  EXPECT_EQ((*rows)[0][1].AsInt64(), 2);
+}
+
+TEST(OperatorTest, SortAscendingDescending) {
+  auto plan = std::make_unique<SortOperator>(
+      MakeRows({R({3, 1}), R({1, 2}), R({2, 3})}), std::vector<ValueFn>{Col(0)},
+      std::vector<bool>{false});
+  auto rows = Collect(plan.get());
+  EXPECT_EQ((*rows)[0][0].AsInt64(), 3);
+  EXPECT_EQ((*rows)[2][0].AsInt64(), 1);
+}
+
+TEST(OperatorTest, LimitStopsEarly) {
+  auto plan = std::make_unique<LimitOperator>(
+      MakeRows({R({1}), R({2}), R({3})}), 2);
+  auto rows = Collect(plan.get());
+  EXPECT_EQ(rows->size(), 2u);
+}
+
+// --- MapReduce --------------------------------------------------------------------
+
+std::vector<table::ScanSplit> MakeSplits(std::vector<std::vector<Row>> split_rows) {
+  std::vector<table::ScanSplit> splits;
+  for (auto& rows : split_rows) {
+    auto shared = std::make_shared<std::vector<Row>>(std::move(rows));
+    splits.push_back(table::ScanSplit{
+        "mem", [shared]() -> Result<std::unique_ptr<table::RowIterator>> {
+          class It : public table::RowIterator {
+           public:
+            explicit It(std::shared_ptr<std::vector<Row>> rows) : rows_(std::move(rows)) {}
+            bool Next() override { return ++index_ <= rows_->size(); }
+            const Row& row() const override { return (*rows_)[index_ - 1]; }
+            const Status& status() const override { return status_; }
+
+           private:
+            std::shared_ptr<std::vector<Row>> rows_;
+            size_t index_ = 0;
+            Status status_;
+          };
+          return std::unique_ptr<table::RowIterator>(new It(shared));
+        }});
+  }
+  return splits;
+}
+
+TEST(MapReduceTest, WordCountStyleAggregation) {
+  ThreadPool pool(4);
+  auto splits = MakeSplits({{R({1, 10}), R({2, 20})}, {R({1, 30})}, {R({2, 5}), R({1, 1})}});
+  MapReduceConfig config;
+  config.pool = &pool;
+  config.num_reducers = 3;
+  MapReduceStats stats;
+  auto result = RunMapReduce(
+      splits,
+      [](const Row& row, uint64_t, std::vector<std::pair<Value, Row>>* out) {
+        out->emplace_back(row[0], Row{row[1]});
+      },
+      [](const Value& key, const std::vector<Row>& values, std::vector<Row>* out) {
+        int64_t sum = 0;
+        for (const Row& v : values) sum += v[0].AsInt64();
+        out->push_back(Row{key, Value::Int64(sum)});
+      },
+      config, &stats);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 2u);
+  int64_t total = 0;
+  for (const Row& row : *result) {
+    if (row[0].AsInt64() == 1) EXPECT_EQ(row[1].AsInt64(), 41);
+    if (row[0].AsInt64() == 2) EXPECT_EQ(row[1].AsInt64(), 25);
+    total += row[1].AsInt64();
+  }
+  EXPECT_EQ(total, 66);
+  EXPECT_EQ(stats.map_tasks, 3u);
+  EXPECT_EQ(stats.input_records, 5u);
+}
+
+TEST(MapReduceTest, MapOnlyJobConcatenatesInSplitOrder) {
+  ThreadPool pool(4);
+  auto splits = MakeSplits({{R({1})}, {R({2})}, {R({3})}});
+  MapReduceConfig config;
+  config.pool = &pool;
+  auto result = RunMapReduce(
+      splits,
+      [](const Row& row, uint64_t, std::vector<std::pair<Value, Row>>* out) {
+        out->emplace_back(Value::Null(), row);
+      },
+      nullptr, config);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 3u);
+  EXPECT_EQ((*result)[0][0].AsInt64(), 1);
+  EXPECT_EQ((*result)[2][0].AsInt64(), 3);
+}
+
+TEST(MapReduceTest, ParallelCountSumsSplits) {
+  ThreadPool pool(4);
+  auto splits = MakeSplits({{R({1}), R({2})}, {}, {R({3})}});
+  auto count = ParallelCount(splits, &pool);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 3u);
+}
+
+}  // namespace
+}  // namespace dtl::exec

@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include "sql/lexer.h"
+#include "sql/parser.h"
+
+namespace dtl::sql {
+namespace {
+
+TEST(LexerTest, TokenKinds) {
+  auto tokens = Tokenize("SELECT a_1, 42, 3.5, 'it''s' FROM t WHERE x <= 5");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "select");  // lowercased keyword/identifier
+  EXPECT_EQ((*tokens)[1].text, "a_1");
+  EXPECT_EQ((*tokens)[3].int_value, 42);
+  EXPECT_DOUBLE_EQ((*tokens)[5].double_value, 3.5);
+  EXPECT_EQ((*tokens)[7].text, "it's");  // escaped quote
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  auto tokens = Tokenize("SELECT 1 -- trailing comment\n, 2");
+  ASSERT_TRUE(tokens.ok());
+  // select, 1, ',', 2, end
+  EXPECT_EQ(tokens->size(), 5u);
+}
+
+TEST(LexerTest, OperatorNormalization) {
+  auto tokens = Tokenize("a != b == c");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[1].text, "<>");
+  EXPECT_EQ((*tokens)[3].text, "=");
+}
+
+TEST(LexerTest, UnterminatedStringIsError) {
+  EXPECT_FALSE(Tokenize("SELECT 'oops").ok());
+}
+
+TEST(ParserTest, SelectWithEverything) {
+  auto stmt = ParseStatement(
+      "SELECT t.a, SUM(b) total FROM tbl t LEFT OUTER JOIN other o ON t.k = o.k "
+      "WHERE t.a > 5 AND o.x IN (1, 2, 3) GROUP BY t.a HAVING SUM(b) > 10 "
+      "ORDER BY total DESC LIMIT 7;");
+  ASSERT_TRUE(stmt.ok());
+  const auto& select = std::get<SelectStmt>(*stmt);
+  EXPECT_EQ(select.items.size(), 2u);
+  EXPECT_EQ(select.items[1].alias, "total");
+  EXPECT_EQ(select.from.table, "tbl");
+  EXPECT_EQ(select.from.alias, "t");
+  ASSERT_EQ(select.joins.size(), 1u);
+  EXPECT_TRUE(select.joins[0].left_outer);
+  ASSERT_TRUE(select.where != nullptr);
+  EXPECT_EQ(select.group_by.size(), 1u);
+  ASSERT_TRUE(select.having != nullptr);
+  ASSERT_EQ(select.order_by.size(), 1u);
+  EXPECT_FALSE(select.order_by[0].ascending);
+  EXPECT_EQ(select.limit, 7u);
+}
+
+TEST(ParserTest, SelectStar) {
+  auto stmt = ParseStatement("SELECT * FROM t");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE(std::get<SelectStmt>(*stmt).items[0].star);
+}
+
+TEST(ParserTest, CreateTableWithStorage) {
+  auto stmt = ParseStatement(
+      "CREATE TABLE IF NOT EXISTS m (id BIGINT, price DOUBLE, tag STRING) "
+      "STORED AS dualtable");
+  ASSERT_TRUE(stmt.ok());
+  const auto& create = std::get<CreateTableStmt>(*stmt);
+  EXPECT_TRUE(create.if_not_exists);
+  EXPECT_EQ(create.columns.size(), 3u);
+  EXPECT_EQ(create.stored_as, "dualtable");
+}
+
+TEST(ParserTest, InsertMultipleRows) {
+  auto stmt = ParseStatement("INSERT INTO t VALUES (1, 'a'), (2, 'b')");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(std::get<InsertStmt>(*stmt).rows.size(), 2u);
+}
+
+TEST(ParserTest, UpdateWithRatioHint) {
+  auto stmt =
+      ParseStatement("UPDATE t SET a = a + 1, b = 'x' WHERE day < 5 WITH RATIO 0.05");
+  ASSERT_TRUE(stmt.ok());
+  const auto& update = std::get<UpdateStmt>(*stmt);
+  EXPECT_EQ(update.assignments.size(), 2u);
+  ASSERT_TRUE(update.ratio_hint.has_value());
+  EXPECT_DOUBLE_EQ(*update.ratio_hint, 0.05);
+}
+
+TEST(ParserTest, DeleteWithWhere) {
+  auto stmt = ParseStatement("DELETE FROM t WHERE id = 3");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE(std::get<DeleteStmt>(*stmt).where != nullptr);
+}
+
+TEST(ParserTest, CompactAndShow) {
+  EXPECT_TRUE(std::holds_alternative<CompactStmt>(*ParseStatement("COMPACT TABLE t")));
+  EXPECT_TRUE(std::holds_alternative<ShowTablesStmt>(*ParseStatement("SHOW TABLES")));
+}
+
+TEST(ParserTest, PrecedenceAndOverOr) {
+  auto expr = ParseExpression("a or b and c");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_EQ((*expr)->op, "or");
+  EXPECT_EQ((*expr)->args[1]->op, "and");
+}
+
+TEST(ParserTest, ArithmeticPrecedence) {
+  auto expr = ParseExpression("1 + 2 * 3");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_EQ((*expr)->op, "+");
+  EXPECT_EQ((*expr)->args[1]->op, "*");
+}
+
+TEST(ParserTest, BetweenDesugarsToRange) {
+  auto expr = ParseExpression("x BETWEEN 1 AND 5");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_EQ((*expr)->op, "and");
+  EXPECT_EQ((*expr)->args[0]->op, ">=");
+  EXPECT_EQ((*expr)->args[1]->op, "<=");
+}
+
+TEST(ParserTest, IsNullAndNotIn) {
+  auto e1 = ParseExpression("x IS NOT NULL");
+  ASSERT_TRUE(e1.ok());
+  EXPECT_EQ((*e1)->kind, Expr::Kind::kIsNull);
+  EXPECT_TRUE((*e1)->negated);
+  auto e2 = ParseExpression("x NOT IN (1, 2)");
+  ASSERT_TRUE(e2.ok());
+  EXPECT_EQ((*e2)->kind, Expr::Kind::kInList);
+  EXPECT_TRUE((*e2)->negated);
+}
+
+TEST(ParserTest, CountStar) {
+  auto expr = ParseExpression("COUNT(*)");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_TRUE((*expr)->star_arg);
+}
+
+TEST(ParserTest, ErrorsHaveContext) {
+  auto stmt = ParseStatement("SELECT FROM t");
+  ASSERT_FALSE(stmt.ok());
+  auto stmt2 = ParseStatement("UPDATE t WHERE x = 1");
+  ASSERT_FALSE(stmt2.ok());
+  EXPECT_NE(stmt2.status().message().find("set"), std::string::npos);
+}
+
+TEST(ParserTest, TrailingGarbageRejected) {
+  EXPECT_FALSE(ParseStatement("SELECT 1 FROM t extra garbage here").ok());
+}
+
+TEST(ParserTest, MergeStatement) {
+  auto stmt = ParseStatement(
+      "MERGE INTO t ON (a, b) VALUES (1, 2, 'x'), (3, 4, 'y') WITH RATIO 0.1");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const auto& merge = std::get<MergeStmt>(*stmt);
+  EXPECT_EQ(merge.key_columns, (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(merge.rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(*merge.ratio_hint, 0.1);
+}
+
+TEST(ParserTest, InsertOverwriteSelect) {
+  auto stmt = ParseStatement("INSERT OVERWRITE TABLE t SELECT a, b FROM s WHERE a > 1");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const auto& insert = std::get<InsertStmt>(*stmt);
+  EXPECT_TRUE(insert.overwrite);
+  ASSERT_NE(insert.select, nullptr);
+  EXPECT_EQ(insert.select->items.size(), 2u);
+}
+
+TEST(ParserTest, InsertIntoSelect) {
+  auto stmt = ParseStatement("INSERT INTO t SELECT * FROM s");
+  ASSERT_TRUE(stmt.ok());
+  const auto& insert = std::get<InsertStmt>(*stmt);
+  EXPECT_FALSE(insert.overwrite);
+  ASSERT_NE(insert.select, nullptr);
+}
+
+TEST(ParserTest, DerivedTableInFrom) {
+  auto stmt = ParseStatement(
+      "SELECT g.total FROM (SELECT SUM(v) total FROM t GROUP BY k) g WHERE g.total > 1");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const auto& select = std::get<SelectStmt>(*stmt);
+  ASSERT_NE(select.from.subquery, nullptr);
+  EXPECT_EQ(select.from.alias, "g");
+}
+
+TEST(ParserTest, DerivedTableRequiresAlias) {
+  EXPECT_FALSE(ParseStatement("SELECT * FROM (SELECT 1 FROM t)").ok());
+}
+
+TEST(ParserTest, DerivedTableInJoin) {
+  auto stmt = ParseStatement(
+      "SELECT * FROM a LEFT OUTER JOIN (SELECT k k, SUM(v) s FROM b GROUP BY k) g "
+      "ON a.k = g.k");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const auto& select = std::get<SelectStmt>(*stmt);
+  ASSERT_EQ(select.joins.size(), 1u);
+  EXPECT_NE(select.joins[0].table.subquery, nullptr);
+}
+
+TEST(ParserTest, LoadDataStatement) {
+  auto stmt = ParseStatement("LOAD DATA INPATH '/staging/x.csv' INTO TABLE t");
+  ASSERT_TRUE(stmt.ok());
+  const auto& load = std::get<LoadStmt>(*stmt);
+  EXPECT_EQ(load.path, "/staging/x.csv");
+  EXPECT_FALSE(load.overwrite);
+  auto stmt2 =
+      ParseStatement("LOAD DATA INPATH '/x.csv' OVERWRITE INTO TABLE t");
+  ASSERT_TRUE(stmt2.ok());
+  EXPECT_TRUE(std::get<LoadStmt>(*stmt2).overwrite);
+}
+
+TEST(ExprTest, StructuralEquality) {
+  auto a = ParseExpression("sum(x + 1)");
+  auto b = ParseExpression("SUM(x + 1)");
+  auto c = ParseExpression("sum(x + 2)");
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_TRUE((*a)->Equals(**b));
+  EXPECT_FALSE((*a)->Equals(**c));
+}
+
+TEST(ExprTest, CloneIsDeep) {
+  auto a = ParseExpression("f(x, y + 1)");
+  ASSERT_TRUE(a.ok());
+  auto clone = (*a)->Clone();
+  EXPECT_TRUE(clone->Equals(**a));
+  EXPECT_NE(clone.get(), a->get());
+}
+
+}  // namespace
+}  // namespace dtl::sql

@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include "sql/session.h"
+#include "workload/grid_gen.h"
+#include "workload/tpch_gen.h"
+
+namespace dtl::workload {
+namespace {
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto session = sql::Session::Create();
+    ASSERT_TRUE(session.ok());
+    session_ = std::move(*session);
+  }
+
+  std::unique_ptr<sql::Session> session_;
+};
+
+TEST_F(WorkloadTest, LineitemGenerationDeterministic) {
+  TpchConfig config;
+  config.scale_factor = 0.001;  // 6000 rows
+  auto t1 = session_->CreateHiveTable("li1", LineitemSchema());
+  auto t2 = session_->CreateHiveTable("li2", LineitemSchema());
+  ASSERT_TRUE(t1.ok() && t2.ok());
+  ASSERT_TRUE(GenerateLineitem(t1->get(), config).ok());
+  ASSERT_TRUE(GenerateLineitem(t2->get(), config).ok());
+
+  auto rows1 = table::CollectRows(t1->get(), table::ScanSpec{});
+  auto rows2 = table::CollectRows(t2->get(), table::ScanSpec{});
+  ASSERT_TRUE(rows1.ok() && rows2.ok());
+  ASSERT_EQ(rows1->size(), config.lineitem_rows());
+  ASSERT_EQ(rows1->size(), rows2->size());
+  for (size_t i = 0; i < rows1->size(); i += 97) {
+    for (size_t c = 0; c < (*rows1)[i].size(); ++c) {
+      EXPECT_EQ((*rows1)[i][c].Compare((*rows2)[i][c]), 0);
+    }
+  }
+}
+
+TEST_F(WorkloadTest, RatioPredicateSelectivityAccurate) {
+  TpchConfig config;
+  config.scale_factor = 0.002;
+  auto t = session_->CreateHiveTable("lineitem", LineitemSchema());
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(GenerateLineitem(t->get(), config).ok());
+  for (double ratio : {0.05, 0.2, 0.5}) {
+    auto result = session_->Execute("SELECT COUNT(*) FROM lineitem WHERE " +
+                                    LineitemRatioPredicate(ratio));
+    ASSERT_TRUE(result.ok());
+    double actual = static_cast<double>(result->rows[0][0].AsInt64()) /
+                    static_cast<double>(config.lineitem_rows());
+    EXPECT_NEAR(actual, ratio, 0.02) << "ratio " << ratio;
+  }
+}
+
+TEST_F(WorkloadTest, TpchQueriesRun) {
+  TpchConfig config;
+  config.scale_factor = 0.001;
+  auto li = session_->CreateHiveTable("lineitem", LineitemSchema());
+  auto ord = session_->CreateHiveTable("orders", OrdersSchema());
+  ASSERT_TRUE(li.ok() && ord.ok());
+  ASSERT_TRUE(GenerateLineitem(li->get(), config).ok());
+  ASSERT_TRUE(GenerateOrders(ord->get(), config).ok());
+
+  auto qa = session_->Execute(QueryA("lineitem"));
+  ASSERT_TRUE(qa.ok()) << qa.status().ToString();
+  EXPECT_GE(qa->rows.size(), 3u);  // returnflag x linestatus groups
+  EXPECT_EQ(qa->rows[0].size(), 10u);
+
+  auto qb = session_->Execute(QueryB("lineitem", "orders"));
+  ASSERT_TRUE(qb.ok()) << qb.status().ToString();
+  EXPECT_LE(qb->rows.size(), 2u);  // MAIL, SHIP
+
+  auto qc = session_->Execute(QueryC("lineitem"));
+  ASSERT_TRUE(qc.ok());
+  EXPECT_EQ(qc->rows[0][0].AsInt64(),
+            static_cast<int64_t>(config.lineitem_rows()));
+}
+
+TEST_F(WorkloadTest, TpchDmlStatementsMatchTargetRatios) {
+  TpchConfig config;
+  config.scale_factor = 0.002;
+  auto li = session_->CreateDualTable("lineitem", LineitemSchema());
+  ASSERT_TRUE(li.ok());
+  ASSERT_TRUE(GenerateLineitem(li->get(), config).ok());
+
+  auto a = session_->Execute(DmlA("lineitem"));
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  double ratio_a = static_cast<double>(a->affected_rows) /
+                   static_cast<double>(config.lineitem_rows());
+  EXPECT_NEAR(ratio_a, 0.05, 0.02);
+  EXPECT_EQ(a->dml_plan, "EDIT");  // 5% is far below the crossover
+
+  auto b = session_->Execute(DmlB("lineitem"));
+  ASSERT_TRUE(b.ok());
+  double ratio_b = static_cast<double>(b->affected_rows) /
+                   static_cast<double>(config.lineitem_rows());
+  EXPECT_NEAR(ratio_b, 0.02, 0.015);
+}
+
+TEST_F(WorkloadTest, TpchDmlCJoinUpdate) {
+  TpchConfig config;
+  config.scale_factor = 0.002;
+  auto li = session_->CreateDualTable("lineitem", LineitemSchema());
+  auto ord = session_->CreateDualTable("orders", OrdersSchema());
+  ASSERT_TRUE(li.ok() && ord.ok());
+  ASSERT_TRUE(GenerateLineitem(li->get(), config).ok());
+  ASSERT_TRUE(GenerateOrders(ord->get(), config).ok());
+
+  auto result = RunDmlC(ord->get(), li->get());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  double ratio = static_cast<double>(result->rows_matched) /
+                 static_cast<double>(config.orders_rows());
+  // DML-c targets ~16% of orders.
+  EXPECT_NEAR(ratio, 0.16, 0.1);
+  EXPECT_GT(result->rows_matched, 0u);
+}
+
+TEST_F(WorkloadTest, GridTableSpecsCoverPaperTables) {
+  GridConfig config;
+  auto specs2 = TableIISpecs(config);
+  auto specs3 = TableIIISpecs(config);
+  EXPECT_EQ(specs2.size(), 6u);
+  EXPECT_EQ(specs3.size(), 6u);
+  // Paper row counts preserved.
+  EXPECT_EQ(specs2[4].name, "tj_gbsjwzl_mx");
+  EXPECT_EQ(specs2[4].paper_rows, 239032928u);
+  // Wide rows: experiment columns + fillers.
+  EXPECT_GE(specs2[0].schema.num_fields(), 5u + config.filler_columns);
+}
+
+TEST_F(WorkloadTest, GridSweepPredicateSelectsExpectedDays) {
+  GridConfig config;
+  config.fraction = 1.0 / 40000.0;  // ~6000 rows in tj_gbsjwzl_mx
+  auto specs = TableIISpecs(config);
+  const auto& mx = specs[4];
+  auto t = session_->CreateDualTable(mx.name, mx.schema);
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(GenerateGridTable(mx, config, t->get()).ok());
+  const auto total = ScaledRows(mx, config);
+
+  auto result = session_->Execute(GridUpdateDays(6));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  double ratio =
+      static_cast<double>(result->affected_rows) / static_cast<double>(total);
+  EXPECT_NEAR(ratio, 6.0 / 36.0, 0.03);
+}
+
+TEST_F(WorkloadTest, TableIVStatementsHitPaperRatios) {
+  GridConfig config;
+  config.fraction = 1.0 / 8000.0;
+  config.min_rows = 4000;
+  for (const auto& spec : TableIIISpecs(config)) {
+    auto t = session_->CreateDualTable(spec.name, spec.schema);
+    ASSERT_TRUE(t.ok());
+    ASSERT_TRUE(GenerateGridTable(spec, config, t->get()).ok());
+  }
+  for (const GridStatement& stmt : TableIVStatements()) {
+    auto result = session_->Execute(stmt.sql);
+    ASSERT_TRUE(result.ok()) << stmt.id << ": " << result.status().ToString();
+    auto count = session_->Execute("SELECT COUNT(*) FROM " + stmt.table);
+    ASSERT_TRUE(count.ok());
+    // Reconstruct pre-statement row count for deletes.
+    double total = static_cast<double>(count->rows[0][0].AsInt64());
+    if (stmt.id[0] == 'D') total += static_cast<double>(result->affected_rows);
+    double actual = total == 0 ? 0 : static_cast<double>(result->affected_rows) / total;
+    // Within 3x of the paper ratio (distributions are coarse at test scale);
+    // ultra-selective statements (D#4 at 0.01%) may match no rows at all here.
+    if (total * stmt.ratio >= 5.0) {
+      EXPECT_GT(result->affected_rows, 0u) << stmt.id;
+    }
+    EXPECT_LT(actual, stmt.ratio * 3 + 0.02) << stmt.id;
+  }
+}
+
+TEST_F(WorkloadTest, GridSelect1JoinRuns) {
+  GridConfig config;
+  config.fraction = 1.0 / 40000.0;
+  config.min_rows = 200;
+  for (const auto& spec : TableIISpecs(config)) {
+    auto t = session_->CreateHiveTable(spec.name, spec.schema);
+    ASSERT_TRUE(t.ok());
+    ASSERT_TRUE(GenerateGridTable(spec, config, t->get()).ok());
+  }
+  auto r1 = session_->Execute(GridSelect1());
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  EXPECT_GT(r1->rows.size(), 0u);
+  auto r2 = session_->Execute(GridSelect2());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_GT(r2->rows[0][0].AsInt64(), 0);
+}
+
+TEST(ScenarioMixTest, TableIPercentagesMatchPaper) {
+  // Paper Table I: %DML per scenario = 62, 72, 79, 50, 63.
+  auto mixes = ScenarioMixes();
+  ASSERT_EQ(mixes.size(), 5u);
+  const int expected[] = {62, 72, 79, 50, 63};
+  for (size_t i = 0; i < mixes.size(); ++i) {
+    EXPECT_EQ(static_cast<int>(mixes[i].dml_percent() + 0.5), expected[i])
+        << "scenario " << i + 1;
+    EXPECT_GE(mixes[i].dml_percent(), 50.0);  // the paper's headline: ≥50% DML
+  }
+}
+
+}  // namespace
+}  // namespace dtl::workload
