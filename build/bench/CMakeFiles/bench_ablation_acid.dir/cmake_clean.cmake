@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_acid.dir/bench_ablation_acid.cc.o"
+  "CMakeFiles/bench_ablation_acid.dir/bench_ablation_acid.cc.o.d"
+  "bench_ablation_acid"
+  "bench_ablation_acid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_acid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

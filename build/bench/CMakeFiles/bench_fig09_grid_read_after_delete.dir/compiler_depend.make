@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig09_grid_read_after_delete.
+# This may be replaced when dependencies are built.

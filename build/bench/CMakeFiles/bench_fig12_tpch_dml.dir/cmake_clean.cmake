@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_tpch_dml.dir/bench_fig12_tpch_dml.cc.o"
+  "CMakeFiles/bench_fig12_tpch_dml.dir/bench_fig12_tpch_dml.cc.o.d"
+  "bench_fig12_tpch_dml"
+  "bench_fig12_tpch_dml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_tpch_dml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

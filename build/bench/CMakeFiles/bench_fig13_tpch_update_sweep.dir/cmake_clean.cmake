@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_tpch_update_sweep.dir/bench_fig13_tpch_update_sweep.cc.o"
+  "CMakeFiles/bench_fig13_tpch_update_sweep.dir/bench_fig13_tpch_update_sweep.cc.o.d"
+  "bench_fig13_tpch_update_sweep"
+  "bench_fig13_tpch_update_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_tpch_update_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_tpch_delete_sweep.dir/bench_fig14_tpch_delete_sweep.cc.o"
+  "CMakeFiles/bench_fig14_tpch_delete_sweep.dir/bench_fig14_tpch_delete_sweep.cc.o.d"
+  "bench_fig14_tpch_delete_sweep"
+  "bench_fig14_tpch_delete_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_tpch_delete_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig16_tpch_update_plus_read.
+# This may be replaced when dependencies are built.

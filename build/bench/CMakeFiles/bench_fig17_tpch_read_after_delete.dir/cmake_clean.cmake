@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_tpch_read_after_delete.dir/bench_fig17_tpch_read_after_delete.cc.o"
+  "CMakeFiles/bench_fig17_tpch_read_after_delete.dir/bench_fig17_tpch_read_after_delete.cc.o.d"
+  "bench_fig17_tpch_read_after_delete"
+  "bench_fig17_tpch_read_after_delete.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_tpch_read_after_delete.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_grid_statements.dir/bench_table4_grid_statements.cc.o"
+  "CMakeFiles/bench_table4_grid_statements.dir/bench_table4_grid_statements.cc.o.d"
+  "bench_table4_grid_statements"
+  "bench_table4_grid_statements.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_grid_statements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtl_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/dtl_bench_common.dir/bench_common.cc.o.d"
+  "libdtl_bench_common.a"
+  "libdtl_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtl_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

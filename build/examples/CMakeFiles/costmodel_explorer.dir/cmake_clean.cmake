@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/costmodel_explorer.dir/costmodel_explorer.cpp.o"
+  "CMakeFiles/costmodel_explorer.dir/costmodel_explorer.cpp.o.d"
+  "costmodel_explorer"
+  "costmodel_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/costmodel_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtlsh.dir/dtlsh.cpp.o"
+  "CMakeFiles/dtlsh.dir/dtlsh.cpp.o.d"
+  "dtlsh"
+  "dtlsh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtlsh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dtl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/dtl_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/orc/CMakeFiles/dtl_orc.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/dtl_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/dtl_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/dtl_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/dtl_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/dualtable/CMakeFiles/dtl_dualtable.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/dtl_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dtl_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartgrid_pipeline.dir/smartgrid_pipeline.cpp.o"
+  "CMakeFiles/smartgrid_pipeline.dir/smartgrid_pipeline.cpp.o.d"
+  "smartgrid_pipeline"
+  "smartgrid_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartgrid_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

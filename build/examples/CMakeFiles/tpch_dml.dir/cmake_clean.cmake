@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpch_dml.dir/tpch_dml.cpp.o"
+  "CMakeFiles/tpch_dml.dir/tpch_dml.cpp.o.d"
+  "tpch_dml"
+  "tpch_dml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch_dml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

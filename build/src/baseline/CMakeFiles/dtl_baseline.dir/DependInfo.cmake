@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/acid_table.cc" "src/baseline/CMakeFiles/dtl_baseline.dir/acid_table.cc.o" "gcc" "src/baseline/CMakeFiles/dtl_baseline.dir/acid_table.cc.o.d"
+  "/root/repo/src/baseline/hbase_table.cc" "src/baseline/CMakeFiles/dtl_baseline.dir/hbase_table.cc.o" "gcc" "src/baseline/CMakeFiles/dtl_baseline.dir/hbase_table.cc.o.d"
+  "/root/repo/src/baseline/hive_table.cc" "src/baseline/CMakeFiles/dtl_baseline.dir/hive_table.cc.o" "gcc" "src/baseline/CMakeFiles/dtl_baseline.dir/hive_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dtl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/dtl_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/orc/CMakeFiles/dtl_orc.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/dtl_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/dtl_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/dualtable/CMakeFiles/dtl_dualtable.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtl_baseline.dir/acid_table.cc.o"
+  "CMakeFiles/dtl_baseline.dir/acid_table.cc.o.d"
+  "CMakeFiles/dtl_baseline.dir/hbase_table.cc.o"
+  "CMakeFiles/dtl_baseline.dir/hbase_table.cc.o.d"
+  "CMakeFiles/dtl_baseline.dir/hive_table.cc.o"
+  "CMakeFiles/dtl_baseline.dir/hive_table.cc.o.d"
+  "libdtl_baseline.a"
+  "libdtl_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtl_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

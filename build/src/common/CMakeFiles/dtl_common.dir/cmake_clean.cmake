@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtl_common.dir/bloom.cc.o"
+  "CMakeFiles/dtl_common.dir/bloom.cc.o.d"
+  "CMakeFiles/dtl_common.dir/coding.cc.o"
+  "CMakeFiles/dtl_common.dir/coding.cc.o.d"
+  "CMakeFiles/dtl_common.dir/schema.cc.o"
+  "CMakeFiles/dtl_common.dir/schema.cc.o.d"
+  "CMakeFiles/dtl_common.dir/status.cc.o"
+  "CMakeFiles/dtl_common.dir/status.cc.o.d"
+  "CMakeFiles/dtl_common.dir/thread_pool.cc.o"
+  "CMakeFiles/dtl_common.dir/thread_pool.cc.o.d"
+  "CMakeFiles/dtl_common.dir/value.cc.o"
+  "CMakeFiles/dtl_common.dir/value.cc.o.d"
+  "libdtl_common.a"
+  "libdtl_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtl_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

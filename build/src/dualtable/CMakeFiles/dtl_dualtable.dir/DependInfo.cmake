@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dualtable/attached_table.cc" "src/dualtable/CMakeFiles/dtl_dualtable.dir/attached_table.cc.o" "gcc" "src/dualtable/CMakeFiles/dtl_dualtable.dir/attached_table.cc.o.d"
+  "/root/repo/src/dualtable/cost_model.cc" "src/dualtable/CMakeFiles/dtl_dualtable.dir/cost_model.cc.o" "gcc" "src/dualtable/CMakeFiles/dtl_dualtable.dir/cost_model.cc.o.d"
+  "/root/repo/src/dualtable/dual_table.cc" "src/dualtable/CMakeFiles/dtl_dualtable.dir/dual_table.cc.o" "gcc" "src/dualtable/CMakeFiles/dtl_dualtable.dir/dual_table.cc.o.d"
+  "/root/repo/src/dualtable/master_table.cc" "src/dualtable/CMakeFiles/dtl_dualtable.dir/master_table.cc.o" "gcc" "src/dualtable/CMakeFiles/dtl_dualtable.dir/master_table.cc.o.d"
+  "/root/repo/src/dualtable/metadata.cc" "src/dualtable/CMakeFiles/dtl_dualtable.dir/metadata.cc.o" "gcc" "src/dualtable/CMakeFiles/dtl_dualtable.dir/metadata.cc.o.d"
+  "/root/repo/src/dualtable/union_read.cc" "src/dualtable/CMakeFiles/dtl_dualtable.dir/union_read.cc.o" "gcc" "src/dualtable/CMakeFiles/dtl_dualtable.dir/union_read.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dtl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/dtl_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/orc/CMakeFiles/dtl_orc.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/dtl_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/dtl_table.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

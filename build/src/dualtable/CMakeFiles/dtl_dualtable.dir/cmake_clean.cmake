@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtl_dualtable.dir/attached_table.cc.o"
+  "CMakeFiles/dtl_dualtable.dir/attached_table.cc.o.d"
+  "CMakeFiles/dtl_dualtable.dir/cost_model.cc.o"
+  "CMakeFiles/dtl_dualtable.dir/cost_model.cc.o.d"
+  "CMakeFiles/dtl_dualtable.dir/dual_table.cc.o"
+  "CMakeFiles/dtl_dualtable.dir/dual_table.cc.o.d"
+  "CMakeFiles/dtl_dualtable.dir/master_table.cc.o"
+  "CMakeFiles/dtl_dualtable.dir/master_table.cc.o.d"
+  "CMakeFiles/dtl_dualtable.dir/metadata.cc.o"
+  "CMakeFiles/dtl_dualtable.dir/metadata.cc.o.d"
+  "CMakeFiles/dtl_dualtable.dir/union_read.cc.o"
+  "CMakeFiles/dtl_dualtable.dir/union_read.cc.o.d"
+  "libdtl_dualtable.a"
+  "libdtl_dualtable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtl_dualtable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtl_exec.dir/mapreduce.cc.o"
+  "CMakeFiles/dtl_exec.dir/mapreduce.cc.o.d"
+  "CMakeFiles/dtl_exec.dir/operators.cc.o"
+  "CMakeFiles/dtl_exec.dir/operators.cc.o.d"
+  "libdtl_exec.a"
+  "libdtl_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtl_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

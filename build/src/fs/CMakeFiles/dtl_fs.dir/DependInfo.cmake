@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fs/cluster_model.cc" "src/fs/CMakeFiles/dtl_fs.dir/cluster_model.cc.o" "gcc" "src/fs/CMakeFiles/dtl_fs.dir/cluster_model.cc.o.d"
+  "/root/repo/src/fs/filesystem.cc" "src/fs/CMakeFiles/dtl_fs.dir/filesystem.cc.o" "gcc" "src/fs/CMakeFiles/dtl_fs.dir/filesystem.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dtl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

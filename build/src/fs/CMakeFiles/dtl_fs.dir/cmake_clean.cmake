@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtl_fs.dir/cluster_model.cc.o"
+  "CMakeFiles/dtl_fs.dir/cluster_model.cc.o.d"
+  "CMakeFiles/dtl_fs.dir/filesystem.cc.o"
+  "CMakeFiles/dtl_fs.dir/filesystem.cc.o.d"
+  "libdtl_fs.a"
+  "libdtl_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtl_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

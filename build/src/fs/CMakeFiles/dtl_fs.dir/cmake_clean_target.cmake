@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdtl_fs.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtl_kv.dir/sstable.cc.o"
+  "CMakeFiles/dtl_kv.dir/sstable.cc.o.d"
+  "CMakeFiles/dtl_kv.dir/store.cc.o"
+  "CMakeFiles/dtl_kv.dir/store.cc.o.d"
+  "CMakeFiles/dtl_kv.dir/wal.cc.o"
+  "CMakeFiles/dtl_kv.dir/wal.cc.o.d"
+  "libdtl_kv.a"
+  "libdtl_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtl_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

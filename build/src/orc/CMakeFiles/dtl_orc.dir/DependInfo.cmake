@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/orc/encoding.cc" "src/orc/CMakeFiles/dtl_orc.dir/encoding.cc.o" "gcc" "src/orc/CMakeFiles/dtl_orc.dir/encoding.cc.o.d"
+  "/root/repo/src/orc/orc_types.cc" "src/orc/CMakeFiles/dtl_orc.dir/orc_types.cc.o" "gcc" "src/orc/CMakeFiles/dtl_orc.dir/orc_types.cc.o.d"
+  "/root/repo/src/orc/reader.cc" "src/orc/CMakeFiles/dtl_orc.dir/reader.cc.o" "gcc" "src/orc/CMakeFiles/dtl_orc.dir/reader.cc.o.d"
+  "/root/repo/src/orc/writer.cc" "src/orc/CMakeFiles/dtl_orc.dir/writer.cc.o" "gcc" "src/orc/CMakeFiles/dtl_orc.dir/writer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dtl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/dtl_fs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtl_orc.dir/encoding.cc.o"
+  "CMakeFiles/dtl_orc.dir/encoding.cc.o.d"
+  "CMakeFiles/dtl_orc.dir/orc_types.cc.o"
+  "CMakeFiles/dtl_orc.dir/orc_types.cc.o.d"
+  "CMakeFiles/dtl_orc.dir/reader.cc.o"
+  "CMakeFiles/dtl_orc.dir/reader.cc.o.d"
+  "CMakeFiles/dtl_orc.dir/writer.cc.o"
+  "CMakeFiles/dtl_orc.dir/writer.cc.o.d"
+  "libdtl_orc.a"
+  "libdtl_orc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtl_orc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

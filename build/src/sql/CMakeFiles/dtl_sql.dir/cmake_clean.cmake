@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtl_sql.dir/ast.cc.o"
+  "CMakeFiles/dtl_sql.dir/ast.cc.o.d"
+  "CMakeFiles/dtl_sql.dir/binder.cc.o"
+  "CMakeFiles/dtl_sql.dir/binder.cc.o.d"
+  "CMakeFiles/dtl_sql.dir/engine.cc.o"
+  "CMakeFiles/dtl_sql.dir/engine.cc.o.d"
+  "CMakeFiles/dtl_sql.dir/lexer.cc.o"
+  "CMakeFiles/dtl_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/dtl_sql.dir/parser.cc.o"
+  "CMakeFiles/dtl_sql.dir/parser.cc.o.d"
+  "CMakeFiles/dtl_sql.dir/session.cc.o"
+  "CMakeFiles/dtl_sql.dir/session.cc.o.d"
+  "libdtl_sql.a"
+  "libdtl_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtl_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/table/catalog.cc" "src/table/CMakeFiles/dtl_table.dir/catalog.cc.o" "gcc" "src/table/CMakeFiles/dtl_table.dir/catalog.cc.o.d"
+  "/root/repo/src/table/csv.cc" "src/table/CMakeFiles/dtl_table.dir/csv.cc.o" "gcc" "src/table/CMakeFiles/dtl_table.dir/csv.cc.o.d"
+  "/root/repo/src/table/storage_table.cc" "src/table/CMakeFiles/dtl_table.dir/storage_table.cc.o" "gcc" "src/table/CMakeFiles/dtl_table.dir/storage_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dtl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/dtl_fs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

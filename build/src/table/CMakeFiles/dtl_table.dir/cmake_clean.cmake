@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtl_table.dir/catalog.cc.o"
+  "CMakeFiles/dtl_table.dir/catalog.cc.o.d"
+  "CMakeFiles/dtl_table.dir/csv.cc.o"
+  "CMakeFiles/dtl_table.dir/csv.cc.o.d"
+  "CMakeFiles/dtl_table.dir/storage_table.cc.o"
+  "CMakeFiles/dtl_table.dir/storage_table.cc.o.d"
+  "libdtl_table.a"
+  "libdtl_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtl_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtl_workload.dir/grid_gen.cc.o"
+  "CMakeFiles/dtl_workload.dir/grid_gen.cc.o.d"
+  "CMakeFiles/dtl_workload.dir/tpch_gen.cc.o"
+  "CMakeFiles/dtl_workload.dir/tpch_gen.cc.o.d"
+  "libdtl_workload.a"
+  "libdtl_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtl_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dualtable_test.dir/dualtable_test.cc.o"
+  "CMakeFiles/dualtable_test.dir/dualtable_test.cc.o.d"
+  "dualtable_test"
+  "dualtable_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dualtable_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/listing2_test.dir/listing2_test.cc.o"
+  "CMakeFiles/listing2_test.dir/listing2_test.cc.o.d"
+  "listing2_test"
+  "listing2_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/listing2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orc_test.dir/orc_test.cc.o"
+  "CMakeFiles/orc_test.dir/orc_test.cc.o.d"
+  "orc_test"
+  "orc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/union_read_test.dir/union_read_test.cc.o"
+  "CMakeFiles/union_read_test.dir/union_read_test.cc.o.d"
+  "union_read_test"
+  "union_read_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/union_read_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
