@@ -2,6 +2,9 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <set>
+#include <vector>
 
 #include "common/stopwatch.h"
 
@@ -168,5 +171,80 @@ RunStats RunSql(Env* env, const std::string& sql) {
 }
 
 std::string DayLabel(int days) { return std::to_string(days) + "/36"; }
+
+namespace {
+
+std::vector<ScanBenchEntry>& ScanBenchEntries() {
+  static std::vector<ScanBenchEntry> entries;
+  return entries;
+}
+
+std::string FormatScanEntry(const ScanBenchEntry& e) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "  {\"workload\":\"%s\",\"path\":\"%s\",\"rows\":%llu,"
+      "\"seconds\":%.6f,\"rows_per_sec\":%.1f,\"batches\":%llu,"
+      "\"passthrough_batches\":%llu,\"bytes\":%llu,\"materialized_rows\":%llu}",
+      e.workload.c_str(), e.path.c_str(), static_cast<unsigned long long>(e.rows),
+      e.seconds, e.rows_per_sec, static_cast<unsigned long long>(e.scan.batches),
+      static_cast<unsigned long long>(e.scan.passthrough_batches),
+      static_cast<unsigned long long>(e.scan.bytes),
+      static_cast<unsigned long long>(e.scan.materialized_rows));
+  return buf;
+}
+
+/// Pulls the workload name out of a line FormatScanEntry wrote.
+std::string LineWorkload(const std::string& line) {
+  const std::string key = "\"workload\":\"";
+  auto start = line.find(key);
+  if (start == std::string::npos) return "";
+  start += key.size();
+  auto end = line.find('"', start);
+  if (end == std::string::npos) return "";
+  return line.substr(start, end - start);
+}
+
+}  // namespace
+
+void RecordScanBench(ScanBenchEntry entry) {
+  // The benchmark harness re-runs a function while calibrating iteration
+  // counts; keep only the final (longest, most stable) run per series.
+  for (auto& e : ScanBenchEntries()) {
+    if (e.workload == entry.workload && e.path == entry.path) {
+      e = std::move(entry);
+      return;
+    }
+  }
+  ScanBenchEntries().push_back(std::move(entry));
+}
+
+void FlushScanBench(const std::string& path) {
+  if (ScanBenchEntries().empty()) return;
+  std::set<std::string> ours;
+  for (const auto& e : ScanBenchEntries()) ours.insert(e.workload);
+
+  // Keep entries other bench binaries wrote for other workloads.
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+      std::string workload = LineWorkload(line);
+      if (workload.empty() || ours.count(workload)) continue;
+      if (!line.empty() && line.back() == ',') line.pop_back();
+      lines.push_back(line);
+    }
+  }
+  for (const auto& e : ScanBenchEntries()) lines.push_back(FormatScanEntry(e));
+
+  std::ofstream out(path, std::ios::trunc);
+  out << "[\n";
+  for (size_t i = 0; i < lines.size(); ++i) {
+    out << lines[i] << (i + 1 < lines.size() ? ",\n" : "\n");
+  }
+  out << "]\n";
+  std::fprintf(stderr, "wrote %zu scan entries to %s\n", lines.size(), path.c_str());
+}
 
 }  // namespace dtl::bench

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "sql/session.h"
+#include "table/scan_stats.h"
 #include "workload/grid_gen.h"
 #include "workload/tpch_gen.h"
 
@@ -55,5 +56,24 @@ RunStats RunSql(Env* env, const std::string& sql);
 
 /// Renders a ratio like 5/36 for series labels.
 std::string DayLabel(int days);
+
+/// One raw-scan measurement (row-at-a-time vs batch read path) destined for
+/// BENCH_scan.json.
+struct ScanBenchEntry {
+  std::string workload;  // "grid" | "tpch"
+  std::string path;      // "row" | "batch"
+  uint64_t rows = 0;     // rows scanned per iteration
+  double seconds = 0;    // total seconds across the timed iterations
+  double rows_per_sec = 0;
+  table::ScanSnapshot scan;  // scan-meter delta across the timed iterations
+};
+
+/// Queues an entry for FlushScanBench.
+void RecordScanBench(ScanBenchEntry entry);
+
+/// Writes every recorded entry as a machine-readable JSON array. Entries
+/// already in the file from OTHER workloads are preserved (the grid and
+/// TPC-H read benches share one BENCH_scan.json).
+void FlushScanBench(const std::string& path = "BENCH_scan.json");
 
 }  // namespace dtl::bench

@@ -7,6 +7,8 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_common.h"
+#include "common/stopwatch.h"
+#include "dualtable/dual_table.h"
 
 namespace {
 
@@ -42,8 +44,59 @@ void BM_QueryC(benchmark::State& state, const std::string& kind) {
   }
 }
 
+// Raw lineitem scan, row-at-a-time vs batch pipeline, for BENCH_scan.json.
+// Lineitem's 16 columns make the per-row Row materialization cost explicit.
+void BM_RawScan(benchmark::State& state, const std::string& path) {
+  Env env = MakeTpch("dualtable", PlanMode::kCostModel, /*with_orders=*/false);
+  auto entry = env.session->catalog()->Lookup("lineitem");
+  if (!entry.ok()) { state.SkipWithError("lookup failed"); return; }
+  auto dual = std::dynamic_pointer_cast<dtl::dual::DualTable>(entry->table);
+  if (dual == nullptr) { state.SkipWithError("not a DualTable"); return; }
+
+  const auto before = dtl::table::GlobalScanMeter().Snapshot();
+  double total_s = 0;
+  uint64_t rows_per_iter = 0;
+  for (auto _ : state) {
+    dtl::Stopwatch watch;
+    uint64_t n = 0;
+    if (path == "row") {
+      auto it = dual->ScanLegacyRows({});
+      if (!it.ok()) { state.SkipWithError("scan failed"); return; }
+      while ((*it)->Next()) {
+        benchmark::DoNotOptimize((*it)->row());
+        ++n;
+      }
+    } else {
+      auto it = dual->ScanBatches({});
+      if (!it.ok()) { state.SkipWithError("scan failed"); return; }
+      dtl::table::RowBatch batch;
+      while ((*it)->Next(&batch)) n += batch.size();
+    }
+    const double s = watch.ElapsedSeconds();
+    state.SetIterationTime(s);
+    total_s += s;
+    rows_per_iter = n;
+  }
+  state.counters["rows_per_sec"] = benchmark::Counter(
+      static_cast<double>(rows_per_iter) * static_cast<double>(state.iterations()) /
+          total_s);
+
+  dtl::bench::ScanBenchEntry record;
+  record.workload = "tpch";
+  record.path = path;
+  record.rows = rows_per_iter;
+  record.seconds = total_s;
+  record.rows_per_sec =
+      static_cast<double>(rows_per_iter) * static_cast<double>(state.iterations()) /
+      total_s;
+  record.scan = dtl::table::GlobalScanMeter().Snapshot() - before;
+  dtl::bench::RecordScanBench(std::move(record));
+}
+
 }  // namespace
 
+BENCHMARK_CAPTURE(BM_RawScan, row_path, "row")->Unit(benchmark::kMillisecond)->UseManualTime();
+BENCHMARK_CAPTURE(BM_RawScan, batch_path, "batch")->Unit(benchmark::kMillisecond)->UseManualTime();
 BENCHMARK_CAPTURE(BM_QueryA, hive_hdfs, "hive")->Unit(benchmark::kMillisecond)->UseManualTime();
 BENCHMARK_CAPTURE(BM_QueryA, hive_hbase, "hbase")->Unit(benchmark::kMillisecond)->UseManualTime();
 BENCHMARK_CAPTURE(BM_QueryA, dualtable, "dualtable")->Unit(benchmark::kMillisecond)->UseManualTime();
@@ -54,4 +107,11 @@ BENCHMARK_CAPTURE(BM_QueryC, hive_hdfs, "hive")->Unit(benchmark::kMillisecond)->
 BENCHMARK_CAPTURE(BM_QueryC, hive_hbase, "hbase")->Unit(benchmark::kMillisecond)->UseManualTime();
 BENCHMARK_CAPTURE(BM_QueryC, dualtable, "dualtable")->Unit(benchmark::kMillisecond)->UseManualTime();
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  dtl::bench::FlushScanBench();
+  return 0;
+}

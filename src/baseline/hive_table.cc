@@ -33,8 +33,19 @@ Result<std::shared_ptr<HiveTable>> HiveTable::Open(fs::SimFileSystem* fs,
 }
 
 Result<std::unique_ptr<table::RowIterator>> HiveTable::Scan(const table::ScanSpec& spec) {
-  DTL_ASSIGN_OR_RETURN(auto it, storage_->NewScanIterator(spec, /*apply_predicate=*/true));
-  return std::unique_ptr<table::RowIterator>(new MasterRowIterator(std::move(it)));
+  // Row consumers ride the batch pipeline too (same as DualTable::Scan), so
+  // the Hive baseline shares the decoded-stripe cache and the hive-vs-dual
+  // read comparison stays apples to apples.
+  DTL_ASSIGN_OR_RETURN(auto it, ScanBatches(spec));
+  return std::unique_ptr<table::RowIterator>(
+      new table::BatchToRowAdapter(std::move(it)));
+}
+
+Result<std::unique_ptr<table::BatchIterator>> HiveTable::ScanBatches(
+    const table::ScanSpec& spec) {
+  DTL_ASSIGN_OR_RETURN(auto it,
+                       storage_->NewBatchScanIterator(spec, /*apply_predicate=*/true));
+  return std::unique_ptr<table::BatchIterator>(std::move(it));
 }
 
 Result<std::vector<table::ScanSplit>> HiveTable::CreateSplits(const table::ScanSpec& spec) {
@@ -46,9 +57,10 @@ Result<std::vector<table::ScanSplit>> HiveTable::CreateSplits(const table::ScanS
     splits.push_back(table::ScanSplit{
         name_ + "/f_" + std::to_string(file_id),
         [self, file_id, copy]() -> Result<std::unique_ptr<table::RowIterator>> {
-          DTL_ASSIGN_OR_RETURN(auto it, self->storage_->NewFileScanIterator(
+          DTL_ASSIGN_OR_RETURN(auto it, self->storage_->NewFileBatchScanIterator(
                                             file_id, copy, /*apply_predicate=*/true));
-          return std::unique_ptr<table::RowIterator>(new MasterRowIterator(std::move(it)));
+          return std::unique_ptr<table::RowIterator>(
+              new table::BatchToRowAdapter(std::move(it)));
         }});
   }
   return splits;

@@ -26,7 +26,7 @@ class SkipList {
     Node* n = head_;
     while (n != nullptr) {
       Node* next = n->next[0];
-      delete n;
+      DeleteNode(n);
       n = next;
     }
   }
@@ -114,6 +114,13 @@ class SkipList {
     Node* n = new (mem) Node{key, std::move(value), {nullptr}};
     for (int i = 0; i < height; ++i) n->next[i] = nullptr;
     return n;
+  }
+
+  /// Nodes come from raw ::operator new (over-allocated next[]), so a plain
+  /// delete-expression would mismatch; destroy and deallocate to match.
+  static void DeleteNode(Node* n) {
+    n->~Node();
+    ::operator delete(n);
   }
 
   int RandomHeight() {

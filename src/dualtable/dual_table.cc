@@ -22,14 +22,18 @@ Result<std::shared_ptr<DualTable>> DualTable::Open(fs::SimFileSystem* fs,
   return dual;
 }
 
-Result<std::unique_ptr<UnionReadIterator>> DualTable::NewUnionRead(
-    const table::ScanSpec& spec) {
+table::ScanSpec DualTable::MasterSpecFor(const table::ScanSpec& spec) const {
   table::ScanSpec master_spec = spec;
   // Attached updates can move cell values across stripe-stat boundaries, so
   // stats pruning is only sound against an empty attached table.
   if (!attached_->Empty()) master_spec.bounds.clear();
-  DTL_ASSIGN_OR_RETURN(auto master_it,
-                       master_->NewScanIterator(master_spec, /*apply_predicate=*/false));
+  return master_spec;
+}
+
+Result<std::unique_ptr<UnionReadIterator>> DualTable::NewUnionRead(
+    const table::ScanSpec& spec) {
+  DTL_ASSIGN_OR_RETURN(auto master_it, master_->NewScanIterator(MasterSpecFor(spec),
+                                                                /*apply_predicate=*/false));
   auto attached_it = attached_->NewScanner();
   return std::make_unique<UnionReadIterator>(std::move(master_it), std::move(attached_it),
                                              spec.predicate, schema_.num_fields());
@@ -37,17 +41,59 @@ Result<std::unique_ptr<UnionReadIterator>> DualTable::NewUnionRead(
 
 Result<std::unique_ptr<UnionReadIterator>> DualTable::NewUnionReadForFile(
     uint64_t file_id, const table::ScanSpec& spec) {
-  table::ScanSpec master_spec = spec;
-  if (!attached_->Empty()) master_spec.bounds.clear();
-  DTL_ASSIGN_OR_RETURN(auto master_it, master_->NewFileScanIterator(
-                                           file_id, master_spec, /*apply_predicate=*/false));
+  DTL_ASSIGN_OR_RETURN(auto master_it,
+                       master_->NewFileScanIterator(file_id, MasterSpecFor(spec),
+                                                    /*apply_predicate=*/false));
   auto attached_it =
       attached_->NewScanner(MakeRecordId(file_id, 0), MakeRecordId(file_id + 1, 0));
   return std::make_unique<UnionReadIterator>(std::move(master_it), std::move(attached_it),
                                              spec.predicate, schema_.num_fields());
 }
 
+Result<std::unique_ptr<UnionReadBatchIterator>> DualTable::NewUnionReadBatch(
+    const table::ScanSpec& spec, uint64_t as_of) {
+  DTL_ASSIGN_OR_RETURN(auto master_it,
+                       master_->NewBatchScanIterator(MasterSpecFor(spec),
+                                                     /*apply_predicate=*/false,
+                                                     options_.scan_batch_rows));
+  auto attached_it = attached_->NewScanner(0, UINT64_MAX, as_of);
+  return std::make_unique<UnionReadBatchIterator>(
+      std::move(master_it), std::move(attached_it), spec.predicate, schema_.num_fields());
+}
+
+Result<std::unique_ptr<UnionReadBatchIterator>> DualTable::NewUnionReadBatchForFile(
+    uint64_t file_id, const table::ScanSpec& spec) {
+  DTL_ASSIGN_OR_RETURN(auto master_it,
+                       master_->NewFileBatchScanIterator(file_id, MasterSpecFor(spec),
+                                                         /*apply_predicate=*/false,
+                                                         options_.scan_batch_rows));
+  auto attached_it =
+      attached_->NewScanner(MakeRecordId(file_id, 0), MakeRecordId(file_id + 1, 0));
+  return std::make_unique<UnionReadBatchIterator>(
+      std::move(master_it), std::move(attached_it), spec.predicate, schema_.num_fields());
+}
+
 Result<std::unique_ptr<table::RowIterator>> DualTable::Scan(const table::ScanSpec& spec) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  if (options_.enable_batch_scan) {
+    DTL_ASSIGN_OR_RETURN(auto it, NewUnionReadBatch(spec));
+    return std::unique_ptr<table::RowIterator>(
+        std::make_unique<table::BatchToRowAdapter>(std::move(it)));
+  }
+  DTL_ASSIGN_OR_RETURN(auto it, NewUnionRead(spec));
+  return std::unique_ptr<table::RowIterator>(std::move(it));
+}
+
+Result<std::unique_ptr<table::BatchIterator>> DualTable::ScanBatches(
+    const table::ScanSpec& spec) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  if (!options_.enable_batch_scan) return StorageTable::ScanBatches(spec);
+  DTL_ASSIGN_OR_RETURN(auto it, NewUnionReadBatch(spec));
+  return std::unique_ptr<table::BatchIterator>(std::move(it));
+}
+
+Result<std::unique_ptr<table::RowIterator>> DualTable::ScanLegacyRows(
+    const table::ScanSpec& spec) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
   DTL_ASSIGN_OR_RETURN(auto it, NewUnionRead(spec));
   return std::unique_ptr<table::RowIterator>(std::move(it));
@@ -56,10 +102,14 @@ Result<std::unique_ptr<table::RowIterator>> DualTable::Scan(const table::ScanSpe
 Result<std::unique_ptr<table::RowIterator>> DualTable::ScanAsOf(
     const table::ScanSpec& spec, uint64_t as_of) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
-  table::ScanSpec master_spec = spec;
-  if (!attached_->Empty()) master_spec.bounds.clear();
+  if (options_.enable_batch_scan) {
+    DTL_ASSIGN_OR_RETURN(auto it, NewUnionReadBatch(spec, as_of));
+    return std::unique_ptr<table::RowIterator>(
+        std::make_unique<table::BatchToRowAdapter>(std::move(it)));
+  }
   DTL_ASSIGN_OR_RETURN(auto master_it,
-                       master_->NewScanIterator(master_spec, /*apply_predicate=*/false));
+                       master_->NewScanIterator(MasterSpecFor(spec),
+                                                /*apply_predicate=*/false));
   auto attached_it = attached_->NewScanner(0, UINT64_MAX, as_of);
   return std::unique_ptr<table::RowIterator>(
       std::make_unique<UnionReadIterator>(std::move(master_it), std::move(attached_it),
@@ -76,6 +126,11 @@ Result<std::vector<table::ScanSplit>> DualTable::CreateSplits(const table::ScanS
     splits.push_back(table::ScanSplit{
         name_ + "/f_" + std::to_string(file_id),
         [self, file_id, copy]() -> Result<std::unique_ptr<table::RowIterator>> {
+          if (self->options_.enable_batch_scan) {
+            DTL_ASSIGN_OR_RETURN(auto it, self->NewUnionReadBatchForFile(file_id, copy));
+            return std::unique_ptr<table::RowIterator>(
+                std::make_unique<table::BatchToRowAdapter>(std::move(it)));
+          }
           DTL_ASSIGN_OR_RETURN(auto it, self->NewUnionReadForFile(file_id, copy));
           return std::unique_ptr<table::RowIterator>(std::move(it));
         }});

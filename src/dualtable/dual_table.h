@@ -48,6 +48,15 @@ struct DualTableOptions {
   /// past the threshold (the paper schedules COMPACT to off-line hours; this
   /// is the inline alternative).
   bool auto_compact = false;
+
+  /// Route Scan/ScanBatches/CreateSplits/ScanAsOf through the vectorized
+  /// UNION READ (RowBatch pipeline). Off = the original row-at-a-time merge,
+  /// kept as the comparison baseline (see ScanLegacyRows).
+  bool enable_batch_scan = true;
+
+  /// Rows per RowBatch emitted by the vectorized scan. Small values exercise
+  /// batch/stripe boundary handling in tests.
+  size_t scan_batch_rows = table::kDefaultBatchRows;
 };
 
 class DualTable : public table::StorageTable {
@@ -64,6 +73,8 @@ class DualTable : public table::StorageTable {
   const std::string& name() const override { return name_; }
   const Schema& schema() const override { return schema_; }
   Result<std::unique_ptr<table::RowIterator>> Scan(const table::ScanSpec& spec) override;
+  Result<std::unique_ptr<table::BatchIterator>> ScanBatches(
+      const table::ScanSpec& spec) override;
   Result<std::vector<table::ScanSplit>> CreateSplits(const table::ScanSpec& spec) override;
   Status InsertRows(const std::vector<Row>& rows) override;
   /// INSERT OVERWRITE TABLE: a fresh master generation + empty attached.
@@ -90,6 +101,10 @@ class DualTable : public table::StorageTable {
 
   /// True when the attached table exceeds the compaction threshold.
   bool NeedsCompaction() const;
+
+  /// The original row-at-a-time UNION READ, regardless of enable_batch_scan.
+  /// Kept for the batch-vs-row equivalence tests and the scan benchmarks.
+  Result<std::unique_ptr<table::RowIterator>> ScanLegacyRows(const table::ScanSpec& spec);
 
   /// Snapshot read: the table as it looked when the attached table's clock
   /// was at `as_of` (see AttachedTable::LastTimestamp). Built on the HBase
@@ -122,6 +137,12 @@ class DualTable : public table::StorageTable {
   Result<std::unique_ptr<UnionReadIterator>> NewUnionRead(const table::ScanSpec& spec);
   Result<std::unique_ptr<UnionReadIterator>> NewUnionReadForFile(
       uint64_t file_id, const table::ScanSpec& spec);
+  Result<std::unique_ptr<UnionReadBatchIterator>> NewUnionReadBatch(
+      const table::ScanSpec& spec, uint64_t as_of = UINT64_MAX);
+  Result<std::unique_ptr<UnionReadBatchIterator>> NewUnionReadBatchForFile(
+      uint64_t file_id, const table::ScanSpec& spec);
+  /// Clears stripe-stat bounds when the attached table could invalidate them.
+  table::ScanSpec MasterSpecFor(const table::ScanSpec& spec) const;
 
   /// Builds the scan spec a DML statement needs (filter + assignment inputs).
   table::ScanSpec DmlScanSpec(const table::ScanSpec& filter,

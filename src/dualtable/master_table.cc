@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "dualtable/record_id.h"
+#include "table/scan_stats.h"
 
 namespace dtl::dual {
 
@@ -95,6 +96,70 @@ bool MasterScanIterator::Next() {
     }
     if (apply_predicate_ && spec_.predicate && !spec_.predicate(row_)) continue;
     record_id_ = MakeRecordId(file_ids_[file_index_], batch_.first_row + i);
+    return true;
+  }
+}
+
+// --- MasterScanBatchIterator -------------------------------------------------------
+
+MasterScanBatchIterator::MasterScanBatchIterator(
+    std::vector<std::shared_ptr<orc::OrcReader>> readers, std::vector<uint64_t> file_ids,
+    table::ScanSpec spec, size_t num_fields, bool apply_predicate, size_t batch_rows)
+    : readers_(std::move(readers)),
+      file_ids_(std::move(file_ids)),
+      spec_(std::move(spec)),
+      num_fields_(num_fields),
+      apply_predicate_(apply_predicate),
+      batch_rows_(std::max<size_t>(1, batch_rows)) {
+  required_ = spec_.RequiredColumns(num_fields_);
+}
+
+bool MasterScanBatchIterator::LoadNextStripe() {
+  while (file_index_ < readers_.size()) {
+    const orc::OrcReader* reader = readers_[file_index_].get();
+    if (stripe_index_ >= reader->num_stripes()) {
+      ++file_index_;
+      stripe_index_ = 0;
+      continue;
+    }
+    const orc::StripeInfo& info = reader->stripe(stripe_index_);
+    if (!StripeMayMatch(info, spec_.bounds)) {
+      ++stripe_index_;
+      continue;
+    }
+    auto read = reader->ReadStripeShared(stripe_index_, required_);
+    if (!read.ok()) {
+      status_ = read.status();
+      return false;
+    }
+    ++stripe_index_;
+    if ((*read)->num_rows == 0) continue;
+    stripe_ = std::move(read).value();
+    offset_in_stripe_ = 0;
+    return true;
+  }
+  return false;
+}
+
+bool MasterScanBatchIterator::Next(table::RowBatch* batch) {
+  if (!status_.ok()) return false;
+  while (true) {
+    if (stripe_ == nullptr || offset_in_stripe_ >= stripe_->num_rows) {
+      if (!LoadNextStripe()) return false;
+    }
+    const size_t count =
+        std::min(batch_rows_, static_cast<size_t>(stripe_->num_rows) - offset_in_stripe_);
+    stripe_->SliceInto(offset_in_stripe_, count, num_fields_, batch);
+    batch->SetContiguousRecordIds(
+        MakeRecordId(file_ids_[file_index_], stripe_->first_row + offset_in_stripe_));
+    batch->SetAnchor(stripe_);
+    table::GlobalScanMeter().AddBatch(
+        count, offset_in_stripe_ == 0 ? stripe_->encoded_bytes : 0);
+    offset_in_stripe_ += count;
+    if (apply_predicate_ && spec_.predicate) {
+      batch->FilterSelected(spec_.predicate, &scratch_);
+      if (batch->empty()) continue;  // never emit an all-filtered batch
+    }
     return true;
   }
 }
@@ -213,6 +278,34 @@ Result<std::unique_ptr<MasterScanIterator>> MasterTable::NewFileScanIterator(
     DTL_ASSIGN_OR_RETURN(auto reader, OpenReader(info));
     return std::unique_ptr<MasterScanIterator>(new MasterScanIterator(
         {std::move(reader)}, {file_id}, spec, schema_.num_fields(), apply_predicate));
+  }
+  return Status::NotFound("no master file with ID " + std::to_string(file_id));
+}
+
+Result<std::unique_ptr<MasterScanBatchIterator>> MasterTable::NewBatchScanIterator(
+    const table::ScanSpec& spec, bool apply_predicate, size_t batch_rows) {
+  std::vector<std::shared_ptr<orc::OrcReader>> readers;
+  std::vector<uint64_t> file_ids;
+  readers.reserve(files_.size());
+  for (const MasterFileInfo& info : files_) {
+    DTL_ASSIGN_OR_RETURN(auto reader, OpenReader(info));
+    readers.push_back(std::move(reader));
+    file_ids.push_back(info.file_id);
+  }
+  return std::unique_ptr<MasterScanBatchIterator>(
+      new MasterScanBatchIterator(std::move(readers), std::move(file_ids), spec,
+                                  schema_.num_fields(), apply_predicate, batch_rows));
+}
+
+Result<std::unique_ptr<MasterScanBatchIterator>> MasterTable::NewFileBatchScanIterator(
+    uint64_t file_id, const table::ScanSpec& spec, bool apply_predicate,
+    size_t batch_rows) {
+  for (const MasterFileInfo& info : files_) {
+    if (info.file_id != file_id) continue;
+    DTL_ASSIGN_OR_RETURN(auto reader, OpenReader(info));
+    return std::unique_ptr<MasterScanBatchIterator>(new MasterScanBatchIterator(
+        {std::move(reader)}, {file_id}, spec, schema_.num_fields(), apply_predicate,
+        batch_rows));
   }
   return Status::NotFound("no master file with ID " + std::to_string(file_id));
 }

@@ -90,6 +90,42 @@ class MasterScanIterator {
   Status status_;
 };
 
+/// Vectorized master scan: streams RowBatches sliced zero-copy out of
+/// decoded stripes, in record-ID order, honoring projection and stripe
+/// pruning. Each batch is a contiguous slice of one stripe of one file, so
+/// its record IDs ascend contiguously — the invariant UNION READ's batch
+/// merge exploits. With `apply_predicate`, the residual filter runs here as
+/// a selection-vector filter; otherwise it is deferred to the caller.
+class MasterScanBatchIterator : public table::BatchIterator {
+ public:
+  bool Next(table::RowBatch* batch) override;
+  const Status& status() const override { return status_; }
+
+ private:
+  friend class MasterTable;
+  MasterScanBatchIterator(std::vector<std::shared_ptr<orc::OrcReader>> readers,
+                          std::vector<uint64_t> file_ids, table::ScanSpec spec,
+                          size_t num_fields, bool apply_predicate, size_t batch_rows);
+
+  /// Decodes the next surviving stripe; false at end or error.
+  bool LoadNextStripe();
+
+  std::vector<std::shared_ptr<orc::OrcReader>> readers_;
+  std::vector<uint64_t> file_ids_;
+  table::ScanSpec spec_;
+  std::vector<size_t> required_;
+  size_t num_fields_;
+  bool apply_predicate_;
+  size_t batch_rows_;
+
+  size_t file_index_ = 0;
+  size_t stripe_index_ = 0;
+  std::shared_ptr<const orc::StripeBatch> stripe_;
+  size_t offset_in_stripe_ = 0;
+  Row scratch_;
+  Status status_;
+};
+
 /// One DualTable's master store.
 class MasterTable {
  public:
@@ -121,6 +157,17 @@ class MasterTable {
   /// Scan over a single master file (the per-file MapReduce split).
   Result<std::unique_ptr<MasterScanIterator>> NewFileScanIterator(
       uint64_t file_id, const table::ScanSpec& spec, bool apply_predicate);
+
+  /// Vectorized sequential scan in record-ID order (see
+  /// MasterScanBatchIterator for predicate/pruning semantics).
+  Result<std::unique_ptr<MasterScanBatchIterator>> NewBatchScanIterator(
+      const table::ScanSpec& spec, bool apply_predicate,
+      size_t batch_rows = table::kDefaultBatchRows);
+
+  /// Vectorized scan over a single master file.
+  Result<std::unique_ptr<MasterScanBatchIterator>> NewFileBatchScanIterator(
+      uint64_t file_id, const table::ScanSpec& spec, bool apply_predicate,
+      size_t batch_rows = table::kDefaultBatchRows);
 
   /// Removes every master file and the directory.
   Status Drop();

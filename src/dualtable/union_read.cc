@@ -1,5 +1,7 @@
 #include "dualtable/union_read.h"
 
+#include "table/scan_stats.h"
+
 namespace dtl::dual {
 
 UnionReadIterator::UnionReadIterator(std::unique_ptr<MasterScanIterator> master,
@@ -47,6 +49,97 @@ bool UnionReadIterator::Next() {
     return true;
   }
   status_ = master_->status();
+  return false;
+}
+
+// --- UnionReadBatchIterator --------------------------------------------------------
+
+UnionReadBatchIterator::UnionReadBatchIterator(
+    std::unique_ptr<MasterScanBatchIterator> master,
+    std::unique_ptr<ModificationScanner> attached, table::RowPredicateFn predicate,
+    size_t num_fields)
+    : master_(std::move(master)),
+      attached_(std::move(attached)),
+      predicate_(std::move(predicate)),
+      num_fields_(num_fields) {}
+
+bool UnionReadBatchIterator::ApplyModifications(table::RowBatch* batch) {
+  if (!attached_primed_) {
+    attached_valid_ = attached_->Next();
+    attached_primed_ = true;
+    if (!attached_->status().ok()) {
+      status_ = attached_->status();
+      return false;
+    }
+  }
+  const size_t n = batch->num_rows();
+  const uint64_t first_id = batch->record_id(0);
+  const uint64_t last_id = first_id + (n - 1);
+  while (attached_valid_ && attached_->modification().record_id < first_id) {
+    attached_valid_ = attached_->Next();
+  }
+  if (!attached_->status().ok()) {
+    status_ = attached_->status();
+    return false;
+  }
+  if (!attached_valid_ || attached_->modification().record_id > last_id) {
+    // No modification touches this batch: the stripe views flow through
+    // untouched. This is the whole point of the batch merge.
+    table::GlobalScanMeter().AddPassthroughBatch();
+    return true;
+  }
+
+  std::vector<bool> deleted;
+  size_t num_deleted = 0;
+  size_t num_patched = 0;
+  while (attached_valid_ && attached_->modification().record_id <= last_id) {
+    const RecordModification& mod = attached_->modification();
+    const size_t idx = static_cast<size_t>(mod.record_id - first_id);
+    if (mod.deleted) {
+      if (deleted.empty()) deleted.assign(n, false);
+      if (!deleted[idx]) {
+        deleted[idx] = true;
+        ++num_deleted;
+      }
+    } else {
+      bool touched = false;
+      for (const auto& [column, value] : mod.updates) {
+        if (column >= num_fields_) continue;
+        batch->column(column).MakeMutable(n)[idx] = value;
+        touched = true;
+      }
+      if (touched) ++num_patched;
+    }
+    attached_valid_ = attached_->Next();
+  }
+  if (!attached_->status().ok()) {
+    status_ = attached_->status();
+    return false;
+  }
+
+  if (num_deleted > 0) {
+    std::vector<uint32_t> selection;
+    selection.reserve(n - num_deleted);
+    for (size_t i = 0; i < n; ++i) {
+      if (!deleted[i]) selection.push_back(static_cast<uint32_t>(i));
+    }
+    batch->SetSelection(std::move(selection));
+    table::GlobalScanMeter().AddMaskedRows(num_deleted);
+  }
+  if (num_patched > 0) table::GlobalScanMeter().AddPatchedRows(num_patched);
+  return true;
+}
+
+bool UnionReadBatchIterator::Next(table::RowBatch* batch) {
+  if (!status_.ok()) return false;
+  while (master_->Next(batch)) {
+    if (batch->num_rows() == 0) continue;
+    if (!ApplyModifications(batch)) return false;
+    if (predicate_) batch->FilterSelected(predicate_, &scratch_);
+    if (batch->size() == 0) continue;  // every row deleted or filtered out
+    return true;
+  }
+  if (!master_->status().ok()) status_ = master_->status();
   return false;
 }
 

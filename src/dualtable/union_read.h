@@ -47,4 +47,38 @@ class UnionReadIterator : public table::RowIterator {
   Status status_;
 };
 
+/// Vectorized UNION READ: consumes contiguous-record-ID batches from the
+/// master scan and merges the sorted modification stream into them in place.
+/// A batch with no modifications in its ID range passes through untouched —
+/// zero-copy stripe views, no per-row work — which is the common case the
+/// paper's §V-B "cheap merge" argument rests on. Deleted records are masked
+/// via the selection vector; updated cells are patched copy-on-write. The
+/// residual predicate runs AFTER the merge so it sees current values.
+class UnionReadBatchIterator : public table::BatchIterator {
+ public:
+  /// `master` must emit contiguous-record-ID batches (MasterScanBatchIterator
+  /// does: each batch is a slice of one stripe of one file) and must NOT have
+  /// applied the predicate already.
+  UnionReadBatchIterator(std::unique_ptr<MasterScanBatchIterator> master,
+                         std::unique_ptr<ModificationScanner> attached,
+                         table::RowPredicateFn predicate, size_t num_fields);
+
+  bool Next(table::RowBatch* batch) override;
+  const Status& status() const override { return status_; }
+
+ private:
+  /// Patches/masks the batch with attached modifications; false on error.
+  bool ApplyModifications(table::RowBatch* batch);
+
+  std::unique_ptr<MasterScanBatchIterator> master_;
+  std::unique_ptr<ModificationScanner> attached_;
+  table::RowPredicateFn predicate_;
+  size_t num_fields_;
+
+  bool attached_valid_ = false;
+  bool attached_primed_ = false;
+  Row scratch_;
+  Status status_;
+};
+
 }  // namespace dtl::dual

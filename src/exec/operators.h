@@ -29,6 +29,13 @@ using ValueFn = std::function<Value(const Row&)>;
 /// Row predicate.
 using PredFn = std::function<bool(const Row&)>;
 
+/// Shared empty row, returned by materializing operators whose row() is
+/// called before the first successful Next().
+inline const Row& EmptyRow() {
+  static const Row kEmpty;
+  return kEmpty;
+}
+
 /// Adapts a storage RowIterator.
 class ScanOperator : public Operator {
  public:
@@ -50,7 +57,9 @@ class RowsOperator : public Operator {
     ++index_;
     return true;
   }
-  const Row& row() const override { return rows_[index_ - 1]; }
+  const Row& row() const override {
+    return index_ == 0 ? EmptyRow() : rows_[index_ - 1];
+  }
   const Status& status() const override { return status_; }
 
  private:
@@ -189,7 +198,9 @@ class SortOperator : public Operator {
   SortOperator(std::unique_ptr<Operator> child, std::vector<ValueFn> keys,
                std::vector<bool> ascending);
   bool Next() override;
-  const Row& row() const override { return rows_[index_ - 1]; }
+  const Row& row() const override {
+    return index_ == 0 ? EmptyRow() : rows_[index_ - 1];
+  }
   const Status& status() const override { return status_; }
 
  private:
@@ -223,5 +234,97 @@ class LimitOperator : public Operator {
 
 /// Drains an operator tree.
 Result<std::vector<Row>> Collect(Operator* op);
+
+// --- Vectorized (batch-at-a-time) operators ----------------------------------------
+//
+// Same pull contract as table::BatchIterator: producers fill the caller's
+// RowBatch, never emit an empty batch, and the contents stay valid until the
+// next call. The executor uses this family for the SELECT fast path (scan ->
+// filter -> project -> limit) and bridges to the row operators above with
+// table::BatchToRowAdapter where batches end (joins, aggregates, sorts).
+
+/// Batch pull operator.
+using BatchOperator = table::BatchIterator;
+
+/// Adapts a storage BatchIterator (the leaf of a batch pipeline).
+class BatchScanOperator : public BatchOperator {
+ public:
+  explicit BatchScanOperator(std::unique_ptr<table::BatchIterator> it)
+      : it_(std::move(it)) {}
+  bool Next(table::RowBatch* batch) override { return it_->Next(batch); }
+  const Status& status() const override { return it_->status(); }
+
+ private:
+  std::unique_ptr<table::BatchIterator> it_;
+};
+
+/// Vectorized filter: compresses each batch's selection vector through the
+/// predicate instead of copying surviving rows. All-dropped batches are
+/// consumed internally.
+class BatchFilterOperator : public BatchOperator {
+ public:
+  BatchFilterOperator(std::unique_ptr<BatchOperator> child, PredFn pred)
+      : child_(std::move(child)), pred_(std::move(pred)) {}
+  bool Next(table::RowBatch* batch) override {
+    while (child_->Next(batch)) {
+      batch->FilterSelected(pred_, &scratch_);
+      if (!batch->empty()) return true;
+    }
+    return false;
+  }
+  const Status& status() const override { return child_->status(); }
+
+ private:
+  std::unique_ptr<BatchOperator> child_;
+  PredFn pred_;
+  Row scratch_;
+};
+
+/// Vectorized projection. When every output is a plain column reference
+/// (`column_refs[i] >= 0` for all i) the output batch is zero-copy views of
+/// the input columns with the selection forwarded; otherwise each visible
+/// row is materialized once into a scratch row and the expressions evaluated
+/// per row. Output batches carry no record IDs (projection derives new rows).
+class BatchProjectOperator : public BatchOperator {
+ public:
+  /// `column_refs[i]` is the input ordinal when `exprs[i]` is a bare column
+  /// reference, -1 otherwise. Must be the same length as `exprs`.
+  BatchProjectOperator(std::unique_ptr<BatchOperator> child, std::vector<ValueFn> exprs,
+                       std::vector<int> column_refs);
+  bool Next(table::RowBatch* batch) override;
+  const Status& status() const override { return child_->status(); }
+
+ private:
+  std::unique_ptr<BatchOperator> child_;
+  std::vector<ValueFn> exprs_;
+  std::vector<int> column_refs_;
+  bool all_refs_;
+  table::RowBatch in_;
+  Row scratch_;
+  std::vector<std::vector<Value>> cols_;
+};
+
+/// Vectorized LIMIT: truncates the selection of the batch that crosses the
+/// limit instead of counting rows one at a time.
+class BatchLimitOperator : public BatchOperator {
+ public:
+  BatchLimitOperator(std::unique_ptr<BatchOperator> child, uint64_t limit)
+      : child_(std::move(child)), remaining_(limit) {}
+  bool Next(table::RowBatch* batch) override {
+    if (remaining_ == 0) return false;
+    if (!child_->Next(batch)) return false;
+    if (batch->size() > remaining_) batch->TruncateSelection(static_cast<size_t>(remaining_));
+    remaining_ -= batch->size();
+    return true;
+  }
+  const Status& status() const override { return child_->status(); }
+
+ private:
+  std::unique_ptr<BatchOperator> child_;
+  uint64_t remaining_;
+};
+
+/// Drains a batch operator tree into rows.
+Result<std::vector<Row>> CollectBatches(BatchOperator* op);
 
 }  // namespace dtl::exec

@@ -1,11 +1,23 @@
 #include "orc/reader.h"
 
+#include <algorithm>
 #include <numeric>
 
 #include "common/coding.h"
 #include "orc/encoding.h"
+#include "table/scan_stats.h"
 
 namespace dtl::orc {
+
+void StripeBatch::SliceInto(size_t start, size_t count, size_t num_fields,
+                            table::RowBatch* out) const {
+  out->Reset(num_fields, count);
+  for (size_t p = 0; p < projection.size(); ++p) {
+    const size_t col = projection[p];
+    if (col >= num_fields) continue;
+    out->column(col).SetView(columns[p].data() + start, count);
+  }
+}
 
 Result<std::unique_ptr<OrcReader>> OrcReader::Open(const fs::SimFileSystem* fs,
                                                    const std::string& path) {
@@ -83,6 +95,7 @@ Result<StripeBatch> OrcReader::ReadStripe(size_t stripe_index,
     const size_t col = projection[p];
     if (col >= num_cols) return Status::OutOfRange("projection ordinal out of range");
     const StreamInfo& streams = info.streams[col];
+    batch.encoded_bytes += streams.presence_length + streams.data_length;
     std::string raw;
     DTL_RETURN_NOT_OK(file_->ReadAt(info.offset + col_offset[col],
                                     streams.presence_length + streams.data_length, &raw));
@@ -133,6 +146,28 @@ Result<StripeBatch> OrcReader::ReadStripe(size_t stripe_index,
   return batch;
 }
 
+Result<std::shared_ptr<const StripeBatch>> OrcReader::ReadStripeShared(
+    size_t stripe_index, std::vector<size_t> projection) const {
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    for (auto it = cache_.begin(); it != cache_.end(); ++it) {
+      if (it->stripe_index == stripe_index && it->projection == projection) {
+        cache_.splice(cache_.begin(), cache_, it);  // refresh LRU position
+        return cache_.front().batch;
+      }
+    }
+  }
+  // Decode outside the lock; concurrent misses may decode twice, both
+  // results are identical (the file is immutable).
+  auto read = ReadStripe(stripe_index, projection);
+  if (!read.ok()) return read.status();
+  auto batch = std::make_shared<const StripeBatch>(std::move(read).value());
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  cache_.push_front(CachedStripe{stripe_index, std::move(projection), batch});
+  while (cache_.size() > kMaxCachedStripes) cache_.pop_back();
+  return batch;
+}
+
 OrcRowIterator::OrcRowIterator(const OrcReader* reader, std::vector<size_t> projection)
     : reader_(reader), projection_(std::move(projection)) {}
 
@@ -158,6 +193,39 @@ bool OrcRowIterator::Next() {
     row_number_ = batch_.first_row + index_in_stripe_;
     row_ = batch_.GetRow(index_in_stripe_);
     ++index_in_stripe_;
+    return true;
+  }
+}
+
+OrcBatchIterator::OrcBatchIterator(const OrcReader* reader, std::vector<size_t> projection,
+                                   size_t batch_rows)
+    : reader_(reader),
+      projection_(std::move(projection)),
+      batch_rows_(std::max<size_t>(1, batch_rows)) {}
+
+bool OrcBatchIterator::Next(table::RowBatch* batch) {
+  if (!status_.ok()) return false;
+  while (true) {
+    if (stripe_ == nullptr || offset_in_stripe_ >= stripe_->num_rows) {
+      if (stripe_index_ >= reader_->num_stripes()) return false;
+      auto read = reader_->ReadStripeShared(stripe_index_, projection_);
+      if (!read.ok()) {
+        status_ = read.status();
+        return false;
+      }
+      ++stripe_index_;
+      if ((*read)->num_rows == 0) continue;
+      stripe_ = std::move(read).value();
+      offset_in_stripe_ = 0;
+    }
+    const size_t count =
+        std::min(batch_rows_, static_cast<size_t>(stripe_->num_rows) - offset_in_stripe_);
+    stripe_->SliceInto(offset_in_stripe_, count, reader_->schema().num_fields(), batch);
+    batch->SetContiguousRecordIds(stripe_->first_row + offset_in_stripe_);
+    batch->SetAnchor(stripe_);
+    // Charge the stripe's encoded bytes to its first slice only.
+    table::GlobalScanMeter().AddBatch(count, offset_in_stripe_ == 0 ? stripe_->encoded_bytes : 0);
+    offset_in_stripe_ += count;
     return true;
   }
 }

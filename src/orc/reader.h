@@ -5,7 +5,9 @@
 // have no storage cost").
 #pragma once
 
+#include <list>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -13,6 +15,8 @@
 #include "common/status.h"
 #include "fs/filesystem.h"
 #include "orc/orc_types.h"
+#include "table/row_batch.h"
+#include "table/storage_table.h"
 
 namespace dtl::orc {
 
@@ -21,6 +25,8 @@ namespace dtl::orc {
 struct StripeBatch {
   uint64_t first_row = 0;
   uint64_t num_rows = 0;
+  /// Encoded bytes read from the file to decode these columns.
+  uint64_t encoded_bytes = 0;
   std::vector<size_t> projection;
   std::vector<std::vector<Value>> columns;
 
@@ -31,6 +37,14 @@ struct StripeBatch {
     for (const auto& col : columns) row.push_back(col[i]);
     return row;
   }
+
+  /// Zero-copy slice: resets `*out` to rows [start, start+count) over
+  /// `num_fields` full-width columns, pointing each projected column at this
+  /// batch's decoded storage (non-projected columns stay absent -> NULL).
+  /// The caller must keep this StripeBatch alive while `out` is in use —
+  /// typically by anchoring a shared_ptr via RowBatch::SetAnchor.
+  void SliceInto(size_t start, size_t count, size_t num_fields,
+                 table::RowBatch* out) const;
 };
 
 /// Immutable view of one ORC file. Thread-safe for concurrent reads.
@@ -53,12 +67,30 @@ class OrcReader {
   Result<StripeBatch> ReadStripe(size_t stripe_index,
                                  std::vector<size_t> projection = {}) const;
 
+  /// Like ReadStripe, but serves from a per-reader decoded-stripe cache
+  /// (LLAP-style): the file is immutable, so a decoded stripe can be shared
+  /// across scans, each taking zero-copy slices anchored by the returned
+  /// shared_ptr. LRU-bounded; a hit performs no file I/O and no decoding.
+  Result<std::shared_ptr<const StripeBatch>> ReadStripeShared(
+      size_t stripe_index, std::vector<size_t> projection = {}) const;
+
  private:
   OrcReader(std::unique_ptr<fs::RandomAccessFile> file, FileFooter footer)
       : file_(std::move(file)), footer_(std::move(footer)) {}
 
+  struct CachedStripe {
+    size_t stripe_index;
+    std::vector<size_t> projection;
+    std::shared_ptr<const StripeBatch> batch;
+  };
+  /// Decoded stripes worth keeping hot per file; at default stripe sizes
+  /// this bounds the cache to a few tens of MB.
+  static constexpr size_t kMaxCachedStripes = 16;
+
   std::unique_ptr<fs::RandomAccessFile> file_;
   FileFooter footer_;
+  mutable std::mutex cache_mu_;
+  mutable std::list<CachedStripe> cache_;  // front = most recently used
 };
 
 /// Streams (row_number, row) pairs across all stripes of one file with a
@@ -87,6 +119,28 @@ class OrcRowIterator {
   bool batch_loaded_ = false;
   uint64_t row_number_ = 0;
   Row row_;
+  Status status_;
+};
+
+/// Streams RowBatches (capacity-bounded slices of decoded stripes) across
+/// all stripes of one file. Record IDs are file-level row numbers; callers
+/// that need full DualTable record IDs rebase them (MasterScanBatchIterator
+/// does). Batches are zero-copy views anchored to the decoded stripe.
+class OrcBatchIterator : public table::BatchIterator {
+ public:
+  OrcBatchIterator(const OrcReader* reader, std::vector<size_t> projection,
+                   size_t batch_rows = table::kDefaultBatchRows);
+
+  bool Next(table::RowBatch* batch) override;
+  const Status& status() const override { return status_; }
+
+ private:
+  const OrcReader* reader_;
+  std::vector<size_t> projection_;
+  size_t batch_rows_;
+  size_t stripe_index_ = 0;
+  size_t offset_in_stripe_ = 0;
+  std::shared_ptr<const StripeBatch> stripe_;
   Status status_;
 };
 

@@ -307,6 +307,64 @@ Result<QueryResult> Engine::ExecuteSelect(const SelectStmt& stmt) {
     return std::unique_ptr<exec::Operator>(new exec::ScanOperator(std::move(it)));
   };
 
+  bool has_aggregate = having != nullptr;
+  for (const Expr* e : select_exprs) has_aggregate |= ContainsAggregate(*e);
+  for (const auto& o : order_exprs) has_aggregate |= ContainsAggregate(*o);
+  has_aggregate |= !group_by.empty();
+
+  // ---- vectorized fast path ----
+  // Single-table SELECT with no join/aggregate/order runs batch-at-a-time:
+  // storage batches (predicate applied inside the scan, same contract as the
+  // row path) -> vectorized projection -> vectorized limit. Rows are only
+  // materialized at the result boundary. On a single-table query every WHERE
+  // conjunct is pushable, so `residual` is necessarily empty here.
+  if (stmt.joins.empty() && slots.size() == 1 && slots[0].storage != nullptr &&
+      !has_aggregate && order_exprs.empty()) {
+    const TableSlot& slot = slots[0];
+    Scope local = local_scope(slot);
+    table::ScanSpec spec;
+    for (size_t ord : needed) spec.projection.push_back(ord);
+    if (spec.projection.empty()) spec.projection.push_back(0);
+    if (!pushed[0].empty()) {
+      std::vector<exec::ValueFn> fns;
+      std::set<size_t> pred_cols;
+      for (const Expr* c : pushed[0]) {
+        DTL_ASSIGN_OR_RETURN(BoundExpr bound, BindScalar(*c, local));
+        fns.push_back(std::move(bound.fn));
+        pred_cols.insert(bound.columns.begin(), bound.columns.end());
+      }
+      spec.predicate = [fns](const Row& row) {
+        for (const auto& fn : fns) {
+          if (!ValueIsTrue(fn(row))) return false;
+        }
+        return true;
+      };
+      spec.predicate_columns.assign(pred_cols.begin(), pred_cols.end());
+      spec.bounds = ExtractBounds(pushed[0], local);
+    }
+    DTL_ASSIGN_OR_RETURN(auto it, slot.storage->ScanBatches(spec));
+    std::unique_ptr<exec::BatchOperator> bplan =
+        std::make_unique<exec::BatchScanOperator>(std::move(it));
+    std::vector<exec::ValueFn> output_fns;
+    std::vector<int> column_refs;
+    for (const Expr* e : select_exprs) {
+      DTL_ASSIGN_OR_RETURN(BoundExpr bound, BindScalar(*e, scope));
+      column_refs.push_back(e->kind == Expr::Kind::kColumnRef && bound.columns.size() == 1
+                                ? static_cast<int>(*bound.columns.begin())
+                                : -1);
+      output_fns.push_back(std::move(bound.fn));
+    }
+    bplan = std::make_unique<exec::BatchProjectOperator>(
+        std::move(bplan), std::move(output_fns), std::move(column_refs));
+    if (stmt.limit.has_value()) {
+      bplan = std::make_unique<exec::BatchLimitOperator>(std::move(bplan), *stmt.limit);
+    }
+    QueryResult result;
+    result.column_names = std::move(column_names);
+    DTL_ASSIGN_OR_RETURN(result.rows, exec::CollectBatches(bplan.get()));
+    return result;
+  }
+
   // ---- join tree (left-deep; probe = accumulated left, build = new table) ----
   DTL_ASSIGN_OR_RETURN(std::unique_ptr<exec::Operator> plan, build_scan(0));
   for (size_t j = 0; j < stmt.joins.size(); ++j) {
@@ -402,11 +460,6 @@ Result<QueryResult> Engine::ExecuteSelect(const SelectStmt& stmt) {
   }
 
   // ---- aggregation / projection ----
-  bool has_aggregate = having != nullptr;
-  for (const Expr* e : select_exprs) has_aggregate |= ContainsAggregate(*e);
-  for (const auto& o : order_exprs) has_aggregate |= ContainsAggregate(*o);
-  has_aggregate |= !group_by.empty();
-
   std::vector<exec::ValueFn> output_fns;
   if (has_aggregate) {
     std::vector<const Expr*> group_ptrs;

@@ -1,0 +1,118 @@
+// Scan-path metering in the style of fs::IoStats: every batch and row moved
+// by the vectorized read path is counted here, so benches can report
+// rows/sec, batch sizes, selectivity, and how often the UNION READ
+// no-modification fast path (plain batch pass-through) was taken.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace dtl::table {
+
+/// Point-in-time copy of the scan counters; subtract two for a delta.
+struct ScanSnapshot {
+  uint64_t batches = 0;            // batches emitted by storage scans
+  uint64_t rows = 0;               // physical rows in those batches
+  uint64_t bytes = 0;              // encoded column bytes decoded for them
+  uint64_t passthrough_batches = 0;  // UNION READ fast path (no modification)
+  uint64_t patched_rows = 0;       // rows overlaid with attached updates
+  uint64_t masked_rows = 0;        // rows hidden by attached delete markers
+  uint64_t predicate_drops = 0;    // rows removed by selection-vector filters
+  uint64_t materialized_rows = 0;  // rows copied out as Row objects (adapters)
+
+  ScanSnapshot operator-(const ScanSnapshot& rhs) const {
+    ScanSnapshot d;
+    d.batches = batches - rhs.batches;
+    d.rows = rows - rhs.rows;
+    d.bytes = bytes - rhs.bytes;
+    d.passthrough_batches = passthrough_batches - rhs.passthrough_batches;
+    d.patched_rows = patched_rows - rhs.patched_rows;
+    d.masked_rows = masked_rows - rhs.masked_rows;
+    d.predicate_drops = predicate_drops - rhs.predicate_drops;
+    d.materialized_rows = materialized_rows - rhs.materialized_rows;
+    return d;
+  }
+
+  /// Fraction of scanned rows that survived filters and masks (1.0 when no
+  /// rows were scanned).
+  double Selectivity() const {
+    if (rows == 0) return 1.0;
+    const uint64_t kept = rows - predicate_drops - masked_rows;
+    return static_cast<double>(kept) / static_cast<double>(rows);
+  }
+
+  std::string ToString() const {
+    return "scan{batches=" + std::to_string(batches) + " rows=" + std::to_string(rows) +
+           " bytes=" + std::to_string(bytes) +
+           " passthrough=" + std::to_string(passthrough_batches) +
+           " patched=" + std::to_string(patched_rows) +
+           " masked=" + std::to_string(masked_rows) +
+           " dropped=" + std::to_string(predicate_drops) +
+           " materialized=" + std::to_string(materialized_rows) + "}";
+  }
+};
+
+/// Thread-safe accumulator; one process-global instance (GlobalScanMeter).
+class ScanMeter {
+ public:
+  void AddBatch(uint64_t rows, uint64_t bytes) {
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    rows_.fetch_add(rows, std::memory_order_relaxed);
+    bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void AddPassthroughBatch() {
+    passthrough_batches_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void AddPatchedRows(uint64_t n) { patched_rows_.fetch_add(n, std::memory_order_relaxed); }
+  void AddMaskedRows(uint64_t n) { masked_rows_.fetch_add(n, std::memory_order_relaxed); }
+  void AddPredicateDrops(uint64_t n) {
+    predicate_drops_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void AddMaterializedRows(uint64_t n) {
+    materialized_rows_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  ScanSnapshot Snapshot() const {
+    ScanSnapshot s;
+    s.batches = batches_.load(std::memory_order_relaxed);
+    s.rows = rows_.load(std::memory_order_relaxed);
+    s.bytes = bytes_.load(std::memory_order_relaxed);
+    s.passthrough_batches = passthrough_batches_.load(std::memory_order_relaxed);
+    s.patched_rows = patched_rows_.load(std::memory_order_relaxed);
+    s.masked_rows = masked_rows_.load(std::memory_order_relaxed);
+    s.predicate_drops = predicate_drops_.load(std::memory_order_relaxed);
+    s.materialized_rows = materialized_rows_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  void Reset() {
+    batches_ = 0;
+    rows_ = 0;
+    bytes_ = 0;
+    passthrough_batches_ = 0;
+    patched_rows_ = 0;
+    masked_rows_ = 0;
+    predicate_drops_ = 0;
+    materialized_rows_ = 0;
+  }
+
+ private:
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> rows_{0};
+  std::atomic<uint64_t> bytes_{0};
+  std::atomic<uint64_t> passthrough_batches_{0};
+  std::atomic<uint64_t> patched_rows_{0};
+  std::atomic<uint64_t> masked_rows_{0};
+  std::atomic<uint64_t> predicate_drops_{0};
+  std::atomic<uint64_t> materialized_rows_{0};
+};
+
+/// The process-wide scan meter (scans of every table feed it, mirroring how
+/// fs::SimFileSystem owns one IoMeter per instance).
+inline ScanMeter& GlobalScanMeter() {
+  static ScanMeter meter;
+  return meter;
+}
+
+}  // namespace dtl::table

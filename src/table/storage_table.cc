@@ -2,7 +2,50 @@
 
 #include <algorithm>
 
+#include "table/scan_stats.h"
+
 namespace dtl::table {
+
+// --- adapters ---------------------------------------------------------------------
+
+bool BatchToRowAdapter::Next() {
+  while (true) {
+    if (!loaded_ || index_ >= batch_.size()) {
+      loaded_ = false;
+      if (!batches_->Next(&batch_)) return false;
+      if (batch_.empty()) continue;  // producers shouldn't emit these; be safe
+      loaded_ = true;
+      index_ = 0;
+    }
+    batch_.MaterializeRow(index_, &row_);
+    record_id_ = batch_.record_id(index_);
+    ++index_;
+    GlobalScanMeter().AddMaterializedRows(1);
+    return true;
+  }
+}
+
+bool RowToBatchAdapter::Next(RowBatch* batch) {
+  std::vector<std::vector<Value>> columns(num_columns_);
+  std::vector<uint64_t> ids;
+  size_t n = 0;
+  while (n < capacity_ && rows_->Next()) {
+    const Row& row = rows_->row();
+    for (size_t c = 0; c < num_columns_; ++c) {
+      columns[c].push_back(c < row.size() ? row[c] : Value::Null());
+    }
+    ids.push_back(rows_->record_id());
+    ++n;
+  }
+  if (n == 0) return false;
+  batch->Reset(num_columns_, n);
+  for (size_t c = 0; c < num_columns_; ++c) {
+    batch->column(c).SetOwned(std::move(columns[c]));
+  }
+  batch->SetRecordIds(std::move(ids));
+  GlobalScanMeter().AddBatch(n, 0);
+  return true;
+}
 
 const char* DmlPlanName(DmlPlan plan) {
   switch (plan) {
@@ -29,6 +72,12 @@ std::vector<size_t> ScanSpec::RequiredColumns(size_t num_fields) const {
   std::sort(required.begin(), required.end());
   required.erase(std::unique(required.begin(), required.end()), required.end());
   return required;
+}
+
+Result<std::unique_ptr<BatchIterator>> StorageTable::ScanBatches(const ScanSpec& spec) {
+  DTL_ASSIGN_OR_RETURN(auto it, Scan(spec));
+  return std::unique_ptr<BatchIterator>(
+      new RowToBatchAdapter(std::move(it), schema().num_fields()));
 }
 
 Result<std::vector<ScanSplit>> StorageTable::CreateSplits(const ScanSpec& spec) {
@@ -58,6 +107,20 @@ Result<std::vector<Row>> CollectRows(StorageTable* table, const ScanSpec& spec) 
   DTL_ASSIGN_OR_RETURN(auto it, table->Scan(spec));
   std::vector<Row> rows;
   while (it->Next()) rows.push_back(it->row());
+  DTL_RETURN_NOT_OK(it->status());
+  return rows;
+}
+
+Result<std::vector<Row>> CollectBatchRows(BatchIterator* it) {
+  std::vector<Row> rows;
+  RowBatch batch;
+  while (it->Next(&batch)) {
+    for (size_t i = 0; i < batch.size(); ++i) {
+      Row row;
+      batch.MaterializeRow(i, &row);
+      rows.push_back(std::move(row));
+    }
+  }
   DTL_RETURN_NOT_OK(it->status());
   return rows;
 }

@@ -8,6 +8,7 @@
 
 #include "common/schema.h"
 #include "common/status.h"
+#include "table/row_batch.h"
 #include "table/spec.h"
 
 namespace dtl::table {
@@ -24,6 +25,59 @@ class RowIterator {
   /// DualTable record ID of the current row; 0 for systems without one.
   virtual uint64_t record_id() const { return 0; }
   virtual const Status& status() const = 0;
+};
+
+/// Pull iterator over scan results in column-major batches — the vectorized
+/// sibling of RowIterator. Producers fill the caller's batch (so one batch's
+/// storage is reused across the scan) and never emit empty batches.
+class BatchIterator {
+ public:
+  virtual ~BatchIterator() = default;
+
+  /// Fills `*batch` with the next non-empty batch. False at end or error
+  /// (check status()). The batch contents stay valid until the next call.
+  virtual bool Next(RowBatch* batch) = 0;
+  virtual const Status& status() const = 0;
+};
+
+/// Presents a BatchIterator as a RowIterator: materializes one (reused) row
+/// at a time. This is how row-at-a-time consumers (joins, aggregates, the
+/// MapReduce splits, DML scans) ride the batch read path unchanged.
+class BatchToRowAdapter : public RowIterator {
+ public:
+  explicit BatchToRowAdapter(std::unique_ptr<BatchIterator> batches)
+      : batches_(std::move(batches)) {}
+
+  bool Next() override;
+  const Row& row() const override { return row_; }
+  uint64_t record_id() const override { return record_id_; }
+  const Status& status() const override { return batches_->status(); }
+
+ private:
+  std::unique_ptr<BatchIterator> batches_;
+  RowBatch batch_;
+  size_t index_ = 0;
+  bool loaded_ = false;
+  Row row_;
+  uint64_t record_id_ = 0;
+};
+
+/// Presents a RowIterator as a BatchIterator by buffering up to `capacity`
+/// rows per batch (owned columns). Default ScanBatches() for storage systems
+/// without a native batch path.
+class RowToBatchAdapter : public BatchIterator {
+ public:
+  RowToBatchAdapter(std::unique_ptr<RowIterator> rows, size_t num_columns,
+                    size_t capacity = kDefaultBatchRows)
+      : rows_(std::move(rows)), num_columns_(num_columns), capacity_(capacity) {}
+
+  bool Next(RowBatch* batch) override;
+  const Status& status() const override { return rows_->status(); }
+
+ private:
+  std::unique_ptr<RowIterator> rows_;
+  size_t num_columns_;
+  size_t capacity_;
 };
 
 /// One independently openable unit of a scan (≈ a MapReduce input split:
@@ -43,6 +97,10 @@ class StorageTable {
 
   /// Sequential scan honoring the spec (projection, predicate, pruning).
   virtual Result<std::unique_ptr<RowIterator>> Scan(const ScanSpec& spec) = 0;
+
+  /// Vectorized sequential scan. Default: the row scan repackaged through a
+  /// RowToBatchAdapter; storage systems with a native batch path override.
+  virtual Result<std::unique_ptr<BatchIterator>> ScanBatches(const ScanSpec& spec);
 
   /// Splits for MapReduce-style parallel scans. Default: one split wrapping
   /// the sequential scan.
@@ -70,5 +128,8 @@ class StorageTable {
 
 /// Drains a scan into memory (tests/examples; not for big tables).
 Result<std::vector<Row>> CollectRows(StorageTable* table, const ScanSpec& spec);
+
+/// Drains a batch iterator into materialized rows (tests/equivalence).
+Result<std::vector<Row>> CollectBatchRows(BatchIterator* it);
 
 }  // namespace dtl::table

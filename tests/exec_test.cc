@@ -216,5 +216,115 @@ TEST(MapReduceTest, ParallelCountSumsSplits) {
   EXPECT_EQ(*count, 3u);
 }
 
+/// In-memory RowIterator source for feeding the batch adapters.
+class VectorRowIterator : public table::RowIterator {
+ public:
+  explicit VectorRowIterator(std::vector<Row> rows) : rows_(std::move(rows)) {}
+  bool Next() override {
+    if (index_ >= rows_.size()) return false;
+    row_ = rows_[index_++];
+    return true;
+  }
+  const Row& row() const override { return row_; }
+  const Status& status() const override { return status_; }
+
+ private:
+  std::vector<Row> rows_;
+  size_t index_ = 0;
+  Row row_;
+  Status status_;
+};
+
+/// Child operator that fails immediately with an error status.
+class FailingOperator : public Operator {
+ public:
+  bool Next() override {
+    status_ = Status::Internal("child exploded");
+    return false;
+  }
+  const Row& row() const override { return EmptyRow(); }
+  const Status& status() const override { return status_; }
+
+ private:
+  Status status_;
+};
+
+TEST(OperatorSafetyTest, RowBeforeNextIsSafe) {
+  // row() on a never-advanced materializing operator must not index
+  // rows_[-1]; it returns the shared empty row.
+  RowsOperator rows({R({1}), R({2})});
+  EXPECT_TRUE(rows.row().empty());
+
+  SortOperator sort(MakeRows({R({2}), R({1})}), {Col(0)}, {true});
+  EXPECT_TRUE(sort.row().empty());
+}
+
+TEST(OperatorSafetyTest, CollectOnEmptyOperatorsIsSafe) {
+  RowsOperator empty_rows({});
+  EXPECT_TRUE(empty_rows.row().empty());
+  auto rows = Collect(&empty_rows);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+
+  SortOperator empty_sort(MakeRows({}), {Col(0)}, {true});
+  auto sorted = Collect(&empty_sort);
+  ASSERT_TRUE(sorted.ok());
+  EXPECT_TRUE(sorted->empty());
+}
+
+TEST(OperatorSafetyTest, CollectSurfacesChildStatus) {
+  SortOperator sort(std::make_unique<FailingOperator>(), {Col(0)}, {true});
+  auto rows = Collect(&sort);
+  EXPECT_FALSE(rows.ok());
+  EXPECT_TRUE(sort.row().empty());  // still safe to touch after the error
+}
+
+TEST(BatchOperatorTest, FilterProjectLimitPipeline) {
+  // Row source -> batches -> vectorized filter/project/limit -> rows.
+  std::vector<Row> input;
+  for (int i = 0; i < 20; ++i) input.push_back(R({i, i * 2}));
+  auto rows_op = std::make_unique<table::RowToBatchAdapter>(
+      std::make_unique<VectorRowIterator>(std::move(input)), 2, 6);
+  std::unique_ptr<BatchOperator> plan =
+      std::make_unique<BatchScanOperator>(std::move(rows_op));
+  plan = std::make_unique<BatchFilterOperator>(
+      std::move(plan), [](const Row& row) { return row[0].AsInt64() % 2 == 0; });
+  plan = std::make_unique<BatchProjectOperator>(
+      std::move(plan),
+      std::vector<ValueFn>{Col(1), [](const Row& row) {
+                             return Value::Int64(row[0].AsInt64() + 100);
+                           }},
+      std::vector<int>{1, -1});
+  plan = std::make_unique<BatchLimitOperator>(std::move(plan), 4);
+  auto out = CollectBatches(plan.get());
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ((*out)[i][0].AsInt64(), static_cast<int64_t>(i * 4));    // col 1 of even rows
+    EXPECT_EQ((*out)[i][1].AsInt64(), static_cast<int64_t>(i * 2 + 100));
+  }
+}
+
+TEST(BatchOperatorTest, ZeroCopyProjectionForwardsSelection) {
+  std::vector<Row> input;
+  for (int i = 0; i < 8; ++i) input.push_back(R({i, i * 3}));
+  std::unique_ptr<BatchOperator> plan = std::make_unique<BatchScanOperator>(
+      std::make_unique<table::RowToBatchAdapter>(
+          std::make_unique<VectorRowIterator>(std::move(input)), 2, 8));
+  plan = std::make_unique<BatchFilterOperator>(
+      std::move(plan), [](const Row& row) { return row[0].AsInt64() >= 4; });
+  // Pure column refs: projection must not copy cells.
+  plan = std::make_unique<BatchProjectOperator>(std::move(plan),
+                                                std::vector<ValueFn>{Col(1), Col(0)},
+                                                std::vector<int>{1, 0});
+  auto out = CollectBatches(plan.get());
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 4u);
+  EXPECT_EQ((*out)[0][0].AsInt64(), 12);
+  EXPECT_EQ((*out)[0][1].AsInt64(), 4);
+  EXPECT_EQ((*out)[3][0].AsInt64(), 21);
+  EXPECT_EQ((*out)[3][1].AsInt64(), 7);
+}
+
 }  // namespace
 }  // namespace dtl::exec
