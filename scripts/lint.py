@@ -1,0 +1,256 @@
+#!/usr/bin/env python3
+"""Repo-invariant lints that clang-tidy cannot express.
+
+Enforced invariants (see DESIGN.md §7):
+
+  1. append-only-fs   The simulated HDFS never grows in-place mutation: the
+                      WritableFile surface stays exactly {Append, Sync, Close},
+                      and no code anywhere names a positional-write primitive
+                      (WriteAt/Truncate/pwrite). This is the paper's core
+                      storage constraint — every "update" must rewrite files
+                      or go through the attached KV table.
+  2. no-raw-new       No raw new/delete expressions outside the skip-list's
+                      arena allocator (src/common/skiplist.h). `new` wrapped
+                      directly in a smart pointer (the private-constructor
+                      factory idiom) is allowed.
+  3. no-sleep-locked  In src/fs and src/kv, no thread sleeps while a
+                      std::mutex is held (lock_guard/unique_lock/scoped_lock
+                      in scope): simulated client latency must be paid with
+                      the store available to other threads.
+  4. include-hygiene  Headers start with #pragma once, never contain
+                      file-scope `using namespace`, and project includes are
+                      quote-form src-relative paths (no "..", no .cc).
+  5. no-void-discard  Statuses are never swallowed with a bare `(void)call()`
+                      cast; DTL_IGNORE_STATUS(st, "reason") is the only
+                      sanctioned way to drop one, and it is greppable.
+
+Usage:  scripts/lint.py [paths...]      (defaults to src/ tests/ bench/ examples/)
+Exit status: 0 clean, 1 findings (one line each: path:line: [rule] message).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+DEFAULT_DIRS = ["src", "tests", "bench", "examples"]
+
+# Rule 1: the only mutating methods WritableFile may declare.
+WRITABLE_FILE_ALLOWED = {"Append", "Sync", "Close"}
+FORBIDDEN_FS_TOKENS = ["WriteAt(", "Truncate(", "truncate(", "pwrite(", "PWrite("]
+
+# Rule 2 allowances: the skip-list arena, and `new` wrapped in a smart pointer
+# on the same or one of the two preceding lines (multi-line factory calls).
+RAW_NEW_ALLOWED_FILES = {"src/common/skiplist.h"}
+SMART_PTR_RE = re.compile(r"(_ptr<|make_unique|make_shared)")
+NEW_EXPR_RE = re.compile(r"(^|[^\w.])new\b(?!\s*\()")  # `new T`, not `operator new(`
+DELETE_EXPR_RE = re.compile(r"(^|[^\w.])delete\b(\s*\[\s*\])?\s")
+
+LOCK_DECL_RE = re.compile(r"\b(?:std::)?(lock_guard|unique_lock|scoped_lock)\s*<")
+SLEEP_RE = re.compile(r"\bsleep_(for|until)\s*\(")
+
+PRAGMA_ONCE_RE = re.compile(r"^\s*#\s*pragma\s+once\b")
+USING_NAMESPACE_RE = re.compile(r"^\s*using\s+namespace\b")
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(["<])([^">]+)[">]')
+
+VOID_DISCARD_RE = re.compile(r"\(void\)\s*[\w:.>-]*\w\s*\(")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out comments and string/char literals, preserving line structure."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+            out.append(c if c == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+def rel(path: Path) -> str:
+    try:
+        return str(path.relative_to(REPO))
+    except ValueError:
+        return str(path)
+
+
+def check_writable_file_surface(findings):
+    """Rule 1a: WritableFile declares no mutators beyond Append/Sync/Close."""
+    path = REPO / "src/fs/filesystem.h"
+    text = strip_comments_and_strings(path.read_text())
+    m = re.search(r"class WritableFile\s*{(.*?)\n};", text, re.S)
+    if not m:
+        findings.append((rel(path), 1, "append-only-fs", "cannot locate class WritableFile"))
+        return
+    body = m.group(1)
+    for lineno_off, line in enumerate(body.splitlines()):
+        decl = re.match(r"\s*Status\s+(\w+)\s*\(", line)
+        if decl and decl.group(1) not in WRITABLE_FILE_ALLOWED:
+            lineno = text[: m.start(1)].count("\n") + 1 + lineno_off
+            findings.append((rel(path), lineno, "append-only-fs",
+                             f"WritableFile::{decl.group(1)} is not in the append-only "
+                             f"surface {sorted(WRITABLE_FILE_ALLOWED)}"))
+
+
+def check_file(path: Path, findings):
+    raw = path.read_text()
+    text = strip_comments_and_strings(raw)
+    lines = text.splitlines()
+    rp = rel(path)
+    is_header = path.suffix == ".h"
+    in_fs_kv = rp.startswith(("src/fs/", "src/kv/"))
+
+    # Rule 1b: no positional-write primitives anywhere.
+    for i, line in enumerate(lines, 1):
+        for tok in FORBIDDEN_FS_TOKENS:
+            if tok in line:
+                findings.append((rp, i, "append-only-fs",
+                                 f"'{tok.rstrip('(')}' suggests in-place file mutation; "
+                                 "the simulated HDFS is append-only"))
+
+    # Rule 2: raw new/delete.
+    if rp not in RAW_NEW_ALLOWED_FILES:
+        for i, line in enumerate(lines, 1):
+            if NEW_EXPR_RE.search(line):
+                context = " ".join(lines[max(0, i - 3):i])
+                if not SMART_PTR_RE.search(context):
+                    findings.append((rp, i, "no-raw-new",
+                                     "raw `new` outside a smart-pointer wrapper "
+                                     "(arena allocation lives in src/common/skiplist.h)"))
+            m = DELETE_EXPR_RE.search(line)
+            if m and not re.search(r"=\s*delete\b", line):
+                findings.append((rp, i, "no-raw-new",
+                                 "raw `delete` expression (only the skip-list arena "
+                                 "manages raw memory)"))
+
+    # Rule 3: no sleep while a lock is in scope (fs/kv only).
+    if in_fs_kv:
+        depth = 0
+        lock_depths = []  # brace depths at which a lock was declared
+        for i, line in enumerate(lines, 1):
+            if LOCK_DECL_RE.search(line):
+                lock_depths.append(depth)
+            if SLEEP_RE.search(line) and lock_depths:
+                findings.append((rp, i, "no-sleep-locked",
+                                 "sleeping while a mutex is held; pay simulated "
+                                 "latency after releasing the lock"))
+            for ch in line:
+                if ch == "{":
+                    depth += 1
+                elif ch == "}":
+                    depth -= 1
+                    while lock_depths and lock_depths[-1] >= depth:
+                        lock_depths.pop()
+
+    # Rule 4: include hygiene.
+    if is_header:
+        for i, line in enumerate(lines, 1):
+            if line.strip():
+                if not PRAGMA_ONCE_RE.match(line):
+                    findings.append((rp, i, "include-hygiene",
+                                     "headers must start with #pragma once"))
+                break
+        for i, line in enumerate(lines, 1):
+            if USING_NAMESPACE_RE.match(line):
+                findings.append((rp, i, "include-hygiene",
+                                 "file-scope `using namespace` in a header"))
+    for i, line in enumerate(lines, 1):
+        m = INCLUDE_RE.match(line)
+        if not m:
+            continue
+        form, inc = m.groups()
+        if inc.endswith(".cc"):
+            findings.append((rp, i, "include-hygiene", "never #include a .cc file"))
+        if form == '"':
+            if inc.startswith(".."):
+                findings.append((rp, i, "include-hygiene",
+                                 "relative '..' include; use an src-rooted path"))
+            elif not (REPO / "src" / inc).exists() and not (path.parent / inc).exists():
+                findings.append((rp, i, "include-hygiene",
+                                 f'"{inc}" does not resolve under src/'))
+
+    # Rule 5: no (void)-discarded calls; DTL_IGNORE_STATUS is the audit trail.
+    if rp != "src/common/status.h":  # the macro's own definition
+        for i, line in enumerate(lines, 1):
+            if VOID_DISCARD_RE.search(line):
+                findings.append((rp, i, "no-void-discard",
+                                 "discarding a call result with (void); use "
+                                 'DTL_IGNORE_STATUS(st, "reason") for Status, or '
+                                 "consume the value"))
+
+
+def main(argv):
+    targets = argv[1:] or DEFAULT_DIRS
+    files = []
+    for t in targets:
+        p = (REPO / t) if not Path(t).is_absolute() else Path(t)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.h")))
+            files.extend(sorted(p.rglob("*.cc")))
+        elif p.suffix in (".h", ".cc") and p.exists():
+            files.append(p)
+
+    findings = []
+    check_writable_file_surface(findings)
+    for f in files:
+        check_file(f, findings)
+
+    for path, line, rule, msg in findings:
+        print(f"{path}:{line}: [{rule}] {msg}")
+
+    ignores = 0
+    for f in files:
+        ignores += f.read_text().count("DTL_IGNORE_STATUS(")
+    print(f"lint.py: {len(files)} files, {len(findings)} finding(s), "
+          f"{ignores} DTL_IGNORE_STATUS site(s)", file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

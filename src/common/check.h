@@ -1,0 +1,57 @@
+// Runtime invariant checks in the LevelDB/Abseil idiom.
+//
+// DTL_CHECK(cond)   — always on, in every build type. Use for invariants whose
+//                     violation means memory unsafety or silent data
+//                     corruption is next (bounds, monotonicity, framing).
+// DTL_DCHECK(cond)  — on in Debug, compiled out in Release (NDEBUG). Use on
+//                     hot paths where the check would cost measurable time
+//                     per row/batch.
+//
+// Both print the failing expression with its location and abort, so failures
+// surface as crashes in CI (including under the sanitizer jobs) instead of
+// propagating garbage. Comparison forms (DTL_CHECK_LE, ...) exist so call
+// sites read as the invariant they state.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dtl::detail {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "DTL_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace dtl::detail
+
+#define DTL_CHECK(cond)                                        \
+  (__builtin_expect(!(cond), 0)                                \
+       ? ::dtl::detail::CheckFailed(__FILE__, __LINE__, #cond) \
+       : (void)0)
+
+#define DTL_CHECK_EQ(a, b) DTL_CHECK((a) == (b))
+#define DTL_CHECK_NE(a, b) DTL_CHECK((a) != (b))
+#define DTL_CHECK_LT(a, b) DTL_CHECK((a) < (b))
+#define DTL_CHECK_LE(a, b) DTL_CHECK((a) <= (b))
+#define DTL_CHECK_GT(a, b) DTL_CHECK((a) > (b))
+#define DTL_CHECK_GE(a, b) DTL_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define DTL_DCHECK(cond) ((void)0)
+#define DTL_DCHECK_EQ(a, b) ((void)0)
+#define DTL_DCHECK_NE(a, b) ((void)0)
+#define DTL_DCHECK_LT(a, b) ((void)0)
+#define DTL_DCHECK_LE(a, b) ((void)0)
+#define DTL_DCHECK_GT(a, b) ((void)0)
+#define DTL_DCHECK_GE(a, b) ((void)0)
+#else
+#define DTL_DCHECK(cond) DTL_CHECK(cond)
+#define DTL_DCHECK_EQ(a, b) DTL_CHECK_EQ(a, b)
+#define DTL_DCHECK_NE(a, b) DTL_CHECK_NE(a, b)
+#define DTL_DCHECK_LT(a, b) DTL_CHECK_LT(a, b)
+#define DTL_DCHECK_LE(a, b) DTL_CHECK_LE(a, b)
+#define DTL_DCHECK_GT(a, b) DTL_CHECK_GT(a, b)
+#define DTL_DCHECK_GE(a, b) DTL_CHECK_GE(a, b)
+#endif

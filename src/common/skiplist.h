@@ -1,8 +1,20 @@
 // In-memory ordered map used as the KV store's memtable, mirroring the
-// skip-list memtables of HBase/LevelDB/RocksDB. Single-writer, multi-reader
-// is sufficient here because the KV store serializes writes per table.
+// skip-list memtables of HBase/LevelDB/RocksDB.
+//
+// Concurrency contract (LevelDB-style):
+//   * one writer at a time (callers serialize Insert externally — the KV
+//     store does so with its table mutex);
+//   * any number of concurrent readers (Find/Contains/Iterator) WITHOUT
+//     locking: links are std::atomic<Node*>, published with release stores
+//     and traversed with acquire loads, and nodes are never removed or
+//     resized until the whole list is destroyed;
+//   * Insert over an EXISTING key overwrites the value in place, which is
+//     NOT safe concurrently with readers. The memtable never hits this case
+//     (cell keys carry unique timestamps); other users must quiesce readers
+//     before overwriting.
 #pragma once
 
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <functional>
@@ -25,7 +37,7 @@ class SkipList {
   ~SkipList() {
     Node* n = head_;
     while (n != nullptr) {
-      Node* next = n->next[0];
+      Node* next = n->Next(0);
       DeleteNode(n);
       n = next;
     }
@@ -34,7 +46,8 @@ class SkipList {
   SkipList(const SkipList&) = delete;
   SkipList& operator=(const SkipList&) = delete;
 
-  /// Inserts or overwrites the value for key. Returns true when the key is new.
+  /// Inserts or overwrites the value for key. Returns true when the key is
+  /// new. Single writer only; see the concurrency contract above.
   bool Insert(const Key& key, Value value) {
     Node* prev[kMaxHeight];
     Node* found = FindGreaterOrEqual(key, prev);
@@ -43,16 +56,23 @@ class SkipList {
       return false;
     }
     int height = RandomHeight();
-    if (height > height_) {
-      for (int i = height_; i < height; ++i) prev[i] = head_;
-      height_ = height;
+    if (height > height_.load(std::memory_order_relaxed)) {
+      for (int i = height_.load(std::memory_order_relaxed); i < height; ++i) {
+        prev[i] = head_;
+      }
+      // Readers that observe the new height before the links below exist
+      // see null next pointers at the new levels and simply drop a level.
+      height_.store(height, std::memory_order_relaxed);
     }
     Node* node = NewNode(key, std::move(value), height);
     for (int i = 0; i < height; ++i) {
-      node->next[i] = prev[i]->next[i];
-      prev[i]->next[i] = node;
+      // The node is linked bottom-up; its own next pointer is set before the
+      // release store that publishes it, so a reader that sees the node sees
+      // fully initialized links.
+      node->next[i].store(prev[i]->Next(i), std::memory_order_relaxed);
+      prev[i]->next[i].store(node, std::memory_order_release);
     }
-    ++size_;
+    size_.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
 
@@ -70,23 +90,24 @@ class SkipList {
 
   bool Contains(const Key& key) const { return Find(key) != nullptr; }
 
-  size_t size() const { return size_; }
-  bool empty() const { return size_ == 0; }
+  size_t size() const { return size_.load(std::memory_order_relaxed); }
+  bool empty() const { return size() == 0; }
 
-  /// Forward iterator over entries in key order.
+  /// Forward iterator over entries in key order. Safe to use concurrently
+  /// with the single writer: it only ever observes fully published nodes.
   class Iterator {
    public:
     explicit Iterator(const SkipList* list) : list_(list), node_(nullptr) {}
 
     bool Valid() const { return node_ != nullptr; }
-    void SeekToFirst() { node_ = list_->head_->next[0]; }
+    void SeekToFirst() { node_ = list_->head_->Next(0); }
     void Seek(const Key& target) {
       Node* prev[kMaxHeight];
       node_ = list_->FindGreaterOrEqual(target, prev);
     }
     void Next() {
       assert(Valid());
-      node_ = node_->next[0];
+      node_ = node_->Next(0);
     }
     const Key& key() const {
       assert(Valid());
@@ -106,13 +127,17 @@ class SkipList {
   struct Node {
     Key key;
     Value value;
-    Node* next[1];  // over-allocated to `height` entries
+    std::atomic<Node*> next[1];  // over-allocated to `height` entries
+
+    Node* Next(int level) const { return next[level].load(std::memory_order_acquire); }
   };
 
   static Node* NewNode(const Key& key, Value value, int height) {
-    void* mem = ::operator new(sizeof(Node) + sizeof(Node*) * (height - 1));
+    void* mem = ::operator new(sizeof(Node) + sizeof(std::atomic<Node*>) * (height - 1));
     Node* n = new (mem) Node{key, std::move(value), {nullptr}};
-    for (int i = 0; i < height; ++i) n->next[i] = nullptr;
+    for (int i = 1; i < height; ++i) {
+      new (&n->next[i]) std::atomic<Node*>(nullptr);
+    }
     return n;
   }
 
@@ -144,9 +169,9 @@ class SkipList {
 
   Node* FindGreaterOrEqual(const Key& key, Node** prev) const {
     Node* x = head_;
-    int level = height_ - 1;
+    int level = height_.load(std::memory_order_relaxed) - 1;
     while (true) {
-      Node* next = x->next[level];
+      Node* next = x->Next(level);
       if (next != nullptr && Compare(next->key, key) < 0) {
         x = next;
       } else {
@@ -160,8 +185,8 @@ class SkipList {
   Comparator cmp_;
   Random rng_;
   Node* head_;
-  int height_ = 1;
-  size_t size_ = 0;
+  std::atomic<int> height_{1};
+  std::atomic<size_t> size_{0};
 };
 
 }  // namespace dtl

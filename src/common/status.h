@@ -31,7 +31,11 @@ const char* StatusCodeName(StatusCode code);
 ///
 /// The default-constructed Status is OK and carries no allocation. Statuses are
 /// cheap to copy and intended to be returned by value.
-class Status {
+///
+/// The class is [[nodiscard]] and the build treats discarded results as
+/// errors (-Werror=unused-result), so every call site must either propagate
+/// the Status or consume it explicitly via DTL_IGNORE_STATUS with a reason.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
@@ -89,8 +93,9 @@ class Status {
 };
 
 /// Either a value of type T or a non-OK Status explaining why there is none.
+/// [[nodiscard]] like Status: dropping a Result silently drops its error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : var_(std::move(value)) {}  // NOLINT: implicit by design
   Result(Status status) : var_(std::move(status)) {  // NOLINT: implicit by design
@@ -130,6 +135,18 @@ class Result {
 };
 
 }  // namespace dtl
+
+/// Explicitly consumes a Status that is intentionally not checked. The
+/// mandatory `reason` (a non-empty string literal) makes every swallowed
+/// error auditable: `grep -rn DTL_IGNORE_STATUS` lists them all. Prefer
+/// propagating; this macro is for destructors, best-effort cleanup, and
+/// paths where a prior error is already being reported.
+#define DTL_IGNORE_STATUS(expr, reason)                                        \
+  do {                                                                         \
+    static_assert(sizeof(reason "") > 1, "DTL_IGNORE_STATUS needs a reason");  \
+    const ::dtl::Status& _dtl_ignored_status = (expr);                         \
+    (void)_dtl_ignored_status;                                                 \
+  } while (0)
 
 /// Propagates a non-OK Status to the caller; evaluates `expr` exactly once.
 #define DTL_RETURN_NOT_OK(expr)                   \

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/check.h"
+
 namespace dtl {
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -26,6 +28,9 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
   std::future<void> fut = pt.get_future();
   {
     std::lock_guard<std::mutex> lock(mu_);
+    // A task enqueued after shutdown would never run and its future would
+    // never resolve, deadlocking the caller in get().
+    DTL_CHECK(!stop_);
     queue_.push_back(std::move(pt));
   }
   cv_.notify_one();

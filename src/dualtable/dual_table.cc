@@ -221,7 +221,7 @@ Result<table::DmlResult> DualTable::UpdateWithHint(
   std::lock_guard<std::recursive_mutex> lock(mu_);
   if (assignments.empty()) return Status::InvalidArgument("UPDATE with no assignments");
 
-  table::DmlPlan plan;
+  table::DmlPlan plan = table::DmlPlan::kEdit;
   switch (options_.plan_mode) {
     case DualTableOptions::PlanMode::kForceEdit:
       plan = table::DmlPlan::kEdit;
@@ -239,9 +239,11 @@ Result<table::DmlResult> DualTable::UpdateWithHint(
                                         ? ExecuteEditUpdate(filter, assignments)
                                         : ExecuteOverwriteUpdate(filter, assignments);
   if (result.ok() && result->rows_scanned > 0) {
-    (void)metadata_->RecordModificationRatio(
+    // Propagate metadata failures: a silently stale modification ratio would
+    // skew every later cost-model plan choice (found by the nodiscard sweep).
+    DTL_RETURN_NOT_OK(metadata_->RecordModificationRatio(
         name_, static_cast<double>(result->rows_matched) /
-                   static_cast<double>(result->rows_scanned));
+                   static_cast<double>(result->rows_scanned)));
   }
   if (result.ok() && options_.auto_compact && NeedsCompaction()) {
     DTL_RETURN_NOT_OK(Compact());
@@ -331,7 +333,7 @@ Result<table::DmlResult> DualTable::Delete(const table::ScanSpec& filter) {
 Result<table::DmlResult> DualTable::DeleteWithHint(const table::ScanSpec& filter,
                                                    std::optional<double> ratio_hint) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
-  table::DmlPlan plan;
+  table::DmlPlan plan = table::DmlPlan::kEdit;
   switch (options_.plan_mode) {
     case DualTableOptions::PlanMode::kForceEdit:
       plan = table::DmlPlan::kEdit;
@@ -351,9 +353,10 @@ Result<table::DmlResult> DualTable::DeleteWithHint(const table::ScanSpec& filter
                                         ? ExecuteEditDelete(filter)
                                         : ExecuteOverwriteDelete(filter);
   if (result.ok() && result->rows_scanned > 0) {
-    (void)metadata_->RecordModificationRatio(
+    // Propagate metadata failures (see UpdateWithHint).
+    DTL_RETURN_NOT_OK(metadata_->RecordModificationRatio(
         name_, static_cast<double>(result->rows_matched) /
-                   static_cast<double>(result->rows_scanned));
+                   static_cast<double>(result->rows_scanned)));
   }
   if (result.ok() && options_.auto_compact && NeedsCompaction()) {
     DTL_RETURN_NOT_OK(Compact());

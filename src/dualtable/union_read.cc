@@ -1,5 +1,6 @@
 #include "dualtable/union_read.h"
 
+#include "common/check.h"
 #include "table/scan_stats.h"
 
 namespace dtl::dual {
@@ -73,8 +74,15 @@ bool UnionReadBatchIterator::ApplyModifications(table::RowBatch* batch) {
     }
   }
   const size_t n = batch->num_rows();
+  // The whole merge rests on two orderings: master batches carry contiguous
+  // record IDs (each batch is a slice of one stripe) and arrive in
+  // nondecreasing ID order, so the attached stream can be consumed in one
+  // forward pass.
+  DTL_CHECK(batch->contiguous_record_ids());
   const uint64_t first_id = batch->record_id(0);
   const uint64_t last_id = first_id + (n - 1);
+  DTL_DCHECK_GE(first_id, next_expected_id_);
+  next_expected_id_ = last_id + 1;
   while (attached_valid_ && attached_->modification().record_id < first_id) {
     attached_valid_ = attached_->Next();
   }

@@ -77,6 +77,9 @@ class UnionReadBatchIterator : public table::BatchIterator {
 
   bool attached_valid_ = false;
   bool attached_primed_ = false;
+  /// Record-ID monotonicity watermark: master batches must arrive in
+  /// nondecreasing ID order (checked with DTL_DCHECK in ApplyModifications).
+  uint64_t next_expected_id_ = 0;
   Row scratch_;
   Status status_;
 };

@@ -29,6 +29,11 @@ class SimFileSystem;
 
 /// Append-only writer handle; the file becomes visible to readers on Close
 /// (HDFS visibility-on-close semantics).
+///
+/// The mutating surface is exactly {Append, Sync, Close} — the paper's core
+/// storage constraint (no in-place update on HDFS). scripts/lint.py rule
+/// `append-only-fs` rejects any additional mutator declared here and any
+/// positional-write primitive (WriteAt/Truncate/pwrite) named in the tree.
 class WritableFile {
  public:
   ~WritableFile();

@@ -2,6 +2,7 @@
 // order, flushed to an SSTable when it exceeds the configured size.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 
@@ -10,18 +11,21 @@
 
 namespace dtl::kv {
 
-/// Sorted in-memory cell buffer. Single writer; readers may iterate a
-/// memtable only while no writes are in flight (the store serializes this).
+/// Sorted in-memory cell buffer. Single writer (the store serializes Add
+/// under its mutex); concurrent readers may iterate without locking — the
+/// underlying skip list publishes nodes with release/acquire links.
 class MemTable {
  public:
   MemTable() : list_(CellKeyCompare()) {}
 
   void Add(const Cell& cell) {
-    approximate_bytes_ += cell.ByteSize();
+    approximate_bytes_.fetch_add(cell.ByteSize(), std::memory_order_relaxed);
     list_.Insert(cell.key, cell.value);
   }
 
-  size_t approximate_bytes() const { return approximate_bytes_; }
+  size_t approximate_bytes() const {
+    return approximate_bytes_.load(std::memory_order_relaxed);
+  }
   size_t cell_count() const { return list_.size(); }
   bool empty() const { return list_.empty(); }
 
@@ -44,7 +48,7 @@ class MemTable {
  private:
   friend class Iterator;
   List list_;
-  size_t approximate_bytes_ = 0;
+  std::atomic<size_t> approximate_bytes_{0};
 };
 
 }  // namespace dtl::kv

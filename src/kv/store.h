@@ -8,6 +8,7 @@
 // adds nothing to the reproduced behaviour and is left out).
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <memory>
@@ -102,13 +103,16 @@ class RowScanner {
   Status status_;
 };
 
-/// Aggregate store statistics, used for cost estimation and tests.
+/// Aggregate store statistics, used for cost estimation and tests. Fields
+/// are relaxed atomics so concurrent writers can bump them without holding
+/// the store mutex; read them individually (the struct itself is not
+/// copyable and a multi-field read is not a consistent snapshot).
 struct KvStoreStats {
-  uint64_t puts = 0;
-  uint64_t deletes = 0;
-  uint64_t gets = 0;
-  uint64_t flushes = 0;
-  uint64_t compactions = 0;
+  std::atomic<uint64_t> puts{0};
+  std::atomic<uint64_t> deletes{0};
+  std::atomic<uint64_t> gets{0};
+  std::atomic<uint64_t> flushes{0};
+  std::atomic<uint64_t> compactions{0};
 };
 
 class KvStore {
@@ -150,8 +154,9 @@ class KvStore {
                                             uint64_t as_of = UINT64_MAX);
 
   /// The timestamp assigned to the most recent write (0 when empty). Reads
-  /// "as of" this value see the current state.
-  uint64_t LastTimestamp() const { return last_ts_; }
+  /// "as of" this value see the current state. Safe to call concurrently
+  /// with writers (relaxed load; writers publish under the store mutex).
+  uint64_t LastTimestamp() const { return last_ts_.load(std::memory_order_relaxed); }
 
   /// Forces the memtable into an SSTable.
   Status Flush();
@@ -174,7 +179,11 @@ class KvStore {
   KvStore(fs::SimFileSystem* fs, KvStoreOptions options)
       : fs_(fs), options_(std::move(options)) {}
 
-  Status WriteCell(Cell cell);
+  /// Appends `cell` to the WAL and memtable under the store mutex. When
+  /// `assign_ts` is set the cell receives the next timestamp (allocated
+  /// inside the lock, so concurrent writers get distinct, ordered stamps);
+  /// otherwise last_ts_ is advanced to cover the caller-provided stamp.
+  Status WriteCell(Cell cell, bool assign_ts);
   Status FlushLocked();
   Status CompactLocked();
   std::string SstPath(uint64_t seq, uint64_t max_ts) const;
@@ -187,7 +196,9 @@ class KvStore {
   std::unique_ptr<WalWriter> wal_;
   std::vector<std::shared_ptr<SstReader>> sstables_;  // oldest first
   uint64_t next_sst_seq_ = 1;
-  uint64_t last_ts_ = 0;
+  /// Monotonic write clock. Written only under mu_; atomic so LastTimestamp
+  /// can read it without taking the lock.
+  std::atomic<uint64_t> last_ts_{0};
   double latency_debt_micros_ = 0.0;
   KvStoreStats stats_;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "common/check.h"
 #include "common/coding.h"
 #include "orc/encoding.h"
 #include "table/scan_stats.h"
@@ -11,10 +12,14 @@ namespace dtl::orc {
 
 void StripeBatch::SliceInto(size_t start, size_t count, size_t num_fields,
                             table::RowBatch* out) const {
+  // A slice must stay inside the decoded stripe: the views handed out below
+  // point straight into this batch's column storage.
+  DTL_CHECK_LE(start + count, num_rows);
   out->Reset(num_fields, count);
   for (size_t p = 0; p < projection.size(); ++p) {
     const size_t col = projection[p];
     if (col >= num_fields) continue;
+    DTL_DCHECK_EQ(columns[p].size(), num_rows);
     out->column(col).SetView(columns[p].data() + start, count);
   }
 }
@@ -40,6 +45,19 @@ Result<std::unique_ptr<OrcReader>> OrcReader::Open(const fs::SimFileSystem* fs,
   }
   FileFooter footer;
   DTL_RETURN_NOT_OK(FileFooter::DecodeFrom(Slice(footer_bytes), &footer));
+  // The stripes must tile [0, num_rows) exactly: record IDs are derived from
+  // first_row at read time, so a gap or overlap here would silently corrupt
+  // every record ID served from this file.
+  uint64_t expected_first = 0;
+  for (const StripeInfo& s : footer.stripes) {
+    if (s.first_row != expected_first) {
+      return Status::Corruption("stripe row ranges do not tile the file: " + path);
+    }
+    expected_first += s.num_rows;
+  }
+  if (expected_first != footer.num_rows) {
+    return Status::Corruption("stripe row counts disagree with footer num_rows: " + path);
+  }
   return std::unique_ptr<OrcReader>(new OrcReader(std::move(file), std::move(footer)));
 }
 

@@ -17,6 +17,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/check.h"
 #include "common/schema.h"
 #include "common/value.h"
 #include "table/spec.h"
@@ -61,7 +62,11 @@ class ColumnVector {
   size_t size() const { return size_; }
 
   /// Cell `i` (physical row index); NULL for absent columns.
-  const Value& at(size_t i) const { return absent_ ? NullValue() : view_[i]; }
+  const Value& at(size_t i) const {
+    if (absent_) return NullValue();
+    DTL_DCHECK_LT(i, size_);
+    return view_[i];
+  }
 
   /// Raw cell storage (view or owned); nullptr for absent columns.
   const Value* data() const { return absent_ ? nullptr : view_; }
@@ -98,15 +103,30 @@ class RowBatch {
   size_t size() const { return has_selection_ ? selection_.size() : num_rows_; }
   bool empty() const { return size() == 0; }
 
-  ColumnVector& column(size_t c) { return columns_[c]; }
-  const ColumnVector& column(size_t c) const { return columns_[c]; }
+  ColumnVector& column(size_t c) {
+    DTL_DCHECK_LT(c, num_columns_);
+    return columns_[c];
+  }
+  const ColumnVector& column(size_t c) const {
+    DTL_DCHECK_LT(c, num_columns_);
+    return columns_[c];
+  }
 
   // --- selection vector ---
   bool has_selection() const { return has_selection_; }
   /// Physical row index of visible row `i`.
-  size_t row_index(size_t i) const { return has_selection_ ? selection_[i] : i; }
-  /// Installs an explicit selection (ascending physical indices).
+  size_t row_index(size_t i) const {
+    DTL_DCHECK_LT(i, size());
+    return has_selection_ ? selection_[i] : i;
+  }
+  /// Installs an explicit selection (ascending physical indices < num_rows).
   void SetSelection(std::vector<uint32_t> selection) {
+#ifndef NDEBUG
+    for (size_t i = 0; i < selection.size(); ++i) {
+      DTL_DCHECK_LT(selection[i], num_rows_);
+      if (i > 0) DTL_DCHECK_LT(selection[i - 1], selection[i]);
+    }
+#endif
     selection_ = std::move(selection);
     has_selection_ = true;
   }

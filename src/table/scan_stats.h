@@ -86,15 +86,23 @@ class ScanMeter {
     return s;
   }
 
+  /// Zeroes every counter. Single-resetter contract: Reset must not run
+  /// concurrently with another Reset or with code that reads a Snapshot
+  /// delta spanning the reset (benches call it between phases, from one
+  /// thread). Counter increments MAY race with Reset — they use the same
+  /// relaxed ordering, so the result is merely "some increments land before
+  /// the reset, some after", never a torn value. Plain `= 0` assignment
+  /// would issue seq-cst stores, paying eight full fences for counters that
+  /// are relaxed everywhere else.
   void Reset() {
-    batches_ = 0;
-    rows_ = 0;
-    bytes_ = 0;
-    passthrough_batches_ = 0;
-    patched_rows_ = 0;
-    masked_rows_ = 0;
-    predicate_drops_ = 0;
-    materialized_rows_ = 0;
+    batches_.store(0, std::memory_order_relaxed);
+    rows_.store(0, std::memory_order_relaxed);
+    bytes_.store(0, std::memory_order_relaxed);
+    passthrough_batches_.store(0, std::memory_order_relaxed);
+    patched_rows_.store(0, std::memory_order_relaxed);
+    masked_rows_.store(0, std::memory_order_relaxed);
+    predicate_drops_.store(0, std::memory_order_relaxed);
+    materialized_rows_.store(0, std::memory_order_relaxed);
   }
 
  private:

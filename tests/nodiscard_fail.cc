@@ -1,0 +1,16 @@
+// NOT built into any target. Compiled by nodiscard_enforcement_test, which
+// expects compilation to FAIL: both statements below discard a [[nodiscard]]
+// value, and the build treats that as an error (-Werror=unused-result).
+#include "common/status.h"
+
+namespace {
+
+dtl::Status MakeStatus() { return dtl::Status::IoError("deliberate"); }
+dtl::Result<int> MakeResult() { return dtl::Status::IoError("deliberate"); }
+
+void DiscardBoth() {
+  MakeStatus();  // error: ignoring returned dtl::Status
+  MakeResult();  // error: ignoring returned dtl::Result<int>
+}
+
+}  // namespace

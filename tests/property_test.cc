@@ -156,7 +156,9 @@ TEST_P(KvModelTest, StoreMatchesReferenceModel) {
         model[{row, qual}] = value;
       }
     }
-    if (op % 997 == 0) ASSERT_TRUE((*store)->Flush().ok());
+    if (op % 997 == 0) {
+      ASSERT_TRUE((*store)->Flush().ok());
+    }
   }
 
   // Point reads match.
@@ -256,7 +258,9 @@ TEST_P(OrcRoundTripTest, RandomDataSurvivesRoundTrip) {
     const Row& got = it.row();
     for (size_t c = 0; c < want.size(); ++c) {
       EXPECT_EQ(got[c].is_null(), want[c].is_null()) << "row " << n << " col " << c;
-      if (!want[c].is_null()) EXPECT_EQ(got[c].Compare(want[c]), 0);
+      if (!want[c].is_null()) {
+        EXPECT_EQ(got[c].Compare(want[c]), 0);
+      }
     }
     ++n;
   }

@@ -160,7 +160,9 @@ TEST_F(RecoveryTest, KvStoreSurvivesManyReopenCycles) {
       ASSERT_TRUE((*store)->Put(key, 1, value).ok());
       model[key] = value;
     }
-    if (cycle % 2 == 0) ASSERT_TRUE((*store)->Flush().ok());
+    if (cycle % 2 == 0) {
+      ASSERT_TRUE((*store)->Flush().ok());
+    }
   }
 }
 
