@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Line-coverage summary for the test suite.
+#
+# Builds an instrumented tree (-DDTL_COVERAGE=ON), runs ctest, and prints a
+# per-module line-coverage table for src/. Uses gcovr when available;
+# otherwise falls back to raw `gcov --json-format` plus a small Python
+# aggregator, so the report works in the bare toolchain image.
+#
+# Usage: scripts/coverage.sh [build-dir]     (default: <repo>/build-cov)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build-cov}"
+
+cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Debug -DDTL_COVERAGE=ON >/dev/null
+cmake --build "$BUILD" -j "$(nproc)" >/dev/null
+(cd "$BUILD" && ctest -j "$(nproc)" --output-on-failure >/dev/null)
+
+if command -v gcovr >/dev/null 2>&1; then
+  gcovr -r "$ROOT" "$BUILD" --filter "$ROOT/src/" --sort-percentage
+  exit 0
+fi
+
+python3 - "$ROOT" "$BUILD" <<'PYEOF'
+import collections
+import gzip
+import json
+import os
+import subprocess
+import sys
+
+root, build = sys.argv[1], sys.argv[2]
+src_prefix = os.path.join(root, "src") + os.sep
+
+# line coverage per source file: file -> {line -> hit?}; union across TUs so
+# a line is covered if any test binary executed it.
+lines = collections.defaultdict(dict)
+for dirpath, _, names in os.walk(build):
+    for name in names:
+        if not name.endswith(".gcda"):
+            continue
+        gcda = os.path.join(dirpath, name)
+        out = subprocess.run(
+            ["gcov", "--stdout", "--json-format", gcda],
+            cwd=dirpath, capture_output=True, check=False)
+        if out.returncode != 0 or not out.stdout:
+            continue
+        # --stdout emits one JSON document per object file, possibly gzipped
+        # on older gcc; handle both.
+        payload = out.stdout
+        if payload[:2] == b"\x1f\x8b":
+            payload = gzip.decompress(payload)
+        for doc in payload.decode("utf-8", "replace").splitlines():
+            doc = doc.strip()
+            if not doc.startswith("{"):
+                continue
+            try:
+                data = json.loads(doc)
+            except json.JSONDecodeError:
+                continue
+            for f in data.get("files", []):
+                path = os.path.normpath(os.path.join(root, f["file"]))
+                if not path.startswith(src_prefix):
+                    continue
+                table = lines[path]
+                for ln in f.get("lines", []):
+                    n = ln["line_number"]
+                    table[n] = table.get(n, False) or ln["count"] > 0
+
+if not lines:
+    sys.exit("no .gcda coverage data found under " + build)
+
+per_module = collections.defaultdict(lambda: [0, 0])  # module -> [covered, total]
+for path, table in lines.items():
+    module = os.path.relpath(path, src_prefix).split(os.sep)[0]
+    per_module[module][0] += sum(table.values())
+    per_module[module][1] += len(table)
+
+print(f"{'module':<12} {'lines':>7} {'covered':>8} {'percent':>8}")
+total_cov = total_all = 0
+for module in sorted(per_module):
+    cov, all_ = per_module[module]
+    total_cov += cov
+    total_all += all_
+    print(f"{module:<12} {all_:>7} {cov:>8} {100.0 * cov / all_:>7.1f}%")
+print(f"{'TOTAL':<12} {total_all:>7} {total_cov:>8} {100.0 * total_cov / total_all:>7.1f}%")
+PYEOF

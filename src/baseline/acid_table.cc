@@ -66,10 +66,17 @@ Result<std::shared_ptr<AcidTable>> AcidTable::Open(fs::SimFileSystem* fs,
   DTL_ASSIGN_OR_RETURN(auto names, fs->ListDir(acid->DeltaDir()));
   std::vector<std::pair<uint64_t, std::string>> found;
   for (const std::string& n : names) {
+    // A crash can leave a staged-but-uncommitted delta_*.orc.tmp; that
+    // statement was never acknowledged, so discard it.
+    if (n.size() >= 4 && n.compare(n.size() - 4, 4, ".tmp") == 0) {
+      DTL_RETURN_NOT_OK(fs->Delete(fs::JoinPath(acid->DeltaDir(), n)));
+      continue;
+    }
     if (n.rfind("delta_", 0) != 0) continue;
     uint64_t txn = 0;
     auto r = std::from_chars(n.data() + 6, n.data() + n.size(), txn);
     if (r.ec != std::errc()) continue;
+    if (std::string(r.ptr, n.data() + n.size() - r.ptr) != ".orc") continue;
     found.emplace_back(txn, fs::JoinPath(acid->DeltaDir(), n));
     acid->next_txn_ = std::max(acid->next_txn_, txn + 1);
   }
@@ -145,8 +152,7 @@ Status AcidTable::InsertRows(const std::vector<Row>& rows) {
   DTL_ASSIGN_OR_RETURN(auto writer, base_->NewFileWriter());
   for (const Row& row : rows) DTL_RETURN_NOT_OK(writer->Append(row));
   DTL_ASSIGN_OR_RETURN(auto info, writer->Close());
-  base_->RegisterFile(std::move(info));
-  return Status::OK();
+  return base_->RegisterFile(std::move(info));
 }
 
 Status AcidTable::OverwriteRows(const std::vector<Row>& rows) {
@@ -165,12 +171,16 @@ Status AcidTable::OverwriteRows(const std::vector<Row>& rows) {
 }
 
 Status AcidTable::WriteDeltaFile(uint64_t txn, const std::vector<Row>& delta_rows) {
+  // Stage + rename: the rename is the statement's commit point, so a crash
+  // mid-write leaves no torn delta and the statement simply never happened.
+  const std::string path = DeltaPath(txn);
   DTL_ASSIGN_OR_RETURN(auto writer,
-                       orc::OrcWriter::Create(fs_, DeltaPath(txn), DeltaSchema(), txn,
+                       orc::OrcWriter::Create(fs_, path + ".tmp", DeltaSchema(), txn,
                                               options_.writer_options));
   for (const Row& row : delta_rows) DTL_RETURN_NOT_OK(writer->Append(row));
   DTL_RETURN_NOT_OK(writer->Close());
-  delta_files_.push_back(DeltaPath(txn));
+  DTL_RETURN_NOT_OK(fs_->Rename(path + ".tmp", path));
+  delta_files_.push_back(path);
   return Status::OK();
 }
 

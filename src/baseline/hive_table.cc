@@ -71,8 +71,7 @@ Status HiveTable::InsertRows(const std::vector<Row>& rows) {
   DTL_ASSIGN_OR_RETURN(auto writer, storage_->NewFileWriter());
   for (const Row& row : rows) DTL_RETURN_NOT_OK(writer->Append(row));
   DTL_ASSIGN_OR_RETURN(auto info, writer->Close());
-  storage_->RegisterFile(std::move(info));
-  return Status::OK();
+  return storage_->RegisterFile(std::move(info));
 }
 
 Status HiveTable::OverwriteRows(const std::vector<Row>& rows) {

@@ -89,6 +89,11 @@ class AttachedTable {
   uint64_t ApproximateBytes() const { return store_->ApproximateBytes(); }
   bool Empty() const { return store_->ApproximateCellCount() == 0; }
 
+  /// Forces the backing WAL to durable storage. DualTable calls this before
+  /// acknowledging an EDIT-plan statement so acknowledged modifications
+  /// survive a crash.
+  Status Sync() { return store_->SyncWal(); }
+
   /// Drops all modifications (after COMPACT or an OVERWRITE plan).
   Status Clear() { return store_->Clear(); }
 

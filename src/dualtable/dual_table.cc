@@ -144,8 +144,7 @@ Status DualTable::InsertRows(const std::vector<Row>& rows) {
   DTL_ASSIGN_OR_RETURN(auto writer, master_->NewFileWriter());
   for (const Row& row : rows) DTL_RETURN_NOT_OK(writer->Append(row));
   DTL_ASSIGN_OR_RETURN(auto info, writer->Close());
-  master_->RegisterFile(std::move(info));
-  return Status::OK();
+  return master_->RegisterFile(std::move(info));
 }
 
 Status DualTable::OverwriteRows(const std::vector<Row>& rows) {
@@ -268,6 +267,9 @@ Result<table::DmlResult> DualTable::ExecuteEditUpdate(
     }
   }
   DTL_RETURN_NOT_OK(it->status());
+  // The statement is acknowledged on return, so its attached-table cells
+  // must be WAL-durable first: a crash after the ack must replay them.
+  DTL_RETURN_NOT_OK(attached_->Sync());
   result.rows_scanned = master_->TotalRows();
   return result;
 }
@@ -375,6 +377,8 @@ Result<table::DmlResult> DualTable::ExecuteEditDelete(const table::ScanSpec& fil
     DTL_RETURN_NOT_OK(attached_->PutDeleteMarker(it->record_id()));
   }
   DTL_RETURN_NOT_OK(it->status());
+  // Same durability contract as ExecuteEditUpdate: sync before the ack.
+  DTL_RETURN_NOT_OK(attached_->Sync());
   result.rows_scanned = master_->TotalRows();
   return result;
 }

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <set>
 
+#include "common/coding.h"
 #include "dualtable/record_id.h"
 #include "table/scan_stats.h"
 
@@ -14,6 +17,13 @@ std::string MasterFilePath(const std::string& dir, uint64_t file_id) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "f_%08llu.orc", static_cast<unsigned long long>(file_id));
   return fs::JoinPath(dir, buf);
+}
+
+std::string ManifestPath(const std::string& dir) { return fs::JoinPath(dir, "manifest"); }
+
+bool HasSuffix(const std::string& name, const char* suffix) {
+  const size_t n = std::strlen(suffix);
+  return name.size() >= n && name.compare(name.size() - n, n, suffix) == 0;
 }
 
 }  // namespace
@@ -36,6 +46,10 @@ Status MasterFileWriter::Append(const Row& row) { return writer_->Append(row); }
 
 Result<MasterFileInfo> MasterFileWriter::Close() {
   DTL_RETURN_NOT_OK(writer_->Close());
+  // The writer staged the file at <path>.tmp; publish it with an atomic
+  // rename so a crash mid-write leaves only a .tmp orphan that the next
+  // Open() garbage-collects, never a torn .orc file.
+  DTL_RETURN_NOT_OK(fs_->Rename(info_.path + ".tmp", info_.path));
   info_.num_rows = writer_->rows_written();
   DTL_ASSIGN_OR_RETURN(info_.bytes, fs_->FileSize(info_.path));
   return info_;
@@ -177,23 +191,102 @@ Result<std::unique_ptr<MasterTable>> MasterTable::Open(fs::SimFileSystem* fs,
   auto master = std::unique_ptr<MasterTable>(new MasterTable(
       fs, metadata, table_name, std::move(schema), dir, writer_options));
 
+  // Staged-but-uncommitted leftovers (torn file writes, half-written
+  // manifest updates) are garbage from a crash; discard them first.
   DTL_ASSIGN_OR_RETURN(auto names, fs->ListDir(dir));
   for (const std::string& name : names) {
-    if (name.rfind("f_", 0) != 0) continue;
-    std::string path = fs::JoinPath(dir, name);
-    DTL_ASSIGN_OR_RETURN(auto reader, orc::OrcReader::Open(fs, path));
-    MasterFileInfo info;
-    info.file_id = reader->file_id();
-    info.path = path;
-    info.num_rows = reader->num_rows();
-    DTL_ASSIGN_OR_RETURN(info.bytes, fs->FileSize(path));
-    master->files_.push_back(std::move(info));
+    if (HasSuffix(name, ".tmp")) DTL_RETURN_NOT_OK(fs->Delete(fs::JoinPath(dir, name)));
+  }
+
+  const std::string manifest_path = ManifestPath(dir);
+  if (fs->Exists(manifest_path)) {
+    // The manifest is the committed file set: open exactly what it lists and
+    // garbage-collect any f_ file that was written but never committed
+    // (e.g. a crash between staging an OVERWRITE generation and the
+    // manifest rename).
+    DTL_ASSIGN_OR_RETURN(auto file, fs->NewRandomAccessFile(manifest_path));
+    const uint64_t size = file->size();
+    if (size < 4) return Status::Corruption("master manifest too small: " + manifest_path);
+    std::string raw;
+    DTL_RETURN_NOT_OK(file->ReadAt(0, size, &raw));
+    const uint32_t crc = DecodeFixed32(raw.data() + raw.size() - 4);
+    Slice payload(raw.data(), raw.size() - 4);
+    if (Crc32(payload) != crc) {
+      return Status::Corruption("master manifest checksum mismatch: " + manifest_path);
+    }
+    uint64_t count = 0;
+    DTL_RETURN_NOT_OK(GetVarint64(&payload, &count));
+    std::set<uint64_t> listed;
+    for (uint64_t i = 0; i < count; ++i) {
+      uint64_t file_id = 0;
+      DTL_RETURN_NOT_OK(GetVarint64(&payload, &file_id));
+      listed.insert(file_id);
+    }
+    for (uint64_t file_id : listed) {
+      std::string path = MasterFilePath(dir, file_id);
+      auto reader = orc::OrcReader::Open(fs, path);
+      if (!reader.ok()) {
+        if (reader.status().IsNotFound()) {
+          return Status::Corruption("manifest lists missing master file: " + path);
+        }
+        return reader.status();
+      }
+      MasterFileInfo info;
+      info.file_id = (*reader)->file_id();
+      info.path = path;
+      info.num_rows = (*reader)->num_rows();
+      DTL_ASSIGN_OR_RETURN(info.bytes, fs->FileSize(path));
+      master->files_.push_back(std::move(info));
+    }
+    for (const std::string& name : names) {
+      if (name.rfind("f_", 0) != 0 || !HasSuffix(name, ".orc")) continue;
+      std::string path = fs::JoinPath(dir, name);
+      bool is_listed = false;
+      for (const auto& f : master->files_) is_listed |= (f.path == path);
+      if (!is_listed) DTL_RETURN_NOT_OK(fs->Delete(path));
+    }
+  } else {
+    // Legacy directory (pre-manifest): index every ORC file present, then
+    // commit that set so subsequent opens take the manifest path.
+    for (const std::string& name : names) {
+      if (name.rfind("f_", 0) != 0 || !HasSuffix(name, ".orc")) continue;
+      std::string path = fs::JoinPath(dir, name);
+      DTL_ASSIGN_OR_RETURN(auto reader, orc::OrcReader::Open(fs, path));
+      MasterFileInfo info;
+      info.file_id = reader->file_id();
+      info.path = path;
+      info.num_rows = reader->num_rows();
+      DTL_ASSIGN_OR_RETURN(info.bytes, fs->FileSize(path));
+      master->files_.push_back(std::move(info));
+    }
   }
   std::sort(master->files_.begin(), master->files_.end(),
             [](const MasterFileInfo& a, const MasterFileInfo& b) {
               return a.file_id < b.file_id;
             });
+  if (!fs->Exists(manifest_path)) DTL_RETURN_NOT_OK(master->WriteManifest());
   return master;
+}
+
+Status MasterTable::WriteManifest() {
+  const std::string manifest_path = ManifestPath(dir_);
+  if (unsafe_commit_for_tests_) {
+    Status st = fs_->Delete(manifest_path);
+    if (!st.ok() && !st.IsNotFound()) return st;
+    return Status::OK();
+  }
+  std::string payload;
+  PutVarint64(&payload, files_.size());
+  for (const auto& f : files_) PutVarint64(&payload, f.file_id);
+  std::string bytes = payload;
+  PutFixed32(&bytes, Crc32(payload.data(), payload.size()));
+  // tmp + rename: the manifest swap is atomic, so a reader never sees a
+  // half-written file set.
+  const std::string tmp = manifest_path + ".tmp";
+  DTL_ASSIGN_OR_RETURN(auto file, fs_->NewWritableFile(tmp));
+  DTL_RETURN_NOT_OK(file->Append(bytes));
+  DTL_RETURN_NOT_OK(file->Close());
+  return fs_->Rename(tmp, manifest_path);
 }
 
 uint64_t MasterTable::TotalRows() const {
@@ -214,18 +307,21 @@ Result<std::unique_ptr<MasterFileWriter>> MasterTable::NewFileWriter() {
   MasterFileInfo info;
   info.file_id = file_id;
   info.path = MasterFilePath(dir_, file_id);
-  DTL_ASSIGN_OR_RETURN(auto writer, orc::OrcWriter::Create(fs_, info.path, schema_,
-                                                           file_id, writer_options_));
+  // Stage at <path>.tmp; MasterFileWriter::Close renames into place.
+  DTL_ASSIGN_OR_RETURN(auto writer, orc::OrcWriter::Create(fs_, info.path + ".tmp",
+                                                           schema_, file_id,
+                                                           writer_options_));
   return std::unique_ptr<MasterFileWriter>(
       new MasterFileWriter(std::move(writer), std::move(info), fs_));
 }
 
-void MasterTable::RegisterFile(MasterFileInfo info) {
+Status MasterTable::RegisterFile(MasterFileInfo info) {
   files_.push_back(std::move(info));
   std::sort(files_.begin(), files_.end(),
             [](const MasterFileInfo& a, const MasterFileInfo& b) {
               return a.file_id < b.file_id;
             });
+  return WriteManifest();
 }
 
 Status MasterTable::ReplaceAllFiles(std::vector<MasterFileInfo> new_files) {
@@ -241,6 +337,10 @@ Status MasterTable::ReplaceAllFiles(std::vector<MasterFileInfo> new_files) {
             [](const MasterFileInfo& a, const MasterFileInfo& b) {
               return a.file_id < b.file_id;
             });
+  // Commit the new generation before touching the old one: after a crash,
+  // Open() serves whichever generation the manifest names and
+  // garbage-collects the other.
+  DTL_RETURN_NOT_OK(WriteManifest());
   for (const std::string& path : old_paths) DTL_RETURN_NOT_OK(fs_->Delete(path));
   return Status::OK();
 }

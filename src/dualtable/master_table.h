@@ -129,7 +129,11 @@ class MasterScanBatchIterator : public table::BatchIterator {
 /// One DualTable's master store.
 class MasterTable {
  public:
-  /// Opens (or creates) the master directory and indexes existing files.
+  /// Opens (or creates) the master directory. The committed file set lives
+  /// in a CRC'd `manifest` (swapped atomically via tmp + rename); staged
+  /// files and generations that never reached their manifest commit are
+  /// garbage-collected here. Directories that predate the manifest are
+  /// indexed by scanning and committed on the spot.
   static Result<std::unique_ptr<MasterTable>> Open(
       fs::SimFileSystem* fs, MetadataTable* metadata, const std::string& table_name,
       Schema schema, const std::string& warehouse_dir = "/warehouse",
@@ -143,11 +147,22 @@ class MasterTable {
   /// Starts a new master file with a fresh metadata-assigned file ID.
   Result<std::unique_ptr<MasterFileWriter>> NewFileWriter();
 
-  /// Registers a closed file produced by NewFileWriter.
-  void RegisterFile(MasterFileInfo info);
+  /// Registers a closed file produced by NewFileWriter and commits the new
+  /// file set to the manifest. The file only becomes part of the table once
+  /// the manifest rename lands; a crash before that leaves an orphan that
+  /// the next Open() garbage-collects.
+  Status RegisterFile(MasterFileInfo info);
 
-  /// Swaps the live file set: registers `new_files`, deletes current ones.
+  /// Swaps the live file set: registers `new_files`, commits the manifest,
+  /// then deletes current ones. The manifest rename is the commit point — a
+  /// crash before it keeps the old generation, after it the new one.
   Status ReplaceAllFiles(std::vector<MasterFileInfo> new_files);
+
+  /// Test hook: when set, RegisterFile/ReplaceAllFiles delete the manifest
+  /// instead of writing it, reverting Open() to the unsafe scan-everything
+  /// recovery. Exists so the crash sweep can demonstrate that the manifest
+  /// commit is load-bearing.
+  void SetUnsafeGenerationCommitForTests(bool unsafe) { unsafe_commit_for_tests_ = unsafe; }
 
   /// Sequential scan in record-ID order. `apply_predicate` false defers the
   /// residual filter to the caller (UNION READ filters after merging).
@@ -183,6 +198,8 @@ class MasterTable {
         writer_options_(writer_options) {}
 
   Result<std::shared_ptr<orc::OrcReader>> OpenReader(const MasterFileInfo& info) const;
+  /// Writes the current file-ID set to `dir/manifest` via tmp + rename.
+  Status WriteManifest();
 
   fs::SimFileSystem* fs_;
   MetadataTable* metadata_;
@@ -191,6 +208,7 @@ class MasterTable {
   std::string dir_;
   orc::WriterOptions writer_options_;
   std::vector<MasterFileInfo> files_;  // ascending file_id
+  bool unsafe_commit_for_tests_ = false;
   mutable std::mutex reader_cache_mu_;
   mutable std::map<uint64_t, std::shared_ptr<orc::OrcReader>> reader_cache_;
 };

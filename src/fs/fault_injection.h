@@ -1,0 +1,61 @@
+// Fault-injection controls for SimFileSystem: the crash-consistency test
+// harness installs a FaultPolicy to make the simulated HDFS fail or "crash"
+// at a chosen mutating operation, and to tear or bit-flip stored bytes.
+//
+// The model matches what real HDFS clients observe:
+//   * an IO error makes one operation fail and the file system keeps going;
+//   * a crash makes the triggering operation and every later mutating
+//     operation fail until the harness "restarts" the process by clearing
+//     the policy — data synced before the crash survives, unsynced appends
+//     are lost with the writer, and the commit that was in flight may
+//     publish only a prefix of its delta (a torn write);
+//   * bit flips model silent media corruption underneath intact metadata.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dtl::fs {
+
+/// Mutating operations the policy can target. Read paths are never failed:
+/// a crashed process loses writers, not previously published bytes.
+enum class FaultOp {
+  kCreate,  // NewWritableFile
+  kAppend,  // WritableFile::Append
+  kSync,    // WritableFile::Sync / Close (the publication commit)
+  kRename,  // Rename
+  kDelete,  // Delete / DeleteRecursively
+};
+
+const char* FaultOpName(FaultOp op);
+
+enum class FaultMode {
+  /// The triggering operation returns IOError once; later ops succeed.
+  kErrorOnce,
+  /// Simulated process crash: the triggering operation and all subsequent
+  /// mutating operations fail until ClearFaultPolicy() ("restart"). When
+  /// the trigger lands on a Sync/Close commit, only `tear_fraction` of the
+  /// un-synced suffix becomes durable.
+  kCrash,
+};
+
+struct FaultPolicy {
+  FaultMode mode = FaultMode::kCrash;
+  /// Substring the operation's path must contain to count toward the
+  /// trigger; empty matches every path.
+  std::string path_substring;
+  /// Operations that count toward the trigger; empty means all mutating ops.
+  std::vector<FaultOp> ops;
+  /// Fires on the Nth (1-based) matching mutating operation after
+  /// installation.
+  uint64_t trigger_after_ops = 1;
+  /// Fraction (0..1] of the in-flight commit's un-synced suffix that still
+  /// reaches "disk" when a kCrash trigger lands on a kSync operation. 0
+  /// models a clean tail loss; anything else models a torn write.
+  double tear_fraction = 0.0;
+
+  bool Matches(FaultOp op, const std::string& path) const;
+};
+
+}  // namespace dtl::fs

@@ -10,6 +10,91 @@ std::string JoinPath(const std::string& dir, const std::string& name) {
   return dir + "/" + name;
 }
 
+// --- fault injection ---------------------------------------------------------
+
+const char* FaultOpName(FaultOp op) {
+  switch (op) {
+    case FaultOp::kCreate: return "create";
+    case FaultOp::kAppend: return "append";
+    case FaultOp::kSync: return "sync";
+    case FaultOp::kRename: return "rename";
+    case FaultOp::kDelete: return "delete";
+  }
+  return "unknown";
+}
+
+bool FaultPolicy::Matches(FaultOp op, const std::string& path) const {
+  if (!ops.empty() && std::find(ops.begin(), ops.end(), op) == ops.end()) return false;
+  if (!path_substring.empty() && path.find(path_substring) == std::string::npos) {
+    return false;
+  }
+  return true;
+}
+
+void SimFileSystem::SetFaultPolicy(FaultPolicy policy) {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  fault_policy_ = std::move(policy);
+  fault_matching_ops_ = 0;
+  fault_fired_ = false;
+  crashed_ = false;
+}
+
+void SimFileSystem::ClearFaultPolicy() {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  fault_policy_.reset();
+  fault_matching_ops_ = 0;
+  fault_fired_ = false;
+  crashed_ = false;
+}
+
+bool SimFileSystem::HasCrashed() const {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  return crashed_;
+}
+
+uint64_t SimFileSystem::MutatingOpCount() const {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  return mutating_ops_;
+}
+
+Status SimFileSystem::CheckFault(FaultOp op, const std::string& path,
+                                 double* torn_fraction) {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  ++mutating_ops_;
+  if (crashed_) {
+    return Status::IoError("simulated crash: file system is down (" +
+                           std::string(FaultOpName(op)) + " " + path + ")");
+  }
+  if (!fault_policy_.has_value() || fault_fired_) return Status::OK();
+  if (!fault_policy_->Matches(op, path)) return Status::OK();
+  if (++fault_matching_ops_ < fault_policy_->trigger_after_ops) return Status::OK();
+  fault_fired_ = true;
+  if (fault_policy_->mode == FaultMode::kCrash) {
+    crashed_ = true;
+    if (op == FaultOp::kSync && torn_fraction != nullptr) {
+      *torn_fraction = fault_policy_->tear_fraction;
+    }
+    return Status::IoError("simulated crash during " + std::string(FaultOpName(op)) +
+                           " of " + path);
+  }
+  return Status::IoError("injected IO error during " + std::string(FaultOpName(op)) +
+                         " of " + path);
+}
+
+Status SimFileSystem::CorruptFile(const std::string& path, uint64_t offset,
+                                  uint8_t xor_mask) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  if (offset >= it->second.data->size()) {
+    return Status::OutOfRange("corruption offset past end of " + path);
+  }
+  std::string mutated = *it->second.data;
+  mutated[offset] = static_cast<char>(mutated[offset] ^ xor_mask);
+  it->second.data = std::make_shared<const std::string>(std::move(mutated));
+  return Status::OK();
+}
+
 // --- WritableFile -----------------------------------------------------------
 
 WritableFile::~WritableFile() {
@@ -18,6 +103,7 @@ WritableFile::~WritableFile() {
 
 Status WritableFile::Append(const Slice& data) {
   if (closed_) return Status::IoError("append to closed file " + path_);
+  DTL_RETURN_NOT_OK(fs_->CheckFault(FaultOp::kAppend, path_));
   buffer_.append(data.data(), data.size());
   total_appended_ += data.size();
   return Status::OK();
@@ -122,6 +208,7 @@ Result<uint64_t> SimFileSystem::FileSize(const std::string& path) const {
 }
 
 Status SimFileSystem::Delete(const std::string& path) {
+  DTL_RETURN_NOT_OK(CheckFault(FaultOp::kDelete, path));
   std::lock_guard<std::mutex> lock(mu_);
   if (files_.erase(path) == 0 && dirs_.erase(path) == 0) {
     return Status::NotFound("no such file: " + path);
@@ -130,6 +217,7 @@ Status SimFileSystem::Delete(const std::string& path) {
 }
 
 Status SimFileSystem::DeleteRecursively(const std::string& path) {
+  DTL_RETURN_NOT_OK(CheckFault(FaultOp::kDelete, path));
   std::lock_guard<std::mutex> lock(mu_);
   std::string prefix = path;
   if (prefix.empty() || prefix.back() != '/') prefix += '/';
@@ -147,6 +235,7 @@ Status SimFileSystem::DeleteRecursively(const std::string& path) {
 }
 
 Status SimFileSystem::Rename(const std::string& from, const std::string& to) {
+  DTL_RETURN_NOT_OK(CheckFault(FaultOp::kRename, from));
   std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(from);
   if (it == files_.end()) return Status::NotFound("no such file: " + from);
@@ -160,12 +249,32 @@ Result<std::unique_ptr<WritableFile>> SimFileSystem::NewWritableFile(
   if (path.empty() || path[0] != '/') {
     return Status::InvalidArgument("path must be absolute: " + path);
   }
+  DTL_RETURN_NOT_OK(CheckFault(FaultOp::kCreate, path));
   return std::unique_ptr<WritableFile>(new WritableFile(this, path));
 }
 
 Status SimFileSystem::CommitFileDelta(const std::string& path,
                                       const std::string& contents, uint64_t new_bytes,
                                       uint64_t* synced_bytes) {
+  double torn_fraction = -1.0;
+  Status fault = CheckFault(FaultOp::kSync, path, &torn_fraction);
+  if (!fault.ok()) {
+    // A crash that lands on the commit itself may still get a prefix of the
+    // un-synced delta to "disk" (a torn write). *synced_bytes is left
+    // untouched: the writer never learns the data landed.
+    if (torn_fraction > 0.0) {
+      const uint64_t previously_synced = contents.size() - new_bytes;
+      const uint64_t keep =
+          static_cast<uint64_t>(static_cast<double>(new_bytes) * torn_fraction);
+      if (previously_synced + keep > 0) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (files_.find(path) == files_.end()) meter_.ChargeFileCreate();
+        files_[path] = FileNode{
+            std::make_shared<const std::string>(contents.substr(0, previously_synced + keep))};
+      }
+    }
+    return fault;
+  }
   Channel channel = ChannelFor(path);
   meter_.ChargeWrite(channel, new_bytes);
   std::lock_guard<std::mutex> lock(mu_);

@@ -16,11 +16,13 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/slice.h"
 #include "common/status.h"
+#include "fs/fault_injection.h"
 #include "fs/io_stats.h"
 
 namespace dtl::fs {
@@ -135,10 +137,34 @@ class SimFileSystem {
   /// Total bytes stored across all files (unreplicated logical size).
   uint64_t TotalBytesStored() const;
 
+  // -- fault injection (crash-consistency test harness) --
+
+  /// Installs a fault policy; replaces any previous policy and resets the
+  /// matching-op counter and crash state.
+  void SetFaultPolicy(FaultPolicy policy);
+  /// Removes the policy and clears the crashed state — the harness's
+  /// "process restart". Synced data survives; nothing else changes.
+  void ClearFaultPolicy();
+  /// True once a kCrash policy has fired (until ClearFaultPolicy).
+  bool HasCrashed() const;
+  /// Total mutating operations observed since construction, counted whether
+  /// or not a policy is installed. Sweeps size their crash-point range by
+  /// running the workload once fault-free and reading this.
+  uint64_t MutatingOpCount() const;
+  /// Flips bits in a stored file: byte at `offset` is XORed with `xor_mask`.
+  /// Models silent media corruption; test-only.
+  Status CorruptFile(const std::string& path, uint64_t offset, uint8_t xor_mask);
+
  private:
   friend class WritableFile;
 
   Channel ChannelFor(const std::string& path) const;
+  /// Counts one mutating op against the installed policy; returns the
+  /// injected error when the policy fires (or has already crashed the file
+  /// system). For kSync crash triggers, *torn_fraction is set to the
+  /// policy's tear_fraction so CommitFileDelta can publish a partial delta.
+  Status CheckFault(FaultOp op, const std::string& path,
+                    double* torn_fraction = nullptr);
   /// Publishes `contents` as the file body, charging only `new_bytes` (the
   /// suffix not covered by a previous sync). Updates *synced_bytes.
   Status CommitFileDelta(const std::string& path, const std::string& contents,
@@ -153,6 +179,15 @@ class SimFileSystem {
   std::map<std::string, FileNode> files_;
   std::map<std::string, bool> dirs_;
   mutable IoMeter meter_;
+
+  /// Fault state lives under its own mutex: CheckFault runs at operation
+  /// entry, before mu_ is taken, so the two never nest.
+  mutable std::mutex fault_mu_;
+  std::optional<FaultPolicy> fault_policy_;
+  uint64_t fault_matching_ops_ = 0;
+  uint64_t mutating_ops_ = 0;
+  bool fault_fired_ = false;
+  bool crashed_ = false;
 };
 
 /// Joins two path segments with exactly one '/'.

@@ -50,10 +50,12 @@ Status SstWriter::Add(const Cell& cell) {
 
 Status SstWriter::FlushBlock() {
   if (block_.empty()) return Status::OK();
+  const uint32_t crc = Crc32(block_.data(), block_.size());
+  PutFixed32(&block_, crc);
   IndexEntry entry;
   entry.first_key = *block_first_key_;
   entry.offset = offset_;
-  entry.length = block_.size();
+  entry.length = block_.size();  // cells + trailing CRC
   index_.push_back(std::move(entry));
   DTL_RETURN_NOT_OK(file_->Append(block_));
   offset_ += block_.size();
@@ -89,6 +91,7 @@ Status SstWriter::Finish() {
   PutFixed64(&footer, bloom_bytes.size());
   PutFixed64(&footer, cell_count_);
   PutFixed32(&footer, Crc32(index_bytes.data(), index_bytes.size()));
+  PutFixed32(&footer, Crc32(bloom_bytes.data(), bloom_bytes.size()));
   PutFixed32(&footer, kSstMagic);
   DTL_RETURN_NOT_OK(file_->Append(footer));
   finished_ = true;
@@ -101,7 +104,7 @@ Result<std::unique_ptr<SstReader>> SstReader::Open(const fs::SimFileSystem* fs,
                                                    const std::string& path) {
   DTL_ASSIGN_OR_RETURN(auto file, fs->NewRandomAccessFile(path));
   const uint64_t size = file->size();
-  constexpr uint64_t kFooterSize = 8 * 5 + 4 + 4;
+  constexpr uint64_t kFooterSize = 8 * 5 + 4 + 4 + 4;
   if (size < kFooterSize) return Status::Corruption("file too small to be SSTable");
 
   std::string footer;
@@ -111,8 +114,9 @@ Result<std::unique_ptr<SstReader>> SstReader::Open(const fs::SimFileSystem* fs,
   const uint64_t bloom_off = DecodeFixed64(footer.data() + 16);
   const uint64_t bloom_len = DecodeFixed64(footer.data() + 24);
   const uint64_t cell_count = DecodeFixed64(footer.data() + 32);
-  const uint32_t crc = DecodeFixed32(footer.data() + 40);
-  const uint32_t magic = DecodeFixed32(footer.data() + 44);
+  const uint32_t index_crc = DecodeFixed32(footer.data() + 40);
+  const uint32_t bloom_crc = DecodeFixed32(footer.data() + 44);
+  const uint32_t magic = DecodeFixed32(footer.data() + 48);
   if (magic != kSstMagic) return Status::Corruption("bad SSTable magic in " + path);
   if (index_off + index_len > size || bloom_off + bloom_len > size) {
     return Status::Corruption("bad SSTable footer offsets");
@@ -120,11 +124,16 @@ Result<std::unique_ptr<SstReader>> SstReader::Open(const fs::SimFileSystem* fs,
 
   std::string index_bytes;
   DTL_RETURN_NOT_OK(file->ReadAt(index_off, index_len, &index_bytes));
-  if (Crc32(index_bytes.data(), index_bytes.size()) != crc) {
+  if (Crc32(index_bytes.data(), index_bytes.size()) != index_crc) {
     return Status::Corruption("SSTable index checksum mismatch in " + path);
   }
   std::string bloom_bytes;
   DTL_RETURN_NOT_OK(file->ReadAt(bloom_off, bloom_len, &bloom_bytes));
+  if (Crc32(bloom_bytes.data(), bloom_bytes.size()) != bloom_crc) {
+    // A damaged bloom filter is not recoverable-by-ignoring: false negatives
+    // would silently hide rows from point reads.
+    return Status::Corruption("SSTable bloom checksum mismatch in " + path);
+  }
 
   auto reader = std::unique_ptr<SstReader>(new SstReader());
   reader->file_ = std::move(file);
@@ -148,7 +157,16 @@ bool SstReader::MayContainRow(const Slice& row) const { return bloom_.MayContain
 
 Status SstReader::ReadBlock(size_t block_index, std::string* out) const {
   const IndexEntry& e = index_[block_index];
-  return file_->ReadAt(e.offset, e.length, out);
+  DTL_RETURN_NOT_OK(file_->ReadAt(e.offset, e.length, out));
+  if (out->size() != e.length || e.length < 4) {
+    return Status::Corruption("SSTable block truncated in " + path_);
+  }
+  const uint32_t crc = DecodeFixed32(out->data() + out->size() - 4);
+  out->resize(out->size() - 4);
+  if (Crc32(out->data(), out->size()) != crc) {
+    return Status::Corruption("SSTable block checksum mismatch in " + path_);
+  }
+  return Status::OK();
 }
 
 Status SstReader::GetVersions(const Slice& row, uint32_t qualifier, int max_versions,

@@ -4,10 +4,14 @@
 //
 // Layout:
 //   [block 0][block 1]...[index][bloom][footer]
+//   block  = [encoded cells][crc32:4]
 //   footer = [index_off:8][index_len:8][bloom_off:8][bloom_len:8]
-//            [entry_count:8][crc:4][magic "DSST":4]
-// Blocks hold consecutive encoded cells; the index stores each block's first
-// cell key and offset for binary search; the bloom filter is over row keys.
+//            [entry_count:8][index_crc:4][bloom_crc:4][magic "DSST":4]
+// Blocks hold consecutive encoded cells and end with a CRC over the cells;
+// the index stores each block's first cell key and offset for binary
+// search; the bloom filter is over row keys. Index, bloom, and every block
+// are checksummed so silent media corruption surfaces as Status::Corruption
+// instead of undefined decode behaviour.
 #pragma once
 
 #include <memory>

@@ -180,18 +180,37 @@ Result<std::unique_ptr<KvStore>> KvStore::Open(fs::SimFileSystem* fs,
   DTL_RETURN_NOT_OK(fs->CreateDir(store->options_.dir));
   store->memtable_ = std::make_unique<MemTable>();
 
-  // Register existing SSTables: names are "sst_<seq>_<maxts>.sst".
+  // Inventory the directory: published SSTables ("sst_<seq>_<maxts>.sst"),
+  // WAL segments ("wal_<seq>.log"), and unpublished ".tmp" leftovers from a
+  // flush or compaction that crashed before its rename commit.
   DTL_ASSIGN_OR_RETURN(auto names, fs->ListDir(store->options_.dir));
-  std::vector<std::pair<uint64_t, std::string>> found;  // (seq, name)
+  std::vector<std::pair<uint64_t, std::string>> found;         // (seq, name)
+  std::vector<std::pair<uint64_t, std::string>> wal_segments;  // (seq, name)
+  uint64_t max_wal_seq = 0;
+  uint64_t min_wal_seq = UINT64_MAX;
   for (const std::string& name : names) {
+    const char* end = name.data() + name.size();
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0) {
+      // Never published: its writer crashed before the rename commit, so no
+      // acknowledged data can live here. Discard.
+      DTL_RETURN_NOT_OK(fs->Delete(fs::JoinPath(store->options_.dir, name)));
+      continue;
+    }
+    if (name.rfind("wal_", 0) == 0) {
+      uint64_t seq = 0;
+      auto r = std::from_chars(name.data() + 4, end, seq);
+      if (r.ec != std::errc() || std::string(r.ptr, end - r.ptr) != ".log") continue;
+      wal_segments.emplace_back(seq, name);
+      max_wal_seq = std::max(max_wal_seq, seq);
+      min_wal_seq = std::min(min_wal_seq, seq);
+      continue;
+    }
     if (name.rfind("sst_", 0) != 0 || name.size() < 9) continue;
     uint64_t seq = 0, max_ts = 0;
-    const char* p = name.data() + 4;
-    const char* end = name.data() + name.size();
-    auto r1 = std::from_chars(p, end, seq);
+    auto r1 = std::from_chars(name.data() + 4, end, seq);
     if (r1.ec != std::errc() || r1.ptr >= end || *r1.ptr != '_') continue;
     auto r2 = std::from_chars(r1.ptr + 1, end, max_ts);
-    if (r2.ec != std::errc()) continue;
+    if (r2.ec != std::errc() || std::string(r2.ptr, end - r2.ptr) != ".sst") continue;
     found.emplace_back(seq, name);
     store->next_sst_seq_ = std::max(store->next_sst_seq_, seq + 1);
     if (max_ts > store->last_ts_.load(std::memory_order_relaxed)) {
@@ -205,9 +224,17 @@ Result<std::unique_ptr<KvStore>> KvStore::Open(fs::SimFileSystem* fs,
     store->sstables_.push_back(std::move(reader));
   }
 
-  // Replay the WAL into the memtable.
+  // Replay surviving WAL segments, oldest first, into the memtable. A
+  // segment whose flush committed but whose retirement was interrupted
+  // replays cells that already live in an SSTable; identical (row,
+  // qualifier, timestamp) cells deduplicate at read time, so the replay is
+  // idempotent.
+  std::sort(wal_segments.begin(), wal_segments.end());
   std::vector<Cell> recovered;
-  DTL_RETURN_NOT_OK(ReplayWal(fs, store->WalPath(), &recovered));
+  for (const auto& [seq, name] : wal_segments) {
+    DTL_RETURN_NOT_OK(
+        ReplayWal(fs, fs::JoinPath(store->options_.dir, name), &recovered));
+  }
   for (Cell& cell : recovered) {
     if (cell.key.timestamp > store->last_ts_.load(std::memory_order_relaxed)) {
       store->last_ts_.store(cell.key.timestamp, std::memory_order_relaxed);
@@ -215,8 +242,12 @@ Result<std::unique_ptr<KvStore>> KvStore::Open(fs::SimFileSystem* fs,
     store->memtable_->Add(cell);
   }
 
-  DTL_ASSIGN_OR_RETURN(store->wal_, WalWriter::Create(fs, store->WalPath(),
-                                                      store->options_.wal_sync_interval_bytes));
+  store->wal_seq_ = max_wal_seq + 1;
+  store->retired_wal_seq_ =
+      wal_segments.empty() ? max_wal_seq : min_wal_seq - 1;
+  DTL_ASSIGN_OR_RETURN(store->wal_,
+                       WalWriter::Create(fs, store->WalSegmentPath(store->wal_seq_),
+                                         store->options_.wal_sync_interval_bytes));
   return store;
 }
 
@@ -234,6 +265,22 @@ std::string KvStore::SstPath(uint64_t seq, uint64_t max_ts) const {
                 static_cast<unsigned long long>(seq),
                 static_cast<unsigned long long>(max_ts));
   return fs::JoinPath(options_.dir, buf);
+}
+
+std::string KvStore::WalSegmentPath(uint64_t seq) const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "wal_%06llu.log", static_cast<unsigned long long>(seq));
+  return fs::JoinPath(options_.dir, buf);
+}
+
+Status KvStore::RetireWalSegmentsLocked(uint64_t through_seq) {
+  for (uint64_t seq = retired_wal_seq_ + 1; seq <= through_seq; ++seq) {
+    Status st = fs_->Delete(WalSegmentPath(seq));
+    // A segment that never synced has no file; nothing to retire.
+    if (!st.ok() && !st.IsNotFound()) return st;
+    retired_wal_seq_ = seq;
+  }
+  return Status::OK();
 }
 
 Status KvStore::WriteCell(Cell cell, bool assign_ts) {
@@ -386,22 +433,33 @@ Status KvStore::Flush() {
 Status KvStore::FlushLocked() {
   if (memtable_->empty()) return Status::OK();
   stats_.flushes.fetch_add(1, std::memory_order_relaxed);
+  // Open the next WAL segment before anything else: until the SSTable's
+  // rename commit lands, the old segment still covers every cell, so a
+  // failure at any point below loses nothing and leaves the store writable.
+  const uint64_t new_wal_seq = wal_seq_ + 1;
+  DTL_ASSIGN_OR_RETURN(auto new_wal,
+                       WalWriter::Create(fs_, WalSegmentPath(new_wal_seq),
+                                         options_.wal_sync_interval_bytes));
+  // Stage the SSTable under a ".tmp" name and publish it with an atomic
+  // rename; a crash mid-write leaves only an unpublished temp file.
   const std::string path = SstPath(next_sst_seq_++, last_ts_.load(std::memory_order_relaxed));
-  DTL_ASSIGN_OR_RETURN(auto writer, SstWriter::Create(fs_, path, memtable_->cell_count()));
+  const std::string tmp_path = path + ".tmp";
+  DTL_ASSIGN_OR_RETURN(auto writer, SstWriter::Create(fs_, tmp_path, memtable_->cell_count()));
   MemTable::Iterator it(memtable_.get());
   for (it.SeekToFirst(); it.Valid(); it.Next()) {
     DTL_RETURN_NOT_OK(writer->Add(it.cell()));
   }
   DTL_RETURN_NOT_OK(writer->Finish());
+  DTL_RETURN_NOT_OK(fs_->Rename(tmp_path, path));
   DTL_ASSIGN_OR_RETURN(auto reader, SstReader::Open(fs_, path));
   sstables_.push_back(std::move(reader));
   memtable_ = std::make_unique<MemTable>();
-  // Start a fresh WAL: the flushed cells no longer need replay.
-  DTL_RETURN_NOT_OK(wal_->Close());
-  DTL_RETURN_NOT_OK(fs_->Delete(WalPath()));
-  DTL_ASSIGN_OR_RETURN(wal_,
-                       WalWriter::Create(fs_, WalPath(), options_.wal_sync_interval_bytes));
-  return Status::OK();
+  // Switch to the fresh segment; the old writer is dropped (its cells are
+  // all in the SSTable now) and its file retired.
+  const uint64_t old_wal_seq = wal_seq_;
+  wal_ = std::move(new_wal);
+  wal_seq_ = new_wal_seq;
+  return RetireWalSegmentsLocked(old_wal_seq);
 }
 
 Status KvStore::Compact() {
@@ -417,9 +475,10 @@ Status KvStore::CompactLocked() {
   // versions are dropped (nothing below survives a full compaction).
   CellScanner scanner(nullptr, sstables_, nullptr);
   const std::string path = SstPath(next_sst_seq_++, last_ts_.load(std::memory_order_relaxed));
+  const std::string tmp_path = path + ".tmp";
   uint64_t expected = 0;
   for (const auto& sst : sstables_) expected += sst->cell_count();
-  DTL_ASSIGN_OR_RETURN(auto writer, SstWriter::Create(fs_, path, expected));
+  DTL_ASSIGN_OR_RETURN(auto writer, SstWriter::Create(fs_, tmp_path, expected));
 
   while (scanner.Valid()) {
     std::vector<Cell> raw;
@@ -435,6 +494,11 @@ Status KvStore::CompactLocked() {
   }
   DTL_RETURN_NOT_OK(scanner.status());
   DTL_RETURN_NOT_OK(writer->Finish());
+  // Atomic commit: the merged table becomes visible in one rename. A crash
+  // before this point leaves only the temp file; a crash after it leaves the
+  // merged table plus not-yet-deleted inputs, whose surviving cells are
+  // shadowed copies of what the merged table already serves.
+  DTL_RETURN_NOT_OK(fs_->Rename(tmp_path, path));
 
   std::vector<std::string> old_paths;
   old_paths.reserve(sstables_.size());
@@ -448,14 +512,24 @@ Status KvStore::CompactLocked() {
 
 Status KvStore::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
+  // Same segment discipline as FlushLocked: open the replacement log first
+  // so a failure below never leaves the store without a writable WAL.
+  const uint64_t new_wal_seq = wal_seq_ + 1;
+  DTL_ASSIGN_OR_RETURN(auto new_wal,
+                       WalWriter::Create(fs_, WalSegmentPath(new_wal_seq),
+                                         options_.wal_sync_interval_bytes));
   for (const auto& sst : sstables_) DTL_RETURN_NOT_OK(fs_->Delete(sst->path()));
   sstables_.clear();
   memtable_ = std::make_unique<MemTable>();
-  DTL_RETURN_NOT_OK(wal_->Close());
-  DTL_RETURN_NOT_OK(fs_->Delete(WalPath()));
-  DTL_ASSIGN_OR_RETURN(wal_,
-                       WalWriter::Create(fs_, WalPath(), options_.wal_sync_interval_bytes));
-  return Status::OK();
+  const uint64_t old_wal_seq = wal_seq_;
+  wal_ = std::move(new_wal);
+  wal_seq_ = new_wal_seq;
+  return RetireWalSegmentsLocked(old_wal_seq);
+}
+
+Status KvStore::SyncWal() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return wal_->Sync();
 }
 
 uint64_t KvStore::ApproximateCellCount() const {

@@ -161,6 +161,11 @@ class KvStore {
   /// Forces the memtable into an SSTable.
   Status Flush();
 
+  /// Forces the live WAL segment to durable storage. An acknowledged write
+  /// is only crash-durable once the WAL covering it has synced; DML layers
+  /// call this before acknowledging a statement.
+  Status SyncWal();
+
   /// Merges every SSTable (after flushing), keeping at most
   /// options.max_versions live versions per cell and dropping tombstones and
   /// the versions they mask.
@@ -186,8 +191,12 @@ class KvStore {
   Status WriteCell(Cell cell, bool assign_ts);
   Status FlushLocked();
   Status CompactLocked();
+  /// Retires every WAL segment up to and including `through_seq` (their
+  /// cells are covered by SSTables). A segment that was never synced has no
+  /// file; that is not an error.
+  Status RetireWalSegmentsLocked(uint64_t through_seq);
   std::string SstPath(uint64_t seq, uint64_t max_ts) const;
-  std::string WalPath() const { return options_.dir + "/wal.log"; }
+  std::string WalSegmentPath(uint64_t seq) const;
 
   fs::SimFileSystem* fs_;
   KvStoreOptions options_;
@@ -196,6 +205,12 @@ class KvStore {
   std::unique_ptr<WalWriter> wal_;
   std::vector<std::shared_ptr<SstReader>> sstables_;  // oldest first
   uint64_t next_sst_seq_ = 1;
+  /// WAL segments are numbered; a flush opens segment N+1 before retiring
+  /// segment N, so a failed flush never leaves the store without a log.
+  uint64_t wal_seq_ = 1;
+  /// Highest segment sequence whose file is known deleted; retirement
+  /// resumes after it (a crashed retire is retried by the next flush).
+  uint64_t retired_wal_seq_ = 0;
   /// Monotonic write clock. Written only under mu_; atomic so LastTimestamp
   /// can read it without taking the lock.
   std::atomic<uint64_t> last_ts_{0};

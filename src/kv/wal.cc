@@ -14,10 +14,14 @@ Result<std::unique_ptr<WalWriter>> WalWriter::Create(fs::SimFileSystem* fs,
 Status WalWriter::Append(const Cell& cell) {
   std::string payload;
   EncodeCell(cell, &payload);
+  // The CRC covers the length word too: a bit flip in the length must fail
+  // the checksum instead of desynchronizing the record stream.
+  std::string body;
+  PutFixed32(&body, static_cast<uint32_t>(payload.size()));
+  body += payload;
   std::string frame;
-  PutFixed32(&frame, Crc32(payload.data(), payload.size()));
-  PutFixed32(&frame, static_cast<uint32_t>(payload.size()));
-  frame += payload;
+  PutFixed32(&frame, Crc32(body.data(), body.size()));
+  frame += body;
   DTL_RETURN_NOT_OK(file_->Append(frame));
   unsynced_bytes_ += frame.size();
   if (unsynced_bytes_ >= sync_interval_bytes_) return Sync();
@@ -26,8 +30,9 @@ Status WalWriter::Append(const Cell& cell) {
 
 Status WalWriter::Sync() {
   if (unsynced_bytes_ == 0) return Status::OK();
+  DTL_RETURN_NOT_OK(file_->Sync());
   unsynced_bytes_ = 0;
-  return file_->Sync();
+  return Status::OK();
 }
 
 Status WalWriter::Close() { return file_->Close(); }
@@ -46,10 +51,18 @@ Status ReplayWal(const fs::SimFileSystem* fs, const std::string& path,
     if (header.size() < 8) break;  // truncated tail: stop cleanly
     const uint32_t crc = DecodeFixed32(header.data());
     const uint32_t len = DecodeFixed32(header.data() + 4);
+    if (len > kMaxWalRecordBytes) {
+      // An implausible length is corruption, not a big record: reading it
+      // would silently swallow the rest of the log as one "payload".
+      return Status::Corruption("WAL record length " + std::to_string(len) +
+                                " exceeds limit in " + path);
+    }
     std::string payload;
     DTL_RETURN_NOT_OK(file->Read(len, &payload));
     if (payload.size() < len) break;  // truncated tail
-    if (Crc32(payload.data(), payload.size()) != crc) {
+    std::string body(header.data() + 4, 4);
+    body += payload;
+    if (Crc32(body.data(), body.size()) != crc) {
       return Status::Corruption("WAL record checksum mismatch in " + path);
     }
     Slice in(payload);

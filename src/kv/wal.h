@@ -1,6 +1,7 @@
 // Write-ahead log of the KV store. Each record is one cell framed as
-// [crc32:4][len:4][payload]; the log is synced (published to the file
-// system) at a configurable byte interval, mirroring HBase's group commit.
+// [crc32:4][len:4][payload], where the CRC covers the length word and the
+// payload; the log is synced (published to the file system) at a
+// configurable byte interval, mirroring HBase's group commit.
 #pragma once
 
 #include <memory>
@@ -12,6 +13,10 @@
 #include "kv/cell.h"
 
 namespace dtl::kv {
+
+/// Upper bound on one encoded WAL record; a decoded length above this is
+/// corruption (cells are rows, not blobs), never a legitimate record.
+inline constexpr uint32_t kMaxWalRecordBytes = 64u << 20;
 
 /// Appender for the live WAL segment.
 class WalWriter {
@@ -37,7 +42,11 @@ class WalWriter {
   size_t unsynced_bytes_ = 0;
 };
 
-/// Replays a WAL segment; tolerates a truncated final record (crash tail).
+/// Replays a WAL segment; tolerates a truncated final record (crash tail:
+/// such a record was never acknowledged), but fails with Corruption on a
+/// checksum mismatch or an implausible record length anywhere in the log —
+/// skipping past a damaged mid-log record would silently drop acknowledged
+/// writes that follow it.
 Status ReplayWal(const fs::SimFileSystem* fs, const std::string& path,
                  std::vector<Cell>* out);
 

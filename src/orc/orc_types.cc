@@ -51,6 +51,7 @@ void StripeInfo::EncodeTo(std::string* dst) const {
   for (const StreamInfo& s : streams) {
     PutVarint64(dst, s.presence_length);
     PutVarint64(dst, s.data_length);
+    PutFixed32(dst, s.crc);
   }
   for (const ColumnStats& cs : stats) cs.EncodeTo(dst);
 }
@@ -64,6 +65,9 @@ Status StripeInfo::DecodeFrom(Slice* input, size_t num_columns, StripeInfo* out)
   for (size_t i = 0; i < num_columns; ++i) {
     DTL_RETURN_NOT_OK(GetVarint64(input, &out->streams[i].presence_length));
     DTL_RETURN_NOT_OK(GetVarint64(input, &out->streams[i].data_length));
+    if (input->size() < 4) return Status::Corruption("truncated stream CRC");
+    out->streams[i].crc = DecodeFixed32(input->data());
+    input->RemovePrefix(4);
   }
   out->stats.resize(num_columns);
   for (size_t i = 0; i < num_columns; ++i) {

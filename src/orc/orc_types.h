@@ -4,8 +4,9 @@
 // File layout:
 //   [stripe 0][stripe 1]...[footer][crc32:4][footer_len:4][magic "DOR1":4]
 // Each stripe is the concatenation of per-column (presence, data) stream
-// pairs; their lengths live in the footer so readers can position-read only
-// the projected columns.
+// pairs; their lengths and a per-column CRC32 live in the footer so readers
+// can position-read only the projected columns and verify them before
+// decoding.
 #pragma once
 
 #include <cstdint>
@@ -40,6 +41,10 @@ struct ColumnStats {
 struct StreamInfo {
   uint64_t presence_length = 0;
   uint64_t data_length = 0;
+  /// CRC32 over the concatenated presence+data bytes; verified on every
+  /// stripe read so a flipped bit in column data surfaces as Corruption
+  /// instead of a garbage decode.
+  uint32_t crc = 0;
 };
 
 /// Directory entry for one stripe.

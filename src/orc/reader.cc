@@ -58,7 +58,9 @@ Result<std::unique_ptr<OrcReader>> OrcReader::Open(const fs::SimFileSystem* fs,
   if (expected_first != footer.num_rows) {
     return Status::Corruption("stripe row counts disagree with footer num_rows: " + path);
   }
-  return std::unique_ptr<OrcReader>(new OrcReader(std::move(file), std::move(footer)));
+  auto reader = std::unique_ptr<OrcReader>(new OrcReader(std::move(file), std::move(footer)));
+  reader->path_ = path;
+  return reader;
 }
 
 namespace {
@@ -117,6 +119,9 @@ Result<StripeBatch> OrcReader::ReadStripe(size_t stripe_index,
     std::string raw;
     DTL_RETURN_NOT_OK(file_->ReadAt(info.offset + col_offset[col],
                                     streams.presence_length + streams.data_length, &raw));
+    if (Crc32(raw.data(), raw.size()) != streams.crc) {
+      return Status::Corruption("ORC stream checksum mismatch in " + path_);
+    }
     Slice presence_slice(raw.data(), streams.presence_length);
     Slice data_slice(raw.data() + streams.presence_length, streams.data_length);
 

@@ -55,6 +55,7 @@ class OrcReader {
                                                  const std::string& path);
 
   const FileFooter& footer() const { return footer_; }
+  const std::string& path() const { return path_; }
   const Schema& schema() const { return footer_.schema; }
   uint64_t file_id() const { return footer_.file_id; }
   uint64_t num_rows() const { return footer_.num_rows; }
@@ -88,6 +89,7 @@ class OrcReader {
   static constexpr size_t kMaxCachedStripes = 16;
 
   std::unique_ptr<fs::RandomAccessFile> file_;
+  std::string path_;
   FileFooter footer_;
   mutable std::mutex cache_mu_;
   mutable std::list<CachedStripe> cache_;  // front = most recently used

@@ -120,8 +120,11 @@ Status OrcWriter::FlushStripe() {
     EncodeBoolStream(presence, &presence_stream);
     stripe.streams[col].presence_length = presence_stream.size();
     stripe.streams[col].data_length = data_stream.size();
+    const size_t col_start = stripe_bytes.size();
     stripe_bytes += presence_stream;
     stripe_bytes += data_stream;
+    stripe.streams[col].crc =
+        Crc32(stripe_bytes.data() + col_start, stripe_bytes.size() - col_start);
   }
 
   stripe.length = stripe_bytes.size();
