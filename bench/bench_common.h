@@ -76,4 +76,25 @@ void RecordScanBench(ScanBenchEntry entry);
 /// TPC-H read benches share one BENCH_scan.json).
 void FlushScanBench(const std::string& path = "BENCH_scan.json");
 
+/// One morsel-driven parallel scan measurement (worker-count sweep) destined
+/// for BENCH_parallel_scan.json.
+struct ParallelScanBenchEntry {
+  std::string workload;  // "grid" | "tpch"
+  int workers = 0;       // ParallelScanner parallelism degree
+  uint64_t rows = 0;     // rows counted per iteration
+  double seconds = 0;    // wall seconds per iteration (single-core container!)
+  uint64_t scan_bytes = 0;       // encoded bytes metered for one scan
+  double modeled_seconds = 0;    // ClusterModel::ScanSeconds(bytes, workers)
+  double wall_speedup = 1.0;     // serial wall / this wall (filled at flush)
+  double modeled_speedup = 1.0;  // serial modeled / this modeled (at flush)
+};
+
+/// Queues an entry for FlushParallelScanBench (dedups by workload+workers).
+void RecordParallelScanBench(ParallelScanBenchEntry entry);
+
+/// Writes the worker sweep with speedups relative to the workers=1 entry of
+/// the same workload. Entries from other workloads already in the file are
+/// preserved (grid and TPC-H share one BENCH_parallel_scan.json).
+void FlushParallelScanBench(const std::string& path = "BENCH_parallel_scan.json");
+
 }  // namespace dtl::bench

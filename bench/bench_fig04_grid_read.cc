@@ -8,6 +8,7 @@
 #include "bench/bench_common.h"
 #include "common/stopwatch.h"
 #include "dualtable/dual_table.h"
+#include "exec/parallel_scan.h"
 
 namespace {
 
@@ -84,8 +85,62 @@ void BM_RawScan(benchmark::State& state, const std::string& path) {
   dtl::bench::RecordScanBench(std::move(record));
 }
 
+// Morsel-driven parallel scan of the big consumption table, swept over the
+// worker count for BENCH_parallel_scan.json. Wall seconds on this container
+// are bounded by its physical cores; modeled_seconds is the paper-scale
+// cluster arithmetic (workers multiply the per-task read rate until the
+// aggregate HDFS rate saturates), which is what the speedup claim is about.
+void BM_ParallelScan(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  Env env = MakeGridTableII("dualtable");
+  auto entry = env.session->catalog()->Lookup("tj_gbsjwzl_mx");
+  if (!entry.ok()) { state.SkipWithError("lookup failed"); return; }
+  auto dual = std::dynamic_pointer_cast<dtl::dual::DualTable>(entry->table);
+  if (dual == nullptr) { state.SkipWithError("not a DualTable"); return; }
+
+  double total_s = 0;
+  uint64_t rows_per_iter = 0;
+  uint64_t bytes_per_iter = 0;
+  for (auto _ : state) {
+    dtl::table::ScanMeter meter;
+    dtl::table::ScanSpec spec;
+    spec.meter = &meter;
+    dtl::exec::ParallelScanOptions popts;
+    popts.pool = env.session->pool();
+    popts.parallelism = static_cast<size_t>(workers);
+    popts.morsel_stripes = 2;
+    dtl::exec::ParallelScanner scanner(dual.get(), spec, popts);
+    dtl::Stopwatch watch;
+    auto count = scanner.Count();
+    const double s = watch.ElapsedSeconds();
+    if (!count.ok()) { state.SkipWithError("parallel scan failed"); return; }
+    state.SetIterationTime(s);
+    total_s += s;
+    rows_per_iter = *count;
+    bytes_per_iter = meter.Snapshot().bytes;
+  }
+
+  dtl::bench::ParallelScanBenchEntry record;
+  record.workload = "grid";
+  record.workers = workers;
+  record.rows = rows_per_iter;
+  record.seconds = total_s / static_cast<double>(state.iterations());
+  record.scan_bytes = bytes_per_iter;
+  record.modeled_seconds =
+      env.session->cluster()->ScanSeconds(bytes_per_iter, workers);
+  state.counters["model_s"] = record.modeled_seconds;
+  dtl::bench::RecordParallelScanBench(std::move(record));
+}
+
 }  // namespace
 
+BENCHMARK(BM_ParallelScan)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseManualTime();
 BENCHMARK_CAPTURE(BM_RawScan, row_path, "row")
     ->Unit(benchmark::kMillisecond)
     ->UseManualTime();
@@ -111,5 +166,6 @@ int main(int argc, char** argv) {
   ::benchmark::RunSpecifiedBenchmarks();
   ::benchmark::Shutdown();
   dtl::bench::FlushScanBench();
+  dtl::bench::FlushParallelScanBench();
   return 0;
 }

@@ -1,0 +1,100 @@
+#include "common/background_scheduler.h"
+
+#include <vector>
+
+namespace dtl {
+
+BackgroundScheduler::BackgroundScheduler(std::chrono::milliseconds poll_interval)
+    : poll_interval_(poll_interval) {
+  thread_ = std::thread([this] { Loop(); });
+}
+
+BackgroundScheduler::~BackgroundScheduler() { Shutdown(); }
+
+uint64_t BackgroundScheduler::Register(std::string name, PollFn fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t id = next_id_++;
+  auto job = std::make_shared<Job>();
+  job->name = std::move(name);
+  job->fn = std::move(fn);
+  jobs_.emplace(id, std::move(job));
+  wake_requested_ = true;  // poll the new job promptly
+  cv_.notify_one();
+  return id;
+}
+
+void BackgroundScheduler::Unregister(uint64_t id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return;
+  std::shared_ptr<Job> job = it->second;
+  job->removed = true;  // the daemon skips removed jobs even mid-round
+  jobs_.erase(it);
+  // The fn may be capturing our caller's object; wait out an in-flight poll.
+  done_cv_.wait(lock, [&job] { return !job->running; });
+}
+
+void BackgroundScheduler::Wake() {
+  std::lock_guard<std::mutex> lock(mu_);
+  wake_requested_ = true;
+  cv_.notify_one();
+}
+
+void BackgroundScheduler::Quiesce() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (stop_) return;
+  // A round already in flight may have polled some jobs before our caller's
+  // writes landed; require one that starts from scratch.
+  const uint64_t target = rounds_completed_ + (in_round_ ? 2 : 1);
+  wake_requested_ = true;
+  cv_.notify_one();
+  done_cv_.wait(lock, [this, target] { return stop_ || rounds_completed_ >= target; });
+}
+
+void BackgroundScheduler::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
+    stop_ = true;
+    cv_.notify_all();
+    done_cv_.notify_all();
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+uint64_t BackgroundScheduler::rounds_completed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rounds_completed_;
+}
+
+void BackgroundScheduler::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    cv_.wait_for(lock, poll_interval_,
+                 [this] { return stop_ || wake_requested_; });
+    if (stop_) break;
+    wake_requested_ = false;
+    ++rounds_started_;
+    in_round_ = true;
+    std::vector<std::shared_ptr<Job>> round;
+    round.reserve(jobs_.size());
+    for (auto& [id, job] : jobs_) round.push_back(job);
+    for (auto& job : round) {
+      if (job->removed) continue;
+      job->running = true;
+      lock.unlock();
+      job->fn();  // user code runs without the scheduler lock
+      lock.lock();
+      job->running = false;
+      done_cv_.notify_all();
+      if (stop_) break;
+    }
+    in_round_ = false;
+    ++rounds_completed_;
+    done_cv_.notify_all();
+  }
+  // Flush any waiters that raced Shutdown.
+  done_cv_.notify_all();
+}
+
+}  // namespace dtl

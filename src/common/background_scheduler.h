@@ -1,0 +1,89 @@
+// Background maintenance scheduler: one daemon thread that periodically
+// polls registered jobs (KV size-tiered compaction, DualTable compaction
+// debt). Stands in for HBase's background compactor threads and Hive's
+// metastore housekeeping — write-path latency debt stays off the foreground
+// path, and compaction debt can't accumulate unobserved on write-only
+// workloads.
+//
+// Contracts:
+//   - Poll functions run OUTSIDE the scheduler lock, one at a time (the
+//     scheduler is single-threaded), so jobs may take their own locks and
+//     block without stalling registration.
+//   - Unregister() blocks until the job's poll fn is not running and will
+//     never run again — safe to call from a destructor whose object the fn
+//     captures.
+//   - Quiesce() blocks until one full round that STARTED after the call
+//     completes, so every job observes state written before Quiesce().
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace dtl {
+
+class BackgroundScheduler {
+ public:
+  /// A poll fn checks its job's trigger condition and does the work inline;
+  /// it must swallow (and decide how to surface) its own errors.
+  using PollFn = std::function<void()>;
+
+  explicit BackgroundScheduler(
+      std::chrono::milliseconds poll_interval = std::chrono::milliseconds(20));
+  ~BackgroundScheduler();
+
+  BackgroundScheduler(const BackgroundScheduler&) = delete;
+  BackgroundScheduler& operator=(const BackgroundScheduler&) = delete;
+
+  /// Registers a job; the name is for diagnostics only. Returns a handle for
+  /// Unregister.
+  uint64_t Register(std::string name, PollFn fn);
+
+  /// Removes the job, blocking until its poll fn is guaranteed not running.
+  void Unregister(uint64_t id);
+
+  /// Nudges the scheduler to start a round now instead of waiting out the
+  /// poll interval.
+  void Wake();
+
+  /// Blocks until a full round that started after this call has completed
+  /// (no-op after Shutdown).
+  void Quiesce();
+
+  /// Stops the daemon thread; registered jobs stop being polled. Idempotent.
+  /// Called by the destructor.
+  void Shutdown();
+
+  uint64_t rounds_completed() const;
+
+ private:
+  struct Job {
+    std::string name;
+    PollFn fn;
+    bool running = false;
+    bool removed = false;
+  };
+
+  void Loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;        // wakes the daemon (Wake/Shutdown/new job)
+  std::condition_variable done_cv_;   // wakes Unregister/Quiesce waiters
+  std::map<uint64_t, std::shared_ptr<Job>> jobs_;
+  uint64_t next_id_ = 1;
+  uint64_t rounds_started_ = 0;
+  uint64_t rounds_completed_ = 0;
+  bool in_round_ = false;
+  bool wake_requested_ = false;
+  bool stop_ = false;
+  std::chrono::milliseconds poll_interval_;
+  std::thread thread_;
+};
+
+}  // namespace dtl

@@ -46,6 +46,45 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   for (auto& f : futs) f.get();
 }
 
+TaskGroup::TaskGroup(ThreadPool* pool)
+    : pool_(pool), state_(std::make_shared<State>()) {}
+
+TaskGroup::~TaskGroup() {
+  // Destroying a group with in-flight tasks would leave them racing against
+  // freed captures in the caller; Wait() is the contract.
+  std::lock_guard<std::mutex> lock(state_->mu);
+  DTL_CHECK(state_->pending == 0);
+}
+
+void TaskGroup::Spawn(std::function<Status()> task) {
+  DTL_CHECK(!waited_);
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    ++state_->pending;
+  }
+  auto state = state_;
+  pool_->Submit([state, task = std::move(task)] {
+    Status st;  // skipped-by-cancellation counts as OK
+    if (!state->cancelled.load(std::memory_order_acquire)) st = task();
+    std::lock_guard<std::mutex> lock(state->mu);
+    if (!st.ok() && state->first_error.ok()) {
+      state->first_error = st;
+      state->cancelled.store(true, std::memory_order_release);
+    }
+    if (--state->pending == 0) state->cv.notify_all();
+  });
+}
+
+Status TaskGroup::Wait() {
+  DTL_CHECK(!waited_);
+  waited_ = true;
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [this] { return state_->pending == 0; });
+  return state_->first_error;
+}
+
+void TaskGroup::Cancel() { state_->cancelled.store(true, std::memory_order_release); }
+
 void ThreadPool::WorkerLoop() {
   while (true) {
     std::packaged_task<void()> task;

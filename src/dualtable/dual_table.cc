@@ -19,7 +19,24 @@ Result<std::shared_ptr<DualTable>> DualTable::Open(fs::SimFileSystem* fs,
                                          dual->options_.writer_options));
   DTL_ASSIGN_OR_RETURN(dual->attached_,
                        AttachedTable::Open(fs, name, dual->options_.attached_options));
+  if (dual->options_.scheduler != nullptr && dual->options_.background_compaction) {
+    // NeedsCompaction() used to surface only through scans, so compaction
+    // debt accumulated unobserved on write-only workloads; the scheduler
+    // polls it instead. The raw pointer is safe: ~DualTable unregisters
+    // (blocking out an in-flight poll) before members die.
+    DualTable* raw = dual.get();
+    dual->scheduler_job_ = dual->options_.scheduler->Register(
+        "compact:" + name, [raw] {
+          if (!raw->NeedsCompaction()) return;
+          DTL_IGNORE_STATUS(raw->Compact(),
+                            "background compaction failure is retried next round");
+        });
+  }
   return dual;
+}
+
+DualTable::~DualTable() {
+  if (scheduler_job_ != 0) options_.scheduler->Unregister(scheduler_job_);
 }
 
 table::ScanSpec DualTable::MasterSpecFor(const table::ScanSpec& spec) const {
@@ -57,8 +74,9 @@ Result<std::unique_ptr<UnionReadBatchIterator>> DualTable::NewUnionReadBatch(
                                                      /*apply_predicate=*/false,
                                                      options_.scan_batch_rows));
   auto attached_it = attached_->NewScanner(0, UINT64_MAX, as_of);
-  return std::make_unique<UnionReadBatchIterator>(
-      std::move(master_it), std::move(attached_it), spec.predicate, schema_.num_fields());
+  return std::make_unique<UnionReadBatchIterator>(std::move(master_it),
+                                                  std::move(attached_it), spec.predicate,
+                                                  schema_.num_fields(), spec.meter);
 }
 
 Result<std::unique_ptr<UnionReadBatchIterator>> DualTable::NewUnionReadBatchForFile(
@@ -69,8 +87,30 @@ Result<std::unique_ptr<UnionReadBatchIterator>> DualTable::NewUnionReadBatchForF
                                                          options_.scan_batch_rows));
   auto attached_it =
       attached_->NewScanner(MakeRecordId(file_id, 0), MakeRecordId(file_id + 1, 0));
-  return std::make_unique<UnionReadBatchIterator>(
-      std::move(master_it), std::move(attached_it), spec.predicate, schema_.num_fields());
+  return std::make_unique<UnionReadBatchIterator>(std::move(master_it),
+                                                  std::move(attached_it), spec.predicate,
+                                                  schema_.num_fields(), spec.meter);
+}
+
+Result<std::vector<ScanMorsel>> DualTable::PlanScanMorsels(const table::ScanSpec& spec,
+                                                           size_t stripes_per_morsel) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return master_->PlanMorsels(MasterSpecFor(spec), stripes_per_morsel);
+}
+
+Result<std::unique_ptr<UnionReadBatchIterator>> DualTable::NewUnionReadBatchForMorsel(
+    const ScanMorsel& morsel, const table::ScanSpec& spec, table::ScanMeter* meter) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  table::ScanSpec master_spec = MasterSpecFor(spec);
+  master_spec.meter = meter;
+  DTL_ASSIGN_OR_RETURN(auto master_it,
+                       master_->NewMorselBatchScanIterator(morsel, master_spec,
+                                                           /*apply_predicate=*/false,
+                                                           options_.scan_batch_rows));
+  auto attached_it = attached_->NewScanner(morsel.first_record_id, morsel.end_record_id);
+  return std::make_unique<UnionReadBatchIterator>(std::move(master_it),
+                                                  std::move(attached_it), spec.predicate,
+                                                  schema_.num_fields(), meter);
 }
 
 Result<std::unique_ptr<table::RowIterator>> DualTable::Scan(const table::ScanSpec& spec) {
@@ -399,9 +439,79 @@ Result<table::DmlResult> DualTable::ExecuteOverwriteDelete(const table::ScanSpec
   return result;
 }
 
+Result<uint64_t> DualTable::RewriteMasterParallel() {
+  // One rewrite job per master file: file f's union-read view (attached scan
+  // bounded to f's record-ID range) streams into fresh files. Jobs only
+  // STAGE data — registration happens after the barrier, in one
+  // ReplaceAllFiles call, so the manifest rename remains the single commit
+  // point and a crash anywhere before it keeps the old generation intact.
+  struct FileJob {
+    uint64_t file_id = 0;
+    std::vector<MasterFileInfo> new_files;
+    uint64_t rows_out = 0;
+  };
+  std::vector<FileJob> jobs(master_->files().size());
+  for (size_t i = 0; i < jobs.size(); ++i) jobs[i].file_id = master_->files()[i].file_id;
+
+  TaskGroup group(options_.pool);
+  for (FileJob& job : jobs) {
+    group.Spawn([this, &job]() -> Status {
+      table::ScanSpec all;  // every column, no predicate
+      DTL_ASSIGN_OR_RETURN(auto it, NewUnionReadForFile(job.file_id, all));
+      std::unique_ptr<MasterFileWriter> writer;
+      while (it->Next()) {
+        if (writer == nullptr) {
+          DTL_ASSIGN_OR_RETURN(writer, master_->NewFileWriter());
+        }
+        DTL_RETURN_NOT_OK(writer->Append(it->row()));
+        ++job.rows_out;
+        if (writer->rows_written() >= options_.rewrite_file_rows) {
+          DTL_ASSIGN_OR_RETURN(auto info, writer->Close());
+          job.new_files.push_back(std::move(info));
+          writer.reset();
+        }
+      }
+      DTL_RETURN_NOT_OK(it->status());
+      if (writer != nullptr) {
+        DTL_ASSIGN_OR_RETURN(auto info, writer->Close());
+        job.new_files.push_back(std::move(info));
+      }
+      return Status::OK();
+    });
+  }
+  Status st = group.Wait();
+  if (!st.ok()) {
+    // Staged files from jobs that finished are orphans (never committed to
+    // the manifest); delete them now rather than waiting for the next
+    // Open()'s garbage collection.
+    for (const FileJob& job : jobs) {
+      for (const MasterFileInfo& info : job.new_files) {
+        DTL_IGNORE_STATUS(fs_->Delete(info.path),
+                          "failed COMPACT cleanup; next Open() garbage-collects");
+      }
+    }
+    return st;
+  }
+
+  std::vector<MasterFileInfo> new_files;
+  uint64_t rows_out = 0;
+  for (FileJob& job : jobs) {
+    rows_out += job.rows_out;
+    for (MasterFileInfo& info : job.new_files) new_files.push_back(std::move(info));
+  }
+  DTL_RETURN_NOT_OK(master_->ReplaceAllFiles(std::move(new_files)));
+  DTL_RETURN_NOT_OK(attached_->Clear());
+  return rows_out;
+}
+
 Status DualTable::Compact() {
   std::lock_guard<std::recursive_mutex> lock(mu_);
   if (attached_->Empty()) return Status::OK();
+  if (options_.pool != nullptr && master_->files().size() >= 2) {
+    DTL_ASSIGN_OR_RETURN(uint64_t rows, RewriteMasterParallel());
+    (void)rows;
+    return Status::OK();
+  }
   auto keep_all = [](uint64_t, Row*) { return true; };
   DTL_ASSIGN_OR_RETURN(uint64_t rows, RewriteMaster(keep_all));
   (void)rows;
@@ -409,6 +519,9 @@ Status DualTable::Compact() {
 }
 
 bool DualTable::NeedsCompaction() const {
+  // Also called from the scheduler thread, which may race DML on the user
+  // thread; TotalBytes walks the files_ vector that ReplaceAllFiles swaps.
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   const uint64_t master_bytes = master_->TotalBytes();
   if (master_bytes == 0) return attached_->ApproximateCellCount() > 0;
   return static_cast<double>(attached_->ApproximateBytes()) >=

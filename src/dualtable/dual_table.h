@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "common/background_scheduler.h"
+#include "common/thread_pool.h"
 #include "dualtable/attached_table.h"
 #include "dualtable/cost_model.h"
 #include "dualtable/master_table.h"
@@ -57,6 +59,18 @@ struct DualTableOptions {
   /// Rows per RowBatch emitted by the vectorized scan. Small values exercise
   /// batch/stripe boundary handling in tests.
   size_t scan_batch_rows = table::kDefaultBatchRows;
+
+  /// Worker pool for parallel COMPACT (one rewrite job per master file, one
+  /// manifest commit at the end). nullptr or <2 master files = serial
+  /// rewrite. Not owned; must outlive the table.
+  ThreadPool* pool = nullptr;
+
+  /// Background maintenance scheduler. When set together with
+  /// `background_compaction`, the table registers a poll job that runs
+  /// Compact() whenever NeedsCompaction() is true — so compaction debt is
+  /// paid even on write-only workloads that never scan.
+  std::shared_ptr<BackgroundScheduler> scheduler;
+  bool background_compaction = false;
 };
 
 class DualTable : public table::StorageTable {
@@ -68,6 +82,10 @@ class DualTable : public table::StorageTable {
                                                  const fs::ClusterModel* cluster,
                                                  const std::string& name, Schema schema,
                                                  DualTableOptions options = {});
+
+  /// Unregisters from the background scheduler (blocking out an in-flight
+  /// poll) before members are destroyed.
+  ~DualTable() override;
 
   // --- StorageTable interface ---
   const std::string& name() const override { return name_; }
@@ -101,6 +119,21 @@ class DualTable : public table::StorageTable {
 
   /// True when the attached table exceeds the compaction threshold.
   bool NeedsCompaction() const;
+
+  /// Splits the up-to-date view into stripe-aligned morsels for a parallel
+  /// scan (see MasterTable::PlanMorsels). Uses the same bounds treatment as
+  /// a serial scan, so morsels cover exactly the stripes a serial scan would
+  /// decode.
+  Result<std::vector<ScanMorsel>> PlanScanMorsels(const table::ScanSpec& spec,
+                                                  size_t stripes_per_morsel);
+
+  /// UNION READ over one morsel: the master stripe range merged with the
+  /// attached modifications in the morsel's record-ID window. `meter`
+  /// (worker-local; may be null for the global meter) receives the morsel's
+  /// scan counts. Order-insensitive consumers may run many of these
+  /// concurrently; within a morsel, batches arrive in record-ID order.
+  Result<std::unique_ptr<UnionReadBatchIterator>> NewUnionReadBatchForMorsel(
+      const ScanMorsel& morsel, const table::ScanSpec& spec, table::ScanMeter* meter);
 
   /// The original row-at-a-time UNION READ, regardless of enable_batch_scan.
   /// Kept for the batch-vs-row equivalence tests and the scan benchmarks.
@@ -161,6 +194,12 @@ class DualTable : public table::StorageTable {
   Result<uint64_t> RewriteMaster(
       const std::function<bool(uint64_t record_id, Row* row)>& transform);
 
+  /// COMPACT's parallel rewrite: one job per master file on options_.pool,
+  /// each streaming its file's union-read view into fresh files; all new
+  /// files land in ONE ReplaceAllFiles call, so the manifest rename stays
+  /// the single commit point.
+  Result<uint64_t> RewriteMasterParallel();
+
   double ResolveRatio(std::optional<double> hint) const;
   double AvgRowBytes() const;
 
@@ -174,6 +213,7 @@ class DualTable : public table::StorageTable {
   std::unique_ptr<AttachedTable> attached_;
   mutable std::recursive_mutex mu_;  // COMPACT blocks all other operations
   table::DmlPlan last_plan_ = table::DmlPlan::kEdit;
+  uint64_t scheduler_job_ = 0;  // background-compaction handle; 0 = none
 };
 
 }  // namespace dtl::dual

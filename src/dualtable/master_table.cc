@@ -118,20 +118,24 @@ bool MasterScanIterator::Next() {
 
 MasterScanBatchIterator::MasterScanBatchIterator(
     std::vector<std::shared_ptr<orc::OrcReader>> readers, std::vector<uint64_t> file_ids,
-    table::ScanSpec spec, size_t num_fields, bool apply_predicate, size_t batch_rows)
+    table::ScanSpec spec, size_t num_fields, bool apply_predicate, size_t batch_rows,
+    size_t stripe_begin, size_t stripe_end)
     : readers_(std::move(readers)),
       file_ids_(std::move(file_ids)),
       spec_(std::move(spec)),
       num_fields_(num_fields),
       apply_predicate_(apply_predicate),
-      batch_rows_(std::max<size_t>(1, batch_rows)) {
+      batch_rows_(std::max<size_t>(1, batch_rows)),
+      stripe_end_limit_(stripe_end) {
   required_ = spec_.RequiredColumns(num_fields_);
+  stripe_index_ = stripe_begin;
+  DTL_DCHECK(stripe_begin == 0 || readers_.size() <= 1);
 }
 
 bool MasterScanBatchIterator::LoadNextStripe() {
   while (file_index_ < readers_.size()) {
     const orc::OrcReader* reader = readers_[file_index_].get();
-    if (stripe_index_ >= reader->num_stripes()) {
+    if (stripe_index_ >= std::min(stripe_end_limit_, reader->num_stripes())) {
       ++file_index_;
       stripe_index_ = 0;
       continue;
@@ -167,11 +171,11 @@ bool MasterScanBatchIterator::Next(table::RowBatch* batch) {
     batch->SetContiguousRecordIds(
         MakeRecordId(file_ids_[file_index_], stripe_->first_row + offset_in_stripe_));
     batch->SetAnchor(stripe_);
-    table::GlobalScanMeter().AddBatch(
-        count, offset_in_stripe_ == 0 ? stripe_->encoded_bytes : 0);
+    (spec_.meter != nullptr ? *spec_.meter : table::GlobalScanMeter())
+        .AddBatch(count, offset_in_stripe_ == 0 ? stripe_->encoded_bytes : 0);
     offset_in_stripe_ += count;
     if (apply_predicate_ && spec_.predicate) {
-      batch->FilterSelected(spec_.predicate, &scratch_);
+      batch->FilterSelected(spec_.predicate, &scratch_, spec_.meter);
       if (batch->empty()) continue;  // never emit an all-filtered batch
     }
     return true;
@@ -408,6 +412,49 @@ Result<std::unique_ptr<MasterScanBatchIterator>> MasterTable::NewFileBatchScanIt
         batch_rows));
   }
   return Status::NotFound("no master file with ID " + std::to_string(file_id));
+}
+
+Result<std::vector<ScanMorsel>> MasterTable::PlanMorsels(
+    const table::ScanSpec& spec, size_t stripes_per_morsel) const {
+  stripes_per_morsel = std::max<size_t>(1, stripes_per_morsel);
+  std::vector<ScanMorsel> morsels;
+  for (const MasterFileInfo& info : files_) {
+    DTL_ASSIGN_OR_RETURN(auto reader, OpenReader(info));
+    ScanMorsel cur;
+    size_t surviving = 0;
+    for (size_t s = 0; s < reader->num_stripes(); ++s) {
+      const orc::StripeInfo& stripe = reader->stripe(s);
+      if (stripe.num_rows == 0 || !StripeMayMatch(stripe, spec.bounds)) continue;
+      if (surviving == 0) {
+        cur = ScanMorsel();
+        cur.file_id = info.file_id;
+        cur.stripe_begin = s;
+        cur.first_record_id = MakeRecordId(info.file_id, stripe.first_row);
+      }
+      cur.stripe_end = s + 1;
+      cur.end_record_id = MakeRecordId(info.file_id, stripe.first_row + stripe.num_rows);
+      cur.num_rows += stripe.num_rows;
+      if (++surviving == stripes_per_morsel) {
+        morsels.push_back(cur);
+        surviving = 0;
+      }
+    }
+    if (surviving > 0) morsels.push_back(cur);
+  }
+  return morsels;
+}
+
+Result<std::unique_ptr<MasterScanBatchIterator>> MasterTable::NewMorselBatchScanIterator(
+    const ScanMorsel& morsel, const table::ScanSpec& spec, bool apply_predicate,
+    size_t batch_rows) {
+  for (const MasterFileInfo& info : files_) {
+    if (info.file_id != morsel.file_id) continue;
+    DTL_ASSIGN_OR_RETURN(auto reader, OpenReader(info));
+    return std::unique_ptr<MasterScanBatchIterator>(new MasterScanBatchIterator(
+        {std::move(reader)}, {morsel.file_id}, spec, schema_.num_fields(),
+        apply_predicate, batch_rows, morsel.stripe_begin, morsel.stripe_end));
+  }
+  return Status::NotFound("no master file with ID " + std::to_string(morsel.file_id));
 }
 
 Status MasterTable::Drop() {

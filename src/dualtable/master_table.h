@@ -31,6 +31,22 @@ struct MasterFileInfo {
 
 class MasterTable;
 
+/// One stripe-aligned unit of parallel scan work: a contiguous stripe range
+/// of one master file. Morsel boundaries never split a stripe, so every
+/// batch a morsel emits keeps the contiguous-record-ID invariant UNION READ
+/// relies on, and each surviving stripe is decoded by exactly one worker
+/// (merged ScanMeter byte counts match a serial scan).
+struct ScanMorsel {
+  uint64_t file_id = 0;
+  size_t stripe_begin = 0;
+  size_t stripe_end = 0;  // exclusive
+  /// Record-ID window [first_record_id, end_record_id) covered by the
+  /// morsel's stripes; bounds the attached-table scan per worker.
+  uint64_t first_record_id = 0;
+  uint64_t end_record_id = 0;
+  uint64_t num_rows = 0;  // physical rows in surviving stripes
+};
+
 /// Writer for one new master file. The file is NOT registered with the
 /// table until Close() returns its info to the caller, which lets OVERWRITE
 /// plans stage a whole new generation before swapping it in.
@@ -105,7 +121,8 @@ class MasterScanBatchIterator : public table::BatchIterator {
   friend class MasterTable;
   MasterScanBatchIterator(std::vector<std::shared_ptr<orc::OrcReader>> readers,
                           std::vector<uint64_t> file_ids, table::ScanSpec spec,
-                          size_t num_fields, bool apply_predicate, size_t batch_rows);
+                          size_t num_fields, bool apply_predicate, size_t batch_rows,
+                          size_t stripe_begin = 0, size_t stripe_end = SIZE_MAX);
 
   /// Decodes the next surviving stripe; false at end or error.
   bool LoadNextStripe();
@@ -117,6 +134,10 @@ class MasterScanBatchIterator : public table::BatchIterator {
   size_t num_fields_;
   bool apply_predicate_;
   size_t batch_rows_;
+
+  /// Stripe window for morsel scans; only meaningful for single-file
+  /// iterators (multi-file scans always cover every stripe).
+  size_t stripe_end_limit_;
 
   size_t file_index_ = 0;
   size_t stripe_index_ = 0;
@@ -182,6 +203,18 @@ class MasterTable {
   /// Vectorized scan over a single master file.
   Result<std::unique_ptr<MasterScanBatchIterator>> NewFileBatchScanIterator(
       uint64_t file_id, const table::ScanSpec& spec, bool apply_predicate,
+      size_t batch_rows = table::kDefaultBatchRows);
+
+  /// Splits the scan into stripe-aligned morsels of at most
+  /// `stripes_per_morsel` surviving stripes each, in record-ID order.
+  /// Pruning uses the same StripeMayMatch test the scan iterators apply, so
+  /// a morsel never covers work a serial scan would skip (and vice versa).
+  Result<std::vector<ScanMorsel>> PlanMorsels(const table::ScanSpec& spec,
+                                              size_t stripes_per_morsel) const;
+
+  /// Vectorized scan over one morsel (stripe range of one file).
+  Result<std::unique_ptr<MasterScanBatchIterator>> NewMorselBatchScanIterator(
+      const ScanMorsel& morsel, const table::ScanSpec& spec, bool apply_predicate,
       size_t batch_rows = table::kDefaultBatchRows);
 
   /// Removes every master file and the directory.

@@ -58,11 +58,16 @@ bool UnionReadIterator::Next() {
 UnionReadBatchIterator::UnionReadBatchIterator(
     std::unique_ptr<MasterScanBatchIterator> master,
     std::unique_ptr<ModificationScanner> attached, table::RowPredicateFn predicate,
-    size_t num_fields)
+    size_t num_fields, table::ScanMeter* meter)
     : master_(std::move(master)),
       attached_(std::move(attached)),
       predicate_(std::move(predicate)),
-      num_fields_(num_fields) {}
+      num_fields_(num_fields),
+      meter_(meter) {}
+
+table::ScanMeter& UnionReadBatchIterator::meter() {
+  return meter_ != nullptr ? *meter_ : table::GlobalScanMeter();
+}
 
 bool UnionReadBatchIterator::ApplyModifications(table::RowBatch* batch) {
   if (!attached_primed_) {
@@ -93,7 +98,7 @@ bool UnionReadBatchIterator::ApplyModifications(table::RowBatch* batch) {
   if (!attached_valid_ || attached_->modification().record_id > last_id) {
     // No modification touches this batch: the stripe views flow through
     // untouched. This is the whole point of the batch merge.
-    table::GlobalScanMeter().AddPassthroughBatch();
+    meter().AddPassthroughBatch();
     return true;
   }
 
@@ -132,9 +137,9 @@ bool UnionReadBatchIterator::ApplyModifications(table::RowBatch* batch) {
       if (!deleted[i]) selection.push_back(static_cast<uint32_t>(i));
     }
     batch->SetSelection(std::move(selection));
-    table::GlobalScanMeter().AddMaskedRows(num_deleted);
+    meter().AddMaskedRows(num_deleted);
   }
-  if (num_patched > 0) table::GlobalScanMeter().AddPatchedRows(num_patched);
+  if (num_patched > 0) meter().AddPatchedRows(num_patched);
   return true;
 }
 
@@ -143,7 +148,7 @@ bool UnionReadBatchIterator::Next(table::RowBatch* batch) {
   while (master_->Next(batch)) {
     if (batch->num_rows() == 0) continue;
     if (!ApplyModifications(batch)) return false;
-    if (predicate_) batch->FilterSelected(predicate_, &scratch_);
+    if (predicate_) batch->FilterSelected(predicate_, &scratch_, meter_);
     if (batch->size() == 0) continue;  // every row deleted or filtered out
     return true;
   }

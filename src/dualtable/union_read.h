@@ -58,10 +58,13 @@ class UnionReadBatchIterator : public table::BatchIterator {
  public:
   /// `master` must emit contiguous-record-ID batches (MasterScanBatchIterator
   /// does: each batch is a slice of one stripe of one file) and must NOT have
-  /// applied the predicate already.
+  /// applied the predicate already. `meter` receives the merge's pass-through
+  /// / patch / mask counts; nullptr means the process-global meter (parallel
+  /// scans pass a worker-local one).
   UnionReadBatchIterator(std::unique_ptr<MasterScanBatchIterator> master,
                          std::unique_ptr<ModificationScanner> attached,
-                         table::RowPredicateFn predicate, size_t num_fields);
+                         table::RowPredicateFn predicate, size_t num_fields,
+                         table::ScanMeter* meter = nullptr);
 
   bool Next(table::RowBatch* batch) override;
   const Status& status() const override { return status_; }
@@ -70,10 +73,14 @@ class UnionReadBatchIterator : public table::BatchIterator {
   /// Patches/masks the batch with attached modifications; false on error.
   bool ApplyModifications(table::RowBatch* batch);
 
+  /// The meter this iterator reports to (worker-local or global).
+  table::ScanMeter& meter();
+
   std::unique_ptr<MasterScanBatchIterator> master_;
   std::unique_ptr<ModificationScanner> attached_;
   table::RowPredicateFn predicate_;
   size_t num_fields_;
+  table::ScanMeter* meter_;
 
   bool attached_valid_ = false;
   bool attached_primed_ = false;

@@ -88,6 +88,84 @@ bool HashJoinOperator::Next() {
   }
 }
 
+// --- AggState ----------------------------------------------------------------------
+
+Status AggState::Update(const AggSpec& spec, const Row& in) {
+  if (spec.kind == AggKind::kCountStar) {
+    ++count;
+    return Status::OK();
+  }
+  Value v = spec.input(in);
+  if (v.is_null()) return Status::OK();  // SQL: aggregates skip NULLs
+  switch (spec.kind) {
+    case AggKind::kCount:
+      ++count;
+      break;
+    case AggKind::kSum:
+    case AggKind::kAvg: {
+      ++count;
+      if (v.is_double()) {
+        sum_is_double = true;
+        sum += v.AsDouble();
+      } else if (v.is_int64()) {
+        isum += v.AsInt64();
+        sum += static_cast<double>(v.AsInt64());
+      } else {
+        return Status::InvalidArgument("SUM/AVG over non-numeric value");
+      }
+      break;
+    }
+    case AggKind::kMin:
+      if (!seen || v.Compare(min) < 0) min = v;
+      seen = true;
+      break;
+    case AggKind::kMax:
+      if (!seen || v.Compare(max) > 0) max = v;
+      seen = true;
+      break;
+    case AggKind::kCountStar:
+      break;
+  }
+  return Status::OK();
+}
+
+void AggState::Merge(AggKind kind, const AggState& other) {
+  count += other.count;
+  // SUM/AVG partials: the double lane accumulates everything, the int lane
+  // only ints; promotion sticks if ANY worker saw a double — identical to
+  // the order the serial loop would have seen.
+  sum += other.sum;
+  isum += other.isum;
+  sum_is_double |= other.sum_is_double;
+  if (kind == AggKind::kMin && other.seen) {
+    if (!seen || other.min.Compare(min) < 0) min = other.min;
+    seen = true;
+  }
+  if (kind == AggKind::kMax && other.seen) {
+    if (!seen || other.max.Compare(max) > 0) max = other.max;
+    seen = true;
+  }
+}
+
+Value AggState::Finalize(AggKind kind) const {
+  switch (kind) {
+    case AggKind::kCount:
+    case AggKind::kCountStar:
+      return Value::Int64(count);
+    case AggKind::kSum:
+      if (count == 0) return Value::Null();
+      return sum_is_double ? Value::Double(sum) : Value::Int64(isum);
+    case AggKind::kAvg:
+      return count == 0 ? Value::Null()
+                        : Value::Double(sum / static_cast<double>(count));
+    case AggKind::kMin:
+      return seen ? min : Value::Null();
+    case AggKind::kMax:
+      return seen ? max : Value::Null();
+  }
+  return Value::Null();
+}
+
 // --- HashAggregateOperator ---------------------------------------------------------
 
 HashAggregateOperator::HashAggregateOperator(std::unique_ptr<Operator> child,
@@ -131,46 +209,7 @@ Status HashAggregateOperator::Materialize() {
     auto [it, inserted] = groups.try_emplace(std::move(key));
     if (inserted) it->second.resize(aggs_.size());
     for (size_t a = 0; a < aggs_.size(); ++a) {
-      AggState& state = it->second[a];
-      const AggSpec& spec = aggs_[a];
-      if (spec.kind == AggKind::kCountStar) {
-        ++state.count;
-        continue;
-      }
-      Value v = spec.input(in);
-      if (v.is_null()) continue;  // SQL: aggregates skip NULLs
-      switch (spec.kind) {
-        case AggKind::kCount:
-          ++state.count;
-          break;
-        case AggKind::kSum:
-        case AggKind::kAvg: {
-          ++state.count;
-          if (v.is_double()) {
-            state.sum_is_double = true;
-            state.sum += v.AsDouble();
-          } else if (v.is_int64()) {
-            state.isum += v.AsInt64();
-            state.sum += static_cast<double>(v.AsInt64());
-          } else {
-            return Status::InvalidArgument("SUM/AVG over non-numeric value");
-          }
-          break;
-        }
-        case AggKind::kMin:
-          if (!state.seen || v.Compare(state.min) < 0) state.min = v;
-          state.seen = true;
-          break;
-        case AggKind::kMax:
-          if (!state.seen || v.Compare(state.max) > 0) state.max = v;
-          state.seen = true;
-          break;
-        case AggKind::kCountStar:
-          break;
-      }
-      if (spec.kind == AggKind::kMin || spec.kind == AggKind::kMax) {
-        // min/max share `seen` handling above
-      }
+      DTL_RETURN_NOT_OK(it->second[a].Update(aggs_[a], in));
     }
   }
   DTL_RETURN_NOT_OK(child_->status());
@@ -179,32 +218,7 @@ Status HashAggregateOperator::Materialize() {
   for (auto& [key, states] : groups) {
     Row out = key;
     for (size_t a = 0; a < aggs_.size(); ++a) {
-      const AggState& s = states[a];
-      switch (aggs_[a].kind) {
-        case AggKind::kCount:
-        case AggKind::kCountStar:
-          out.push_back(Value::Int64(s.count));
-          break;
-        case AggKind::kSum:
-          if (s.count == 0) {
-            out.push_back(Value::Null());
-          } else if (s.sum_is_double) {
-            out.push_back(Value::Double(s.sum));
-          } else {
-            out.push_back(Value::Int64(s.isum));
-          }
-          break;
-        case AggKind::kAvg:
-          out.push_back(s.count == 0 ? Value::Null()
-                                     : Value::Double(s.sum / static_cast<double>(s.count)));
-          break;
-        case AggKind::kMin:
-          out.push_back(s.seen ? s.min : Value::Null());
-          break;
-        case AggKind::kMax:
-          out.push_back(s.seen ? s.max : Value::Null());
-          break;
-      }
+      out.push_back(states[a].Finalize(aggs_[a].kind));
     }
     results_.push_back(std::move(out));
   }

@@ -156,6 +156,32 @@ struct AggSpec {
   ValueFn input;  // unused for kCountStar
 };
 
+/// Mergeable accumulator for one aggregate call. HashAggregateOperator keeps
+/// one per (group, agg); a parallel scan keeps one per (worker, agg) and
+/// folds the partials together with Merge at the barrier — Update + Merge +
+/// Finalize reproduce serial SQL semantics exactly (NULL inputs skipped,
+/// SUM's int64 arithmetic unless a double ever appears, SUM/AVG of zero
+/// inputs = NULL, COUNT(*) counts rows).
+struct AggState {
+  int64_t count = 0;
+  double sum = 0;
+  bool sum_is_double = false;
+  int64_t isum = 0;
+  Value min;
+  Value max;
+  bool seen = false;
+
+  /// Folds one input row in. InvalidArgument on SUM/AVG over non-numerics.
+  [[nodiscard]] Status Update(const AggSpec& spec, const Row& in);
+
+  /// Folds another partial state for the same aggregate kind in. Merge order
+  /// does not affect any Finalize result.
+  void Merge(AggKind kind, const AggState& other);
+
+  /// The aggregate's SQL result value.
+  Value Finalize(AggKind kind) const;
+};
+
 /// Hash GROUP BY; output row = group keys ++ aggregate results. With no
 /// group keys produces exactly one global-aggregate row (even on empty
 /// input, matching SQL semantics).
@@ -169,16 +195,6 @@ class HashAggregateOperator : public Operator {
   const Status& status() const override { return status_; }
 
  private:
-  struct AggState {
-    int64_t count = 0;
-    double sum = 0;
-    bool sum_is_double = false;
-    int64_t isum = 0;
-    Value min;
-    Value max;
-    bool seen = false;
-  };
-
   Status Materialize();
 
   std::unique_ptr<Operator> child_;

@@ -36,6 +36,13 @@ double ClusterModel::JobSeconds(const IoSnapshot& delta, int num_tasks) const {
   return io + sched;
 }
 
+double ClusterModel::ScanSeconds(uint64_t bytes, int workers) const {
+  double bps = std::min(config_.hdfs_read_bps,
+                        static_cast<double>(std::max(1, workers)) *
+                            config_.per_task_read_bps);
+  return static_cast<double>(bytes) / bps;
+}
+
 std::string ClusterModel::Describe() const {
   char buf[256];
   std::snprintf(buf, sizeof(buf),

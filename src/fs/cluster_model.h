@@ -30,6 +30,11 @@ struct ClusterConfig {
   double job_overhead_seconds = 15.0;
   double per_task_overhead_seconds = 0.5;
 
+  // One scan task streams master data at this rate; a W-worker scan scales
+  // linearly in W until the aggregate HDFS read channel saturates (2 GB/s
+  // over 60 map slots ≈ 33 MB/s per slot).
+  double per_task_read_bps = 33.0e6;
+
   int total_map_slots() const { return num_nodes * mappers_per_node; }
 };
 
@@ -55,6 +60,12 @@ class ClusterModel {
   /// Modelled seconds for one MapReduce-style job that performed the given
   /// I/O delta, including scheduling overhead for `num_tasks` tasks.
   double JobSeconds(const IoSnapshot& delta, int num_tasks = 0) const;
+
+  /// Modelled seconds for a `workers`-wide morsel scan that read `bytes` of
+  /// encoded master data: throughput is workers × per_task_read_bps, capped
+  /// at the aggregate HDFS read rate. No fixed overhead — the morsel workers
+  /// are pool threads, not scheduled MapReduce tasks.
+  double ScanSeconds(uint64_t bytes, int workers) const;
 
   std::string Describe() const;
 

@@ -29,13 +29,13 @@ struct CellScanner::Source {
 
 CellScanner::~CellScanner() = default;
 
-CellScanner::CellScanner(const MemTable* mem,
+CellScanner::CellScanner(std::shared_ptr<const MemTable> mem,
                          std::vector<std::shared_ptr<SstReader>> tables,
                          const CellKey* start) {
   int rank = 0;
   if (mem != nullptr) {
     auto src = std::make_unique<Source>();
-    src->mem_it = std::make_unique<MemTable::Iterator>(mem);
+    src->mem_it = std::make_unique<MemTable::Iterator>(mem.get());
     if (start != nullptr) {
       src->mem_it->Seek(*start);
     } else {
@@ -56,7 +56,9 @@ CellScanner::CellScanner(const MemTable* mem,
     src->rank = rank++;
     sources_.push_back(std::move(src));
   }
-  // Keep the SstReaders alive for the life of the scan.
+  // Keep the memtable and SstReaders alive for the life of the scan: a
+  // concurrent flush/compaction/Clear may retire either from the store.
+  mem_keepalive_ = std::move(mem);
   keepalive_ = std::move(tables);
   FindNext();
 }
@@ -178,7 +180,7 @@ Result<std::unique_ptr<KvStore>> KvStore::Open(fs::SimFileSystem* fs,
   }
   auto store = std::unique_ptr<KvStore>(new KvStore(fs, std::move(options)));
   DTL_RETURN_NOT_OK(fs->CreateDir(store->options_.dir));
-  store->memtable_ = std::make_unique<MemTable>();
+  store->memtable_ = std::make_shared<MemTable>();
 
   // Inventory the directory: published SSTables ("sst_<seq>_<maxts>.sst"),
   // WAL segments ("wal_<seq>.log"), and unpublished ".tmp" leftovers from a
@@ -248,10 +250,29 @@ Result<std::unique_ptr<KvStore>> KvStore::Open(fs::SimFileSystem* fs,
   DTL_ASSIGN_OR_RETURN(store->wal_,
                        WalWriter::Create(fs, store->WalSegmentPath(store->wal_seq_),
                                          store->options_.wal_sync_interval_bytes));
+  if (store->options_.scheduler != nullptr) {
+    // Deferred size-tiered compaction: the write path only flushes; the
+    // scheduler merges SSTables once the tier trigger is exceeded. Raw
+    // pointer is safe — ~KvStore unregisters (blocking) first.
+    KvStore* raw = store.get();
+    store->scheduler_job_ = store->options_.scheduler->Register(
+        "kv-compact:" + store->options_.dir, [raw] {
+          bool over_trigger = false;
+          {
+            std::lock_guard<std::mutex> lock(raw->mu_);
+            over_trigger = static_cast<int>(raw->sstables_.size()) >
+                           raw->options_.l0_compaction_trigger;
+          }
+          if (!over_trigger) return;
+          DTL_IGNORE_STATUS(raw->Compact(),
+                            "background compaction failure is retried next round");
+        });
+  }
   return store;
 }
 
 KvStore::~KvStore() {
+  if (scheduler_job_ != 0) options_.scheduler->Unregister(scheduler_job_);
   if (wal_ != nullptr) {
     DTL_IGNORE_STATUS(wal_->Close(),
                       "destructor cannot propagate; every record is already synced or lost "
@@ -311,7 +332,13 @@ Status KvStore::WriteCell(Cell cell, bool assign_ts) {
         st = FlushLocked();
         if (st.ok() &&
             static_cast<int>(sstables_.size()) > options_.l0_compaction_trigger) {
-          st = CompactLocked();
+          if (options_.scheduler != nullptr) {
+            // Compaction is the scheduler's job; just nudge it so the tier
+            // debt is paid promptly rather than at the next poll tick.
+            options_.scheduler->Wake();
+          } else {
+            st = CompactLocked();
+          }
         }
       }
     }
@@ -417,7 +444,7 @@ std::unique_ptr<CellScanner> KvStore::NewCellScanner(const std::string* start_ro
   std::optional<CellKey> start;
   if (start_row != nullptr) start = CellKey{*start_row, 0, UINT64_MAX};
   return std::unique_ptr<CellScanner>(new CellScanner(
-      memtable_.get(), sstables_, start.has_value() ? &*start : nullptr));
+      memtable_, sstables_, start.has_value() ? &*start : nullptr));
 }
 
 std::unique_ptr<RowScanner> KvStore::NewRowScanner(const std::string* start_row,
@@ -453,7 +480,8 @@ Status KvStore::FlushLocked() {
   DTL_RETURN_NOT_OK(fs_->Rename(tmp_path, path));
   DTL_ASSIGN_OR_RETURN(auto reader, SstReader::Open(fs_, path));
   sstables_.push_back(std::move(reader));
-  memtable_ = std::make_unique<MemTable>();
+  // Replace, don't clear: live CellScanners still share the old memtable.
+  memtable_ = std::make_shared<MemTable>();
   // Switch to the fresh segment; the old writer is dropped (its cells are
   // all in the SSTable now) and its file retired.
   const uint64_t old_wal_seq = wal_seq_;
@@ -520,7 +548,7 @@ Status KvStore::Clear() {
                                          options_.wal_sync_interval_bytes));
   for (const auto& sst : sstables_) DTL_RETURN_NOT_OK(fs_->Delete(sst->path()));
   sstables_.clear();
-  memtable_ = std::make_unique<MemTable>();
+  memtable_ = std::make_shared<MemTable>();
   const uint64_t old_wal_seq = wal_seq_;
   wal_ = std::move(new_wal);
   wal_seq_ = new_wal_seq;

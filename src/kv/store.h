@@ -18,6 +18,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/background_scheduler.h"
 #include "common/status.h"
 #include "fs/filesystem.h"
 #include "kv/cell.h"
@@ -45,11 +46,19 @@ struct KvStoreOptions {
   /// it, tests leave it at 0. Applied in coarse batches to keep sleeps
   /// accurate.
   double put_latency_micros = 0.0;
+  /// When set, size-tiered compaction moves off the write path: WriteCell
+  /// still flushes inline (the memtable must not grow unbounded) but leaves
+  /// SSTable merging to a scheduler poll job, mirroring HBase's background
+  /// compactor threads. nullptr = compact inline on the write path.
+  std::shared_ptr<BackgroundScheduler> scheduler;
 };
 
 /// Raw merged view over memtable + SSTables: every stored cell (including
-/// tombstones and shadowed versions) in CellKey order. The store must not be
-/// written while a scanner is live.
+/// tombstones and shadowed versions) in CellKey order. The scanner holds its
+/// memtable and SSTables alive (shared ownership), so it stays valid across
+/// a concurrent flush, compaction, or Clear(); it observes the store as of
+/// its creation plus whatever memtable inserts land in the key range ahead
+/// of its cursor (the skip list supports lock-free readers).
 class CellScanner {
  public:
   ~CellScanner();  // out-of-line: Source is incomplete here
@@ -62,12 +71,13 @@ class CellScanner {
  private:
   friend class KvStore;
   struct Source;
-  CellScanner(const MemTable* mem, std::vector<std::shared_ptr<SstReader>> tables,
-              const CellKey* start);
+  CellScanner(std::shared_ptr<const MemTable> mem,
+              std::vector<std::shared_ptr<SstReader>> tables, const CellKey* start);
 
   void FindNext();
 
   std::vector<std::unique_ptr<Source>> sources_;
+  std::shared_ptr<const MemTable> mem_keepalive_;
   std::vector<std::shared_ptr<SstReader>> keepalive_;
   Cell cell_;
   bool valid_ = false;
@@ -176,7 +186,11 @@ class KvStore {
 
   uint64_t ApproximateCellCount() const;
   uint64_t ApproximateBytes() const;
-  size_t NumSstables() const { return sstables_.size(); }
+  size_t NumSstables() const {
+    // Locked: the background compactor swaps sstables_ from its own thread.
+    std::lock_guard<std::mutex> lock(mu_);
+    return sstables_.size();
+  }
   const KvStoreStats& stats() const { return stats_; }
   const KvStoreOptions& options() const { return options_; }
 
@@ -201,7 +215,11 @@ class KvStore {
   fs::SimFileSystem* fs_;
   KvStoreOptions options_;
   mutable std::mutex mu_;
-  std::unique_ptr<MemTable> memtable_;
+  /// shared_ptr: live CellScanners keep the memtable a flush or Clear()
+  /// replaces, the same way they keep retired SstReaders (concurrent-reader
+  /// audit — a raw pointer here was a use-after-free under scan-vs-write
+  /// races).
+  std::shared_ptr<MemTable> memtable_;
   std::unique_ptr<WalWriter> wal_;
   std::vector<std::shared_ptr<SstReader>> sstables_;  // oldest first
   uint64_t next_sst_seq_ = 1;
@@ -216,6 +234,7 @@ class KvStore {
   std::atomic<uint64_t> last_ts_{0};
   double latency_debt_micros_ = 0.0;
   KvStoreStats stats_;
+  uint64_t scheduler_job_ = 0;  // background-compaction handle; 0 = none
 };
 
 /// Resolves one row's raw cells (all versions, tombstones included, in

@@ -7,6 +7,7 @@
 #include "baseline/acid_table.h"
 #include "dualtable/dual_table.h"
 #include "exec/operators.h"
+#include "exec/parallel_scan.h"
 #include "table/csv.h"
 #include "sql/binder.h"
 #include "sql/parser.h"
@@ -311,6 +312,70 @@ Result<QueryResult> Engine::ExecuteSelect(const SelectStmt& stmt) {
   for (const Expr* e : select_exprs) has_aggregate |= ContainsAggregate(*e);
   for (const auto& o : order_exprs) has_aggregate |= ContainsAggregate(*o);
   has_aggregate |= !group_by.empty();
+
+  // ---- parallel global-aggregate fast path ----
+  // Single-DualTable global aggregates (no GROUP BY/HAVING/ORDER BY) are
+  // order-insensitive: morsel workers build partial AggStates, merged at one
+  // barrier, and the result is identical to the serial plan. Everything else
+  // stays on the serial iterators below — that is the ordering contract.
+  if (exec_.parallelism > 1 && exec_.pool != nullptr && stmt.joins.empty() &&
+      slots.size() == 1 && slots[0].storage != nullptr && has_aggregate &&
+      group_by.empty() && having == nullptr && order_exprs.empty()) {
+    auto* dual = dynamic_cast<dual::DualTable*>(slots[0].storage.get());
+    if (dual != nullptr) {
+      Scope local = local_scope(slots[0]);
+      table::ScanSpec spec;
+      for (size_t ord : needed) spec.projection.push_back(ord);
+      if (spec.projection.empty()) spec.projection.push_back(0);
+      if (!pushed[0].empty()) {
+        std::vector<exec::ValueFn> fns;
+        std::set<size_t> pred_cols;
+        for (const Expr* c : pushed[0]) {
+          DTL_ASSIGN_OR_RETURN(BoundExpr bound, BindScalar(*c, local));
+          fns.push_back(std::move(bound.fn));
+          pred_cols.insert(bound.columns.begin(), bound.columns.end());
+        }
+        spec.predicate = [fns](const Row& row) {
+          for (const auto& fn : fns) {
+            if (!ValueIsTrue(fn(row))) return false;
+          }
+          return true;
+        };
+        spec.predicate_columns.assign(pred_cols.begin(), pred_cols.end());
+        spec.bounds = ExtractBounds(pushed[0], local);
+      }
+      std::vector<const Expr*> agg_ptrs;
+      for (const Expr* e : select_exprs) CollectAggregates(*e, &agg_ptrs);
+      std::vector<exec::AggSpec> agg_specs;
+      for (const Expr* a : agg_ptrs) {
+        DTL_ASSIGN_OR_RETURN(exec::AggSpec aspec, BindAggregateCall(*a, scope));
+        agg_specs.push_back(std::move(aspec));
+      }
+      exec::ParallelScanOptions popts;
+      popts.pool = exec_.pool;
+      popts.parallelism = exec_.parallelism;
+      popts.morsel_stripes = exec_.morsel_stripes;
+      exec::ParallelScanner scanner(dual, std::move(spec), popts);
+      DTL_ASSIGN_OR_RETURN(Row agg_row, scanner.Aggregate(agg_specs));
+      // agg_row holds the finalized aggregates in agg_ptrs order — the same
+      // layout HashAggregateOperator emits for a keyless aggregate, so the
+      // post-aggregate binder applies unchanged.
+      std::vector<const Expr*> group_ptrs;
+      Row out;
+      out.reserve(select_exprs.size());
+      for (const Expr* e : select_exprs) {
+        DTL_ASSIGN_OR_RETURN(exec::ValueFn fn,
+                             BindPostAggregate(*e, group_ptrs, agg_ptrs, scope));
+        out.push_back(fn(agg_row));
+      }
+      QueryResult result;
+      result.column_names = std::move(column_names);
+      if (!stmt.limit.has_value() || *stmt.limit > 0) {
+        result.rows.push_back(std::move(out));
+      }
+      return result;
+    }
+  }
 
   // ---- vectorized fast path ----
   // Single-table SELECT with no join/aggregate/order runs batch-at-a-time:

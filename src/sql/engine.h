@@ -13,11 +13,24 @@
 
 #include "common/schema.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "fs/filesystem.h"
 #include "sql/ast.h"
 #include "table/catalog.h"
 
 namespace dtl::sql {
+
+/// Execution knobs for parallel DualTable scans. Only order-insensitive
+/// plans (single-table global aggregates) run parallel; everything else
+/// keeps the serial iterator regardless of `parallelism`.
+struct ExecOptions {
+  /// Pool the morsel workers run on; nullptr keeps every plan serial.
+  ThreadPool* pool = nullptr;
+  /// Workers per parallel scan; <=1 keeps every plan serial.
+  size_t parallelism = 1;
+  /// Surviving stripes per scan morsel.
+  size_t morsel_stripes = 1;
+};
 
 struct QueryResult {
   std::vector<std::string> column_names;
@@ -46,6 +59,9 @@ class Engine {
 
   Result<QueryResult> ExecuteStatement(const Statement& stmt);
 
+  void set_exec_options(const ExecOptions& options) { exec_ = options; }
+  const ExecOptions& exec_options() const { return exec_; }
+
  private:
   Result<QueryResult> ExecuteSelect(const SelectStmt& stmt);
   Result<QueryResult> ExecuteCreate(const CreateTableStmt& stmt);
@@ -62,6 +78,7 @@ class Engine {
   table::Catalog* catalog_;
   TableFactory factory_;
   const fs::SimFileSystem* fs_;
+  ExecOptions exec_;
 };
 
 /// Coerces a value to a column type (int→double widening, int↔date).

@@ -11,14 +11,36 @@ Result<std::unique_ptr<Session>> Session::Create(SessionOptions options) {
     threads = std::max<size_t>(2, std::thread::hardware_concurrency());
   }
   session->pool_ = std::make_unique<ThreadPool>(threads);
+  // Parallel COMPACT rides the session pool for every DualTable made here.
+  session->options_.dual_defaults.pool = session->pool_.get();
+  if (session->options_.background_compaction) {
+    session->scheduler_ = std::make_shared<BackgroundScheduler>();
+    session->options_.dual_defaults.scheduler = session->scheduler_;
+    session->options_.dual_defaults.background_compaction = true;
+    session->options_.dual_defaults.attached_options.scheduler = session->scheduler_;
+    session->options_.hbase_defaults.store_options.scheduler = session->scheduler_;
+  }
   Session* self = session.get();
   session->engine_ = std::make_unique<Engine>(
       &session->catalog_,
       [self](const std::string& name, table::TableKind kind,
              const Schema& schema) { return self->MakeTable(name, kind, schema); },
       session->fs_.get());
+  ExecOptions exec;
+  exec.pool = session->pool_.get();
+  exec.parallelism = session->options_.parallelism;
+  exec.morsel_stripes = session->options_.morsel_stripes;
+  session->engine_->set_exec_options(exec);
   session->MarkIo();
   return session;
+}
+
+Session::~Session() {
+  // Tables in the catalog outlive the pool in member-destruction order, and
+  // a background poll may submit pool work; stop the scheduler first so no
+  // maintenance job is in flight while members tear down. Table destructors
+  // then unregister from the stopped scheduler, which is safe.
+  if (scheduler_ != nullptr) scheduler_->Shutdown();
 }
 
 Result<std::shared_ptr<table::StorageTable>> Session::MakeTable(const std::string& name,

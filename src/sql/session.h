@@ -11,6 +11,7 @@
 #include "baseline/acid_table.h"
 #include "baseline/hbase_table.h"
 #include "baseline/hive_table.h"
+#include "common/background_scheduler.h"
 #include "common/thread_pool.h"
 #include "dualtable/dual_table.h"
 #include "fs/cluster_model.h"
@@ -25,6 +26,16 @@ struct SessionOptions {
   fs::ClusterConfig cluster;
   /// Worker threads for MapReduce-style parallel scans; 0 = hardware threads.
   size_t pool_threads = 0;
+  /// Morsel workers per parallel DualTable scan. <=1 keeps every SQL plan on
+  /// the serial iterator; >1 routes order-insensitive plans (single-table
+  /// global aggregates) through the morsel-driven ParallelScanner.
+  size_t parallelism = 1;
+  /// Surviving stripes per scan morsel.
+  size_t morsel_stripes = 1;
+  /// Run compaction from a background scheduler thread: DualTables poll
+  /// NeedsCompaction() and KV stores defer size-tiered merges, so compaction
+  /// debt is paid even on write-only workloads.
+  bool background_compaction = false;
   /// Defaults applied to tables created through SQL / factory helpers.
   dual::DualTableOptions dual_defaults;
   baseline::HiveTableOptions hive_defaults;
@@ -35,6 +46,9 @@ struct SessionOptions {
 class Session {
  public:
   static Result<std::unique_ptr<Session>> Create(SessionOptions options = {});
+
+  /// Stops the background scheduler before the pool and tables go away.
+  ~Session();
 
   /// Parses and executes one SQL statement.
   Result<QueryResult> Execute(const std::string& sql) { return engine_->Execute(sql); }
@@ -59,6 +73,7 @@ class Session {
   fs::ClusterModel* cluster() { return &cluster_; }
   table::Catalog* catalog() { return &catalog_; }
   ThreadPool* pool() { return pool_.get(); }
+  BackgroundScheduler* scheduler() { return scheduler_.get(); }
   Engine* engine() { return engine_.get(); }
   const SessionOptions& options() const { return options_; }
 
@@ -85,6 +100,7 @@ class Session {
   fs::ClusterModel cluster_;
   table::Catalog catalog_;
   std::unique_ptr<ThreadPool> pool_;
+  std::shared_ptr<BackgroundScheduler> scheduler_;
   std::unique_ptr<Engine> engine_;
   fs::IoSnapshot io_mark_;
 };

@@ -52,7 +52,8 @@ void RowBatch::MaterializeRow(size_t i, Row* row) const {
   for (size_t c = 0; c < num_columns_; ++c) (*row)[c] = columns_[c].at(phys);
 }
 
-size_t RowBatch::FilterSelected(const RowPredicateFn& pred, Row* scratch) {
+size_t RowBatch::FilterSelected(const RowPredicateFn& pred, Row* scratch,
+                                ScanMeter* meter) {
   const size_t before = size();
   if (before == 0) return 0;
   if (!has_selection_) {
@@ -80,7 +81,7 @@ size_t RowBatch::FilterSelected(const RowPredicateFn& pred, Row* scratch) {
     selection_.resize(out);
   }
   const size_t dropped = before - size();
-  GlobalScanMeter().AddPredicateDrops(dropped);
+  (meter != nullptr ? *meter : GlobalScanMeter()).AddPredicateDrops(dropped);
   return dropped;
 }
 

@@ -142,7 +142,9 @@ class RowBatch {
   /// into `*scratch` (reused, full width). Compresses the selection in
   /// place; when nothing is dropped and no selection existed, none is
   /// created (the pass-through fast path). Returns the number dropped.
-  size_t FilterSelected(const RowPredicateFn& pred, Row* scratch);
+  /// Drops are charged to `meter`, or to the global meter when null.
+  size_t FilterSelected(const RowPredicateFn& pred, Row* scratch,
+                        ScanMeter* meter = nullptr);
 
   // --- record IDs ---
   /// Record IDs ascending contiguously from `first` (a master-file slice).

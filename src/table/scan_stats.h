@@ -86,6 +86,20 @@ class ScanMeter {
     return s;
   }
 
+  /// Folds a snapshot delta into this meter. Parallel scans give each worker
+  /// a private meter and merge them at the barrier, so per-worker counting
+  /// stays contention-free and the merged totals match a serial scan.
+  void Add(const ScanSnapshot& s) {
+    batches_.fetch_add(s.batches, std::memory_order_relaxed);
+    rows_.fetch_add(s.rows, std::memory_order_relaxed);
+    bytes_.fetch_add(s.bytes, std::memory_order_relaxed);
+    passthrough_batches_.fetch_add(s.passthrough_batches, std::memory_order_relaxed);
+    patched_rows_.fetch_add(s.patched_rows, std::memory_order_relaxed);
+    masked_rows_.fetch_add(s.masked_rows, std::memory_order_relaxed);
+    predicate_drops_.fetch_add(s.predicate_drops, std::memory_order_relaxed);
+    materialized_rows_.fetch_add(s.materialized_rows, std::memory_order_relaxed);
+  }
+
   /// Zeroes every counter. Single-resetter contract: Reset must not run
   /// concurrently with another Reset or with code that reads a Snapshot
   /// delta spanning the reset (benches call it between phases, from one

@@ -14,6 +14,8 @@
 
 namespace dtl::table {
 
+class ScanMeter;
+
 /// Inclusive value bounds on one column, used for stripe-level pruning
 /// against ORC statistics. A scan may carry several.
 struct ColumnBound {
@@ -37,6 +39,9 @@ struct ScanSpec {
   std::vector<size_t> predicate_columns;
   /// Stats-prunable bounds implied by the predicate (conjunctive).
   std::vector<ColumnBound> bounds;
+  /// Meter the scan reports to; nullptr means the process-global one.
+  /// Parallel scans point each worker's spec at a worker-local meter.
+  ScanMeter* meter = nullptr;
 
   /// Ordinals that must be materialized: projection ∪ predicate_columns
   /// (empty means all).

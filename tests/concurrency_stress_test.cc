@@ -12,14 +12,20 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/background_scheduler.h"
 #include "common/random.h"
 #include "common/skiplist.h"
 #include "common/thread_pool.h"
+#include "dualtable/dual_table.h"
+#include "exec/parallel_scan.h"
+#include "fs/cluster_model.h"
 #include "fs/filesystem.h"
 #include "kv/store.h"
 #include "orc/reader.h"
@@ -253,6 +259,261 @@ TEST(ScanMeterStressTest, ConcurrentCountersSumExactly) {
   const table::ScanSnapshot z = meter.Snapshot();
   EXPECT_EQ(z.batches, 0u);
   EXPECT_EQ(z.rows, 0u);
+}
+
+// --- morsel-driven parallel scans under concurrent mutation ------------------------
+
+Schema DualStressSchema() {
+  return Schema({{"id", DataType::kInt64}, {"amount", DataType::kDouble}});
+}
+
+Status StressUpdate(dual::DualTable* table, int64_t modulus, int64_t residue,
+                    double bump) {
+  table::ScanSpec filter;
+  filter.predicate_columns = {0};
+  filter.predicate = [modulus, residue](const Row& row) {
+    return row[0].AsInt64() % modulus == residue;
+  };
+  table::Assignment a;
+  a.column = 1;
+  a.input_columns = {1};
+  a.compute = [bump](const Row& row) { return Value::Double(row[1].AsDouble() + bump); };
+  return table->Update(filter, {a}).status();
+}
+
+// Morsel workers race EDIT statements. Updates never delete, so every scan —
+// whatever mix of pre- and post-update stripes its morsels observe — must
+// return exactly kRows rows, in record-id order, with sane values.
+TEST(ParallelScanStressTest, MorselScansRaceEditStatements) {
+  fs::SimFileSystem fs;
+  auto metadata = dual::MetadataTable::Open(&fs);
+  ASSERT_TRUE(metadata.ok());
+  fs::ClusterModel cluster;
+  ThreadPool pool(kThreads);
+
+  dual::DualTableOptions options;
+  options.plan_mode = dual::DualTableOptions::PlanMode::kForceEdit;
+  options.writer_options.stripe_rows = 64;
+  options.scan_batch_rows = 48;
+  options.pool = &pool;
+  auto table = dual::DualTable::Open(&fs, metadata->get(), &cluster, "race",
+                                     DualStressSchema(), options);
+  ASSERT_TRUE(table.ok());
+  constexpr int64_t kRows = 1200;
+  for (int64_t chunk = 0; chunk < 2; ++chunk) {
+    std::vector<Row> rows;
+    for (int64_t i = chunk * 600; i < (chunk + 1) * 600; ++i) {
+      rows.push_back(Row{Value::Int64(i), Value::Double(i * 0.5)});
+    }
+    ASSERT_TRUE((*table)->InsertRows(rows).ok());
+  }
+
+  std::atomic<bool> done{false};
+  std::thread writer([&table, &done] {
+    for (int round = 0; round < 30; ++round) {
+      ASSERT_TRUE(StressUpdate(table->get(), 5, round % 5, 0.5).ok());
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  std::vector<std::thread> scanners;
+  scanners.reserve(2);
+  for (int t = 0; t < 2; ++t) {
+    scanners.emplace_back([&table, &pool, &done, t] {
+      int iter = 0;
+      do {
+        exec::ParallelScanOptions popts;
+        popts.pool = &pool;
+        popts.parallelism = 3;
+        popts.morsel_stripes = 1 + t;
+        if (iter % 3 == 0) {
+          exec::ParallelScanner scanner(table->get(), table::ScanSpec{}, popts);
+          auto rows = scanner.CollectRows();
+          ASSERT_TRUE(rows.ok());
+          ASSERT_EQ(rows->size(), static_cast<size_t>(kRows));
+          for (size_t i = 0; i < rows->size(); ++i) {
+            ASSERT_EQ((*rows)[i][0].AsInt64(), static_cast<int64_t>(i));
+            const double amount = (*rows)[i][1].AsDouble();
+            ASSERT_GE(amount, static_cast<double>(i) * 0.5);
+          }
+        } else {
+          exec::ParallelScanner scanner(table->get(), table::ScanSpec{}, popts);
+          auto count = scanner.Count();
+          ASSERT_TRUE(count.ok());
+          ASSERT_EQ(*count, static_cast<uint64_t>(kRows));
+        }
+        ++iter;
+      } while (!done.load(std::memory_order_acquire));
+    });
+  }
+  writer.join();
+  for (auto& t : scanners) t.join();
+}
+
+// Morsel scans race the background compaction scheduler. A COMPACT that
+// commits mid-scan may invalidate morsels planned against the old
+// generation: the scan must then fail CLEANLY (a Status, never a crash or a
+// wrong answer). Successful scans must always see every row.
+TEST(ParallelScanStressTest, MorselScansRaceBackgroundCompaction) {
+  fs::SimFileSystem fs;
+  auto metadata = dual::MetadataTable::Open(&fs);
+  ASSERT_TRUE(metadata.ok());
+  fs::ClusterModel cluster;
+  ThreadPool pool(kThreads);
+  auto scheduler = std::make_shared<BackgroundScheduler>(std::chrono::milliseconds(1));
+
+  dual::DualTableOptions options;
+  options.plan_mode = dual::DualTableOptions::PlanMode::kForceEdit;
+  options.writer_options.stripe_rows = 64;
+  options.scan_batch_rows = 48;
+  options.pool = &pool;
+  options.compact_threshold = 0.01;  // nearly every update round leaves debt
+  options.scheduler = scheduler;
+  options.background_compaction = true;
+  constexpr int64_t kRows = 800;
+  {
+    auto table = dual::DualTable::Open(&fs, metadata->get(), &cluster, "bgrace",
+                                       DualStressSchema(), options);
+    ASSERT_TRUE(table.ok());
+    for (int64_t chunk = 0; chunk < 2; ++chunk) {
+      std::vector<Row> rows;
+      for (int64_t i = chunk * 400; i < (chunk + 1) * 400; ++i) {
+        rows.push_back(Row{Value::Int64(i), Value::Double(i * 0.5)});
+      }
+      ASSERT_TRUE((*table)->InsertRows(rows).ok());
+    }
+
+    std::atomic<bool> done{false};
+    std::thread writer([&table, &done] {
+      for (int round = 0; round < 20; ++round) {
+        ASSERT_TRUE(StressUpdate(table->get(), 4, round % 4, 0.5).ok());
+      }
+      done.store(true, std::memory_order_release);
+    });
+
+    std::atomic<uint64_t> clean_failures{0};
+    std::atomic<uint64_t> successes{0};
+    std::thread scanner_thread([&table, &pool, &done, &clean_failures, &successes] {
+      do {
+        exec::ParallelScanOptions popts;
+        popts.pool = &pool;
+        popts.parallelism = 3;
+        exec::ParallelScanner scanner(table->get(), table::ScanSpec{}, popts);
+        auto count = scanner.Count();
+        if (count.ok()) {
+          ASSERT_EQ(*count, static_cast<uint64_t>(kRows));
+          successes.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          // Morsels planned against a generation COMPACT just replaced.
+          clean_failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      } while (!done.load(std::memory_order_acquire));
+    });
+    writer.join();
+    scanner_thread.join();
+    EXPECT_GT(successes.load(), 0u);
+
+    // Once writes stop, a quiesced scheduler leaves no debt and a stable
+    // generation: scans succeed again and the data is intact.
+    scheduler->Quiesce();
+    EXPECT_FALSE((*table)->NeedsCompaction());
+    exec::ParallelScanOptions popts;
+    popts.pool = &pool;
+    popts.parallelism = 4;
+    exec::ParallelScanner scanner(table->get(), table::ScanSpec{}, popts);
+    auto count = scanner.Count();
+    ASSERT_TRUE(count.ok());
+    EXPECT_EQ(*count, static_cast<uint64_t>(kRows));
+  }  // table unregisters its poll job here, while the scheduler is live
+  scheduler->Shutdown();
+}
+
+// Scan-vs-flush lifetime regression: CellScanners opened on the attached
+// table must stay valid while concurrent EDITs flush and merge the memtable
+// out from under them (the shared_ptr keepalive added with the background
+// compactor). Serial UNION READ scans exercise that path directly.
+TEST(ParallelScanStressTest, AttachedScansSurviveConcurrentFlushes) {
+  fs::SimFileSystem fs;
+  auto metadata = dual::MetadataTable::Open(&fs);
+  ASSERT_TRUE(metadata.ok());
+  fs::ClusterModel cluster;
+
+  dual::DualTableOptions options;
+  options.plan_mode = dual::DualTableOptions::PlanMode::kForceEdit;
+  options.writer_options.stripe_rows = 64;
+  options.attached_options.memtable_flush_bytes = 2 * 1024;  // flush constantly
+  options.attached_options.l0_compaction_trigger = 2;
+  auto table = dual::DualTable::Open(&fs, metadata->get(), &cluster, "flush",
+                                     DualStressSchema(), options);
+  ASSERT_TRUE(table.ok());
+  constexpr int64_t kRows = 600;
+  std::vector<Row> rows;
+  for (int64_t i = 0; i < kRows; ++i) {
+    rows.push_back(Row{Value::Int64(i), Value::Double(i * 0.5)});
+  }
+  ASSERT_TRUE((*table)->InsertRows(rows).ok());
+
+  std::atomic<bool> done{false};
+  std::thread writer([&table, &done] {
+    for (int round = 0; round < 25; ++round) {
+      ASSERT_TRUE(StressUpdate(table->get(), 3, round % 3, 0.5).ok());
+    }
+    done.store(true, std::memory_order_release);
+  });
+  std::vector<std::thread> scanners;
+  scanners.reserve(2);
+  for (int t = 0; t < 2; ++t) {
+    scanners.emplace_back([&table, &done] {
+      do {
+        auto it = (*table)->ScanBatches(table::ScanSpec{});
+        ASSERT_TRUE(it.ok());
+        table::RowBatch batch;
+        uint64_t seen = 0;
+        while ((*it)->Next(&batch)) seen += batch.size();
+        ASSERT_TRUE((*it)->status().ok());
+        ASSERT_EQ(seen, static_cast<uint64_t>(kRows));
+      } while (!done.load(std::memory_order_acquire));
+    });
+  }
+  writer.join();
+  for (auto& t : scanners) t.join();
+}
+
+// Register/unregister churn against a fast-polling scheduler: Unregister
+// must block out in-flight polls so a job's state can be torn down the
+// moment it returns, and Shutdown must serialize with everything.
+TEST(BackgroundSchedulerStressTest, RegisterUnregisterChurn) {
+  auto scheduler = std::make_shared<BackgroundScheduler>(std::chrono::milliseconds(1));
+  std::vector<std::thread> churners;
+  churners.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    churners.emplace_back([&scheduler, t] {
+      for (int i = 0; i < 40; ++i) {
+        // The counter lives on the churner's stack; Unregister's barrier is
+        // what makes destroying it immediately afterwards safe. A starved
+        // scheduler may legitimately poll a short-lived job zero times, so
+        // there is no count assertion here — TSan and the stack lifetime
+        // are what this loop tests.
+        std::atomic<uint64_t> local_polls{0};
+        const uint64_t id = scheduler->Register(
+            "churn" + std::to_string(t),
+            [&local_polls] { local_polls.fetch_add(1, std::memory_order_relaxed); });
+        scheduler->Wake();
+        std::this_thread::yield();
+        scheduler->Unregister(id);
+      }
+    });
+  }
+  for (auto& t : churners) t.join();
+  // Deterministic liveness check: a job registered before Quiesce() MUST be
+  // polled by the full round Quiesce waits out, however loaded the host is.
+  std::atomic<uint64_t> final_polls{0};
+  const uint64_t id = scheduler->Register(
+      "final", [&final_polls] { final_polls.fetch_add(1, std::memory_order_relaxed); });
+  scheduler->Quiesce();
+  EXPECT_GT(final_polls.load(std::memory_order_relaxed), 0u);
+  scheduler->Unregister(id);
+  scheduler->Shutdown();
 }
 
 }  // namespace
