@@ -96,9 +96,11 @@ Env MakeGridMx(const std::string& kind, PlanMode mode) {
   return env;
 }
 
-Env MakeGridTableII(const std::string& kind) {
+Env MakeGridTableII(const std::string& kind, bool observability) {
   Env env;
-  auto session = sql::Session::Create(BenchSessionOptions(PlanMode::kCostModel));
+  auto options = BenchSessionOptions(PlanMode::kCostModel);
+  options.observability = observability;
+  auto session = sql::Session::Create(std::move(options));
   if (!session.ok()) Die("session", session.status());
   env.session = std::move(*session);
 

@@ -42,7 +42,9 @@ using PlanMode = dual::DualTableOptions::PlanMode;
 Env MakeGridMx(const std::string& kind, PlanMode mode = PlanMode::kCostModel);
 
 /// Builds a session holding all six paper-Table-II grid tables.
-Env MakeGridTableII(const std::string& kind);
+/// `observability` toggles SessionOptions::observability: the off setting is
+/// the baseline for the instrumentation-overhead guard (bench_observability).
+Env MakeGridTableII(const std::string& kind, bool observability = true);
 
 /// Builds a session holding all six paper-Table-III grid tables.
 Env MakeGridTableIII(const std::string& kind, PlanMode mode = PlanMode::kCostModel);

@@ -25,8 +25,10 @@ void PrintHelp() {
       "statements: CREATE TABLE .. [STORED AS dualtable|hive|hbase|acid],\n"
       "  INSERT INTO .. VALUES .., SELECT .., UPDATE .. [WITH RATIO r],\n"
       "  DELETE FROM .. [WITH RATIO r], MERGE INTO t ON (keys) VALUES ..,\n"
-      "  COMPACT TABLE t, DROP TABLE t, SHOW TABLES\n"
-      "shell commands: \\io (I/O counters), \\cluster, \\help, \\quit\n");
+      "  COMPACT TABLE t, DROP TABLE t, SHOW TABLES,\n"
+      "  EXPLAIN [ANALYZE] <statement>\n"
+      "shell commands: \\io (I/O counters), \\stats (session metrics),\n"
+      "  \\audit (cost-model decisions), \\cluster, \\help, \\quit\n");
 }
 
 }  // namespace
@@ -59,6 +61,10 @@ int main() {
         PrintHelp();
       } else if (line == "\\io") {
         std::printf("%s\n", session->fs()->meter()->Snapshot().ToString().c_str());
+      } else if (line == "\\stats") {
+        std::printf("%s", session->StatsDump().c_str());
+      } else if (line == "\\audit") {
+        std::printf("%s", session->cost_audit()->RenderText().c_str());
       } else if (line == "\\cluster") {
         std::printf("%s\n", session->cluster()->Describe().c_str());
       } else {

@@ -23,6 +23,16 @@ Enforced invariants (see DESIGN.md §7):
   5. no-void-discard  Statuses are never swallowed with a bare `(void)call()`
                       cast; DTL_IGNORE_STATUS(st, "reason") is the only
                       sanctioned way to drop one, and it is greppable.
+  6. metric-hygiene   Instrument and span names at call sites in src/ come
+                      from the registered constexpr constants in
+                      src/obs/metric_names.h, never from inline string
+                      literals: counter("foo") drifts, counter(kFoo) cannot.
+                      (Span/AddNode detail strings — the 2nd argument — stay
+                      free-form.)
+  7. no-raw-clock     Outside dtl::Stopwatch (src/common/stopwatch.h) and the
+                      obs layer, nothing reads std::chrono clocks directly;
+                      all timing flows through the stopwatch so traces,
+                      metrics, and benches agree on one monotonic source.
 
 Usage:  scripts/lint.py [paths...]      (defaults to src/ tests/ bench/ examples/)
 Exit status: 0 clean, 1 findings (one line each: path:line: [rule] message).
@@ -55,6 +65,24 @@ USING_NAMESPACE_RE = re.compile(r"^\s*using\s+namespace\b")
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(["<])([^">]+)[">]')
 
 VOID_DISCARD_RE = re.compile(r"\(void\)\s*[\w:.>-]*\w\s*\(")
+
+# Rule 6: registration/span call sites whose NAME argument is a raw string
+# literal instead of an obs::names constant. The Span pattern anchors on the
+# 2-arg name position (tracer, "name"); AddNode/AddLeaf anchor on the 1st
+# argument, so free-form detail strings in later positions stay legal.
+METRIC_LITERAL_RES = [
+    re.compile(r"(?:->|\.)\s*(?:counter|gauge|histogram)\s*\(\s*\""),
+    re.compile(r"\bRegisterView\s*\(\s*\""),
+    re.compile(r"\bAddNode\s*\(\s*\""),
+    re.compile(r"\bAddLeaf\s*\(\s*\""),
+    re.compile(r"\bSpan\s+\w+\s*\(\s*[^,()]+,\s*\""),
+]
+METRIC_HYGIENE_EXEMPT = ("src/obs/",)  # the layer that defines the names
+
+# Rule 7: direct chrono clock reads. Stopwatch is the one sanctioned reader.
+RAW_CLOCK_RE = re.compile(
+    r"\b(?:steady_clock|system_clock|high_resolution_clock)\s*::\s*now\b")
+RAW_CLOCK_EXEMPT = ("src/common/stopwatch.h", "src/obs/")
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -109,6 +137,54 @@ def strip_comments_and_strings(text: str) -> str:
             if c == quote:
                 state = "code"
             out.append(c if c == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+def strip_comments_only(text: str) -> str:
+    """Blanks comments but KEEPS string literals (for literal-name lints)."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+            elif c == "'":
+                state = "char"
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+            out.append(c if c == "\n" else " ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append(text[i:i + 2])
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+            out.append(c)
         i += 1
     return "".join(out)
 
@@ -214,6 +290,28 @@ def check_file(path: Path, findings):
             elif not (REPO / "src" / inc).exists() and not (path.parent / inc).exists():
                 findings.append((rp, i, "include-hygiene",
                                  f'"{inc}" does not resolve under src/'))
+
+    # Rules 6/7 look at comment-stripped text that KEEPS string literals,
+    # since both key off quoted call arguments / clock spellings.
+    code_lines = strip_comments_only(raw).splitlines()
+
+    # Rule 6: instrument/span names in src/ must be obs::names constants.
+    if rp.startswith("src/") and not rp.startswith(METRIC_HYGIENE_EXEMPT):
+        for i, line in enumerate(code_lines, 1):
+            for pattern in METRIC_LITERAL_RES:
+                if pattern.search(line):
+                    findings.append((rp, i, "metric-hygiene",
+                                     "metric/span name is an inline string literal; "
+                                     "use a constant from src/obs/metric_names.h"))
+                    break
+
+    # Rule 7: no direct chrono clock reads outside the stopwatch / obs layer.
+    if not rp.startswith(RAW_CLOCK_EXEMPT):
+        for i, line in enumerate(code_lines, 1):
+            if RAW_CLOCK_RE.search(line):
+                findings.append((rp, i, "no-raw-clock",
+                                 "raw std::chrono clock read; time everything "
+                                 "through dtl::Stopwatch (src/common/stopwatch.h)"))
 
     # Rule 5: no (void)-discarded calls; DTL_IGNORE_STATUS is the audit trail.
     if rp != "src/common/status.h":  # the macro's own definition

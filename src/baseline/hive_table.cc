@@ -38,7 +38,7 @@ Result<std::unique_ptr<table::RowIterator>> HiveTable::Scan(const table::ScanSpe
   // read comparison stays apples to apples.
   DTL_ASSIGN_OR_RETURN(auto it, ScanBatches(spec));
   return std::unique_ptr<table::RowIterator>(
-      new table::BatchToRowAdapter(std::move(it)));
+      new table::BatchToRowAdapter(std::move(it), spec.meter));
 }
 
 Result<std::unique_ptr<table::BatchIterator>> HiveTable::ScanBatches(
@@ -60,7 +60,7 @@ Result<std::vector<table::ScanSplit>> HiveTable::CreateSplits(const table::ScanS
           DTL_ASSIGN_OR_RETURN(auto it, self->storage_->NewFileBatchScanIterator(
                                             file_id, copy, /*apply_predicate=*/true));
           return std::unique_ptr<table::RowIterator>(
-              new table::BatchToRowAdapter(std::move(it)));
+              new table::BatchToRowAdapter(std::move(it), copy.meter));
         }});
   }
   return splits;

@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "common/stopwatch.h"
+
 namespace dtl {
 
 BackgroundScheduler::BackgroundScheduler(std::chrono::milliseconds poll_interval)
@@ -67,6 +69,16 @@ uint64_t BackgroundScheduler::rounds_completed() const {
   return rounds_completed_;
 }
 
+size_t BackgroundScheduler::num_jobs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return jobs_.size();
+}
+
+double BackgroundScheduler::last_round_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_round_seconds_;
+}
+
 void BackgroundScheduler::Loop() {
   std::unique_lock<std::mutex> lock(mu_);
   while (!stop_) {
@@ -76,6 +88,7 @@ void BackgroundScheduler::Loop() {
     wake_requested_ = false;
     ++rounds_started_;
     in_round_ = true;
+    Stopwatch round_watch;
     std::vector<std::shared_ptr<Job>> round;
     round.reserve(jobs_.size());
     for (auto& [id, job] : jobs_) round.push_back(job);
@@ -91,6 +104,7 @@ void BackgroundScheduler::Loop() {
     }
     in_round_ = false;
     ++rounds_completed_;
+    last_round_seconds_ = round_watch.ElapsedSeconds();
     done_cv_.notify_all();
   }
   // Flush any waiters that raced Shutdown.

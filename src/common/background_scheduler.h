@@ -62,6 +62,13 @@ class BackgroundScheduler {
 
   uint64_t rounds_completed() const;
 
+  /// Number of currently registered jobs (observability gauge).
+  size_t num_jobs() const;
+
+  /// Wall seconds the most recently completed round took; 0 before the
+  /// first round finishes (observability gauge).
+  double last_round_seconds() const;
+
  private:
   struct Job {
     std::string name;
@@ -79,6 +86,7 @@ class BackgroundScheduler {
   uint64_t next_id_ = 1;
   uint64_t rounds_started_ = 0;
   uint64_t rounds_completed_ = 0;
+  double last_round_seconds_ = 0;
   bool in_round_ = false;
   bool wake_requested_ = false;
   bool stop_ = false;

@@ -2,7 +2,11 @@
 
 #include <algorithm>
 
+#include "common/stopwatch.h"
 #include "dualtable/record_id.h"
+#include "obs/cost_audit.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
 
 namespace dtl::dual {
 
@@ -19,6 +23,14 @@ Result<std::shared_ptr<DualTable>> DualTable::Open(fs::SimFileSystem* fs,
                                          dual->options_.writer_options));
   DTL_ASSIGN_OR_RETURN(dual->attached_,
                        AttachedTable::Open(fs, name, dual->options_.attached_options));
+  if (dual->options_.metrics != nullptr) {
+    obs::MetricsRegistry* metrics = dual->options_.metrics;
+    dual->edit_hist_ = metrics->histogram(obs::names::kDualEditSeconds, name);
+    dual->overwrite_hist_ = metrics->histogram(obs::names::kDualOverwriteSeconds, name);
+    dual->compact_hist_ = metrics->histogram(obs::names::kDualCompactSeconds, name);
+    dual->union_read_rows_hist_ =
+        metrics->histogram(obs::names::kDualUnionReadRows, name);
+  }
   if (dual->options_.scheduler != nullptr && dual->options_.background_compaction) {
     // NeedsCompaction() used to surface only through scans, so compaction
     // debt accumulated unobserved on write-only workloads; the scheduler
@@ -113,12 +125,46 @@ Result<std::unique_ptr<UnionReadBatchIterator>> DualTable::NewUnionReadBatchForM
                                                   schema_.num_fields(), meter);
 }
 
+namespace {
+
+// Counts the rows a UNION READ scan emits and reports the total into the
+// per-table histogram when the scan ends (destruction = end of scan, whether
+// drained or abandoned).
+class RowsObservingBatchIterator : public table::BatchIterator {
+ public:
+  RowsObservingBatchIterator(std::unique_ptr<table::BatchIterator> inner,
+                             obs::Histogram* hist)
+      : inner_(std::move(inner)), hist_(hist) {}
+  ~RowsObservingBatchIterator() override { hist_->Observe(rows_); }
+
+  bool Next(table::RowBatch* batch) override {
+    if (!inner_->Next(batch)) return false;
+    rows_ += batch->size();
+    return true;
+  }
+  const Status& status() const override { return inner_->status(); }
+
+ private:
+  std::unique_ptr<table::BatchIterator> inner_;
+  obs::Histogram* hist_;
+  uint64_t rows_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<table::BatchIterator> DualTable::ObserveUnionReadRows(
+    std::unique_ptr<table::BatchIterator> it) {
+  if (union_read_rows_hist_ == nullptr) return it;
+  return std::make_unique<RowsObservingBatchIterator>(std::move(it),
+                                                      union_read_rows_hist_);
+}
+
 Result<std::unique_ptr<table::RowIterator>> DualTable::Scan(const table::ScanSpec& spec) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
   if (options_.enable_batch_scan) {
     DTL_ASSIGN_OR_RETURN(auto it, NewUnionReadBatch(spec));
-    return std::unique_ptr<table::RowIterator>(
-        std::make_unique<table::BatchToRowAdapter>(std::move(it)));
+    return std::unique_ptr<table::RowIterator>(std::make_unique<table::BatchToRowAdapter>(
+        ObserveUnionReadRows(std::move(it)), spec.meter));
   }
   DTL_ASSIGN_OR_RETURN(auto it, NewUnionRead(spec));
   return std::unique_ptr<table::RowIterator>(std::move(it));
@@ -129,7 +175,7 @@ Result<std::unique_ptr<table::BatchIterator>> DualTable::ScanBatches(
   std::lock_guard<std::recursive_mutex> lock(mu_);
   if (!options_.enable_batch_scan) return StorageTable::ScanBatches(spec);
   DTL_ASSIGN_OR_RETURN(auto it, NewUnionReadBatch(spec));
-  return std::unique_ptr<table::BatchIterator>(std::move(it));
+  return ObserveUnionReadRows(std::move(it));
 }
 
 Result<std::unique_ptr<table::RowIterator>> DualTable::ScanLegacyRows(
@@ -145,7 +191,7 @@ Result<std::unique_ptr<table::RowIterator>> DualTable::ScanAsOf(
   if (options_.enable_batch_scan) {
     DTL_ASSIGN_OR_RETURN(auto it, NewUnionReadBatch(spec, as_of));
     return std::unique_ptr<table::RowIterator>(
-        std::make_unique<table::BatchToRowAdapter>(std::move(it)));
+        std::make_unique<table::BatchToRowAdapter>(std::move(it), spec.meter));
   }
   DTL_ASSIGN_OR_RETURN(auto master_it,
                        master_->NewScanIterator(MasterSpecFor(spec),
@@ -169,7 +215,7 @@ Result<std::vector<table::ScanSplit>> DualTable::CreateSplits(const table::ScanS
           if (self->options_.enable_batch_scan) {
             DTL_ASSIGN_OR_RETURN(auto it, self->NewUnionReadBatchForFile(file_id, copy));
             return std::unique_ptr<table::RowIterator>(
-                std::make_unique<table::BatchToRowAdapter>(std::move(it)));
+                std::make_unique<table::BatchToRowAdapter>(std::move(it), copy.meter));
           }
           DTL_ASSIGN_OR_RETURN(auto it, self->NewUnionReadForFile(file_id, copy));
           return std::unique_ptr<table::RowIterator>(std::move(it));
@@ -261,6 +307,9 @@ Result<table::DmlResult> DualTable::UpdateWithHint(
   if (assignments.empty()) return Status::InvalidArgument("UPDATE with no assignments");
 
   table::DmlPlan plan = table::DmlPlan::kEdit;
+  PlanDecision decision;
+  double ratio = 0;
+  bool audited = false;
   switch (options_.plan_mode) {
     case DualTableOptions::PlanMode::kForceEdit:
       plan = table::DmlPlan::kEdit;
@@ -269,14 +318,23 @@ Result<table::DmlResult> DualTable::UpdateWithHint(
       plan = table::DmlPlan::kOverwrite;
       break;
     case DualTableOptions::PlanMode::kCostModel:
-      plan = cost_model_.DecideUpdate(master_->TotalBytes(), ResolveRatio(ratio_hint)).plan;
+      ratio = ResolveRatio(ratio_hint);
+      decision = cost_model_.DecideUpdate(master_->TotalBytes(), ratio);
+      plan = decision.plan;
+      audited = options_.cost_audit != nullptr;
       break;
   }
   last_plan_ = plan;
 
+  const fs::IoSnapshot io_before = fs_->meter()->Snapshot();
+  Stopwatch watch;
   Result<table::DmlResult> result = plan == table::DmlPlan::kEdit
                                         ? ExecuteEditUpdate(filter, assignments)
                                         : ExecuteOverwriteUpdate(filter, assignments);
+  if (result.ok()) {
+    RecordDmlObservation("UPDATE", plan, decision, ratio, ratio_hint.has_value(),
+                         audited, *result, watch.ElapsedSeconds(), io_before);
+  }
   if (result.ok() && result->rows_scanned > 0) {
     // Propagate metadata failures: a silently stale modification ratio would
     // skew every later cost-model plan choice (found by the nodiscard sweep).
@@ -376,6 +434,9 @@ Result<table::DmlResult> DualTable::DeleteWithHint(const table::ScanSpec& filter
                                                    std::optional<double> ratio_hint) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
   table::DmlPlan plan = table::DmlPlan::kEdit;
+  PlanDecision decision;
+  double ratio = 0;
+  bool audited = false;
   switch (options_.plan_mode) {
     case DualTableOptions::PlanMode::kForceEdit:
       plan = table::DmlPlan::kEdit;
@@ -384,16 +445,23 @@ Result<table::DmlResult> DualTable::DeleteWithHint(const table::ScanSpec& filter
       plan = table::DmlPlan::kOverwrite;
       break;
     case DualTableOptions::PlanMode::kCostModel:
-      plan = cost_model_
-                 .DecideDelete(master_->TotalBytes(), ResolveRatio(ratio_hint), AvgRowBytes())
-                 .plan;
+      ratio = ResolveRatio(ratio_hint);
+      decision = cost_model_.DecideDelete(master_->TotalBytes(), ratio, AvgRowBytes());
+      plan = decision.plan;
+      audited = options_.cost_audit != nullptr;
       break;
   }
   last_plan_ = plan;
 
+  const fs::IoSnapshot io_before = fs_->meter()->Snapshot();
+  Stopwatch watch;
   Result<table::DmlResult> result = plan == table::DmlPlan::kEdit
                                         ? ExecuteEditDelete(filter)
                                         : ExecuteOverwriteDelete(filter);
+  if (result.ok()) {
+    RecordDmlObservation("DELETE", plan, decision, ratio, ratio_hint.has_value(),
+                         audited, *result, watch.ElapsedSeconds(), io_before);
+  }
   if (result.ok() && result->rows_scanned > 0) {
     // Propagate metadata failures (see UpdateWithHint).
     DTL_RETURN_NOT_OK(metadata_->RecordModificationRatio(
@@ -507,15 +575,45 @@ Result<uint64_t> DualTable::RewriteMasterParallel() {
 Status DualTable::Compact() {
   std::lock_guard<std::recursive_mutex> lock(mu_);
   if (attached_->Empty()) return Status::OK();
+  Stopwatch watch;
   if (options_.pool != nullptr && master_->files().size() >= 2) {
     DTL_ASSIGN_OR_RETURN(uint64_t rows, RewriteMasterParallel());
     (void)rows;
-    return Status::OK();
+  } else {
+    auto keep_all = [](uint64_t, Row*) { return true; };
+    DTL_ASSIGN_OR_RETURN(uint64_t rows, RewriteMaster(keep_all));
+    (void)rows;
   }
-  auto keep_all = [](uint64_t, Row*) { return true; };
-  DTL_ASSIGN_OR_RETURN(uint64_t rows, RewriteMaster(keep_all));
-  (void)rows;
+  if (compact_hist_ != nullptr) compact_hist_->ObserveSeconds(watch.ElapsedSeconds());
   return Status::OK();
+}
+
+void DualTable::RecordDmlObservation(const char* statement, table::DmlPlan plan,
+                                     const PlanDecision& decision, double ratio,
+                                     bool ratio_from_hint, bool audited,
+                                     const table::DmlResult& result,
+                                     double wall_seconds,
+                                     const fs::IoSnapshot& io_before) {
+  obs::Histogram* hist =
+      plan == table::DmlPlan::kEdit ? edit_hist_ : overwrite_hist_;
+  if (hist != nullptr) hist->ObserveSeconds(wall_seconds);
+  if (!audited) return;
+  obs::CostAuditRecord record;
+  record.table = name_;
+  record.statement = statement;
+  record.ratio = ratio;
+  record.ratio_from_hint = ratio_from_hint;
+  record.predicted_edit_seconds = decision.cost_edit_seconds;
+  record.predicted_overwrite_seconds = decision.cost_overwrite_seconds;
+  record.predicted_plan = table::DmlPlanName(decision.plan);
+  record.executed_plan = table::DmlPlanName(plan);
+  record.rows_matched = result.rows_matched;
+  record.measured_wall_seconds = wall_seconds;
+  if (cluster_ != nullptr) {
+    record.measured_modeled_seconds =
+        cluster_->JobSeconds(fs_->meter()->Snapshot() - io_before);
+  }
+  options_.cost_audit->Record(std::move(record));
 }
 
 bool DualTable::NeedsCompaction() const {

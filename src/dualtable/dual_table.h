@@ -21,6 +21,12 @@
 #include "fs/cluster_model.h"
 #include "table/storage_table.h"
 
+namespace dtl::obs {
+class CostAudit;
+class Histogram;
+class MetricsRegistry;
+}  // namespace dtl::obs
+
 namespace dtl::dual {
 
 struct DualTableOptions {
@@ -71,6 +77,14 @@ struct DualTableOptions {
   /// paid even on write-only workloads that never scan.
   std::shared_ptr<BackgroundScheduler> scheduler;
   bool background_compaction = false;
+
+  /// Observability hooks (both optional, not owned; must outlive the table).
+  /// `metrics` receives the EDIT/OVERWRITE/COMPACT duration histograms and
+  /// the UNION READ rows histogram, labeled by table name. `cost_audit`
+  /// receives one record per PlanMode::kCostModel UPDATE/DELETE decision,
+  /// pairing the predicted EDIT-vs-OVERWRITE costs with measured actuals.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::CostAudit* cost_audit = nullptr;
 };
 
 class DualTable : public table::StorageTable {
@@ -165,6 +179,7 @@ class DualTable : public table::StorageTable {
         name_(std::move(name)),
         schema_(std::move(schema)),
         options_(std::move(options)),
+        cluster_(cluster),
         cost_model_(cluster, options_.cost_params) {}
 
   Result<std::unique_ptr<UnionReadIterator>> NewUnionRead(const table::ScanSpec& spec);
@@ -203,12 +218,30 @@ class DualTable : public table::StorageTable {
   double ResolveRatio(std::optional<double> hint) const;
   double AvgRowBytes() const;
 
+  /// Feeds the duration histograms and (under kCostModel, when a cost_audit
+  /// is wired) appends the predicted-vs-measured audit record for one DML
+  /// statement. `decision` is meaningful only when `audited` is true.
+  void RecordDmlObservation(const char* statement, table::DmlPlan plan,
+                            const PlanDecision& decision, double ratio,
+                            bool ratio_from_hint, bool audited,
+                            const table::DmlResult& result, double wall_seconds,
+                            const fs::IoSnapshot& io_before);
+  /// Wraps a batch iterator so the UNION READ rows histogram observes the
+  /// total rows it emitted; pass-through when no metrics are wired.
+  std::unique_ptr<table::BatchIterator> ObserveUnionReadRows(
+      std::unique_ptr<table::BatchIterator> it);
+
   fs::SimFileSystem* fs_;
   MetadataTable* metadata_;
   std::string name_;
   Schema schema_;
   DualTableOptions options_;
+  const fs::ClusterModel* cluster_;
   CostModel cost_model_;
+  obs::Histogram* edit_hist_ = nullptr;       // EDIT-plan DML wall seconds
+  obs::Histogram* overwrite_hist_ = nullptr;  // OVERWRITE-plan DML wall seconds
+  obs::Histogram* compact_hist_ = nullptr;    // COMPACT wall seconds
+  obs::Histogram* union_read_rows_hist_ = nullptr;  // rows per UNION READ scan
   std::unique_ptr<MasterTable> master_;
   std::unique_ptr<AttachedTable> attached_;
   mutable std::recursive_mutex mu_;  // COMPACT blocks all other operations

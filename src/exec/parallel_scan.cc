@@ -4,6 +4,8 @@
 #include <atomic>
 #include <utility>
 
+#include "obs/metric_names.h"
+
 namespace dtl::exec {
 
 Status ParallelScanner::Run(
@@ -52,6 +54,13 @@ Status ParallelScanner::Run(
   table::ScanMeter& target =
       spec_.meter != nullptr ? *spec_.meter : table::GlobalScanMeter();
   for (const table::ScanMeter& m : meters) target.Add(m.Snapshot());
+  if (options_.metrics != nullptr) {
+    options_.metrics->counter(obs::names::kParallelScans)->Inc();
+    options_.metrics->counter(obs::names::kParallelMorsels)->Inc(morsels.size());
+    obs::Histogram* worker_rows =
+        options_.metrics->histogram(obs::names::kParallelWorkerRows);
+    for (const table::ScanMeter& m : meters) worker_rows->Observe(m.Snapshot().rows);
+  }
   return st;
 }
 

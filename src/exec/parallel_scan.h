@@ -16,6 +16,7 @@
 #include "common/thread_pool.h"
 #include "dualtable/dual_table.h"
 #include "exec/operators.h"
+#include "obs/metrics.h"
 #include "table/scan_stats.h"
 #include "table/spec.h"
 
@@ -30,6 +31,10 @@ struct ParallelScanOptions {
   /// Surviving stripes per morsel. 1 maximizes scheduling freedom; larger
   /// values amortize per-morsel setup (attached-scanner seek) on big tables.
   size_t morsel_stripes = 1;
+
+  /// Optional registry for the scan/morsel counters and the per-worker rows
+  /// histogram (how evenly morsels spread across workers). Not owned.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// One-shot parallel scan over a DualTable. The scan is order-insensitive

@@ -557,6 +557,7 @@ Status KvStore::Clear() {
 
 Status KvStore::SyncWal() {
   std::lock_guard<std::mutex> lock(mu_);
+  stats_.wal_syncs.fetch_add(1, std::memory_order_relaxed);
   return wal_->Sync();
 }
 

@@ -123,6 +123,7 @@ struct KvStoreStats {
   std::atomic<uint64_t> gets{0};
   std::atomic<uint64_t> flushes{0};
   std::atomic<uint64_t> compactions{0};
+  std::atomic<uint64_t> wal_syncs{0};
 };
 
 class KvStore {

@@ -1,0 +1,85 @@
+// Registered metric and span identifiers. The metric-hygiene lint
+// (scripts/lint.py rule 6) rejects string literals at metric/span call sites
+// outside src/obs — every name used by instrumentation code must be one of
+// these constexpr identifiers so the full metric surface is enumerable here.
+//
+// Naming scheme (DESIGN.md §10): `<subsystem>.<object>.<unit-ish noun>`,
+// lowercase, dot-separated. Labeled families append `{label}` at registration
+// time (e.g. `kv.puts{orders}`); the bare name is the family.
+#pragma once
+
+namespace dtl::obs::names {
+
+// --- fs::IoMeter channel views ------------------------------------------------
+inline constexpr const char* kFsHdfsBytesRead = "fs.hdfs.bytes_read";
+inline constexpr const char* kFsHdfsBytesWritten = "fs.hdfs.bytes_written";
+inline constexpr const char* kFsHdfsFilesCreated = "fs.hdfs.files_created";
+inline constexpr const char* kFsHdfsSeeks = "fs.hdfs.seeks";
+inline constexpr const char* kFsHbaseBytesRead = "fs.hbase.bytes_read";
+inline constexpr const char* kFsHbaseBytesWritten = "fs.hbase.bytes_written";
+inline constexpr const char* kFsHbaseReadOps = "fs.hbase.read_ops";
+inline constexpr const char* kFsHbaseWriteOps = "fs.hbase.write_ops";
+
+// --- table::ScanMeter views ---------------------------------------------------
+inline constexpr const char* kScanBatches = "scan.batches";
+inline constexpr const char* kScanRows = "scan.rows";
+inline constexpr const char* kScanBytes = "scan.bytes";
+inline constexpr const char* kScanPassthroughBatches = "scan.passthrough_batches";
+inline constexpr const char* kScanPatchedRows = "scan.patched_rows";
+inline constexpr const char* kScanMaskedRows = "scan.masked_rows";
+inline constexpr const char* kScanPredicateDrops = "scan.predicate_drops";
+inline constexpr const char* kScanMaterializedRows = "scan.materialized_rows";
+
+// --- kv::KvStore views (labeled by table name) --------------------------------
+inline constexpr const char* kKvPuts = "kv.puts";
+inline constexpr const char* kKvDeletes = "kv.deletes";
+inline constexpr const char* kKvGets = "kv.gets";
+inline constexpr const char* kKvFlushes = "kv.flushes";
+inline constexpr const char* kKvCompactions = "kv.compactions";
+inline constexpr const char* kKvWalSyncs = "kv.wal_syncs";
+inline constexpr const char* kKvApproxBytes = "kv.approx_bytes";
+inline constexpr const char* kKvApproxCells = "kv.approx_cells";
+inline constexpr const char* kKvSstables = "kv.sstables";
+
+// --- BackgroundScheduler views ------------------------------------------------
+inline constexpr const char* kSchedulerJobs = "scheduler.jobs";
+inline constexpr const char* kSchedulerRounds = "scheduler.rounds";
+inline constexpr const char* kSchedulerLastRoundSeconds = "scheduler.last_round_seconds";
+
+// --- SQL engine counters (labeled by statement kind) --------------------------
+inline constexpr const char* kSqlStatements = "sql.statements";
+
+// --- DualTable histograms (labeled by table name) -----------------------------
+inline constexpr const char* kDualEditSeconds = "dualtable.edit.seconds";
+inline constexpr const char* kDualOverwriteSeconds = "dualtable.overwrite.seconds";
+inline constexpr const char* kDualCompactSeconds = "dualtable.compact.seconds";
+inline constexpr const char* kDualUnionReadRows = "dualtable.union_read.rows";
+
+// --- Parallel scan ------------------------------------------------------------
+inline constexpr const char* kParallelScans = "parallel_scan.scans";
+inline constexpr const char* kParallelMorsels = "parallel_scan.morsels";
+inline constexpr const char* kParallelWorkerRows = "parallel_scan.worker_rows";
+
+// --- Span / trace-node names --------------------------------------------------
+inline constexpr const char* kSpanQuery = "query";
+inline constexpr const char* kSpanParse = "parse";
+inline constexpr const char* kSpanBind = "bind";
+inline constexpr const char* kSpanSelect = "select";
+inline constexpr const char* kSpanExecute = "execute";
+inline constexpr const char* kSpanInsert = "insert";
+inline constexpr const char* kSpanUpdate = "update";
+inline constexpr const char* kSpanDelete = "delete";
+inline constexpr const char* kSpanCompact = "compact";
+inline constexpr const char* kSpanMerge = "merge";
+
+// --- Operator trace-node names ------------------------------------------------
+inline constexpr const char* kOpScan = "scan";
+inline constexpr const char* kOpParallelScan = "parallel-scan";
+inline constexpr const char* kOpProject = "project";
+inline constexpr const char* kOpFilter = "filter";
+inline constexpr const char* kOpJoin = "hash-join";
+inline constexpr const char* kOpAggregate = "hash-aggregate";
+inline constexpr const char* kOpSort = "sort";
+inline constexpr const char* kOpLimit = "limit";
+
+}  // namespace dtl::obs::names

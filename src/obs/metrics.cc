@@ -1,0 +1,198 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <sstream>
+
+namespace dtl::obs {
+
+namespace {
+
+// Bucket index for a value: 0 holds {0}, bucket i holds [2^(i-1), 2^i).
+size_t BucketIndex(uint64_t value) {
+  if (value == 0) return 0;
+  const size_t idx = static_cast<size_t>(std::bit_width(value));
+  return idx < Histogram::kNumBuckets ? idx : Histogram::kNumBuckets - 1;
+}
+
+void AppendJsonString(std::ostringstream* out, std::string_view s) {
+  *out << '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') *out << '\\';
+    *out << c;
+  }
+  *out << '"';
+}
+
+}  // namespace
+
+void Histogram::Observe(uint64_t value) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  uint64_t prev = max_.load(std::memory_order_relaxed);
+  while (prev < value &&
+         !max_.compare_exchange_weak(prev, value, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
+  snap.buckets.resize(kNumBuckets);
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+HistogramSnapshot HistogramSnapshot::operator-(const HistogramSnapshot& base) const {
+  HistogramSnapshot out;
+  out.count = count - base.count;
+  out.sum = sum - base.sum;
+  out.max = max;  // max is not subtractive; keep the later capture's max
+  out.buckets.resize(buckets.size());
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    const uint64_t b = i < base.buckets.size() ? base.buckets[i] : 0;
+    out.buckets[i] = buckets[i] - b;
+  }
+  return out;
+}
+
+MetricsSnapshot MetricsSnapshot::operator-(const MetricsSnapshot& base) const {
+  MetricsSnapshot out;
+  for (const auto& [name, v] : counters) {
+    auto it = base.counters.find(name);
+    out.counters[name] = v - (it == base.counters.end() ? 0 : it->second);
+  }
+  for (const auto& [name, v] : gauges) {
+    auto it = base.gauges.find(name);
+    out.gauges[name] = v - (it == base.gauges.end() ? 0 : it->second);
+  }
+  for (const auto& [name, v] : histograms) {
+    auto it = base.histograms.find(name);
+    out.histograms[name] =
+        it == base.histograms.end() ? v : v - it->second;
+  }
+  for (const auto& [name, v] : views) {
+    auto it = base.views.find(name);
+    out.views[name] = v - (it == base.views.end() ? 0 : it->second);
+  }
+  return out;
+}
+
+std::string MetricsRegistry::Key(const char* name, std::string_view label) {
+  std::string key(name);
+  if (!label.empty()) {
+    key.push_back('{');
+    key.append(label);
+    key.push_back('}');
+  }
+  return key;
+}
+
+Counter* MetricsRegistry::counter(const char* name, std::string_view label) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[Key(name, label)];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const char* name, std::string_view label) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[Key(name, label)];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const char* name, std::string_view label) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[Key(name, label)];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+void MetricsRegistry::RegisterView(const char* name, ViewFn fn,
+                                   std::string_view label) {
+  std::lock_guard<std::mutex> lock(mu_);
+  views_[Key(name, label)] = std::move(fn);
+}
+
+void MetricsRegistry::UnregisterView(const char* name, std::string_view label) {
+  std::lock_guard<std::mutex> lock(mu_);
+  views_.erase(Key(name, label));
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  // Copy the view callbacks out and evaluate them unlocked: a view may call
+  // into an object (KvStore, scheduler) whose lock order must not nest under
+  // the registry mutex.
+  std::vector<std::pair<std::string, ViewFn>> view_fns;
+  MetricsSnapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+    for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+    for (const auto& [name, h] : histograms_) snap.histograms[name] = h->Snapshot();
+    view_fns.reserve(views_.size());
+    for (const auto& [name, fn] : views_) view_fns.emplace_back(name, fn);
+  }
+  for (const auto& [name, fn] : view_fns) snap.views[name] = fn();
+  return snap;
+}
+
+std::string MetricsRegistry::RenderText() const {
+  const MetricsSnapshot snap = Snapshot();
+  std::ostringstream out;
+  for (const auto& [name, v] : snap.counters) out << name << " " << v << "\n";
+  for (const auto& [name, v] : snap.gauges) out << name << " " << v << "\n";
+  for (const auto& [name, h] : snap.histograms) {
+    out << name << " count=" << h.count << " mean=" << h.Mean()
+        << " max=" << h.max << "\n";
+  }
+  for (const auto& [name, v] : snap.views) out << name << " " << v << "\n";
+  return out.str();
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  const MetricsSnapshot snap = Snapshot();
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : snap.counters) {
+    if (!first) out << ",";
+    first = false;
+    AppendJsonString(&out, name);
+    out << ":" << v;
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : snap.gauges) {
+    if (!first) out << ",";
+    first = false;
+    AppendJsonString(&out, name);
+    out << ":" << v;
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    if (!first) out << ",";
+    first = false;
+    AppendJsonString(&out, name);
+    out << ":{\"count\":" << h.count << ",\"sum\":" << h.sum
+        << ",\"max\":" << h.max << ",\"mean\":" << h.Mean() << "}";
+  }
+  out << "},\"views\":{";
+  first = true;
+  for (const auto& [name, v] : snap.views) {
+    if (!first) out << ",";
+    first = false;
+    AppendJsonString(&out, name);
+    out << ":" << v;
+  }
+  out << "}}";
+  return out.str();
+}
+
+}  // namespace dtl::obs

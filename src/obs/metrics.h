@@ -1,0 +1,134 @@
+// Process-agnostic metrics registry: named counters, gauges, and
+// exponential-bucket histograms with a lock-free relaxed-atomic hot path.
+//
+// Registration (counter()/gauge()/histogram()/RegisterView) takes a mutex and
+// returns a pointer that stays valid for the registry's lifetime; the hot
+// path — Inc/Set/Observe on the returned object — is a handful of relaxed
+// atomic ops and never locks. Snapshot/delta semantics mirror
+// table::ScanSnapshot: Snapshot() captures every instrument, and
+// `after - before` yields the delta for a measured region.
+//
+// Names must come from src/obs/metric_names.h (enforced by the metric-hygiene
+// lint); an optional label selects one member of a family, rendered as
+// `name{label}`.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dtl::obs {
+
+/// Monotonic counter. Inc is a single relaxed fetch_add.
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins signed gauge.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Point-in-time copy of one histogram (see Histogram).
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;  // sum of observed values (ticks)
+  uint64_t max = 0;
+  std::vector<uint64_t> buckets;  // buckets[i] counts values in [2^(i-1), 2^i)
+
+  double Mean() const { return count == 0 ? 0.0 : static_cast<double>(sum) / count; }
+  HistogramSnapshot operator-(const HistogramSnapshot& base) const;
+};
+
+/// Exponential (power-of-two) bucket histogram over non-negative integer
+/// "ticks". Observe is three relaxed atomics plus a CAS loop only when a new
+/// maximum is seen. Seconds are recorded as integer microseconds via
+/// ObserveSeconds so the bucket math stays integral.
+class Histogram {
+ public:
+  static constexpr size_t kNumBuckets = 64;
+
+  void Observe(uint64_t value);
+  void ObserveSeconds(double seconds) {
+    if (seconds < 0) seconds = 0;
+    Observe(static_cast<uint64_t>(seconds * 1e6));  // microseconds
+  }
+
+  HistogramSnapshot Snapshot() const;
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+};
+
+/// Callback view: a value computed at render/snapshot time from external
+/// state (e.g. an IoMeter channel or a KvStore stat). Views make existing
+/// ad-hoc meters visible in one report without double-counting writes.
+using ViewFn = std::function<double()>;
+
+/// Full registry capture; supports `after - before` deltas. Views are
+/// evaluated at capture time.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+  std::map<std::string, double> views;
+
+  MetricsSnapshot operator-(const MetricsSnapshot& base) const;
+};
+
+/// Named-instrument registry. Thread-safe; instrument pointers are stable for
+/// the registry's lifetime. Re-registering the same name{label} returns the
+/// existing instrument (views overwrite — re-registration rebinds the
+/// callback, which lets a session re-point a view at a recreated object).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* counter(const char* name, std::string_view label = {});
+  Gauge* gauge(const char* name, std::string_view label = {});
+  Histogram* histogram(const char* name, std::string_view label = {});
+  void RegisterView(const char* name, ViewFn fn, std::string_view label = {});
+  void UnregisterView(const char* name, std::string_view label = {});
+
+  MetricsSnapshot Snapshot() const;
+
+  /// `name value` lines sorted by name; histograms render count/mean/max.
+  std::string RenderText() const;
+  /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...},
+  /// "views":{...}}.
+  std::string RenderJson() const;
+
+ private:
+  static std::string Key(const char* name, std::string_view label);
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, ViewFn> views_;
+};
+
+}  // namespace dtl::obs

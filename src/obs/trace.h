@@ -1,0 +1,155 @@
+// Per-query tracing: RAII spans form a tree of TraceNodes that attribute
+// wall time, modelled cluster seconds, IoSnapshot and ScanSnapshot deltas,
+// and operator row/batch/byte counts to each query stage. EXPLAIN ANALYZE
+// renders the finished tree.
+//
+// Lifecycle (DESIGN.md §10): a Tracer belongs to one sql::Session and is
+// inactive between queries. EXPLAIN ANALYZE calls Begin() (creates the root
+// node and activates the tracer), the engine opens named Spans as it walks
+// the statement (each pushes a child of the current node), operator
+// decorators attach flat child nodes under the execute node, and End()
+// detaches the finished Trace. While inactive every Span is a no-op, so the
+// instrumented engine costs one null check per stage on untraced queries.
+// A Tracer is single-query, single-thread: concurrent sessions each own one,
+// which is what keeps their spans from ever mixing.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "fs/cluster_model.h"
+#include "fs/io_stats.h"
+#include "table/scan_stats.h"
+
+namespace dtl::obs {
+
+/// Everything a span attributes to its stage.
+struct SpanStats {
+  double wall_seconds = 0;
+  double modeled_seconds = 0;     // ClusterModel::JobSeconds over the io delta
+  fs::IoSnapshot io;              // substrate I/O charged during the span
+  table::ScanSnapshot scan;       // scan-meter delta during the span
+  uint64_t rows = 0;              // rows emitted by this stage/operator
+  uint64_t batches = 0;           // batches emitted (vectorized stages)
+  uint64_t bytes = 0;             // encoded bytes attributed to this stage
+};
+
+/// One node of the trace tree.
+struct TraceNode {
+  std::string name;    // from obs::names (enforced by the metric-hygiene lint)
+  std::string detail;  // free-form qualifier, e.g. the table being scanned
+  SpanStats stats;
+  std::vector<std::unique_ptr<TraceNode>> children;
+
+  TraceNode* AddChild(const char* name_in, std::string detail_in = {});
+  /// Depth-first search for the first node with the given name.
+  const TraceNode* Find(std::string_view name_in) const;
+};
+
+/// A finished query trace, detached from the tracer by Tracer::End.
+struct Trace {
+  std::unique_ptr<TraceNode> root;
+
+  /// Indented tree, one line per node:
+  ///   `name(detail) wall=… model=… rows=… batches=… bytes=…`
+  std::vector<std::string> RenderTextLines() const;
+  std::string RenderText() const;
+  std::string RenderJson() const;
+  const TraceNode* Find(std::string_view name) const {
+    return root == nullptr ? nullptr : root->Find(name);
+  }
+};
+
+class Span;
+
+/// Session-scoped trace builder. Not thread-safe: one query at a time.
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Binds the meters whose deltas spans attribute, and the cluster model
+  /// that converts io deltas to modelled seconds. Any pointer may be null.
+  void Configure(const fs::IoMeter* io, const table::ScanMeter* scan,
+                 const fs::ClusterModel* cluster) {
+    io_ = io;
+    scan_ = scan;
+    cluster_ = cluster;
+  }
+
+  /// True between Begin and End — i.e. a query is being traced.
+  bool active() const { return root_ != nullptr; }
+
+  /// Starts a trace rooted at `name`. No-op (keeps the old trace) if active.
+  void Begin(const char* name);
+  /// Finishes the trace and returns it; the tracer goes inactive.
+  Trace End();
+
+  /// The innermost open span's node (the root right after Begin); null when
+  /// inactive.
+  TraceNode* current() { return stack_.empty() ? nullptr : stack_.back(); }
+
+  /// Adds a child under `parent` (default: the current node) without opening
+  /// a span. Returns null when inactive — callers must handle it.
+  TraceNode* AddNode(const char* name, std::string detail = {},
+                     TraceNode* parent = nullptr);
+  /// Adds a retrospective leaf that only carries wall time (e.g. the parse
+  /// stage, measured before the trace began).
+  void AddLeaf(const char* name, double wall_seconds);
+
+  const fs::IoMeter* io() const { return io_; }
+  const table::ScanMeter* scan() const { return scan_; }
+  const fs::ClusterModel* cluster() const { return cluster_; }
+
+ private:
+  friend class Span;
+
+  const fs::IoMeter* io_ = nullptr;
+  const table::ScanMeter* scan_ = nullptr;
+  const fs::ClusterModel* cluster_ = nullptr;
+  std::unique_ptr<TraceNode> root_;
+  std::vector<TraceNode*> stack_;
+};
+
+/// RAII stage span. The named constructor creates a child of the current
+/// node and makes it current; the node constructor adopts an existing node
+/// (e.g. the execute node that operator decorators hang off) without
+/// touching the stack. Destruction attributes wall time and the io/scan
+/// deltas observed since construction. All methods are no-ops when the
+/// tracer is null or inactive.
+class Span {
+ public:
+  Span(Tracer* tracer, const char* name, std::string detail = {});
+  Span(Tracer* tracer, TraceNode* node);
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span();
+
+  void AddRows(uint64_t n) {
+    if (node_ != nullptr) node_->stats.rows += n;
+  }
+  void AddBatches(uint64_t n) {
+    if (node_ != nullptr) node_->stats.batches += n;
+  }
+  void AddBytes(uint64_t n) {
+    if (node_ != nullptr) node_->stats.bytes += n;
+  }
+  void SetDetail(std::string detail) {
+    if (node_ != nullptr) node_->detail = std::move(detail);
+  }
+  TraceNode* node() { return node_; }
+
+ private:
+  Tracer* tracer_ = nullptr;
+  TraceNode* node_ = nullptr;
+  bool pushed_ = false;
+  Stopwatch watch_;
+  fs::IoSnapshot io_before_;
+  table::ScanSnapshot scan_before_;
+};
+
+}  // namespace dtl::obs

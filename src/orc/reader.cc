@@ -221,10 +221,11 @@ bool OrcRowIterator::Next() {
 }
 
 OrcBatchIterator::OrcBatchIterator(const OrcReader* reader, std::vector<size_t> projection,
-                                   size_t batch_rows)
+                                   size_t batch_rows, table::ScanMeter* meter)
     : reader_(reader),
       projection_(std::move(projection)),
-      batch_rows_(std::max<size_t>(1, batch_rows)) {}
+      batch_rows_(std::max<size_t>(1, batch_rows)),
+      meter_(meter) {}
 
 bool OrcBatchIterator::Next(table::RowBatch* batch) {
   if (!status_.ok()) return false;
@@ -247,7 +248,8 @@ bool OrcBatchIterator::Next(table::RowBatch* batch) {
     batch->SetContiguousRecordIds(stripe_->first_row + offset_in_stripe_);
     batch->SetAnchor(stripe_);
     // Charge the stripe's encoded bytes to its first slice only.
-    table::GlobalScanMeter().AddBatch(count, offset_in_stripe_ == 0 ? stripe_->encoded_bytes : 0);
+    (meter_ != nullptr ? *meter_ : table::GlobalScanMeter())
+        .AddBatch(count, offset_in_stripe_ == 0 ? stripe_->encoded_bytes : 0);
     offset_in_stripe_ += count;
     return true;
   }

@@ -130,8 +130,10 @@ class OrcRowIterator {
 /// does). Batches are zero-copy views anchored to the decoded stripe.
 class OrcBatchIterator : public table::BatchIterator {
  public:
+  /// `meter` defaults to the process-global scan meter when null.
   OrcBatchIterator(const OrcReader* reader, std::vector<size_t> projection,
-                   size_t batch_rows = table::kDefaultBatchRows);
+                   size_t batch_rows = table::kDefaultBatchRows,
+                   table::ScanMeter* meter = nullptr);
 
   bool Next(table::RowBatch* batch) override;
   const Status& status() const override { return status_; }
@@ -140,6 +142,7 @@ class OrcBatchIterator : public table::BatchIterator {
   const OrcReader* reader_;
   std::vector<size_t> projection_;
   size_t batch_rows_;
+  table::ScanMeter* meter_;
   size_t stripe_index_ = 0;
   size_t offset_in_stripe_ = 0;
   std::shared_ptr<const StripeBatch> stripe_;

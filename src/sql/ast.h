@@ -178,8 +178,11 @@ using Statement = std::variant<SelectStmt, CreateTableStmt, DropTableStmt, Inser
 /// EXPLAIN <statement> — describes the plan without running it. For
 /// DualTable DML this surfaces the §IV cost-model evaluation (both plan
 /// costs, the chosen plan, the crossover ratio).
+/// EXPLAIN ANALYZE <statement> instead EXECUTES the statement under the
+/// session tracer and renders the per-stage trace tree.
 struct ExplainStmt {
   std::unique_ptr<Statement> inner;
+  bool analyze = false;
 };
 
 }  // namespace dtl::sql

@@ -5,9 +5,11 @@
 #include <set>
 
 #include "baseline/acid_table.h"
+#include "common/stopwatch.h"
 #include "dualtable/dual_table.h"
 #include "exec/operators.h"
 #include "exec/parallel_scan.h"
+#include "obs/metric_names.h"
 #include "table/csv.h"
 #include "sql/binder.h"
 #include "sql/parser.h"
@@ -78,6 +80,51 @@ size_t TableOf(const std::vector<TableSlot>& slots, size_t ordinal) {
   return slots.size();
 }
 
+/// Row-at-a-time trace decorator: charges each Next()'s wall time and the
+/// emitted row to a flat child node of the execute node. Only inserted when
+/// the session tracer is active, so untraced queries pay nothing.
+class TracedOperator : public exec::Operator {
+ public:
+  TracedOperator(std::unique_ptr<exec::Operator> child, obs::TraceNode* node)
+      : child_(std::move(child)), node_(node) {}
+  bool Next() override {
+    Stopwatch watch;
+    const bool has = child_->Next();
+    node_->stats.wall_seconds += watch.ElapsedSeconds();
+    if (has) ++node_->stats.rows;
+    return has;
+  }
+  const Row& row() const override { return child_->row(); }
+  const Status& status() const override { return child_->status(); }
+
+ private:
+  std::unique_ptr<exec::Operator> child_;
+  obs::TraceNode* node_;
+};
+
+/// Batch-pipeline analog of TracedOperator: also counts batches and the
+/// decoded payload bytes flowing through the stage.
+class TracedBatchOperator : public exec::BatchOperator {
+ public:
+  TracedBatchOperator(std::unique_ptr<exec::BatchOperator> child, obs::TraceNode* node)
+      : child_(std::move(child)), node_(node) {}
+  bool Next(table::RowBatch* batch) override {
+    Stopwatch watch;
+    const bool has = child_->Next(batch);
+    node_->stats.wall_seconds += watch.ElapsedSeconds();
+    if (has) {
+      ++node_->stats.batches;
+      node_->stats.rows += batch->size();
+    }
+    return has;
+  }
+  const Status& status() const override { return child_->status(); }
+
+ private:
+  std::unique_ptr<exec::BatchOperator> child_;
+  obs::TraceNode* node_;
+};
+
 }  // namespace
 
 Result<Value> CoerceValue(const Value& v, DataType type, const std::string& column) {
@@ -128,26 +175,68 @@ std::string QueryResult::ToString(size_t max_rows) const {
 }
 
 Result<QueryResult> Engine::Execute(const std::string& sql) {
+  Stopwatch parse_watch;
   DTL_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+  last_parse_seconds_ = parse_watch.ElapsedSeconds();
   return ExecuteStatement(stmt);
 }
 
 Result<QueryResult> Engine::ExecuteStatement(const Statement& stmt) {
-  if (const auto* s = std::get_if<SelectStmt>(&stmt)) return ExecuteSelect(*s);
+  // One unlabeled increment per statement plus a per-kind labeled counter
+  // for the statement kinds that also open trace spans.
+  if (exec_.metrics != nullptr) {
+    exec_.metrics->counter(obs::names::kSqlStatements)->Inc();
+  }
+  auto count = [this](const char* kind) {
+    if (exec_.metrics != nullptr) {
+      exec_.metrics->counter(obs::names::kSqlStatements, kind)->Inc();
+    }
+  };
+  if (const auto* s = std::get_if<SelectStmt>(&stmt)) {
+    count(obs::names::kSpanSelect);
+    obs::Span span(exec_.tracer, obs::names::kSpanSelect);
+    return ExecuteSelect(*s);
+  }
   if (const auto* s = std::get_if<CreateTableStmt>(&stmt)) return ExecuteCreate(*s);
   if (const auto* s = std::get_if<DropTableStmt>(&stmt)) return ExecuteDrop(*s);
-  if (const auto* s = std::get_if<InsertStmt>(&stmt)) return ExecuteInsert(*s);
-  if (const auto* s = std::get_if<UpdateStmt>(&stmt)) return ExecuteUpdate(*s);
-  if (const auto* s = std::get_if<DeleteStmt>(&stmt)) return ExecuteDelete(*s);
-  if (const auto* s = std::get_if<CompactStmt>(&stmt)) return ExecuteCompact(*s);
+  if (const auto* s = std::get_if<InsertStmt>(&stmt)) {
+    count(obs::names::kSpanInsert);
+    obs::Span span(exec_.tracer, obs::names::kSpanInsert);
+    return ExecuteInsert(*s);
+  }
+  if (const auto* s = std::get_if<UpdateStmt>(&stmt)) {
+    count(obs::names::kSpanUpdate);
+    obs::Span span(exec_.tracer, obs::names::kSpanUpdate);
+    return ExecuteUpdate(*s);
+  }
+  if (const auto* s = std::get_if<DeleteStmt>(&stmt)) {
+    count(obs::names::kSpanDelete);
+    obs::Span span(exec_.tracer, obs::names::kSpanDelete);
+    return ExecuteDelete(*s);
+  }
+  if (const auto* s = std::get_if<CompactStmt>(&stmt)) {
+    count(obs::names::kSpanCompact);
+    obs::Span span(exec_.tracer, obs::names::kSpanCompact);
+    return ExecuteCompact(*s);
+  }
   if (std::get_if<ShowTablesStmt>(&stmt)) return ExecuteShowTables();
-  if (const auto* s = std::get_if<MergeStmt>(&stmt)) return ExecuteMerge(*s);
+  if (const auto* s = std::get_if<MergeStmt>(&stmt)) {
+    count(obs::names::kSpanMerge);
+    obs::Span span(exec_.tracer, obs::names::kSpanMerge);
+    return ExecuteMerge(*s);
+  }
   if (const auto* s = std::get_if<LoadStmt>(&stmt)) return ExecuteLoad(*s);
   if (const auto* s = std::get_if<ExplainStmt>(&stmt)) return ExecuteExplain(*s);
   return Status::Internal("unhandled statement kind");
 }
 
 Result<QueryResult> Engine::ExecuteSelect(const SelectStmt& stmt) {
+  // Everything before the execute node is "bind": resolution, expression
+  // binding, and plan assembly. EXPLAIN ANALYZE reports it as one leaf.
+  obs::Tracer* tracer = exec_.tracer;
+  const bool traced = tracer != nullptr && tracer->active();
+  Stopwatch bind_watch;
+
   // ---- resolve tables and build the flat scope ----
   std::vector<TableSlot> slots;
   Scope scope;
@@ -257,6 +346,25 @@ Result<QueryResult> Engine::ExecuteSelect(const SelectStmt& stmt) {
     return local;
   };
 
+  // Execute node of the trace tree; operator decorators hang flat child
+  // nodes off it. Created lazily right before each execution strategy so
+  // untraced queries skip the whole apparatus.
+  obs::TraceNode* exec_node = nullptr;
+  auto traced_op = [&](std::unique_ptr<exec::Operator> op, const char* name,
+                       std::string detail =
+                           std::string()) -> std::unique_ptr<exec::Operator> {
+    if (exec_node == nullptr) return op;
+    return std::make_unique<TracedOperator>(
+        std::move(op), tracer->AddNode(name, std::move(detail), exec_node));
+  };
+  auto traced_bop = [&](std::unique_ptr<exec::BatchOperator> op, const char* name,
+                        std::string detail =
+                            std::string()) -> std::unique_ptr<exec::BatchOperator> {
+    if (exec_node == nullptr) return op;
+    return std::make_unique<TracedBatchOperator>(
+        std::move(op), tracer->AddNode(name, std::move(detail), exec_node));
+  };
+
   auto build_scan = [&](size_t slot_index) -> Result<std::unique_ptr<exec::Operator>> {
     const TableSlot& slot = slots[slot_index];
     // Rebind pushed conjuncts against a single-table scope.
@@ -282,6 +390,7 @@ Result<QueryResult> Engine::ExecuteSelect(const SelectStmt& stmt) {
       return op;
     }
     table::ScanSpec spec;
+    spec.meter = exec_.scan_meter;
     for (size_t ord : needed) {
       if (TableOf(slots, ord) == slot_index) spec.projection.push_back(ord - slot.offset);
     }
@@ -305,7 +414,8 @@ Result<QueryResult> Engine::ExecuteSelect(const SelectStmt& stmt) {
       spec.bounds = ExtractBounds(pushed[slot_index], local);
     }
     DTL_ASSIGN_OR_RETURN(auto it, slot.storage->Scan(spec));
-    return std::unique_ptr<exec::Operator>(new exec::ScanOperator(std::move(it)));
+    return traced_op(std::make_unique<exec::ScanOperator>(std::move(it)),
+                     obs::names::kOpScan, slot.qualifier);
   };
 
   bool has_aggregate = having != nullptr;
@@ -325,6 +435,7 @@ Result<QueryResult> Engine::ExecuteSelect(const SelectStmt& stmt) {
     if (dual != nullptr) {
       Scope local = local_scope(slots[0]);
       table::ScanSpec spec;
+      spec.meter = exec_.scan_meter;
       for (size_t ord : needed) spec.projection.push_back(ord);
       if (spec.projection.empty()) spec.projection.push_back(0);
       if (!pushed[0].empty()) {
@@ -355,7 +466,14 @@ Result<QueryResult> Engine::ExecuteSelect(const SelectStmt& stmt) {
       popts.pool = exec_.pool;
       popts.parallelism = exec_.parallelism;
       popts.morsel_stripes = exec_.morsel_stripes;
+      popts.metrics = exec_.metrics;
       exec::ParallelScanner scanner(dual, std::move(spec), popts);
+      if (traced) {
+        tracer->AddLeaf(obs::names::kSpanBind, bind_watch.ElapsedSeconds());
+        exec_node = tracer->AddNode(obs::names::kSpanExecute);
+        tracer->AddNode(obs::names::kOpParallelScan, slots[0].qualifier, exec_node);
+      }
+      obs::Span exec_span(tracer, exec_node);
       DTL_ASSIGN_OR_RETURN(Row agg_row, scanner.Aggregate(agg_specs));
       // agg_row holds the finalized aggregates in agg_ptrs order — the same
       // layout HashAggregateOperator emits for a keyless aggregate, so the
@@ -388,6 +506,7 @@ Result<QueryResult> Engine::ExecuteSelect(const SelectStmt& stmt) {
     const TableSlot& slot = slots[0];
     Scope local = local_scope(slot);
     table::ScanSpec spec;
+    spec.meter = exec_.scan_meter;
     for (size_t ord : needed) spec.projection.push_back(ord);
     if (spec.projection.empty()) spec.projection.push_back(0);
     if (!pushed[0].empty()) {
@@ -407,9 +526,11 @@ Result<QueryResult> Engine::ExecuteSelect(const SelectStmt& stmt) {
       spec.predicate_columns.assign(pred_cols.begin(), pred_cols.end());
       spec.bounds = ExtractBounds(pushed[0], local);
     }
+    if (traced) exec_node = tracer->AddNode(obs::names::kSpanExecute);
     DTL_ASSIGN_OR_RETURN(auto it, slot.storage->ScanBatches(spec));
-    std::unique_ptr<exec::BatchOperator> bplan =
-        std::make_unique<exec::BatchScanOperator>(std::move(it));
+    std::unique_ptr<exec::BatchOperator> bplan = traced_bop(
+        std::make_unique<exec::BatchScanOperator>(std::move(it)),
+        obs::names::kOpScan, slot.qualifier);
     std::vector<exec::ValueFn> output_fns;
     std::vector<int> column_refs;
     for (const Expr* e : select_exprs) {
@@ -419,18 +540,27 @@ Result<QueryResult> Engine::ExecuteSelect(const SelectStmt& stmt) {
                                 : -1);
       output_fns.push_back(std::move(bound.fn));
     }
-    bplan = std::make_unique<exec::BatchProjectOperator>(
-        std::move(bplan), std::move(output_fns), std::move(column_refs));
+    bplan = traced_bop(std::make_unique<exec::BatchProjectOperator>(
+                           std::move(bplan), std::move(output_fns),
+                           std::move(column_refs)),
+                       obs::names::kOpProject);
     if (stmt.limit.has_value()) {
-      bplan = std::make_unique<exec::BatchLimitOperator>(std::move(bplan), *stmt.limit);
+      bplan = traced_bop(
+          std::make_unique<exec::BatchLimitOperator>(std::move(bplan), *stmt.limit),
+          obs::names::kOpLimit);
     }
     QueryResult result;
     result.column_names = std::move(column_names);
-    DTL_ASSIGN_OR_RETURN(result.rows, exec::CollectBatches(bplan.get()));
+    if (traced) tracer->AddLeaf(obs::names::kSpanBind, bind_watch.ElapsedSeconds());
+    {
+      obs::Span exec_span(tracer, exec_node);
+      DTL_ASSIGN_OR_RETURN(result.rows, exec::CollectBatches(bplan.get()));
+    }
     return result;
   }
 
   // ---- join tree (left-deep; probe = accumulated left, build = new table) ----
+  if (traced) exec_node = tracer->AddNode(obs::names::kSpanExecute);
   DTL_ASSIGN_OR_RETURN(std::unique_ptr<exec::Operator> plan, build_scan(0));
   for (size_t j = 0; j < stmt.joins.size(); ++j) {
     const JoinClause& join = stmt.joins[j];
@@ -487,11 +617,13 @@ Result<QueryResult> Engine::ExecuteSelect(const SelectStmt& stmt) {
       return Status::NotSupported("LEFT OUTER JOIN supports only equi ON conditions");
     }
     DTL_ASSIGN_OR_RETURN(std::unique_ptr<exec::Operator> build_op, build_scan(j + 1));
-    plan = std::make_unique<exec::HashJoinOperator>(
-        std::move(plan), std::move(build_op), std::move(probe_keys),
-        std::move(build_keys), right.width,
-        join.left_outer ? exec::HashJoinOperator::Kind::kLeftOuter
-                        : exec::HashJoinOperator::Kind::kInner);
+    plan = traced_op(
+        std::make_unique<exec::HashJoinOperator>(
+            std::move(plan), std::move(build_op), std::move(probe_keys),
+            std::move(build_keys), right.width,
+            join.left_outer ? exec::HashJoinOperator::Kind::kLeftOuter
+                            : exec::HashJoinOperator::Kind::kInner),
+        obs::names::kOpJoin, right.qualifier);
     // Residual ON terms of an inner join become a post-join filter.
     if (!on_residual.empty()) {
       std::vector<exec::ValueFn> fns;
@@ -499,13 +631,15 @@ Result<QueryResult> Engine::ExecuteSelect(const SelectStmt& stmt) {
         DTL_ASSIGN_OR_RETURN(BoundExpr bound, BindScalar(*term, scope));
         fns.push_back(std::move(bound.fn));
       }
-      plan = std::make_unique<exec::FilterOperator>(
-          std::move(plan), [fns](const Row& row) {
-            for (const auto& fn : fns) {
-              if (!ValueIsTrue(fn(row))) return false;
-            }
-            return true;
-          });
+      plan = traced_op(std::make_unique<exec::FilterOperator>(
+                           std::move(plan),
+                           [fns](const Row& row) {
+                             for (const auto& fn : fns) {
+                               if (!ValueIsTrue(fn(row))) return false;
+                             }
+                             return true;
+                           }),
+                       obs::names::kOpFilter);
     }
   }
 
@@ -516,12 +650,15 @@ Result<QueryResult> Engine::ExecuteSelect(const SelectStmt& stmt) {
       DTL_ASSIGN_OR_RETURN(BoundExpr bound, BindScalar(*c, scope));
       fns.push_back(std::move(bound.fn));
     }
-    plan = std::make_unique<exec::FilterOperator>(std::move(plan), [fns](const Row& row) {
-      for (const auto& fn : fns) {
-        if (!ValueIsTrue(fn(row))) return false;
-      }
-      return true;
-    });
+    plan = traced_op(
+        std::make_unique<exec::FilterOperator>(std::move(plan),
+                                               [fns](const Row& row) {
+                                                 for (const auto& fn : fns) {
+                                                   if (!ValueIsTrue(fn(row))) return false;
+                                                 }
+                                                 return true;
+                                               }),
+        obs::names::kOpFilter);
   }
 
   // ---- aggregation / projection ----
@@ -544,13 +681,15 @@ Result<QueryResult> Engine::ExecuteSelect(const SelectStmt& stmt) {
       DTL_ASSIGN_OR_RETURN(exec::AggSpec spec, BindAggregateCall(*a, scope));
       agg_specs.push_back(std::move(spec));
     }
-    plan = std::make_unique<exec::HashAggregateOperator>(std::move(plan),
-                                                         std::move(key_fns),
-                                                         std::move(agg_specs));
+    plan = traced_op(std::make_unique<exec::HashAggregateOperator>(
+                         std::move(plan), std::move(key_fns), std::move(agg_specs)),
+                     obs::names::kOpAggregate);
     if (having) {
       DTL_ASSIGN_OR_RETURN(exec::ValueFn fn,
                            BindPostAggregate(*having, group_ptrs, agg_ptrs, scope));
-      plan = std::make_unique<exec::FilterOperator>(std::move(plan), MakePredicate(fn));
+      plan = traced_op(
+          std::make_unique<exec::FilterOperator>(std::move(plan), MakePredicate(fn)),
+          obs::names::kOpFilter);
     }
     if (!order_exprs.empty()) {
       std::vector<exec::ValueFn> sort_keys;
@@ -562,8 +701,9 @@ Result<QueryResult> Engine::ExecuteSelect(const SelectStmt& stmt) {
         sort_keys.push_back(std::move(fn));
         ascending.push_back(stmt.order_by[i].ascending);
       }
-      plan = std::make_unique<exec::SortOperator>(std::move(plan), std::move(sort_keys),
-                                                  std::move(ascending));
+      plan = traced_op(std::make_unique<exec::SortOperator>(
+                           std::move(plan), std::move(sort_keys), std::move(ascending)),
+                       obs::names::kOpSort);
     }
     for (const Expr* e : select_exprs) {
       DTL_ASSIGN_OR_RETURN(exec::ValueFn fn,
@@ -579,22 +719,30 @@ Result<QueryResult> Engine::ExecuteSelect(const SelectStmt& stmt) {
         sort_keys.push_back(std::move(bound.fn));
         ascending.push_back(stmt.order_by[i].ascending);
       }
-      plan = std::make_unique<exec::SortOperator>(std::move(plan), std::move(sort_keys),
-                                                  std::move(ascending));
+      plan = traced_op(std::make_unique<exec::SortOperator>(
+                           std::move(plan), std::move(sort_keys), std::move(ascending)),
+                       obs::names::kOpSort);
     }
     for (const Expr* e : select_exprs) {
       DTL_ASSIGN_OR_RETURN(BoundExpr bound, BindScalar(*e, scope));
       output_fns.push_back(std::move(bound.fn));
     }
   }
-  plan = std::make_unique<exec::ProjectOperator>(std::move(plan), std::move(output_fns));
+  plan = traced_op(
+      std::make_unique<exec::ProjectOperator>(std::move(plan), std::move(output_fns)),
+      obs::names::kOpProject);
   if (stmt.limit.has_value()) {
-    plan = std::make_unique<exec::LimitOperator>(std::move(plan), *stmt.limit);
+    plan = traced_op(std::make_unique<exec::LimitOperator>(std::move(plan), *stmt.limit),
+                     obs::names::kOpLimit);
   }
 
   QueryResult result;
   result.column_names = std::move(column_names);
-  DTL_ASSIGN_OR_RETURN(result.rows, exec::Collect(plan.get()));
+  if (traced) tracer->AddLeaf(obs::names::kSpanBind, bind_watch.ElapsedSeconds());
+  {
+    obs::Span exec_span(tracer, exec_node);
+    DTL_ASSIGN_OR_RETURN(result.rows, exec::Collect(plan.get()));
+  }
   return result;
 }
 
@@ -705,6 +853,7 @@ Result<QueryResult> Engine::ExecuteUpdate(const UpdateStmt& stmt) {
   scope.AddTable(stmt.alias.empty() ? stmt.table : stmt.alias, schema);
 
   table::ScanSpec filter;
+  filter.meter = exec_.scan_meter;
   if (stmt.where) {
     DTL_ASSIGN_OR_RETURN(BoundExpr bound, BindScalar(*stmt.where, scope));
     filter.predicate = MakePredicate(bound.fn);
@@ -756,6 +905,7 @@ Result<QueryResult> Engine::ExecuteDelete(const DeleteStmt& stmt) {
   scope.AddTable(stmt.table, entry.table->schema());
 
   table::ScanSpec filter;
+  filter.meter = exec_.scan_meter;
   if (stmt.where) {
     DTL_ASSIGN_OR_RETURN(BoundExpr bound, BindScalar(*stmt.where, scope));
     filter.predicate = MakePredicate(bound.fn);
@@ -856,6 +1006,7 @@ Result<QueryResult> Engine::ExecuteMerge(const MergeStmt& stmt) {
   auto matched = std::make_shared<std::unordered_map<Row, Row, RowKeyHash, RowKeyEq>>();
   {
     table::ScanSpec probe;
+    probe.meter = exec_.scan_meter;
     probe.projection = key_ordinals;
     probe.predicate_columns = key_ordinals;
     auto key_ords = key_ordinals;
@@ -878,6 +1029,7 @@ Result<QueryResult> Engine::ExecuteMerge(const MergeStmt& stmt) {
   // Pass 2: update matched rows to the source values of their key.
   if (!matched->empty()) {
     table::ScanSpec filter;
+    filter.meter = exec_.scan_meter;
     filter.predicate_columns = key_ordinals;
     auto key_ords = key_ordinals;
     filter.predicate = [matched, key_ords](const Row& row) {
@@ -948,6 +1100,7 @@ Result<QueryResult> Engine::ExecuteLoad(const LoadStmt& stmt) {
 }
 
 Result<QueryResult> Engine::ExecuteExplain(const ExplainStmt& stmt) {
+  if (stmt.analyze) return ExecuteExplainAnalyze(stmt);
   QueryResult result;
   result.column_names = {"plan"};
   auto emit = [&result](const std::string& line) {
@@ -1014,6 +1167,37 @@ Result<QueryResult> Engine::ExecuteExplain(const ExplainStmt& stmt) {
     return result;
   }
   emit("statement executes directly (no plan choices)");
+  return result;
+}
+
+Result<QueryResult> Engine::ExecuteExplainAnalyze(const ExplainStmt& stmt) {
+  obs::Tracer* tracer = exec_.tracer;
+  if (tracer == nullptr) {
+    return Status::NotSupported("EXPLAIN ANALYZE requires a session tracer");
+  }
+  if (tracer->active()) {
+    return Status::InvalidArgument("EXPLAIN ANALYZE cannot nest inside a traced query");
+  }
+  tracer->Begin(obs::names::kSpanQuery);
+  Result<QueryResult> inner = Status::Internal("unset");
+  {
+    // Adopt the root so the whole statement's wall/io/scan lands on `query`.
+    obs::Span root_span(tracer, tracer->current());
+    // Execute() already parsed the statement; report that as a leaf.
+    tracer->AddLeaf(obs::names::kSpanParse, last_parse_seconds_);
+    inner = ExecuteStatement(*stmt.inner);
+  }
+  obs::Trace trace = tracer->End();
+  DTL_RETURN_NOT_OK(inner.status());
+
+  QueryResult result;
+  result.column_names = {"analyze"};
+  for (const std::string& line : trace.RenderTextLines()) {
+    result.rows.push_back(Row{Value::String(line)});
+  }
+  result.affected_rows = inner->affected_rows;
+  result.dml_plan = inner->dml_plan;
+  result.message = inner->message;
   return result;
 }
 

@@ -15,6 +15,8 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "fs/filesystem.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sql/ast.h"
 #include "table/catalog.h"
 
@@ -30,6 +32,16 @@ struct ExecOptions {
   size_t parallelism = 1;
   /// Surviving stripes per scan morsel.
   size_t morsel_stripes = 1;
+
+  // Observability hooks (all optional, not owned; must outlive the engine).
+  /// Registry for the sql.statements counters and parallel-scan stats.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Session tracer; EXPLAIN ANALYZE requires it and the engine opens stage
+  /// spans on it while it is active.
+  obs::Tracer* tracer = nullptr;
+  /// Session scan meter; substituted into every ScanSpec the engine builds
+  /// with no explicit meter. Null keeps the process-global meter.
+  table::ScanMeter* scan_meter = nullptr;
 };
 
 struct QueryResult {
@@ -74,11 +86,15 @@ class Engine {
   Result<QueryResult> ExecuteMerge(const MergeStmt& stmt);
   Result<QueryResult> ExecuteLoad(const LoadStmt& stmt);
   Result<QueryResult> ExecuteExplain(const ExplainStmt& stmt);
+  Result<QueryResult> ExecuteExplainAnalyze(const ExplainStmt& stmt);
 
   table::Catalog* catalog_;
   TableFactory factory_;
   const fs::SimFileSystem* fs_;
   ExecOptions exec_;
+  /// Wall seconds Execute() spent parsing the most recent statement; EXPLAIN
+  /// ANALYZE reports it as the retrospective `parse` leaf of the trace.
+  double last_parse_seconds_ = 0;
 };
 
 /// Coerces a value to a column type (int→double widening, int↔date).

@@ -98,8 +98,11 @@ class Parser {
     if (CheckKeyword("merge")) return ParseMerge();
     if (CheckKeyword("load")) return ParseLoad();
     if (AcceptKeyword("explain")) {
-      DTL_ASSIGN_OR_RETURN(Statement inner, ParseStatementInner());
       ExplainStmt stmt;
+      // ANALYZE is contextual, not a reserved keyword, so it stays usable as
+      // an identifier elsewhere.
+      stmt.analyze = AcceptKeyword("analyze");
+      DTL_ASSIGN_OR_RETURN(Statement inner, ParseStatementInner());
       stmt.inner = std::make_unique<Statement>(std::move(inner));
       return Statement(std::move(stmt));
     }

@@ -1,5 +1,8 @@
 #include "sql/session.h"
 
+#include "kv/store.h"
+#include "obs/metric_names.h"
+
 namespace dtl::sql {
 
 Result<std::unique_ptr<Session>> Session::Create(SessionOptions options) {
@@ -30,9 +33,122 @@ Result<std::unique_ptr<Session>> Session::Create(SessionOptions options) {
   exec.pool = session->pool_.get();
   exec.parallelism = session->options_.parallelism;
   exec.morsel_stripes = session->options_.morsel_stripes;
+  if (session->options_.observability) {
+    // Tables made through SQL or the factory helpers report DML timing
+    // histograms and cost-model audit records into the session's instruments.
+    session->options_.dual_defaults.metrics = &session->metrics_;
+    session->options_.dual_defaults.cost_audit = &session->cost_audit_;
+    exec.metrics = &session->metrics_;
+    exec.tracer = &session->tracer_;
+    exec.scan_meter = &session->scan_meter_;
+    session->tracer_.Configure(session->fs_->meter(), &session->scan_meter_,
+                               &session->cluster_);
+    session->RegisterSessionViews();
+  }
   session->engine_->set_exec_options(exec);
   session->MarkIo();
   return session;
+}
+
+void Session::RegisterSessionViews() {
+  const fs::IoMeter* io = fs_->meter();
+  auto io_view = [this, io](const char* name, auto read) {
+    metrics_.RegisterView(name, [io, read]() -> double {
+      return static_cast<double>(read(io->Snapshot()));
+    });
+  };
+  io_view(obs::names::kFsHdfsBytesRead,
+          [](const fs::IoSnapshot& s) { return s.hdfs_bytes_read; });
+  io_view(obs::names::kFsHdfsBytesWritten,
+          [](const fs::IoSnapshot& s) { return s.hdfs_bytes_written; });
+  io_view(obs::names::kFsHdfsFilesCreated,
+          [](const fs::IoSnapshot& s) { return s.hdfs_files_created; });
+  io_view(obs::names::kFsHdfsSeeks,
+          [](const fs::IoSnapshot& s) { return s.hdfs_seeks; });
+  io_view(obs::names::kFsHbaseBytesRead,
+          [](const fs::IoSnapshot& s) { return s.hbase_bytes_read; });
+  io_view(obs::names::kFsHbaseBytesWritten,
+          [](const fs::IoSnapshot& s) { return s.hbase_bytes_written; });
+  io_view(obs::names::kFsHbaseReadOps,
+          [](const fs::IoSnapshot& s) { return s.hbase_read_ops; });
+  io_view(obs::names::kFsHbaseWriteOps,
+          [](const fs::IoSnapshot& s) { return s.hbase_write_ops; });
+
+  const table::ScanMeter* sm = &scan_meter_;
+  auto scan_view = [this, sm](const char* name, auto read) {
+    metrics_.RegisterView(name, [sm, read]() -> double {
+      return static_cast<double>(read(sm->Snapshot()));
+    });
+  };
+  scan_view(obs::names::kScanBatches,
+            [](const table::ScanSnapshot& s) { return s.batches; });
+  scan_view(obs::names::kScanRows, [](const table::ScanSnapshot& s) { return s.rows; });
+  scan_view(obs::names::kScanBytes, [](const table::ScanSnapshot& s) { return s.bytes; });
+  scan_view(obs::names::kScanPassthroughBatches,
+            [](const table::ScanSnapshot& s) { return s.passthrough_batches; });
+  scan_view(obs::names::kScanPatchedRows,
+            [](const table::ScanSnapshot& s) { return s.patched_rows; });
+  scan_view(obs::names::kScanMaskedRows,
+            [](const table::ScanSnapshot& s) { return s.masked_rows; });
+  scan_view(obs::names::kScanPredicateDrops,
+            [](const table::ScanSnapshot& s) { return s.predicate_drops; });
+  scan_view(obs::names::kScanMaterializedRows,
+            [](const table::ScanSnapshot& s) { return s.materialized_rows; });
+
+  if (scheduler_ != nullptr) {
+    BackgroundScheduler* sched = scheduler_.get();
+    metrics_.RegisterView(obs::names::kSchedulerJobs, [sched]() -> double {
+      return static_cast<double>(sched->num_jobs());
+    });
+    metrics_.RegisterView(obs::names::kSchedulerRounds, [sched]() -> double {
+      return static_cast<double>(sched->rounds_completed());
+    });
+    metrics_.RegisterView(obs::names::kSchedulerLastRoundSeconds,
+                          [sched]() -> double { return sched->last_round_seconds(); });
+  }
+}
+
+void Session::RegisterKvViews(const std::string& label,
+                              std::function<kv::KvStore*()> store) {
+  auto add = [&](const char* name, auto read) {
+    metrics_.RegisterView(
+        name,
+        [store, read]() -> double {
+          kv::KvStore* s = store();
+          return s == nullptr ? 0.0 : static_cast<double>(read(s));
+        },
+        label);
+  };
+  add(obs::names::kKvPuts,
+      [](kv::KvStore* s) { return s->stats().puts.load(std::memory_order_relaxed); });
+  add(obs::names::kKvDeletes,
+      [](kv::KvStore* s) { return s->stats().deletes.load(std::memory_order_relaxed); });
+  add(obs::names::kKvGets,
+      [](kv::KvStore* s) { return s->stats().gets.load(std::memory_order_relaxed); });
+  add(obs::names::kKvFlushes,
+      [](kv::KvStore* s) { return s->stats().flushes.load(std::memory_order_relaxed); });
+  add(obs::names::kKvCompactions, [](kv::KvStore* s) {
+    return s->stats().compactions.load(std::memory_order_relaxed);
+  });
+  add(obs::names::kKvWalSyncs, [](kv::KvStore* s) {
+    return s->stats().wal_syncs.load(std::memory_order_relaxed);
+  });
+  add(obs::names::kKvApproxBytes,
+      [](kv::KvStore* s) { return s->ApproximateBytes(); });
+  add(obs::names::kKvApproxCells,
+      [](kv::KvStore* s) { return s->ApproximateCellCount(); });
+  add(obs::names::kKvSstables, [](kv::KvStore* s) { return s->NumSstables(); });
+}
+
+std::string Session::StatsDump() const {
+  std::string out = metrics_.RenderText();
+  out += "cost_audit.records " + std::to_string(cost_audit_.size()) + "\n";
+  return out;
+}
+
+std::string Session::StatsDumpJson() const {
+  return "{\"metrics\":" + metrics_.RenderJson() +
+         ",\"cost_audit\":" + cost_audit_.RenderJson() + "}";
 }
 
 Session::~Session() {
@@ -51,6 +167,13 @@ Result<std::shared_ptr<table::StorageTable>> Session::MakeTable(const std::strin
       DTL_ASSIGN_OR_RETURN(auto t, dual::DualTable::Open(fs_.get(), metadata_.get(),
                                                          &cluster_, name, schema,
                                                          options_.dual_defaults));
+      if (options_.observability) {
+        std::weak_ptr<dual::DualTable> weak = t;
+        RegisterKvViews(name, [weak]() -> kv::KvStore* {
+          auto strong = weak.lock();
+          return strong == nullptr ? nullptr : strong->attached()->store();
+        });
+      }
       return std::shared_ptr<table::StorageTable>(std::move(t));
     }
     case table::TableKind::kHiveOrc: {
@@ -63,6 +186,13 @@ Result<std::shared_ptr<table::StorageTable>> Session::MakeTable(const std::strin
       DTL_ASSIGN_OR_RETURN(
           auto t, baseline::HBaseTable::Open(fs_.get(), name, schema,
                                              options_.hbase_defaults));
+      if (options_.observability) {
+        std::weak_ptr<baseline::HBaseTable> weak = t;
+        RegisterKvViews(name, [weak]() -> kv::KvStore* {
+          auto strong = weak.lock();
+          return strong == nullptr ? nullptr : strong->store();
+        });
+      }
       return std::shared_ptr<table::StorageTable>(std::move(t));
     }
     case table::TableKind::kAcid: {
@@ -82,6 +212,13 @@ Result<std::shared_ptr<dual::DualTable>> Session::CreateDualTable(
                                    fs_.get(), metadata_.get(), &cluster_, name, schema,
                                    options.value_or(options_.dual_defaults)));
   DTL_RETURN_NOT_OK(catalog_.Register(name, table::TableKind::kDual, t));
+  if (options_.observability) {
+    std::weak_ptr<dual::DualTable> weak = t;
+    RegisterKvViews(name, [weak]() -> kv::KvStore* {
+      auto strong = weak.lock();
+      return strong == nullptr ? nullptr : strong->attached()->store();
+    });
+  }
   return t;
 }
 
@@ -98,6 +235,13 @@ Result<std::shared_ptr<baseline::HBaseTable>> Session::CreateHBaseTable(
   DTL_ASSIGN_OR_RETURN(
       auto t, baseline::HBaseTable::Open(fs_.get(), name, schema, options_.hbase_defaults));
   DTL_RETURN_NOT_OK(catalog_.Register(name, table::TableKind::kHiveHBase, t));
+  if (options_.observability) {
+    std::weak_ptr<baseline::HBaseTable> weak = t;
+    RegisterKvViews(name, [weak]() -> kv::KvStore* {
+      auto strong = weak.lock();
+      return strong == nullptr ? nullptr : strong->store();
+    });
+  }
   return t;
 }
 

@@ -16,8 +16,12 @@
 #include "dualtable/dual_table.h"
 #include "fs/cluster_model.h"
 #include "fs/filesystem.h"
+#include "obs/cost_audit.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sql/engine.h"
 #include "table/catalog.h"
+#include "table/scan_stats.h"
 
 namespace dtl::sql {
 
@@ -36,6 +40,12 @@ struct SessionOptions {
   /// NeedsCompaction() and KV stores defer size-tiered merges, so compaction
   /// debt is paid even on write-only workloads.
   bool background_compaction = false;
+  /// Wire the unified observability layer: the session-scoped metrics
+  /// registry (with fs/scan/kv/scheduler views), the query tracer behind
+  /// EXPLAIN ANALYZE, the cost-model decision audit, and the session scan
+  /// meter. Off = none of it is connected, which is the bench baseline for
+  /// the instrumentation-overhead contract (DESIGN.md §10).
+  bool observability = true;
   /// Defaults applied to tables created through SQL / factory helpers.
   dual::DualTableOptions dual_defaults;
   baseline::HiveTableOptions hive_defaults;
@@ -77,6 +87,21 @@ class Session {
   Engine* engine() { return engine_.get(); }
   const SessionOptions& options() const { return options_; }
 
+  // --- observability ---
+  obs::MetricsRegistry* metrics() { return &metrics_; }
+  obs::CostAudit* cost_audit() { return &cost_audit_; }
+  obs::Tracer* tracer() { return &tracer_; }
+  /// Session-scoped scan meter. Forwards into GlobalScanMeter(), so
+  /// process-wide totals include this session's scans; Reset() clears only
+  /// the session's own counts.
+  table::ScanMeter* scan_meter() { return &scan_meter_; }
+  /// One-stop session report: every registered metric (FS channel bytes,
+  /// scan counters, per-table KV stats, scheduler state) plus the cost-audit
+  /// record count, as `name value` text lines.
+  std::string StatsDump() const;
+  /// The same report as one JSON object: {"metrics":…, "cost_audit":[…]}.
+  std::string StatsDumpJson() const;
+
   // --- I/O metering for benches ---
   /// Remembers the current meter state; IoDelta() reports I/O since then.
   void MarkIo() { io_mark_ = fs_->meter()->Snapshot(); }
@@ -94,6 +119,12 @@ class Session {
                                                          table::TableKind kind,
                                                          const Schema& schema);
 
+  /// Registers the labeled kv.* view family for one table's KV store. The
+  /// weak_ptr keeps views of dropped tables from dangling: they read 0.
+  void RegisterKvViews(const std::string& label,
+                       std::function<kv::KvStore*()> store);
+  void RegisterSessionViews();
+
   SessionOptions options_;
   std::unique_ptr<fs::SimFileSystem> fs_;
   std::unique_ptr<dual::MetadataTable> metadata_;
@@ -101,6 +132,10 @@ class Session {
   table::Catalog catalog_;
   std::unique_ptr<ThreadPool> pool_;
   std::shared_ptr<BackgroundScheduler> scheduler_;
+  obs::MetricsRegistry metrics_;
+  obs::CostAudit cost_audit_;
+  table::ScanMeter scan_meter_{&table::GlobalScanMeter()};
+  obs::Tracer tracer_;
   std::unique_ptr<Engine> engine_;
   fs::IoSnapshot io_mark_;
 };

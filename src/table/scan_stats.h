@@ -54,23 +54,44 @@ struct ScanSnapshot {
 };
 
 /// Thread-safe accumulator; one process-global instance (GlobalScanMeter).
+///
+/// A meter may be constructed with a forward target: every charge is then
+/// mirrored into the target as well. Sessions use this to keep a private
+/// meter (their scan counters, uncontaminated by concurrent sessions) that
+/// still feeds GlobalScanMeter(), so the long-standing process-wide totals
+/// that benches snapshot keep working. Explicitly-created meters (worker
+/// locals, test meters) default to no forwarding and count exactly what
+/// they observe.
 class ScanMeter {
  public:
+  ScanMeter() = default;
+  explicit ScanMeter(ScanMeter* forward) : forward_(forward) {}
+
   void AddBatch(uint64_t rows, uint64_t bytes) {
     batches_.fetch_add(1, std::memory_order_relaxed);
     rows_.fetch_add(rows, std::memory_order_relaxed);
     bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    if (forward_ != nullptr) forward_->AddBatch(rows, bytes);
   }
   void AddPassthroughBatch() {
     passthrough_batches_.fetch_add(1, std::memory_order_relaxed);
+    if (forward_ != nullptr) forward_->AddPassthroughBatch();
   }
-  void AddPatchedRows(uint64_t n) { patched_rows_.fetch_add(n, std::memory_order_relaxed); }
-  void AddMaskedRows(uint64_t n) { masked_rows_.fetch_add(n, std::memory_order_relaxed); }
+  void AddPatchedRows(uint64_t n) {
+    patched_rows_.fetch_add(n, std::memory_order_relaxed);
+    if (forward_ != nullptr) forward_->AddPatchedRows(n);
+  }
+  void AddMaskedRows(uint64_t n) {
+    masked_rows_.fetch_add(n, std::memory_order_relaxed);
+    if (forward_ != nullptr) forward_->AddMaskedRows(n);
+  }
   void AddPredicateDrops(uint64_t n) {
     predicate_drops_.fetch_add(n, std::memory_order_relaxed);
+    if (forward_ != nullptr) forward_->AddPredicateDrops(n);
   }
   void AddMaterializedRows(uint64_t n) {
     materialized_rows_.fetch_add(n, std::memory_order_relaxed);
+    if (forward_ != nullptr) forward_->AddMaterializedRows(n);
   }
 
   ScanSnapshot Snapshot() const {
@@ -98,6 +119,7 @@ class ScanMeter {
     masked_rows_.fetch_add(s.masked_rows, std::memory_order_relaxed);
     predicate_drops_.fetch_add(s.predicate_drops, std::memory_order_relaxed);
     materialized_rows_.fetch_add(s.materialized_rows, std::memory_order_relaxed);
+    if (forward_ != nullptr) forward_->Add(s);
   }
 
   /// Zeroes every counter. Single-resetter contract: Reset must not run
@@ -107,7 +129,8 @@ class ScanMeter {
   /// relaxed ordering, so the result is merely "some increments land before
   /// the reset, some after", never a torn value. Plain `= 0` assignment
   /// would issue seq-cst stores, paying eight full fences for counters that
-  /// are relaxed everywhere else.
+  /// are relaxed everywhere else. Reset never propagates to the forward
+  /// target: a session zeroing its own counters must not zero the global.
   void Reset() {
     batches_.store(0, std::memory_order_relaxed);
     rows_.store(0, std::memory_order_relaxed);
@@ -120,6 +143,7 @@ class ScanMeter {
   }
 
  private:
+  ScanMeter* forward_ = nullptr;
   std::atomic<uint64_t> batches_{0};
   std::atomic<uint64_t> rows_{0};
   std::atomic<uint64_t> bytes_{0};

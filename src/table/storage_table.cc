@@ -20,7 +20,7 @@ bool BatchToRowAdapter::Next() {
     batch_.MaterializeRow(index_, &row_);
     record_id_ = batch_.record_id(index_);
     ++index_;
-    GlobalScanMeter().AddMaterializedRows(1);
+    (meter_ != nullptr ? *meter_ : GlobalScanMeter()).AddMaterializedRows(1);
     return true;
   }
 }
@@ -43,7 +43,7 @@ bool RowToBatchAdapter::Next(RowBatch* batch) {
     batch->column(c).SetOwned(std::move(columns[c]));
   }
   batch->SetRecordIds(std::move(ids));
-  GlobalScanMeter().AddBatch(n, 0);
+  (meter_ != nullptr ? *meter_ : GlobalScanMeter()).AddBatch(n, 0);
   return true;
 }
 
@@ -76,8 +76,8 @@ std::vector<size_t> ScanSpec::RequiredColumns(size_t num_fields) const {
 
 Result<std::unique_ptr<BatchIterator>> StorageTable::ScanBatches(const ScanSpec& spec) {
   DTL_ASSIGN_OR_RETURN(auto it, Scan(spec));
-  return std::unique_ptr<BatchIterator>(
-      new RowToBatchAdapter(std::move(it), schema().num_fields()));
+  return std::unique_ptr<BatchIterator>(new RowToBatchAdapter(
+      std::move(it), schema().num_fields(), kDefaultBatchRows, spec.meter));
 }
 
 Result<std::vector<ScanSplit>> StorageTable::CreateSplits(const ScanSpec& spec) {

@@ -40,13 +40,17 @@ class BatchIterator {
   virtual const Status& status() const = 0;
 };
 
+class ScanMeter;
+
 /// Presents a BatchIterator as a RowIterator: materializes one (reused) row
 /// at a time. This is how row-at-a-time consumers (joins, aggregates, the
 /// MapReduce splits, DML scans) ride the batch read path unchanged.
+/// `meter` defaults to the process-global scan meter when null.
 class BatchToRowAdapter : public RowIterator {
  public:
-  explicit BatchToRowAdapter(std::unique_ptr<BatchIterator> batches)
-      : batches_(std::move(batches)) {}
+  explicit BatchToRowAdapter(std::unique_ptr<BatchIterator> batches,
+                             ScanMeter* meter = nullptr)
+      : batches_(std::move(batches)), meter_(meter) {}
 
   bool Next() override;
   const Row& row() const override { return row_; }
@@ -55,6 +59,7 @@ class BatchToRowAdapter : public RowIterator {
 
  private:
   std::unique_ptr<BatchIterator> batches_;
+  ScanMeter* meter_;
   RowBatch batch_;
   size_t index_ = 0;
   bool loaded_ = false;
@@ -64,12 +69,13 @@ class BatchToRowAdapter : public RowIterator {
 
 /// Presents a RowIterator as a BatchIterator by buffering up to `capacity`
 /// rows per batch (owned columns). Default ScanBatches() for storage systems
-/// without a native batch path.
+/// without a native batch path. `meter` defaults to the global meter.
 class RowToBatchAdapter : public BatchIterator {
  public:
   RowToBatchAdapter(std::unique_ptr<RowIterator> rows, size_t num_columns,
-                    size_t capacity = kDefaultBatchRows)
-      : rows_(std::move(rows)), num_columns_(num_columns), capacity_(capacity) {}
+                    size_t capacity = kDefaultBatchRows, ScanMeter* meter = nullptr)
+      : rows_(std::move(rows)), num_columns_(num_columns), capacity_(capacity),
+        meter_(meter) {}
 
   bool Next(RowBatch* batch) override;
   const Status& status() const override { return rows_->status(); }
@@ -78,6 +84,7 @@ class RowToBatchAdapter : public BatchIterator {
   std::unique_ptr<RowIterator> rows_;
   size_t num_columns_;
   size_t capacity_;
+  ScanMeter* meter_;
 };
 
 /// One independently openable unit of a scan (≈ a MapReduce input split:
