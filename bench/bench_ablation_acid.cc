@@ -72,4 +72,11 @@ BENCHMARK(BM_AblationAcid_DualTableUnionRead)->Apply(TxnArgs);
 BENCHMARK(BM_AblationAcid_AcidMergeOnRead)->Apply(TxnArgs);
 BENCHMARK(BM_AblationAcid_AcidAfterMinorCompact)->Apply(TxnArgs);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  dtl::bench::ParseScaleFlag(&argc, argv);
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -73,4 +73,11 @@ BENCHMARK(BM_ReadWithAttached)->Apply(PercentArgs);
 BENCHMARK(BM_CompactCost)->Apply(PercentArgs)->Iterations(1);
 BENCHMARK(BM_ReadAfterCompact)->Apply(PercentArgs);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  dtl::bench::ParseScaleFlag(&argc, argv);
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -88,6 +88,7 @@ void BM_CrossoverVsK(benchmark::State& state) {
 BENCHMARK(BM_CrossoverVsK)->Arg(1)->Arg(2)->Arg(5)->Arg(10)->Arg(30);
 
 int main(int argc, char** argv) {
+  dtl::bench::ParseScaleFlag(&argc, argv);
   PrintCrossoverStudy();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

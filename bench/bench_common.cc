@@ -73,11 +73,46 @@ void CreateAndFill(sql::Session* session, const workload::GridTableSpec& spec,
 
 }  // namespace
 
+namespace {
+
+/// ParseScaleFlag result; <= 0 means "not given, fall back to the env var".
+double& ScaleOverride() {
+  static double scale = 0.0;
+  return scale;
+}
+
+}  // namespace
+
 double ScaleMult() {
+  if (ScaleOverride() > 0) return ScaleOverride();
   const char* env = std::getenv("DTL_BENCH_SCALE");
   if (env == nullptr) return 1.0;
   double v = std::atof(env);
   return v > 0 ? v : 1.0;
+}
+
+void ParseScaleFlag(int* argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    std::string arg = argv[i];
+    const std::string prefix = "--scale";
+    double value = 0.0;
+    if (arg.rfind(prefix + "=", 0) == 0) {
+      value = std::atof(arg.c_str() + prefix.size() + 1);
+    } else if (arg == prefix && i + 1 < *argc) {
+      value = std::atof(argv[++i]);
+    } else {
+      argv[out++] = argv[i];
+      continue;
+    }
+    if (value <= 0) {
+      std::fprintf(stderr, "ignoring %s: scale must be a positive number\n",
+                   arg.c_str());
+      continue;
+    }
+    ScaleOverride() = value;
+  }
+  *argc = out;
 }
 
 Env MakeGridMx(const std::string& kind, PlanMode mode) {

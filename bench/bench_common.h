@@ -3,8 +3,11 @@
 // with wall-clock + modelled-cluster timing, and aborts loudly on any error
 // (a bench must never silently measure a failed statement).
 //
-// Scale control: DTL_BENCH_SCALE multiplies data sizes (default 1.0). The
-// reproduced *shapes* are scale-invariant; absolute milliseconds are not.
+// Scale control: a `--scale=N` command-line flag (parsed by ParseScaleFlag
+// before benchmark::Initialize) or the DTL_BENCH_SCALE env var multiplies
+// data sizes (default 1.0; the flag wins). The reproduced *shapes* are
+// scale-invariant; absolute milliseconds are not. N in the 100-1000 range
+// pushes the workload generators from bench scale toward paper scale.
 #pragma once
 
 #include <memory>
@@ -17,8 +20,14 @@
 
 namespace dtl::bench {
 
-/// DTL_BENCH_SCALE env override, default 1.0.
+/// Workload size multiplier: the `--scale=N` flag when given, else the
+/// DTL_BENCH_SCALE env var, else 1.0.
 double ScaleMult();
+
+/// Strips a `--scale=N` (or `--scale N`) flag out of argv and records it as
+/// the ScaleMult override. Call before benchmark::Initialize, which rejects
+/// flags it does not recognize.
+void ParseScaleFlag(int* argc, char** argv);
 
 /// A session preloaded with one workload.
 struct Env {
@@ -60,14 +69,17 @@ RunStats RunSql(Env* env, const std::string& sql);
 std::string DayLabel(int days);
 
 /// One raw-scan measurement (row-at-a-time vs batch read path) destined for
-/// BENCH_scan.json.
+/// BENCH_scan.json. Every field describes ONE scan of the table: each
+/// logical row is counted exactly once, `rows / seconds == rows_per_sec`,
+/// and the meter delta is normalized by the iteration count (a pass-through
+/// batch therefore contributes its rows once, not once per timed iteration).
 struct ScanBenchEntry {
   std::string workload;  // "grid" | "tpch"
   std::string path;      // "row" | "batch"
-  uint64_t rows = 0;     // rows scanned per iteration
-  double seconds = 0;    // total seconds across the timed iterations
+  uint64_t rows = 0;     // logical rows visited by one scan
+  double seconds = 0;    // mean wall seconds for one scan
   double rows_per_sec = 0;
-  table::ScanSnapshot scan;  // scan-meter delta across the timed iterations
+  table::ScanSnapshot scan;  // per-scan scan-meter delta
 };
 
 /// Queues an entry for FlushScanBench.

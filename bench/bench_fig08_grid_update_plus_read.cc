@@ -54,4 +54,11 @@ BENCHMARK(BM_Fig08_DualTablePlusRead)
     ->UseManualTime()
     ->Iterations(1);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  dtl::bench::ParseScaleFlag(&argc, argv);
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

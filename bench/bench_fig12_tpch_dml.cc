@@ -65,4 +65,11 @@ BENCHMARK_CAPTURE(BM_DmlC, hive_hdfs, "hive")->Unit(benchmark::kMillisecond)->Us
 BENCHMARK_CAPTURE(BM_DmlC, hive_hbase, "hbase")->Unit(benchmark::kMillisecond)->UseManualTime()->Iterations(1);
 BENCHMARK_CAPTURE(BM_DmlC, dualtable, "dualtable")->Unit(benchmark::kMillisecond)->UseManualTime()->Iterations(1);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  dtl::bench::ParseScaleFlag(&argc, argv);
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

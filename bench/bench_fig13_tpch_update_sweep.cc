@@ -55,4 +55,11 @@ BENCHMARK(BM_Fig13_DualTableEdit)->Apply(RatioArgs);
 BENCHMARK(BM_Fig13_Hive)->Apply(RatioArgs);
 BENCHMARK(BM_Fig13_DualTableCostModel)->Apply(RatioArgs);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  dtl::bench::ParseScaleFlag(&argc, argv);
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -53,4 +53,11 @@ BENCHMARK(BM_Fig14_DualTableEdit)->Apply(RatioArgs);
 BENCHMARK(BM_Fig14_Hive)->Apply(RatioArgs);
 BENCHMARK(BM_Fig14_DualTableCostModel)->Apply(RatioArgs);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  dtl::bench::ParseScaleFlag(&argc, argv);
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -52,4 +52,11 @@ void RatioArgs(benchmark::internal::Benchmark* bench) {
 BENCHMARK(BM_Fig17_UnionReadInDualTable)->Apply(RatioArgs);
 BENCHMARK(BM_Fig17_ReadInHive)->Apply(RatioArgs);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  dtl::bench::ParseScaleFlag(&argc, argv);
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

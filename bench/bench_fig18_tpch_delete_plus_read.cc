@@ -56,4 +56,11 @@ BENCHMARK(BM_Fig18_DualTableEditPlusUnionRead)->Apply(RatioArgs);
 BENCHMARK(BM_Fig18_HivePlusRead)->Apply(RatioArgs);
 BENCHMARK(BM_Fig18_DualTablePlusRead)->Apply(RatioArgs);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  dtl::bench::ParseScaleFlag(&argc, argv);
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

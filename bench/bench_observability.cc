@@ -111,6 +111,7 @@ BENCHMARK_CAPTURE(BM_GridReadScan, metrics_on, true)
     ->UseManualTime();
 
 int main(int argc, char** argv) {
+  dtl::bench::ParseScaleFlag(&argc, argv);
   ::benchmark::Initialize(&argc, argv);
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   ::benchmark::RunSpecifiedBenchmarks();

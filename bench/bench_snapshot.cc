@@ -1,0 +1,197 @@
+// Mixed multi-session SELECT/UPDATE throughput under MVCC snapshots — the
+// headline number for the snapshot read path (BENCH_snapshot.json).
+//
+// N reader threads each loop "one SELECT": acquire a statement snapshot,
+// scan it fully through the vectorized UNION READ, verify the row count, and
+// release it. M writer threads loop EDIT UPDATE statements over rotating
+// residue classes, and the first writer folds in a COMPACT every few rounds
+// so snapshots keep pinning replaced generations mid-sweep. Readers never
+// take the writer lock and writers never wait for readers; the sweep over
+// (readers, writers) mixes reports how combined QPS scales.
+//
+// A reader observing anything other than exactly kRows rows is a snapshot
+// isolation bug and aborts the bench loudly.
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/stopwatch.h"
+#include "dualtable/dual_table.h"
+
+namespace {
+
+using dtl::Row;
+using dtl::Value;
+
+constexpr double kSecondsPerConfig = 0.4;
+
+struct MixResult {
+  int readers = 0;
+  int writers = 0;
+  double seconds = 0;
+  uint64_t selects = 0;
+  uint64_t updates = 0;
+  uint64_t snapshots_acquired = 0;
+  int64_t live_generations = 0;
+};
+
+[[noreturn]] void Die(const std::string& what) {
+  std::fprintf(stderr, "bench_snapshot failed: %s\n", what.c_str());
+  std::exit(1);
+}
+
+std::shared_ptr<dtl::dual::DualTable> MakeMixedTable(dtl::sql::Session* session,
+                                                     int64_t rows) {
+  dtl::Schema schema({{"id", dtl::DataType::kInt64}, {"amount", dtl::DataType::kDouble}});
+  dtl::dual::DualTableOptions options = session->options().dual_defaults;
+  // Every UPDATE must take the EDIT plan: the bench measures snapshot reads
+  // racing attached-table writes, not the cost model's OVERWRITE choice.
+  options.plan_mode = dtl::dual::DualTableOptions::PlanMode::kForceEdit;
+  auto table = session->CreateDualTable("mixed", schema, options);
+  if (!table.ok()) Die("create: " + table.status().ToString());
+  std::vector<Row> batch;
+  batch.reserve(static_cast<size_t>(rows));
+  for (int64_t i = 0; i < rows; ++i) {
+    batch.push_back(Row{Value::Int64(i), Value::Double(i * 0.5)});
+  }
+  if (!(*table)->InsertRows(batch).ok()) Die("insert");
+  return *table;
+}
+
+dtl::Status RunOneUpdate(dtl::dual::DualTable* table, int64_t residue) {
+  dtl::table::ScanSpec filter;
+  filter.predicate_columns = {0};
+  filter.predicate = [residue](const Row& row) {
+    return row[0].AsInt64() % 16 == residue;
+  };
+  dtl::table::Assignment assign;
+  assign.column = 1;
+  assign.input_columns = {1};
+  assign.compute = [](const Row& row) {
+    return Value::Double(row[1].AsDouble() + 0.25);
+  };
+  return table->Update(filter, {assign}).status();
+}
+
+/// One SELECT: statement snapshot -> full batch UNION READ -> row count.
+uint64_t RunOneSelect(dtl::dual::DualTable* table) {
+  const dtl::dual::SnapshotPtr snapshot = table->AcquireSnapshot();
+  auto it = table->ScanBatchesAt(snapshot, dtl::table::ScanSpec{});
+  if (!it.ok()) Die("select: " + it.status().ToString());
+  dtl::table::RowBatch batch;
+  uint64_t rows = 0;
+  while ((*it)->Next(&batch)) rows += batch.size();
+  if (!(*it)->status().ok()) Die("select scan: " + (*it)->status().ToString());
+  return rows;
+}
+
+MixResult RunMix(int readers, int writers, int64_t rows) {
+  auto session = dtl::sql::Session::Create({});
+  if (!session.ok()) Die("session: " + session.status().ToString());
+  auto table = MakeMixedTable(session->get(), rows);
+
+  const uint64_t snapshots_before = table->snapshot_tracker()->acquired();
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> selects{0};
+  std::atomic<uint64_t> updates{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(readers + writers));
+  for (int r = 0; r < readers; ++r) {
+    threads.emplace_back([&table, &stop, &selects, rows] {
+      while (!stop.load(std::memory_order_acquire)) {
+        const uint64_t seen = RunOneSelect(table.get());
+        if (seen != static_cast<uint64_t>(rows)) {
+          Die("snapshot isolation violated: saw " + std::to_string(seen) +
+              " rows, expected " + std::to_string(rows));
+        }
+        selects.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (int w = 0; w < writers; ++w) {
+    threads.emplace_back([&table, &stop, &updates, w] {
+      int64_t round = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        if (!RunOneUpdate(table.get(), (w * 7 + round) % 16).ok()) Die("update");
+        // Writer 0 periodically folds the deltas into a fresh master
+        // generation; live snapshots keep pinning the replaced one.
+        if (w == 0 && round % 25 == 24 && !table->Compact().ok()) Die("compact");
+        ++round;
+        updates.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  dtl::Stopwatch watch;
+  while (watch.ElapsedSeconds() < kSecondsPerConfig) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+
+  MixResult result;
+  result.readers = readers;
+  result.writers = writers;
+  result.seconds = watch.ElapsedSeconds();
+  result.selects = selects.load();
+  result.updates = updates.load();
+  result.snapshots_acquired = table->snapshot_tracker()->acquired() - snapshots_before;
+  result.live_generations = table->master()->LiveGenerations();
+  return result;
+}
+
+void WriteJson(const std::vector<MixResult>& results, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  out << "[\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const MixResult& r = results[i];
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "  {\"readers\":%d,\"writers\":%d,\"seconds\":%.3f,"
+                  "\"selects\":%llu,\"updates\":%llu,"
+                  "\"select_qps\":%.1f,\"update_qps\":%.1f,\"total_qps\":%.1f,"
+                  "\"snapshots_acquired\":%llu,\"live_generations\":%lld}",
+                  r.readers, r.writers, r.seconds,
+                  static_cast<unsigned long long>(r.selects),
+                  static_cast<unsigned long long>(r.updates),
+                  static_cast<double>(r.selects) / r.seconds,
+                  static_cast<double>(r.updates) / r.seconds,
+                  static_cast<double>(r.selects + r.updates) / r.seconds,
+                  static_cast<unsigned long long>(r.snapshots_acquired),
+                  static_cast<long long>(r.live_generations));
+    out << buf << (i + 1 < results.size() ? ",\n" : "\n");
+  }
+  out << "]\n";
+  std::fprintf(stderr, "wrote %zu mixed-workload entries to %s\n", results.size(),
+               path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dtl::bench::ParseScaleFlag(&argc, argv);
+  const auto rows = static_cast<int64_t>(8000 * dtl::bench::ScaleMult());
+
+  const std::vector<std::pair<int, int>> mixes = {{1, 1}, {3, 1}, {3, 3}, {6, 2}};
+  std::vector<MixResult> results;
+  results.reserve(mixes.size());
+  for (const auto& [readers, writers] : mixes) {
+    MixResult r = RunMix(readers, writers, rows);
+    std::printf("readers=%d writers=%d  select_qps=%.1f update_qps=%.1f  "
+                "snapshots=%llu live_generations=%lld\n",
+                r.readers, r.writers, static_cast<double>(r.selects) / r.seconds,
+                static_cast<double>(r.updates) / r.seconds,
+                static_cast<unsigned long long>(r.snapshots_acquired),
+                static_cast<long long>(r.live_generations));
+    results.push_back(r);
+  }
+  WriteJson(results, "BENCH_snapshot.json");
+  return 0;
+}

@@ -63,6 +63,7 @@ BENCHMARK_CAPTURE(BM_ScenarioMixReplay, dualtable, "dualtable")
     ->Iterations(1);
 
 int main(int argc, char** argv) {
+  dtl::bench::ParseScaleFlag(&argc, argv);
   PrintTableI();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

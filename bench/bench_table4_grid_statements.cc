@@ -72,6 +72,7 @@ void RegisterAll() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  dtl::bench::ParseScaleFlag(&argc, argv);
   RunComparison();
   RegisterAll();
   benchmark::Initialize(&argc, argv);

@@ -33,6 +33,14 @@ Enforced invariants (see DESIGN.md §7):
                       obs layer, nothing reads std::chrono clocks directly;
                       all timing flows through the stopwatch so traces,
                       metrics, and benches agree on one monotonic source.
+  8. snapshot-reads   In the MVCC layers (src/dualtable, src/exec, src/sql)
+                      every read goes through a pinned snapshot: no
+                      latest-visible scanner creation (NewScanner /
+                      NewCellScanner / NewRowScanner — the *At variants take
+                      a KvSnapshot), and MasterTable scan/plan calls must
+                      pass a pinned generation as the first argument. The
+                      snapshot machinery itself (master_table, attached_table,
+                      snapshot.h) and the non-MVCC baselines are exempt.
 
 Usage:  scripts/lint.py [paths...]      (defaults to src/ tests/ bench/ examples/)
 Exit status: 0 clean, 1 findings (one line each: path:line: [rule] message).
@@ -83,6 +91,30 @@ METRIC_HYGIENE_EXEMPT = ("src/obs/",)  # the layer that defines the names
 RAW_CLOCK_RE = re.compile(
     r"\b(?:steady_clock|system_clock|high_resolution_clock)\s*::\s*now\b")
 RAW_CLOCK_EXEMPT = ("src/common/stopwatch.h", "src/obs/")
+
+# Rule 8: latest-visible reads are banned in the MVCC layers. The snapshot
+# machinery itself — the files that *implement* pinning and the latest-visible
+# conveniences kept for the non-MVCC baselines — is exempt, as are the
+# baselines and the KV store (its latest-visible scanners are the attached
+# table's implementation detail, wrapped before the MVCC layers see them).
+SNAPSHOT_GUARDED_DIRS = ("src/dualtable/", "src/exec/", "src/sql/")
+SNAPSHOT_EXEMPT_FILES = {
+    "src/dualtable/snapshot.h",
+    "src/dualtable/master_table.h",
+    "src/dualtable/master_table.cc",
+    "src/dualtable/attached_table.h",
+    "src/dualtable/attached_table.cc",
+}
+# Latest-visible scanner creators; the sanctioned forms end in ...At( and
+# take an explicit KvSnapshot, so they do not match.
+LATEST_SCANNER_RE = re.compile(r"\b(NewScanner|NewCellScanner|NewRowScanner)\s*\(")
+# MasterTable scan/plan entry points: the first argument must be a pinned
+# generation (the generation-less overloads pin CurrentGeneration() per call,
+# which tears under a racing COMPACT).
+MASTER_SCAN_RE = re.compile(
+    r"\b(NewScanIterator|NewFileScanIterator|NewBatchScanIterator|"
+    r"NewFileBatchScanIterator|PlanMorsels|NewMorselBatchScanIterator)\s*\(")
+PINNED_ARG_RE = re.compile(r"gen|snapshot", re.I)
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -312,6 +344,24 @@ def check_file(path: Path, findings):
                 findings.append((rp, i, "no-raw-clock",
                                  "raw std::chrono clock read; time everything "
                                  "through dtl::Stopwatch (src/common/stopwatch.h)"))
+
+    # Rule 8: in the MVCC layers, reads go through a pinned snapshot.
+    if rp.startswith(SNAPSHOT_GUARDED_DIRS) and rp not in SNAPSHOT_EXEMPT_FILES:
+        for i, line in enumerate(lines, 1):
+            if LATEST_SCANNER_RE.search(line):
+                findings.append((rp, i, "snapshot-reads",
+                                 "latest-visible scanner in an MVCC layer; use the "
+                                 "...At( variant with a pinned KvSnapshot"))
+            for m in MASTER_SCAN_RE.finditer(line):
+                # The pinned-generation first argument may wrap; scan the call
+                # text across up to three lines for the gen/snapshot token.
+                call = " ".join(lines[i - 1:i + 2])[m.start():]
+                first_arg = call.split(",", 1)[0]
+                if not PINNED_ARG_RE.search(first_arg):
+                    findings.append((rp, i, "snapshot-reads",
+                                     f"{m.group(1)} without a pinned generation; "
+                                     "pass snapshot->generation so a racing "
+                                     "COMPACT cannot tear the scan"))
 
     # Rule 5: no (void)-discarded calls; DTL_IGNORE_STATUS is the audit trail.
     if rp != "src/common/status.h":  # the macro's own definition

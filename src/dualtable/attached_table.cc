@@ -68,6 +68,16 @@ std::unique_ptr<ModificationScanner> AttachedTable::NewScanner(uint64_t start_id
       new ModificationScanner(std::move(rows), end_id));
 }
 
+std::unique_ptr<ModificationScanner> AttachedTable::NewScannerAt(
+    const kv::KvSnapshot& snapshot, uint64_t start_id, uint64_t end_id,
+    uint64_t as_of) const {
+  std::string start_key = RecordIdKey(start_id);
+  auto rows =
+      store_->NewRowScannerAt(snapshot, start_id == 0 ? nullptr : &start_key, as_of);
+  return std::unique_ptr<ModificationScanner>(
+      new ModificationScanner(std::move(rows), end_id));
+}
+
 Status AttachedTable::GetUpdateHistory(uint64_t record_id, uint32_t column,
                                        int max_versions,
                                        std::vector<std::pair<uint64_t, Value>>* out) {

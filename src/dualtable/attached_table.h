@@ -75,6 +75,14 @@ class AttachedTable {
                                                   uint64_t end_id = UINT64_MAX,
                                                   uint64_t as_of = UINT64_MAX);
 
+  /// Snapshot-pinned scan over [start_id, end_id): reads exactly the pinned
+  /// KV state, with visibility clamped to min(as_of, snapshot.read_ts).
+  /// Concurrent EDITs, flushes, compactions, and Clear()s are invisible.
+  std::unique_ptr<ModificationScanner> NewScannerAt(const kv::KvSnapshot& snapshot,
+                                                    uint64_t start_id = 0,
+                                                    uint64_t end_id = UINT64_MAX,
+                                                    uint64_t as_of = UINT64_MAX) const;
+
   /// Store timestamp of the most recent modification; pass to ScanAsOf for a
   /// snapshot "now".
   uint64_t LastTimestamp() const { return store_->LastTimestamp(); }

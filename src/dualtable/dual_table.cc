@@ -23,6 +23,9 @@ Result<std::shared_ptr<DualTable>> DualTable::Open(fs::SimFileSystem* fs,
                                          dual->options_.writer_options));
   DTL_ASSIGN_OR_RETURN(dual->attached_,
                        AttachedTable::Open(fs, name, dual->options_.attached_options));
+  // Everything recovered from the WAL was acknowledged before the crash, so
+  // the initial commit timestamp is the recovered clock.
+  dual->commit_ts_ = dual->attached_->LastTimestamp();
   if (dual->options_.metrics != nullptr) {
     obs::MetricsRegistry* metrics = dual->options_.metrics;
     dual->edit_hist_ = metrics->histogram(obs::names::kDualEditSeconds, name);
@@ -51,78 +54,160 @@ DualTable::~DualTable() {
   if (scheduler_job_ != 0) options_.scheduler->Unregister(scheduler_job_);
 }
 
-table::ScanSpec DualTable::MasterSpecFor(const table::ScanSpec& spec) const {
+SnapshotPtr DualTable::AcquireSnapshot() const {
+  auto snap = std::make_shared<Snapshot>();
+  {
+    // The generation and the KV state must be captured as one unit: pairing
+    // them non-atomically around a PublishRewrite could combine the OLD
+    // generation with the CLEARED attached store and silently drop every
+    // delta the rewrite folded in.
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    snap->generation = master_->CurrentGeneration();
+    snap->attached = attached_->store()->GetSnapshot();
+    // Clamp visibility to the last acknowledged EDIT: cells an in-flight
+    // statement already wrote (timestamps past commit_ts_) stay invisible
+    // until its WAL sync publishes them.
+    snap->attached.read_ts = std::min(snap->attached.read_ts, commit_ts_);
+  }
+  // Exact emptiness of the PINNED state — AttachedTable::Empty() reads the
+  // live store, which a concurrent EDIT mutates. The pinned SST set is
+  // immutable; the pinned memtable only grows, which can only flip the
+  // answer to "not empty" — the conservative direction (disables stripe-stat
+  // pruning that an empty attached table would have allowed).
+  uint64_t cells =
+      snap->attached.mem != nullptr ? snap->attached.mem->cell_count() : 0;
+  for (const auto& sst : snap->attached.tables) cells += sst->cell_count();
+  snap->attached_empty = cells == 0;
+  snap->tracker = snapshot_tracker_;
+  snap->tracker_token = snapshot_tracker_->OnAcquire();
+  return snap;
+}
+
+void DualTable::PublishEditCommit() {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  commit_ts_ = attached_->LastTimestamp();
+}
+
+Status DualTable::PublishRewrite(std::vector<MasterFileInfo> new_files) {
+  // Caller holds mu_ (writers are serialized); snapshot_mu_ nests inside it.
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  DTL_RETURN_NOT_OK(master_->ReplaceAllFiles(std::move(new_files)));
+  // If Clear() fails after the generation swap the table is still correct:
+  // the new generation's files carry fresh file IDs, so leftover attached
+  // record IDs can never match a new-generation row.
+  return attached_->Clear();
+}
+
+table::ScanSpec DualTable::MasterSpecFor(const table::ScanSpec& spec,
+                                         const SnapshotPtr& snapshot) const {
   table::ScanSpec master_spec = spec;
   // Attached updates can move cell values across stripe-stat boundaries, so
-  // stats pruning is only sound against an empty attached table.
-  if (!attached_->Empty()) master_spec.bounds.clear();
+  // stats pruning is only sound when the snapshot's attached state is empty.
+  if (!snapshot->attached_empty) master_spec.bounds.clear();
   return master_spec;
 }
 
 Result<std::unique_ptr<UnionReadIterator>> DualTable::NewUnionRead(
-    const table::ScanSpec& spec) {
-  DTL_ASSIGN_OR_RETURN(auto master_it, master_->NewScanIterator(MasterSpecFor(spec),
-                                                                /*apply_predicate=*/false));
-  auto attached_it = attached_->NewScanner();
-  return std::make_unique<UnionReadIterator>(std::move(master_it), std::move(attached_it),
-                                             spec.predicate, schema_.num_fields());
+    const SnapshotPtr& snapshot, const table::ScanSpec& spec) {
+  DTL_ASSIGN_OR_RETURN(auto master_it,
+                       master_->NewScanIterator(snapshot->generation,
+                                                MasterSpecFor(spec, snapshot),
+                                                /*apply_predicate=*/false));
+  auto attached_it = attached_->NewScannerAt(snapshot->attached);
+  auto it = std::make_unique<UnionReadIterator>(std::move(master_it),
+                                                std::move(attached_it), spec.predicate,
+                                                schema_.num_fields());
+  it->AnchorSnapshot(snapshot);
+  return it;
 }
 
 Result<std::unique_ptr<UnionReadIterator>> DualTable::NewUnionReadForFile(
-    uint64_t file_id, const table::ScanSpec& spec) {
-  DTL_ASSIGN_OR_RETURN(auto master_it,
-                       master_->NewFileScanIterator(file_id, MasterSpecFor(spec),
-                                                    /*apply_predicate=*/false));
-  auto attached_it =
-      attached_->NewScanner(MakeRecordId(file_id, 0), MakeRecordId(file_id + 1, 0));
-  return std::make_unique<UnionReadIterator>(std::move(master_it), std::move(attached_it),
-                                             spec.predicate, schema_.num_fields());
+    const SnapshotPtr& snapshot, uint64_t file_id, const table::ScanSpec& spec) {
+  DTL_ASSIGN_OR_RETURN(
+      auto master_it,
+      master_->NewFileScanIterator(snapshot->generation, file_id,
+                                   MasterSpecFor(spec, snapshot),
+                                   /*apply_predicate=*/false));
+  auto attached_it = attached_->NewScannerAt(
+      snapshot->attached, MakeRecordId(file_id, 0), MakeRecordId(file_id + 1, 0));
+  auto it = std::make_unique<UnionReadIterator>(std::move(master_it),
+                                                std::move(attached_it), spec.predicate,
+                                                schema_.num_fields());
+  it->AnchorSnapshot(snapshot);
+  return it;
 }
 
 Result<std::unique_ptr<UnionReadBatchIterator>> DualTable::NewUnionReadBatch(
-    const table::ScanSpec& spec, uint64_t as_of) {
+    const SnapshotPtr& snapshot, const table::ScanSpec& spec, uint64_t as_of) {
   DTL_ASSIGN_OR_RETURN(auto master_it,
-                       master_->NewBatchScanIterator(MasterSpecFor(spec),
+                       master_->NewBatchScanIterator(snapshot->generation,
+                                                     MasterSpecFor(spec, snapshot),
                                                      /*apply_predicate=*/false,
                                                      options_.scan_batch_rows));
-  auto attached_it = attached_->NewScanner(0, UINT64_MAX, as_of);
-  return std::make_unique<UnionReadBatchIterator>(std::move(master_it),
-                                                  std::move(attached_it), spec.predicate,
-                                                  schema_.num_fields(), spec.meter);
+  auto attached_it =
+      attached_->NewScannerAt(snapshot->attached, 0, UINT64_MAX, as_of);
+  auto it = std::make_unique<UnionReadBatchIterator>(std::move(master_it),
+                                                     std::move(attached_it),
+                                                     spec.predicate,
+                                                     schema_.num_fields(), spec.meter);
+  it->AnchorSnapshot(snapshot);
+  return it;
 }
 
 Result<std::unique_ptr<UnionReadBatchIterator>> DualTable::NewUnionReadBatchForFile(
-    uint64_t file_id, const table::ScanSpec& spec) {
-  DTL_ASSIGN_OR_RETURN(auto master_it,
-                       master_->NewFileBatchScanIterator(file_id, MasterSpecFor(spec),
-                                                         /*apply_predicate=*/false,
-                                                         options_.scan_batch_rows));
-  auto attached_it =
-      attached_->NewScanner(MakeRecordId(file_id, 0), MakeRecordId(file_id + 1, 0));
-  return std::make_unique<UnionReadBatchIterator>(std::move(master_it),
-                                                  std::move(attached_it), spec.predicate,
-                                                  schema_.num_fields(), spec.meter);
+    const SnapshotPtr& snapshot, uint64_t file_id, const table::ScanSpec& spec) {
+  DTL_ASSIGN_OR_RETURN(
+      auto master_it,
+      master_->NewFileBatchScanIterator(snapshot->generation, file_id,
+                                        MasterSpecFor(spec, snapshot),
+                                        /*apply_predicate=*/false,
+                                        options_.scan_batch_rows));
+  auto attached_it = attached_->NewScannerAt(
+      snapshot->attached, MakeRecordId(file_id, 0), MakeRecordId(file_id + 1, 0));
+  auto it = std::make_unique<UnionReadBatchIterator>(std::move(master_it),
+                                                     std::move(attached_it),
+                                                     spec.predicate,
+                                                     schema_.num_fields(), spec.meter);
+  it->AnchorSnapshot(snapshot);
+  return it;
 }
 
 Result<std::vector<ScanMorsel>> DualTable::PlanScanMorsels(const table::ScanSpec& spec,
                                                            size_t stripes_per_morsel) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
-  return master_->PlanMorsels(MasterSpecFor(spec), stripes_per_morsel);
+  return PlanScanMorselsAt(AcquireSnapshot(), spec, stripes_per_morsel);
+}
+
+Result<std::vector<ScanMorsel>> DualTable::PlanScanMorselsAt(
+    const SnapshotPtr& snapshot, const table::ScanSpec& spec,
+    size_t stripes_per_morsel) {
+  return master_->PlanMorsels(snapshot->generation, MasterSpecFor(spec, snapshot),
+                              stripes_per_morsel);
 }
 
 Result<std::unique_ptr<UnionReadBatchIterator>> DualTable::NewUnionReadBatchForMorsel(
     const ScanMorsel& morsel, const table::ScanSpec& spec, table::ScanMeter* meter) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
-  table::ScanSpec master_spec = MasterSpecFor(spec);
+  return NewUnionReadBatchForMorselAt(AcquireSnapshot(), morsel, spec, meter);
+}
+
+Result<std::unique_ptr<UnionReadBatchIterator>> DualTable::NewUnionReadBatchForMorselAt(
+    const SnapshotPtr& snapshot, const ScanMorsel& morsel, const table::ScanSpec& spec,
+    table::ScanMeter* meter) {
+  table::ScanSpec master_spec = MasterSpecFor(spec, snapshot);
   master_spec.meter = meter;
-  DTL_ASSIGN_OR_RETURN(auto master_it,
-                       master_->NewMorselBatchScanIterator(morsel, master_spec,
-                                                           /*apply_predicate=*/false,
-                                                           options_.scan_batch_rows));
-  auto attached_it = attached_->NewScanner(morsel.first_record_id, morsel.end_record_id);
-  return std::make_unique<UnionReadBatchIterator>(std::move(master_it),
-                                                  std::move(attached_it), spec.predicate,
-                                                  schema_.num_fields(), meter);
+  DTL_ASSIGN_OR_RETURN(
+      auto master_it,
+      master_->NewMorselBatchScanIterator(snapshot->generation, morsel, master_spec,
+                                          /*apply_predicate=*/false,
+                                          options_.scan_batch_rows));
+  auto attached_it = attached_->NewScannerAt(snapshot->attached,
+                                             morsel.first_record_id,
+                                             morsel.end_record_id);
+  auto it = std::make_unique<UnionReadBatchIterator>(std::move(master_it),
+                                                     std::move(attached_it),
+                                                     spec.predicate,
+                                                     schema_.num_fields(), meter);
+  it->AnchorSnapshot(snapshot);
+  return it;
 }
 
 namespace {
@@ -160,64 +245,85 @@ std::unique_ptr<table::BatchIterator> DualTable::ObserveUnionReadRows(
 }
 
 Result<std::unique_ptr<table::RowIterator>> DualTable::Scan(const table::ScanSpec& spec) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return ScanAt(AcquireSnapshot(), spec);
+}
+
+Result<std::unique_ptr<table::RowIterator>> DualTable::ScanAt(
+    const SnapshotPtr& snapshot, const table::ScanSpec& spec) {
   if (options_.enable_batch_scan) {
-    DTL_ASSIGN_OR_RETURN(auto it, NewUnionReadBatch(spec));
+    DTL_ASSIGN_OR_RETURN(auto it, NewUnionReadBatch(snapshot, spec));
     return std::unique_ptr<table::RowIterator>(std::make_unique<table::BatchToRowAdapter>(
         ObserveUnionReadRows(std::move(it)), spec.meter));
   }
-  DTL_ASSIGN_OR_RETURN(auto it, NewUnionRead(spec));
+  DTL_ASSIGN_OR_RETURN(auto it, NewUnionRead(snapshot, spec));
   return std::unique_ptr<table::RowIterator>(std::move(it));
 }
 
 Result<std::unique_ptr<table::BatchIterator>> DualTable::ScanBatches(
     const table::ScanSpec& spec) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
-  if (!options_.enable_batch_scan) return StorageTable::ScanBatches(spec);
-  DTL_ASSIGN_OR_RETURN(auto it, NewUnionReadBatch(spec));
+  return ScanBatchesAt(AcquireSnapshot(), spec);
+}
+
+Result<std::unique_ptr<table::BatchIterator>> DualTable::ScanBatchesAt(
+    const SnapshotPtr& snapshot, const table::ScanSpec& spec) {
+  if (!options_.enable_batch_scan) {
+    // Row-at-a-time fallback, built directly from the snapshot so the
+    // batch/row configuration switch never changes visibility semantics.
+    DTL_ASSIGN_OR_RETURN(auto rows, NewUnionRead(snapshot, spec));
+    return std::unique_ptr<table::BatchIterator>(std::make_unique<table::RowToBatchAdapter>(
+        std::move(rows), schema_.num_fields(), options_.scan_batch_rows, spec.meter));
+  }
+  DTL_ASSIGN_OR_RETURN(auto it, NewUnionReadBatch(snapshot, spec));
   return ObserveUnionReadRows(std::move(it));
 }
 
 Result<std::unique_ptr<table::RowIterator>> DualTable::ScanLegacyRows(
     const table::ScanSpec& spec) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
-  DTL_ASSIGN_OR_RETURN(auto it, NewUnionRead(spec));
+  DTL_ASSIGN_OR_RETURN(auto it, NewUnionRead(AcquireSnapshot(), spec));
   return std::unique_ptr<table::RowIterator>(std::move(it));
 }
 
 Result<std::unique_ptr<table::RowIterator>> DualTable::ScanAsOf(
     const table::ScanSpec& spec, uint64_t as_of) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  SnapshotPtr snapshot = AcquireSnapshot();
   if (options_.enable_batch_scan) {
-    DTL_ASSIGN_OR_RETURN(auto it, NewUnionReadBatch(spec, as_of));
+    DTL_ASSIGN_OR_RETURN(auto it, NewUnionReadBatch(snapshot, spec, as_of));
     return std::unique_ptr<table::RowIterator>(
         std::make_unique<table::BatchToRowAdapter>(std::move(it), spec.meter));
   }
   DTL_ASSIGN_OR_RETURN(auto master_it,
-                       master_->NewScanIterator(MasterSpecFor(spec),
+                       master_->NewScanIterator(snapshot->generation,
+                                                MasterSpecFor(spec, snapshot),
                                                 /*apply_predicate=*/false));
-  auto attached_it = attached_->NewScanner(0, UINT64_MAX, as_of);
-  return std::unique_ptr<table::RowIterator>(
-      std::make_unique<UnionReadIterator>(std::move(master_it), std::move(attached_it),
-                                          spec.predicate, schema_.num_fields()));
+  auto attached_it =
+      attached_->NewScannerAt(snapshot->attached, 0, UINT64_MAX, as_of);
+  auto it = std::make_unique<UnionReadIterator>(std::move(master_it),
+                                                std::move(attached_it), spec.predicate,
+                                                schema_.num_fields());
+  it->AnchorSnapshot(snapshot);
+  return std::unique_ptr<table::RowIterator>(std::move(it));
 }
 
 Result<std::vector<table::ScanSplit>> DualTable::CreateSplits(const table::ScanSpec& spec) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  // One snapshot shared by every split: the split set and each split's scan
+  // agree on the file set, and a COMPACT between CreateSplits and the last
+  // split's execution cannot tear the view.
+  SnapshotPtr snapshot = AcquireSnapshot();
   std::vector<table::ScanSplit> splits;
-  for (const MasterFileInfo& info : master_->files()) {
+  for (const MasterFileInfo& info : snapshot->generation->files()) {
     const uint64_t file_id = info.file_id;
     DualTable* self = this;
     table::ScanSpec copy = spec;
     splits.push_back(table::ScanSplit{
         name_ + "/f_" + std::to_string(file_id),
-        [self, file_id, copy]() -> Result<std::unique_ptr<table::RowIterator>> {
+        [self, snapshot, file_id, copy]() -> Result<std::unique_ptr<table::RowIterator>> {
           if (self->options_.enable_batch_scan) {
-            DTL_ASSIGN_OR_RETURN(auto it, self->NewUnionReadBatchForFile(file_id, copy));
+            DTL_ASSIGN_OR_RETURN(auto it,
+                                 self->NewUnionReadBatchForFile(snapshot, file_id, copy));
             return std::unique_ptr<table::RowIterator>(
                 std::make_unique<table::BatchToRowAdapter>(std::move(it), copy.meter));
           }
-          DTL_ASSIGN_OR_RETURN(auto it, self->NewUnionReadForFile(file_id, copy));
+          DTL_ASSIGN_OR_RETURN(auto it, self->NewUnionReadForFile(snapshot, file_id, copy));
           return std::unique_ptr<table::RowIterator>(std::move(it));
         }});
   }
@@ -230,6 +336,9 @@ Status DualTable::InsertRows(const std::vector<Row>& rows) {
   DTL_ASSIGN_OR_RETURN(auto writer, master_->NewFileWriter());
   for (const Row& row : rows) DTL_RETURN_NOT_OK(writer->Append(row));
   DTL_ASSIGN_OR_RETURN(auto info, writer->Close());
+  // RegisterFile publishes the successor generation on its own: an INSERT
+  // never touches the attached store, so there is no torn pairing for a
+  // concurrent AcquireSnapshot to observe.
   return master_->RegisterFile(std::move(info));
 }
 
@@ -254,8 +363,7 @@ Status DualTable::OverwriteRows(const std::vector<Row>& rows) {
       new_files.push_back(std::move(info));
     }
   }
-  DTL_RETURN_NOT_OK(master_->ReplaceAllFiles(std::move(new_files)));
-  return attached_->Clear();
+  return PublishRewrite(std::move(new_files));
 }
 
 table::ScanSpec DualTable::DmlScanSpec(
@@ -351,9 +459,12 @@ Result<table::DmlResult> DualTable::UpdateWithHint(
 Result<table::DmlResult> DualTable::ExecuteEditUpdate(
     const table::ScanSpec& filter, const std::vector<table::Assignment>& assignments) {
   // The paper's UPDATE UDTF: scan the up-to-date view, and for every
-  // matching record put the new field values into the attached table.
+  // matching record put the new field values into the attached table. The
+  // scan reads from a snapshot acquired at statement start, so the
+  // statement's own puts can never feed back into its scan.
   table::ScanSpec spec = DmlScanSpec(filter, assignments);
-  DTL_ASSIGN_OR_RETURN(auto it, NewUnionRead(spec));
+  SnapshotPtr snapshot = AcquireSnapshot();
+  DTL_ASSIGN_OR_RETURN(auto it, NewUnionRead(snapshot, spec));
   table::DmlResult result;
   result.plan = table::DmlPlan::kEdit;
   while (it->Next()) {
@@ -368,15 +479,21 @@ Result<table::DmlResult> DualTable::ExecuteEditUpdate(
   // The statement is acknowledged on return, so its attached-table cells
   // must be WAL-durable first: a crash after the ack must replay them.
   DTL_RETURN_NOT_OK(attached_->Sync());
-  result.rows_scanned = master_->TotalRows();
+  // Only now do the cells become visible — a snapshot acquired during the
+  // statement reads the pre-statement commit timestamp.
+  PublishEditCommit();
+  result.rows_scanned = snapshot->generation->TotalRows();
   return result;
 }
 
 Result<uint64_t> DualTable::RewriteMaster(
     const std::function<bool(uint64_t record_id, Row* row)>& transform) {
-  // Stream the merged view into a staged new master generation.
+  // Stream the merged view into a staged new master generation. The rewrite
+  // folds deltas up to its snapshot's commit timestamp; writers are
+  // serialized under mu_, so nothing can commit past it before the publish.
+  SnapshotPtr snapshot = AcquireSnapshot();
   table::ScanSpec all;  // every column, no predicate
-  DTL_ASSIGN_OR_RETURN(auto it, NewUnionRead(all));
+  DTL_ASSIGN_OR_RETURN(auto it, NewUnionRead(snapshot, all));
 
   std::vector<MasterFileInfo> new_files;
   std::unique_ptr<MasterFileWriter> writer;
@@ -401,8 +518,7 @@ Result<uint64_t> DualTable::RewriteMaster(
     DTL_ASSIGN_OR_RETURN(auto info, writer->Close());
     new_files.push_back(std::move(info));
   }
-  DTL_RETURN_NOT_OK(master_->ReplaceAllFiles(std::move(new_files)));
-  DTL_RETURN_NOT_OK(attached_->Clear());
+  DTL_RETURN_NOT_OK(PublishRewrite(std::move(new_files)));
   return rows_out;
 }
 
@@ -476,8 +592,10 @@ Result<table::DmlResult> DualTable::DeleteWithHint(const table::ScanSpec& filter
 
 Result<table::DmlResult> DualTable::ExecuteEditDelete(const table::ScanSpec& filter) {
   // The paper's DELETE UDTF: put a DELETE marker for each matching record.
+  // Snapshot semantics match ExecuteEditUpdate.
   table::ScanSpec spec = DmlScanSpec(filter, {});
-  DTL_ASSIGN_OR_RETURN(auto it, NewUnionRead(spec));
+  SnapshotPtr snapshot = AcquireSnapshot();
+  DTL_ASSIGN_OR_RETURN(auto it, NewUnionRead(snapshot, spec));
   table::DmlResult result;
   result.plan = table::DmlPlan::kEdit;
   while (it->Next()) {
@@ -487,7 +605,8 @@ Result<table::DmlResult> DualTable::ExecuteEditDelete(const table::ScanSpec& fil
   DTL_RETURN_NOT_OK(it->status());
   // Same durability contract as ExecuteEditUpdate: sync before the ack.
   DTL_RETURN_NOT_OK(attached_->Sync());
-  result.rows_scanned = master_->TotalRows();
+  PublishEditCommit();
+  result.rows_scanned = snapshot->generation->TotalRows();
   return result;
 }
 
@@ -509,23 +628,26 @@ Result<table::DmlResult> DualTable::ExecuteOverwriteDelete(const table::ScanSpec
 
 Result<uint64_t> DualTable::RewriteMasterParallel() {
   // One rewrite job per master file: file f's union-read view (attached scan
-  // bounded to f's record-ID range) streams into fresh files. Jobs only
-  // STAGE data — registration happens after the barrier, in one
-  // ReplaceAllFiles call, so the manifest rename remains the single commit
-  // point and a crash anywhere before it keeps the old generation intact.
+  // bounded to f's record-ID range) streams into fresh files. Every job
+  // reads from ONE shared snapshot, and jobs only STAGE data — registration
+  // happens after the barrier, in one PublishRewrite call, so the manifest
+  // rename remains the single commit point and a crash anywhere before it
+  // keeps the old generation intact.
+  SnapshotPtr snapshot = AcquireSnapshot();
   struct FileJob {
     uint64_t file_id = 0;
     std::vector<MasterFileInfo> new_files;
     uint64_t rows_out = 0;
   };
-  std::vector<FileJob> jobs(master_->files().size());
-  for (size_t i = 0; i < jobs.size(); ++i) jobs[i].file_id = master_->files()[i].file_id;
+  const std::vector<MasterFileInfo>& master_files = snapshot->generation->files();
+  std::vector<FileJob> jobs(master_files.size());
+  for (size_t i = 0; i < jobs.size(); ++i) jobs[i].file_id = master_files[i].file_id;
 
   TaskGroup group(options_.pool);
   for (FileJob& job : jobs) {
-    group.Spawn([this, &job]() -> Status {
+    group.Spawn([this, &job, &snapshot]() -> Status {
       table::ScanSpec all;  // every column, no predicate
-      DTL_ASSIGN_OR_RETURN(auto it, NewUnionReadForFile(job.file_id, all));
+      DTL_ASSIGN_OR_RETURN(auto it, NewUnionReadForFile(snapshot, job.file_id, all));
       std::unique_ptr<MasterFileWriter> writer;
       while (it->Next()) {
         if (writer == nullptr) {
@@ -567,8 +689,7 @@ Result<uint64_t> DualTable::RewriteMasterParallel() {
     rows_out += job.rows_out;
     for (MasterFileInfo& info : job.new_files) new_files.push_back(std::move(info));
   }
-  DTL_RETURN_NOT_OK(master_->ReplaceAllFiles(std::move(new_files)));
-  DTL_RETURN_NOT_OK(attached_->Clear());
+  DTL_RETURN_NOT_OK(PublishRewrite(std::move(new_files)));
   return rows_out;
 }
 
@@ -617,9 +738,11 @@ void DualTable::RecordDmlObservation(const char* statement, table::DmlPlan plan,
 }
 
 bool DualTable::NeedsCompaction() const {
-  // Also called from the scheduler thread, which may race DML on the user
-  // thread; TotalBytes walks the files_ vector that ReplaceAllFiles swaps.
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  // Called from the scheduler thread, which may race DML on the user thread.
+  // Every input is individually thread-safe (the generation totals read a
+  // pinned file list; the attached counts are approximate by contract), and
+  // a racy decision is benign: Compact() re-checks under mu_ and a skipped
+  // round is retried at the next poll.
   const uint64_t master_bytes = master_->TotalBytes();
   if (master_bytes == 0) return attached_->ApproximateCellCount() > 0;
   return static_cast<double>(attached_->ApproximateBytes()) >=

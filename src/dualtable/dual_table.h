@@ -17,6 +17,7 @@
 #include "dualtable/cost_model.h"
 #include "dualtable/master_table.h"
 #include "dualtable/metadata.h"
+#include "dualtable/snapshot.h"
 #include "dualtable/union_read.h"
 #include "fs/cluster_model.h"
 #include "table/storage_table.h"
@@ -116,6 +117,46 @@ class DualTable : public table::StorageTable {
   Result<table::DmlResult> Delete(const table::ScanSpec& filter) override;
   Status Drop() override;
 
+  // --- MVCC snapshots ---
+
+  /// Pins the table's current committed state: the master generation plus
+  /// the attached store at the last published commit timestamp, captured
+  /// atomically. Scans built from the snapshot return byte-identical results
+  /// to a scan executed at acquisition time, no matter how many EDITs,
+  /// COMPACTs, or OVERWRITEs commit meanwhile. Unsynced (unacknowledged)
+  /// EDIT cells are invisible. Releasing the last SnapshotPtr unpins the
+  /// generation and lets deferred file GC run.
+  SnapshotPtr AcquireSnapshot() const;
+
+  /// Snapshot-pinned scans: the explicit-snapshot forms of Scan/ScanBatches.
+  /// The snapshot-less overloads above acquire one per call, so every read
+  /// through this table is snapshot-isolated; use these to hold one view
+  /// across several scans (a SQL statement, a parallel scan's morsels).
+  Result<std::unique_ptr<table::RowIterator>> ScanAt(const SnapshotPtr& snapshot,
+                                                     const table::ScanSpec& spec);
+  Result<std::unique_ptr<table::BatchIterator>> ScanBatchesAt(const SnapshotPtr& snapshot,
+                                                              const table::ScanSpec& spec);
+
+  /// Morsel planning against a pinned snapshot; pair with
+  /// NewUnionReadBatchForMorselAt on the SAME snapshot so planned morsels
+  /// and per-morsel scans agree on the file set.
+  Result<std::vector<ScanMorsel>> PlanScanMorselsAt(const SnapshotPtr& snapshot,
+                                                    const table::ScanSpec& spec,
+                                                    size_t stripes_per_morsel);
+  Result<std::unique_ptr<UnionReadBatchIterator>> NewUnionReadBatchForMorselAt(
+      const SnapshotPtr& snapshot, const ScanMorsel& morsel, const table::ScanSpec& spec,
+      table::ScanMeter* meter);
+
+  /// Tracker behind the snapshot.* metric views.
+  const SnapshotTracker* snapshot_tracker() const { return snapshot_tracker_.get(); }
+
+  /// EDIT commit: publishes the attached store's clock as the new commit
+  /// timestamp, making everything written so far visible to snapshots
+  /// acquired afterwards. The DML paths call this after their WAL sync;
+  /// code writing through attached() directly (UDTF-style extensions,
+  /// white-box tests) must call it itself or its cells stay invisible.
+  void PublishEditCommit();
+
   // --- DualTable-specific operations ---
 
   /// UPDATE with an explicit modification-ratio hint for the cost model
@@ -182,15 +223,27 @@ class DualTable : public table::StorageTable {
         cluster_(cluster),
         cost_model_(cluster, options_.cost_params) {}
 
-  Result<std::unique_ptr<UnionReadIterator>> NewUnionRead(const table::ScanSpec& spec);
+  // All internal UNION READ constructors read from an explicit snapshot;
+  // there is no latest-visible read path left (lint rule 8).
+  Result<std::unique_ptr<UnionReadIterator>> NewUnionRead(const SnapshotPtr& snapshot,
+                                                          const table::ScanSpec& spec);
   Result<std::unique_ptr<UnionReadIterator>> NewUnionReadForFile(
-      uint64_t file_id, const table::ScanSpec& spec);
+      const SnapshotPtr& snapshot, uint64_t file_id, const table::ScanSpec& spec);
   Result<std::unique_ptr<UnionReadBatchIterator>> NewUnionReadBatch(
-      const table::ScanSpec& spec, uint64_t as_of = UINT64_MAX);
+      const SnapshotPtr& snapshot, const table::ScanSpec& spec,
+      uint64_t as_of = UINT64_MAX);
   Result<std::unique_ptr<UnionReadBatchIterator>> NewUnionReadBatchForFile(
-      uint64_t file_id, const table::ScanSpec& spec);
-  /// Clears stripe-stat bounds when the attached table could invalidate them.
-  table::ScanSpec MasterSpecFor(const table::ScanSpec& spec) const;
+      const SnapshotPtr& snapshot, uint64_t file_id, const table::ScanSpec& spec);
+  /// Clears stripe-stat bounds when the snapshot's attached state could
+  /// invalidate them.
+  table::ScanSpec MasterSpecFor(const table::ScanSpec& spec,
+                                const SnapshotPtr& snapshot) const;
+
+  /// COMPACT/OVERWRITE commit: swaps in the new master file set and clears
+  /// the attached store as one atomic visibility event — a concurrent
+  /// AcquireSnapshot sees either the old (generation, deltas) pair or the
+  /// new (generation, empty) pair, never a torn mix.
+  Status PublishRewrite(std::vector<MasterFileInfo> new_files);
 
   /// Builds the scan spec a DML statement needs (filter + assignment inputs).
   table::ScanSpec DmlScanSpec(const table::ScanSpec& filter,
@@ -244,7 +297,17 @@ class DualTable : public table::StorageTable {
   obs::Histogram* union_read_rows_hist_ = nullptr;  // rows per UNION READ scan
   std::unique_ptr<MasterTable> master_;
   std::unique_ptr<AttachedTable> attached_;
-  mutable std::recursive_mutex mu_;  // COMPACT blocks all other operations
+  /// Serializes writers (DML, COMPACT). Reads no longer take it: they pin a
+  /// snapshot and scan immutable state, so scans and COMPACT coexist.
+  mutable std::recursive_mutex mu_;
+  /// Guards the snapshot view (commit_ts_ + the generation/attached pair as
+  /// one visibility unit). Ordering: mu_ before snapshot_mu_; never inverted.
+  mutable std::mutex snapshot_mu_;
+  /// Commit timestamp of the last acknowledged (WAL-synced) EDIT; snapshots
+  /// read the attached store as of this clock value.
+  uint64_t commit_ts_ = 0;
+  std::shared_ptr<SnapshotTracker> snapshot_tracker_ =
+      std::make_shared<SnapshotTracker>();
   table::DmlPlan last_plan_ = table::DmlPlan::kEdit;
   uint64_t scheduler_job_ = 0;  // background-compaction handle; 0 = none
 };

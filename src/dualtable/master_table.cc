@@ -28,6 +28,45 @@ bool HasSuffix(const std::string& name, const char* suffix) {
 
 }  // namespace
 
+// --- MasterGeneration -----------------------------------------------------------
+
+MasterGeneration::~MasterGeneration() {
+  // Deferred orphan GC: these files were replaced while this generation was
+  // still pinned by a snapshot; the last pin dropping is the earliest moment
+  // they can go. The manifest no longer lists them, so a failed delete here
+  // (or a crash before this runs) is re-collected by the next Open().
+  for (const std::string& path : doomed_paths_) {
+    DTL_IGNORE_STATUS(fs_->Delete(path),
+                      "deferred generation GC: next Open() re-collects unlisted files");
+  }
+  if (live_counter_ != nullptr) {
+    live_counter_->fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+uint64_t MasterGeneration::TotalRows() const {
+  uint64_t total = 0;
+  for (const auto& f : files_) total += f.num_rows;
+  return total;
+}
+
+uint64_t MasterGeneration::TotalBytes() const {
+  uint64_t total = 0;
+  for (const auto& f : files_) total += f.bytes;
+  return total;
+}
+
+Result<std::shared_ptr<orc::OrcReader>> MasterGeneration::OpenReader(
+    const MasterFileInfo& info) const {
+  std::lock_guard<std::mutex> lock(reader_cache_mu_);
+  auto it = reader_cache_.find(info.file_id);
+  if (it != reader_cache_.end()) return it->second;
+  DTL_ASSIGN_OR_RETURN(auto reader, orc::OrcReader::Open(fs_, info.path));
+  std::shared_ptr<orc::OrcReader> shared = std::move(reader);
+  reader_cache_[info.file_id] = shared;
+  return shared;
+}
+
 bool StripeMayMatch(const orc::StripeInfo& stripe,
                     const std::vector<table::ColumnBound>& bounds) {
   for (const table::ColumnBound& bound : bounds) {
@@ -203,11 +242,13 @@ Result<std::unique_ptr<MasterTable>> MasterTable::Open(fs::SimFileSystem* fs,
   }
 
   const std::string manifest_path = ManifestPath(dir);
+  std::vector<MasterFileInfo> files;
+  uint64_t gen_number = 1;
   if (fs->Exists(manifest_path)) {
     // The manifest is the committed file set: open exactly what it lists and
     // garbage-collect any f_ file that was written but never committed
     // (e.g. a crash between staging an OVERWRITE generation and the
-    // manifest rename).
+    // manifest rename, or a doomed file whose deferred GC never ran).
     DTL_ASSIGN_OR_RETURN(auto file, fs->NewRandomAccessFile(manifest_path));
     const uint64_t size = file->size();
     if (size < 4) return Status::Corruption("master manifest too small: " + manifest_path);
@@ -218,6 +259,7 @@ Result<std::unique_ptr<MasterTable>> MasterTable::Open(fs::SimFileSystem* fs,
     if (Crc32(payload) != crc) {
       return Status::Corruption("master manifest checksum mismatch: " + manifest_path);
     }
+    DTL_RETURN_NOT_OK(GetVarint64(&payload, &gen_number));
     uint64_t count = 0;
     DTL_RETURN_NOT_OK(GetVarint64(&payload, &count));
     std::set<uint64_t> listed;
@@ -240,13 +282,13 @@ Result<std::unique_ptr<MasterTable>> MasterTable::Open(fs::SimFileSystem* fs,
       info.path = path;
       info.num_rows = (*reader)->num_rows();
       DTL_ASSIGN_OR_RETURN(info.bytes, fs->FileSize(path));
-      master->files_.push_back(std::move(info));
+      files.push_back(std::move(info));
     }
     for (const std::string& name : names) {
       if (name.rfind("f_", 0) != 0 || !HasSuffix(name, ".orc")) continue;
       std::string path = fs::JoinPath(dir, name);
       bool is_listed = false;
-      for (const auto& f : master->files_) is_listed |= (f.path == path);
+      for (const auto& f : files) is_listed |= (f.path == path);
       if (!is_listed) DTL_RETURN_NOT_OK(fs->Delete(path));
     }
   } else {
@@ -261,18 +303,27 @@ Result<std::unique_ptr<MasterTable>> MasterTable::Open(fs::SimFileSystem* fs,
       info.path = path;
       info.num_rows = reader->num_rows();
       DTL_ASSIGN_OR_RETURN(info.bytes, fs->FileSize(path));
-      master->files_.push_back(std::move(info));
+      files.push_back(std::move(info));
     }
   }
-  std::sort(master->files_.begin(), master->files_.end(),
+  std::sort(files.begin(), files.end(),
             [](const MasterFileInfo& a, const MasterFileInfo& b) {
               return a.file_id < b.file_id;
             });
-  if (!fs->Exists(manifest_path)) DTL_RETURN_NOT_OK(master->WriteManifest());
+  auto gen = std::shared_ptr<MasterGeneration>(new MasterGeneration());
+  gen->fs_ = fs;
+  gen->number_ = gen_number;
+  gen->files_ = std::move(files);
+  gen->live_counter_ = master->live_generations_;
+  gen->live_counter_->fetch_add(1, std::memory_order_relaxed);
+  master->current_ = std::move(gen);
+  if (!fs->Exists(manifest_path)) {
+    DTL_RETURN_NOT_OK(master->WriteManifest(*master->current_));
+  }
   return master;
 }
 
-Status MasterTable::WriteManifest() {
+Status MasterTable::WriteManifest(const MasterGeneration& gen) {
   const std::string manifest_path = ManifestPath(dir_);
   if (unsafe_commit_for_tests_) {
     Status st = fs_->Delete(manifest_path);
@@ -280,8 +331,9 @@ Status MasterTable::WriteManifest() {
     return Status::OK();
   }
   std::string payload;
-  PutVarint64(&payload, files_.size());
-  for (const auto& f : files_) PutVarint64(&payload, f.file_id);
+  PutVarint64(&payload, gen.number_);
+  PutVarint64(&payload, gen.files_.size());
+  for (const auto& f : gen.files_) PutVarint64(&payload, f.file_id);
   std::string bytes = payload;
   PutFixed32(&bytes, Crc32(payload.data(), payload.size()));
   // tmp + rename: the manifest swap is atomic, so a reader never sees a
@@ -293,16 +345,18 @@ Status MasterTable::WriteManifest() {
   return fs_->Rename(tmp, manifest_path);
 }
 
-uint64_t MasterTable::TotalRows() const {
-  uint64_t total = 0;
-  for (const auto& f : files_) total += f.num_rows;
-  return total;
+MasterGenerationPtr MasterTable::CurrentGeneration() const {
+  std::lock_guard<std::mutex> lock(gen_mu_);
+  return current_;
 }
 
-uint64_t MasterTable::TotalBytes() const {
-  uint64_t total = 0;
-  for (const auto& f : files_) total += f.bytes;
-  return total;
+std::shared_ptr<MasterGeneration> MasterTable::NewGenerationLocked() const {
+  auto next = std::shared_ptr<MasterGeneration>(new MasterGeneration());
+  next->fs_ = fs_;
+  next->number_ = current_->number_ + 1;
+  next->live_counter_ = live_generations_;
+  next->live_counter_->fetch_add(1, std::memory_order_relaxed);
+  return next;
 }
 
 Result<std::unique_ptr<MasterFileWriter>> MasterTable::NewFileWriter() {
@@ -320,53 +374,58 @@ Result<std::unique_ptr<MasterFileWriter>> MasterTable::NewFileWriter() {
 }
 
 Status MasterTable::RegisterFile(MasterFileInfo info) {
-  files_.push_back(std::move(info));
-  std::sort(files_.begin(), files_.end(),
+  std::lock_guard<std::mutex> lock(gen_mu_);
+  auto next = NewGenerationLocked();
+  next->files_ = current_->files_;
+  next->files_.push_back(std::move(info));
+  std::sort(next->files_.begin(), next->files_.end(),
             [](const MasterFileInfo& a, const MasterFileInfo& b) {
               return a.file_id < b.file_id;
             });
-  return WriteManifest();
-}
-
-Status MasterTable::ReplaceAllFiles(std::vector<MasterFileInfo> new_files) {
-  std::vector<std::string> old_paths;
-  old_paths.reserve(files_.size());
-  for (const auto& f : files_) old_paths.push_back(f.path);
   {
-    std::lock_guard<std::mutex> lock(reader_cache_mu_);
-    reader_cache_.clear();
+    // Every old file survives into the new generation; carry its warmed
+    // readers forward so appends don't cold-start the stripe caches.
+    std::lock_guard<std::mutex> cache_lock(current_->reader_cache_mu_);
+    next->reader_cache_ = current_->reader_cache_;
   }
-  files_ = std::move(new_files);
-  std::sort(files_.begin(), files_.end(),
-            [](const MasterFileInfo& a, const MasterFileInfo& b) {
-              return a.file_id < b.file_id;
-            });
-  // Commit the new generation before touching the old one: after a crash,
-  // Open() serves whichever generation the manifest names and
-  // garbage-collects the other.
-  DTL_RETURN_NOT_OK(WriteManifest());
-  for (const std::string& path : old_paths) DTL_RETURN_NOT_OK(fs_->Delete(path));
+  // Manifest rename is the commit point: a failure here leaves the old
+  // generation current and the new file an orphan for the next Open().
+  DTL_RETURN_NOT_OK(WriteManifest(*next));
+  current_ = std::move(next);
   return Status::OK();
 }
 
-Result<std::shared_ptr<orc::OrcReader>> MasterTable::OpenReader(
-    const MasterFileInfo& info) const {
-  std::lock_guard<std::mutex> lock(reader_cache_mu_);
-  auto it = reader_cache_.find(info.file_id);
-  if (it != reader_cache_.end()) return it->second;
-  DTL_ASSIGN_OR_RETURN(auto reader, orc::OrcReader::Open(fs_, info.path));
-  std::shared_ptr<orc::OrcReader> shared = std::move(reader);
-  reader_cache_[info.file_id] = shared;
-  return shared;
+Status MasterTable::ReplaceAllFiles(std::vector<MasterFileInfo> new_files) {
+  std::lock_guard<std::mutex> lock(gen_mu_);
+  auto next = NewGenerationLocked();
+  next->files_ = std::move(new_files);
+  std::sort(next->files_.begin(), next->files_.end(),
+            [](const MasterFileInfo& a, const MasterFileInfo& b) {
+              return a.file_id < b.file_id;
+            });
+  // Commit the new generation before dooming the old one: after a crash,
+  // Open() serves whichever generation the manifest names and
+  // garbage-collects the other.
+  DTL_RETURN_NOT_OK(WriteManifest(*next));
+  // The replaced files stay on disk until the outgoing generation's last
+  // snapshot pin drops (its destructor deletes them). Scans pinned to it
+  // keep reading byte-identical data; nothing tears.
+  std::vector<std::string> doomed;
+  doomed.reserve(current_->files_.size());
+  for (const auto& f : current_->files_) doomed.push_back(f.path);
+  current_->doomed_paths_ = std::move(doomed);
+  current_ = std::move(next);
+  return Status::OK();
 }
 
 Result<std::unique_ptr<MasterScanIterator>> MasterTable::NewScanIterator(
-    const table::ScanSpec& spec, bool apply_predicate) {
+    const MasterGenerationPtr& gen, const table::ScanSpec& spec,
+    bool apply_predicate) const {
   std::vector<std::shared_ptr<orc::OrcReader>> readers;
   std::vector<uint64_t> file_ids;
-  readers.reserve(files_.size());
-  for (const MasterFileInfo& info : files_) {
-    DTL_ASSIGN_OR_RETURN(auto reader, OpenReader(info));
+  readers.reserve(gen->files().size());
+  for (const MasterFileInfo& info : gen->files()) {
+    DTL_ASSIGN_OR_RETURN(auto reader, gen->OpenReader(info));
     readers.push_back(std::move(reader));
     file_ids.push_back(info.file_id);
   }
@@ -376,10 +435,11 @@ Result<std::unique_ptr<MasterScanIterator>> MasterTable::NewScanIterator(
 }
 
 Result<std::unique_ptr<MasterScanIterator>> MasterTable::NewFileScanIterator(
-    uint64_t file_id, const table::ScanSpec& spec, bool apply_predicate) {
-  for (const MasterFileInfo& info : files_) {
+    const MasterGenerationPtr& gen, uint64_t file_id, const table::ScanSpec& spec,
+    bool apply_predicate) const {
+  for (const MasterFileInfo& info : gen->files()) {
     if (info.file_id != file_id) continue;
-    DTL_ASSIGN_OR_RETURN(auto reader, OpenReader(info));
+    DTL_ASSIGN_OR_RETURN(auto reader, gen->OpenReader(info));
     return std::unique_ptr<MasterScanIterator>(new MasterScanIterator(
         {std::move(reader)}, {file_id}, spec, schema_.num_fields(), apply_predicate));
   }
@@ -387,12 +447,13 @@ Result<std::unique_ptr<MasterScanIterator>> MasterTable::NewFileScanIterator(
 }
 
 Result<std::unique_ptr<MasterScanBatchIterator>> MasterTable::NewBatchScanIterator(
-    const table::ScanSpec& spec, bool apply_predicate, size_t batch_rows) {
+    const MasterGenerationPtr& gen, const table::ScanSpec& spec, bool apply_predicate,
+    size_t batch_rows) const {
   std::vector<std::shared_ptr<orc::OrcReader>> readers;
   std::vector<uint64_t> file_ids;
-  readers.reserve(files_.size());
-  for (const MasterFileInfo& info : files_) {
-    DTL_ASSIGN_OR_RETURN(auto reader, OpenReader(info));
+  readers.reserve(gen->files().size());
+  for (const MasterFileInfo& info : gen->files()) {
+    DTL_ASSIGN_OR_RETURN(auto reader, gen->OpenReader(info));
     readers.push_back(std::move(reader));
     file_ids.push_back(info.file_id);
   }
@@ -402,11 +463,11 @@ Result<std::unique_ptr<MasterScanBatchIterator>> MasterTable::NewBatchScanIterat
 }
 
 Result<std::unique_ptr<MasterScanBatchIterator>> MasterTable::NewFileBatchScanIterator(
-    uint64_t file_id, const table::ScanSpec& spec, bool apply_predicate,
-    size_t batch_rows) {
-  for (const MasterFileInfo& info : files_) {
+    const MasterGenerationPtr& gen, uint64_t file_id, const table::ScanSpec& spec,
+    bool apply_predicate, size_t batch_rows) const {
+  for (const MasterFileInfo& info : gen->files()) {
     if (info.file_id != file_id) continue;
-    DTL_ASSIGN_OR_RETURN(auto reader, OpenReader(info));
+    DTL_ASSIGN_OR_RETURN(auto reader, gen->OpenReader(info));
     return std::unique_ptr<MasterScanBatchIterator>(new MasterScanBatchIterator(
         {std::move(reader)}, {file_id}, spec, schema_.num_fields(), apply_predicate,
         batch_rows));
@@ -414,12 +475,35 @@ Result<std::unique_ptr<MasterScanBatchIterator>> MasterTable::NewFileBatchScanIt
   return Status::NotFound("no master file with ID " + std::to_string(file_id));
 }
 
+Result<std::unique_ptr<MasterScanIterator>> MasterTable::NewScanIterator(
+    const table::ScanSpec& spec, bool apply_predicate) const {
+  return NewScanIterator(CurrentGeneration(), spec, apply_predicate);
+}
+
+Result<std::unique_ptr<MasterScanIterator>> MasterTable::NewFileScanIterator(
+    uint64_t file_id, const table::ScanSpec& spec, bool apply_predicate) const {
+  return NewFileScanIterator(CurrentGeneration(), file_id, spec, apply_predicate);
+}
+
+Result<std::unique_ptr<MasterScanBatchIterator>> MasterTable::NewBatchScanIterator(
+    const table::ScanSpec& spec, bool apply_predicate, size_t batch_rows) const {
+  return NewBatchScanIterator(CurrentGeneration(), spec, apply_predicate, batch_rows);
+}
+
+Result<std::unique_ptr<MasterScanBatchIterator>> MasterTable::NewFileBatchScanIterator(
+    uint64_t file_id, const table::ScanSpec& spec, bool apply_predicate,
+    size_t batch_rows) const {
+  return NewFileBatchScanIterator(CurrentGeneration(), file_id, spec, apply_predicate,
+                                  batch_rows);
+}
+
 Result<std::vector<ScanMorsel>> MasterTable::PlanMorsels(
-    const table::ScanSpec& spec, size_t stripes_per_morsel) const {
+    const MasterGenerationPtr& gen, const table::ScanSpec& spec,
+    size_t stripes_per_morsel) const {
   stripes_per_morsel = std::max<size_t>(1, stripes_per_morsel);
   std::vector<ScanMorsel> morsels;
-  for (const MasterFileInfo& info : files_) {
-    DTL_ASSIGN_OR_RETURN(auto reader, OpenReader(info));
+  for (const MasterFileInfo& info : gen->files()) {
+    DTL_ASSIGN_OR_RETURN(auto reader, gen->OpenReader(info));
     ScanMorsel cur;
     size_t surviving = 0;
     for (size_t s = 0; s < reader->num_stripes(); ++s) {
@@ -445,11 +529,11 @@ Result<std::vector<ScanMorsel>> MasterTable::PlanMorsels(
 }
 
 Result<std::unique_ptr<MasterScanBatchIterator>> MasterTable::NewMorselBatchScanIterator(
-    const ScanMorsel& morsel, const table::ScanSpec& spec, bool apply_predicate,
-    size_t batch_rows) {
-  for (const MasterFileInfo& info : files_) {
+    const MasterGenerationPtr& gen, const ScanMorsel& morsel, const table::ScanSpec& spec,
+    bool apply_predicate, size_t batch_rows) const {
+  for (const MasterFileInfo& info : gen->files()) {
     if (info.file_id != morsel.file_id) continue;
-    DTL_ASSIGN_OR_RETURN(auto reader, OpenReader(info));
+    DTL_ASSIGN_OR_RETURN(auto reader, gen->OpenReader(info));
     return std::unique_ptr<MasterScanBatchIterator>(new MasterScanBatchIterator(
         {std::move(reader)}, {morsel.file_id}, spec, schema_.num_fields(),
         apply_predicate, batch_rows, morsel.stripe_begin, morsel.stripe_end));
@@ -459,10 +543,11 @@ Result<std::unique_ptr<MasterScanBatchIterator>> MasterTable::NewMorselBatchScan
 
 Status MasterTable::Drop() {
   {
-    std::lock_guard<std::mutex> lock(reader_cache_mu_);
-    reader_cache_.clear();
+    // Publish an empty generation; the directory (old files included) goes
+    // away wholesale below, so the outgoing generation dooms nothing.
+    std::lock_guard<std::mutex> lock(gen_mu_);
+    current_ = NewGenerationLocked();
   }
-  files_.clear();
   return fs_->DeleteRecursively(dir_);
 }
 

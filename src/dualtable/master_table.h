@@ -4,6 +4,7 @@
 // (file ID, row number) pairs.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -30,6 +31,47 @@ struct MasterFileInfo {
 };
 
 class MasterTable;
+
+/// One committed, immutable master file set — the unit MVCC snapshots pin.
+/// Every manifest commit (RegisterFile, ReplaceAllFiles, Drop) publishes a
+/// new generation; readers that captured the old one keep scanning it
+/// untouched. A generation owns its ORC reader cache (so scans against a
+/// retired generation never mix stripes across file sets) and, when it was
+/// replaced wholesale (COMPACT / OVERWRITE), the list of files it doomed:
+/// those are deleted by the destructor, i.e. only after the last snapshot
+/// pin drops. A crash before that point leaves orphans the next Open()
+/// garbage-collects, so deferral never loses the GC.
+class MasterGeneration {
+ public:
+  ~MasterGeneration();
+
+  /// Monotonic generation number; persisted in the manifest.
+  uint64_t number() const { return number_; }
+  const std::vector<MasterFileInfo>& files() const { return files_; }
+  uint64_t TotalRows() const;
+  uint64_t TotalBytes() const;
+
+ private:
+  friend class MasterTable;
+  MasterGeneration() = default;
+
+  /// Opens (and caches) the ORC reader for one of this generation's files.
+  Result<std::shared_ptr<orc::OrcReader>> OpenReader(const MasterFileInfo& info) const;
+
+  fs::SimFileSystem* fs_ = nullptr;
+  uint64_t number_ = 0;
+  std::vector<MasterFileInfo> files_;  // ascending file_id
+  /// Files this generation replaced; deleted when the generation dies.
+  std::vector<std::string> doomed_paths_;
+  /// Shared live-generation counter (snapshot.pinned_generations view);
+  /// decremented by the destructor.
+  std::shared_ptr<std::atomic<int64_t>> live_counter_;
+  mutable std::mutex reader_cache_mu_;
+  mutable std::map<uint64_t, std::shared_ptr<orc::OrcReader>> reader_cache_;
+};
+
+/// Snapshots hold generations const: a pinned file set never mutates.
+using MasterGenerationPtr = std::shared_ptr<const MasterGeneration>;
 
 /// One stripe-aligned unit of parallel scan work: a contiguous stripe range
 /// of one master file. Morsel boundaries never split a stripe, so every
@@ -161,9 +203,21 @@ class MasterTable {
       orc::WriterOptions writer_options = orc::WriterOptions());
 
   const Schema& schema() const { return schema_; }
-  const std::vector<MasterFileInfo>& files() const { return files_; }
-  uint64_t TotalRows() const;
-  uint64_t TotalBytes() const;
+  /// Latest-visible file set (a copy of the current generation's list).
+  std::vector<MasterFileInfo> files() const { return CurrentGeneration()->files(); }
+  uint64_t TotalRows() const { return CurrentGeneration()->TotalRows(); }
+  uint64_t TotalBytes() const { return CurrentGeneration()->TotalBytes(); }
+
+  /// Pins the current committed generation. The returned pointer stays valid
+  /// (and its files stay on disk) for as long as the caller holds it, no
+  /// matter how many COMPACT/OVERWRITE commits land afterwards.
+  MasterGenerationPtr CurrentGeneration() const;
+
+  /// Number of generation objects currently alive: the current one plus
+  /// every retired one still pinned by a snapshot.
+  int64_t LiveGenerations() const {
+    return live_generations_->load(std::memory_order_relaxed);
+  }
 
   /// Starts a new master file with a fresh metadata-assigned file ID.
   Result<std::unique_ptr<MasterFileWriter>> NewFileWriter();
@@ -185,37 +239,59 @@ class MasterTable {
   /// commit is load-bearing.
   void SetUnsafeGenerationCommitForTests(bool unsafe) { unsafe_commit_for_tests_ = unsafe; }
 
+  // --- generation-pinned read paths (the MVCC snapshot API) ---
+  // Every iterator reads exactly the pinned generation's file set; commits
+  // racing past it are invisible. The generation-less overloads below pin
+  // CurrentGeneration() per call and exist for the non-MVCC baselines.
+
   /// Sequential scan in record-ID order. `apply_predicate` false defers the
   /// residual filter to the caller (UNION READ filters after merging).
-  Result<std::unique_ptr<MasterScanIterator>> NewScanIterator(const table::ScanSpec& spec,
-                                                              bool apply_predicate);
+  Result<std::unique_ptr<MasterScanIterator>> NewScanIterator(
+      const MasterGenerationPtr& gen, const table::ScanSpec& spec,
+      bool apply_predicate) const;
 
   /// Scan over a single master file (the per-file MapReduce split).
   Result<std::unique_ptr<MasterScanIterator>> NewFileScanIterator(
-      uint64_t file_id, const table::ScanSpec& spec, bool apply_predicate);
+      const MasterGenerationPtr& gen, uint64_t file_id, const table::ScanSpec& spec,
+      bool apply_predicate) const;
 
   /// Vectorized sequential scan in record-ID order (see
   /// MasterScanBatchIterator for predicate/pruning semantics).
   Result<std::unique_ptr<MasterScanBatchIterator>> NewBatchScanIterator(
-      const table::ScanSpec& spec, bool apply_predicate,
-      size_t batch_rows = table::kDefaultBatchRows);
+      const MasterGenerationPtr& gen, const table::ScanSpec& spec, bool apply_predicate,
+      size_t batch_rows = table::kDefaultBatchRows) const;
 
   /// Vectorized scan over a single master file.
   Result<std::unique_ptr<MasterScanBatchIterator>> NewFileBatchScanIterator(
-      uint64_t file_id, const table::ScanSpec& spec, bool apply_predicate,
-      size_t batch_rows = table::kDefaultBatchRows);
+      const MasterGenerationPtr& gen, uint64_t file_id, const table::ScanSpec& spec,
+      bool apply_predicate, size_t batch_rows = table::kDefaultBatchRows) const;
 
   /// Splits the scan into stripe-aligned morsels of at most
   /// `stripes_per_morsel` surviving stripes each, in record-ID order.
   /// Pruning uses the same StripeMayMatch test the scan iterators apply, so
   /// a morsel never covers work a serial scan would skip (and vice versa).
-  Result<std::vector<ScanMorsel>> PlanMorsels(const table::ScanSpec& spec,
+  Result<std::vector<ScanMorsel>> PlanMorsels(const MasterGenerationPtr& gen,
+                                              const table::ScanSpec& spec,
                                               size_t stripes_per_morsel) const;
 
   /// Vectorized scan over one morsel (stripe range of one file).
   Result<std::unique_ptr<MasterScanBatchIterator>> NewMorselBatchScanIterator(
-      const ScanMorsel& morsel, const table::ScanSpec& spec, bool apply_predicate,
-      size_t batch_rows = table::kDefaultBatchRows);
+      const MasterGenerationPtr& gen, const ScanMorsel& morsel,
+      const table::ScanSpec& spec, bool apply_predicate,
+      size_t batch_rows = table::kDefaultBatchRows) const;
+
+  // --- latest-visible conveniences (baselines and tests; see lint rule 8) ---
+
+  Result<std::unique_ptr<MasterScanIterator>> NewScanIterator(const table::ScanSpec& spec,
+                                                              bool apply_predicate) const;
+  Result<std::unique_ptr<MasterScanIterator>> NewFileScanIterator(
+      uint64_t file_id, const table::ScanSpec& spec, bool apply_predicate) const;
+  Result<std::unique_ptr<MasterScanBatchIterator>> NewBatchScanIterator(
+      const table::ScanSpec& spec, bool apply_predicate,
+      size_t batch_rows = table::kDefaultBatchRows) const;
+  Result<std::unique_ptr<MasterScanBatchIterator>> NewFileBatchScanIterator(
+      uint64_t file_id, const table::ScanSpec& spec, bool apply_predicate,
+      size_t batch_rows = table::kDefaultBatchRows) const;
 
   /// Removes every master file and the directory.
   Status Drop();
@@ -230,9 +306,12 @@ class MasterTable {
         dir_(std::move(dir)),
         writer_options_(writer_options) {}
 
-  Result<std::shared_ptr<orc::OrcReader>> OpenReader(const MasterFileInfo& info) const;
-  /// Writes the current file-ID set to `dir/manifest` via tmp + rename.
-  Status WriteManifest();
+  /// Writes `gen`'s file-ID set (and generation number) to `dir/manifest`
+  /// via tmp + rename — the atomic commit point of every generation swap.
+  Status WriteManifest(const MasterGeneration& gen);
+  /// Allocates the current generation's successor (number + 1, empty file
+  /// set). Caller must hold gen_mu_.
+  std::shared_ptr<MasterGeneration> NewGenerationLocked() const;
 
   fs::SimFileSystem* fs_;
   MetadataTable* metadata_;
@@ -240,10 +319,17 @@ class MasterTable {
   Schema schema_;
   std::string dir_;
   orc::WriterOptions writer_options_;
-  std::vector<MasterFileInfo> files_;  // ascending file_id
   bool unsafe_commit_for_tests_ = false;
-  mutable std::mutex reader_cache_mu_;
-  mutable std::map<uint64_t, std::shared_ptr<orc::OrcReader>> reader_cache_;
+  /// Guards generation publication. Held only for pointer swaps and manifest
+  /// writes, never across scans.
+  mutable std::mutex gen_mu_;
+  /// Non-const internally: the publisher stamps doomed_paths_ on the
+  /// outgoing generation at replace time; readers only ever see it const.
+  std::shared_ptr<MasterGeneration> current_;
+  /// shared with generations so their destructors can decrement it even if
+  /// they outlive the table.
+  std::shared_ptr<std::atomic<int64_t>> live_generations_ =
+      std::make_shared<std::atomic<int64_t>>(0);
 };
 
 /// True when the stripe's statistics cannot rule out rows satisfying every

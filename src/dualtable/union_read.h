@@ -29,7 +29,14 @@ class UnionReadIterator : public table::RowIterator {
   /// True when the current row had attached modifications applied.
   bool current_row_modified() const { return current_modified_; }
 
+  /// Pins an owner (the Snapshot this iterator reads from) for the iterator's
+  /// lifetime so generation GC and KV keepalives outlive the scan.
+  void AnchorSnapshot(std::shared_ptr<const void> anchor) {
+    anchor_ = std::move(anchor);
+  }
+
  private:
+  std::shared_ptr<const void> anchor_;
   /// Advances the attached stream until its head is >= id; returns the head
   /// when it equals id.
   const RecordModification* AttachedAt(uint64_t id);
@@ -69,7 +76,14 @@ class UnionReadBatchIterator : public table::BatchIterator {
   bool Next(table::RowBatch* batch) override;
   const Status& status() const override { return status_; }
 
+  /// Pins an owner (the Snapshot this iterator reads from) for the iterator's
+  /// lifetime so generation GC and KV keepalives outlive the scan.
+  void AnchorSnapshot(std::shared_ptr<const void> anchor) {
+    anchor_ = std::move(anchor);
+  }
+
  private:
+  std::shared_ptr<const void> anchor_;
   /// Patches/masks the batch with attached modifications; false on error.
   bool ApplyModifications(table::RowBatch* batch);
 

@@ -35,6 +35,13 @@ struct ParallelScanOptions {
   /// Optional registry for the scan/morsel counters and the per-worker rows
   /// histogram (how evenly morsels spread across workers). Not owned.
   obs::MetricsRegistry* metrics = nullptr;
+
+  /// Snapshot every morsel reads from. When null, Run() acquires one itself
+  /// at planning time. Either way ONE snapshot spans morsel planning and all
+  /// per-morsel UNION READs, so concurrent EDIT/COMPACT commits can never
+  /// tear the scan: the result is byte-identical to a serial scan of the
+  /// snapshot. The SQL layer passes its statement snapshot here.
+  dual::SnapshotPtr snapshot;
 };
 
 /// One-shot parallel scan over a DualTable. The scan is order-insensitive

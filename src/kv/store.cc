@@ -452,6 +452,35 @@ std::unique_ptr<RowScanner> KvStore::NewRowScanner(const std::string* start_row,
   return std::unique_ptr<RowScanner>(new RowScanner(NewCellScanner(start_row), as_of));
 }
 
+KvSnapshot KvStore::GetSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  KvSnapshot snapshot;
+  snapshot.read_ts = last_ts_.load(std::memory_order_relaxed);
+  snapshot.mem = memtable_;
+  snapshot.tables = sstables_;
+  return snapshot;
+}
+
+std::unique_ptr<CellScanner> KvStore::NewCellScannerAt(const KvSnapshot& snapshot,
+                                                       const std::string* start_row) const {
+  // No lock: the snapshot already owns its sources; the store's current
+  // memtable_/sstables_ are irrelevant here.
+  std::optional<CellKey> start;
+  if (start_row != nullptr) start = CellKey{*start_row, 0, UINT64_MAX};
+  return std::unique_ptr<CellScanner>(new CellScanner(
+      snapshot.mem, snapshot.tables, start.has_value() ? &*start : nullptr));
+}
+
+std::unique_ptr<RowScanner> KvStore::NewRowScannerAt(const KvSnapshot& snapshot,
+                                                     const std::string* start_row,
+                                                     uint64_t as_of) const {
+  // Clamp visibility to the snapshot's clock: cells racing into the pinned
+  // memtable after acquisition carry larger timestamps and resolve away.
+  const uint64_t effective = std::min(as_of, snapshot.read_ts);
+  return std::unique_ptr<RowScanner>(
+      new RowScanner(NewCellScannerAt(snapshot, start_row), effective));
+}
+
 Status KvStore::Flush() {
   std::lock_guard<std::mutex> lock(mu_);
   return FlushLocked();

@@ -113,6 +113,20 @@ class RowScanner {
   Status status_;
 };
 
+/// A pinned, immutable view of one KvStore: the memtable and SSTable set as
+/// of acquisition, plus the write-clock value at that instant. Scanners built
+/// from a snapshot see exactly the cells with timestamp <= read_ts, no matter
+/// how many writes, flushes, compactions, or Clear()s land afterwards — the
+/// shared_ptrs keep retired structures (and, via fs::RandomAccessFile,
+/// deleted SSTable content) alive for the life of the snapshot. Copyable;
+/// copies pin the same state.
+struct KvSnapshot {
+  /// Highest committed timestamp visible to this snapshot.
+  uint64_t read_ts = 0;
+  std::shared_ptr<const MemTable> mem;
+  std::vector<std::shared_ptr<SstReader>> tables;
+};
+
 /// Aggregate store statistics, used for cost estimation and tests. Fields
 /// are relaxed atomics so concurrent writers can bump them without holding
 /// the store mutex; read them individually (the struct itself is not
@@ -163,6 +177,26 @@ class KvStore {
   /// and as of a historical timestamp (default: latest).
   std::unique_ptr<RowScanner> NewRowScanner(const std::string* start_row = nullptr,
                                             uint64_t as_of = UINT64_MAX);
+
+  /// Pins the store's current state: the memtable, the SSTable set, and the
+  /// write clock, captured atomically under the store mutex. Readers built
+  /// from the snapshot observe exactly the writes with timestamp <= read_ts.
+  KvSnapshot GetSnapshot() const;
+
+  /// Raw merged scan over a pinned snapshot. Note the raw cell stream still
+  /// includes cells newer than snapshot.read_ts that were already in the
+  /// pinned memtable (the skip list admits concurrent inserts); callers that
+  /// need timestamp-exact visibility go through NewRowScannerAt, whose
+  /// resolution drops them.
+  std::unique_ptr<CellScanner> NewCellScannerAt(
+      const KvSnapshot& snapshot, const std::string* start_row = nullptr) const;
+
+  /// Visibility-resolved scan pinned to a snapshot: rows resolve as of
+  /// min(as_of, snapshot.read_ts), so later writes — including ones racing
+  /// into the still-shared memtable — are invisible.
+  std::unique_ptr<RowScanner> NewRowScannerAt(const KvSnapshot& snapshot,
+                                              const std::string* start_row = nullptr,
+                                              uint64_t as_of = UINT64_MAX) const;
 
   /// The timestamp assigned to the most recent write (0 when empty). Reads
   /// "as of" this value see the current state. Safe to call concurrently

@@ -55,6 +55,12 @@ inline constexpr const char* kDualOverwriteSeconds = "dualtable.overwrite.second
 inline constexpr const char* kDualCompactSeconds = "dualtable.compact.seconds";
 inline constexpr const char* kDualUnionReadRows = "dualtable.union_read.rows";
 
+// --- MVCC snapshot views (labeled by table name) ------------------------------
+inline constexpr const char* kSnapshotAcquired = "snapshot.acquired";
+inline constexpr const char* kSnapshotActive = "snapshot.active";
+inline constexpr const char* kSnapshotPinnedGenerations = "snapshot.pinned_generations";
+inline constexpr const char* kSnapshotOldestSeconds = "snapshot.oldest_seconds";
+
 // --- Parallel scan ------------------------------------------------------------
 inline constexpr const char* kParallelScans = "parallel_scan.scans";
 inline constexpr const char* kParallelMorsels = "parallel_scan.morsels";

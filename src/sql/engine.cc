@@ -51,6 +51,12 @@ struct TableSlot {
   std::shared_ptr<std::vector<Row>> derived_rows;  // FROM (SELECT ...) results
   size_t offset = 0;  // first flat ordinal of this table
   size_t width = 0;
+  /// Statement snapshot, acquired at bind time when `storage` is a
+  /// DualTable. Every scan of this slot — serial, vectorized, parallel,
+  /// split — reads from it, so one statement sees one consistent view of
+  /// each table no matter what commits concurrently (repeatable read at
+  /// statement granularity).
+  dual::SnapshotPtr snapshot;
 };
 
 /// Schema for a derived table: column names from the subquery's output,
@@ -255,6 +261,9 @@ Result<QueryResult> Engine::ExecuteSelect(const SelectStmt& stmt) {
       slot.storage = entry.table;
       slot.width = entry.table->schema().num_fields();
       scope.AddTable(slot.qualifier, entry.table->schema());
+      if (auto* dual = dynamic_cast<dual::DualTable*>(entry.table.get())) {
+        slot.snapshot = dual->AcquireSnapshot();
+      }
     }
     slots.push_back(std::move(slot));
     return Status::OK();
@@ -413,7 +422,13 @@ Result<QueryResult> Engine::ExecuteSelect(const SelectStmt& stmt) {
       spec.predicate_columns.assign(pred_cols.begin(), pred_cols.end());
       spec.bounds = ExtractBounds(pushed[slot_index], local);
     }
-    DTL_ASSIGN_OR_RETURN(auto it, slot.storage->Scan(spec));
+    std::unique_ptr<table::RowIterator> it;
+    if (slot.snapshot != nullptr) {
+      auto* dual = static_cast<dual::DualTable*>(slot.storage.get());
+      DTL_ASSIGN_OR_RETURN(it, dual->ScanAt(slot.snapshot, spec));
+    } else {
+      DTL_ASSIGN_OR_RETURN(it, slot.storage->Scan(spec));
+    }
     return traced_op(std::make_unique<exec::ScanOperator>(std::move(it)),
                      obs::names::kOpScan, slot.qualifier);
   };
@@ -467,6 +482,7 @@ Result<QueryResult> Engine::ExecuteSelect(const SelectStmt& stmt) {
       popts.parallelism = exec_.parallelism;
       popts.morsel_stripes = exec_.morsel_stripes;
       popts.metrics = exec_.metrics;
+      popts.snapshot = slots[0].snapshot;
       exec::ParallelScanner scanner(dual, std::move(spec), popts);
       if (traced) {
         tracer->AddLeaf(obs::names::kSpanBind, bind_watch.ElapsedSeconds());
@@ -527,7 +543,13 @@ Result<QueryResult> Engine::ExecuteSelect(const SelectStmt& stmt) {
       spec.bounds = ExtractBounds(pushed[0], local);
     }
     if (traced) exec_node = tracer->AddNode(obs::names::kSpanExecute);
-    DTL_ASSIGN_OR_RETURN(auto it, slot.storage->ScanBatches(spec));
+    std::unique_ptr<table::BatchIterator> it;
+    if (slot.snapshot != nullptr) {
+      auto* dual = static_cast<dual::DualTable*>(slot.storage.get());
+      DTL_ASSIGN_OR_RETURN(it, dual->ScanBatchesAt(slot.snapshot, spec));
+    } else {
+      DTL_ASSIGN_OR_RETURN(it, slot.storage->ScanBatches(spec));
+    }
     std::unique_ptr<exec::BatchOperator> bplan = traced_bop(
         std::make_unique<exec::BatchScanOperator>(std::move(it)),
         obs::names::kOpScan, slot.qualifier);

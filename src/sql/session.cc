@@ -140,6 +140,27 @@ void Session::RegisterKvViews(const std::string& label,
   add(obs::names::kKvSstables, [](kv::KvStore* s) { return s->NumSstables(); });
 }
 
+void Session::RegisterSnapshotViews(const std::string& label,
+                                    std::function<dual::DualTable*()> table) {
+  auto add = [&](const char* name, auto read) {
+    metrics_.RegisterView(
+        name,
+        [table, read]() -> double {
+          dual::DualTable* t = table();
+          return t == nullptr ? 0.0 : static_cast<double>(read(t));
+        },
+        label);
+  };
+  add(obs::names::kSnapshotAcquired,
+      [](dual::DualTable* t) { return t->snapshot_tracker()->acquired(); });
+  add(obs::names::kSnapshotActive,
+      [](dual::DualTable* t) { return t->snapshot_tracker()->active(); });
+  add(obs::names::kSnapshotPinnedGenerations,
+      [](dual::DualTable* t) { return t->master()->LiveGenerations(); });
+  add(obs::names::kSnapshotOldestSeconds,
+      [](dual::DualTable* t) { return t->snapshot_tracker()->OldestSeconds(); });
+}
+
 std::string Session::StatsDump() const {
   std::string out = metrics_.RenderText();
   out += "cost_audit.records " + std::to_string(cost_audit_.size()) + "\n";
@@ -172,6 +193,10 @@ Result<std::shared_ptr<table::StorageTable>> Session::MakeTable(const std::strin
         RegisterKvViews(name, [weak]() -> kv::KvStore* {
           auto strong = weak.lock();
           return strong == nullptr ? nullptr : strong->attached()->store();
+        });
+        RegisterSnapshotViews(name, [weak]() -> dual::DualTable* {
+          auto strong = weak.lock();
+          return strong.get();
         });
       }
       return std::shared_ptr<table::StorageTable>(std::move(t));
@@ -217,6 +242,10 @@ Result<std::shared_ptr<dual::DualTable>> Session::CreateDualTable(
     RegisterKvViews(name, [weak]() -> kv::KvStore* {
       auto strong = weak.lock();
       return strong == nullptr ? nullptr : strong->attached()->store();
+    });
+    RegisterSnapshotViews(name, [weak]() -> dual::DualTable* {
+      auto strong = weak.lock();
+      return strong.get();
     });
   }
   return t;

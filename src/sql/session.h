@@ -123,6 +123,11 @@ class Session {
   /// weak_ptr keeps views of dropped tables from dangling: they read 0.
   void RegisterKvViews(const std::string& label,
                        std::function<kv::KvStore*()> store);
+  /// Registers the labeled snapshot.* view family for one DualTable: total
+  /// snapshots acquired, currently active, live (pinned) master generations,
+  /// and the age of the oldest active snapshot.
+  void RegisterSnapshotViews(const std::string& label,
+                             std::function<dual::DualTable*()> table);
   void RegisterSessionViews();
 
   SessionOptions options_;

@@ -34,6 +34,23 @@ struct ScanSnapshot {
     return d;
   }
 
+  /// Divides every counter by `n` (integer floor). Benches use this to turn
+  /// a delta spanning all timed iterations of a repeated identical scan into
+  /// the per-scan figure, so each logical row and batch is reported once.
+  ScanSnapshot operator/(uint64_t n) const {
+    if (n == 0) return *this;
+    ScanSnapshot d;
+    d.batches = batches / n;
+    d.rows = rows / n;
+    d.bytes = bytes / n;
+    d.passthrough_batches = passthrough_batches / n;
+    d.patched_rows = patched_rows / n;
+    d.masked_rows = masked_rows / n;
+    d.predicate_drops = predicate_drops / n;
+    d.materialized_rows = materialized_rows / n;
+    return d;
+  }
+
   /// Fraction of scanned rows that survived filters and masks (1.0 when no
   /// rows were scanned).
   double Selectivity() const {

@@ -350,10 +350,11 @@ TEST(ParallelScanStressTest, MorselScansRaceEditStatements) {
   for (auto& t : scanners) t.join();
 }
 
-// Morsel scans race the background compaction scheduler. A COMPACT that
-// commits mid-scan may invalidate morsels planned against the old
-// generation: the scan must then fail CLEANLY (a Status, never a crash or a
-// wrong answer). Successful scans must always see every row.
+// Morsel scans race the background compaction scheduler. Every scan holds a
+// snapshot that pins the generation its morsels were planned against, so a
+// COMPACT that commits mid-scan can never invalidate them: every scan MUST
+// succeed and see every row. (Before snapshots, a mid-scan COMPACT could
+// fail the scan "cleanly"; that failure mode is extinct by design.)
 TEST(ParallelScanStressTest, MorselScansRaceBackgroundCompaction) {
   fs::SimFileSystem fs;
   auto metadata = dual::MetadataTable::Open(&fs);
@@ -391,22 +392,17 @@ TEST(ParallelScanStressTest, MorselScansRaceBackgroundCompaction) {
       done.store(true, std::memory_order_release);
     });
 
-    std::atomic<uint64_t> clean_failures{0};
     std::atomic<uint64_t> successes{0};
-    std::thread scanner_thread([&table, &pool, &done, &clean_failures, &successes] {
+    std::thread scanner_thread([&table, &pool, &done, &successes] {
       do {
         exec::ParallelScanOptions popts;
         popts.pool = &pool;
         popts.parallelism = 3;
         exec::ParallelScanner scanner(table->get(), table::ScanSpec{}, popts);
         auto count = scanner.Count();
-        if (count.ok()) {
-          ASSERT_EQ(*count, static_cast<uint64_t>(kRows));
-          successes.fetch_add(1, std::memory_order_relaxed);
-        } else {
-          // Morsels planned against a generation COMPACT just replaced.
-          clean_failures.fetch_add(1, std::memory_order_relaxed);
-        }
+        ASSERT_TRUE(count.ok()) << count.status().ToString();
+        ASSERT_EQ(*count, static_cast<uint64_t>(kRows));
+        successes.fetch_add(1, std::memory_order_relaxed);
       } while (!done.load(std::memory_order_acquire));
     });
     writer.join();
@@ -477,6 +473,131 @@ TEST(ParallelScanStressTest, AttachedScansSurviveConcurrentFlushes) {
   }
   writer.join();
   for (auto& t : scanners) t.join();
+}
+
+// --- snapshot stability under concurrent mutation ----------------------------------
+
+std::string EncodeRows(const std::vector<Row>& rows) {
+  std::string bytes;
+  for (const Row& row : rows) {
+    for (const Value& v : row) v.EncodeTo(&bytes);
+  }
+  return bytes;
+}
+
+Result<std::vector<Row>> CollectSnapshotRows(dual::DualTable* table,
+                                             const dual::SnapshotPtr& snapshot) {
+  DTL_ASSIGN_OR_RETURN(auto it, table->ScanAt(snapshot, table::ScanSpec{}));
+  std::vector<Row> rows;
+  while (it->Next()) rows.push_back(it->row());
+  DTL_RETURN_NOT_OK(it->status());
+  return rows;
+}
+
+// The MVCC stability contract: a snapshot acquired before a storm of EDITs
+// and a COMPACT keeps returning the acquisition-time row set, byte for byte,
+// on every read path — serial row, serial batch, and morsel-driven parallel
+// (which reads the same snapshot via ParallelScanOptions::snapshot) — while
+// the table changes underneath it. The COMPACT swaps the master generation
+// mid-storm; the snapshot's generation pin is what keeps its files readable.
+TEST(SnapshotStabilityStressTest, SnapshotIsByteStableAcrossEditsAndCompact) {
+  fs::SimFileSystem fs;
+  auto metadata = dual::MetadataTable::Open(&fs);
+  ASSERT_TRUE(metadata.ok());
+  fs::ClusterModel cluster;
+  ThreadPool pool(kThreads);
+
+  dual::DualTableOptions options;
+  options.plan_mode = dual::DualTableOptions::PlanMode::kForceEdit;
+  options.writer_options.stripe_rows = 64;
+  options.scan_batch_rows = 48;
+  options.pool = &pool;
+  auto table = dual::DualTable::Open(&fs, metadata->get(), &cluster, "mvcc",
+                                     DualStressSchema(), options);
+  ASSERT_TRUE(table.ok());
+  constexpr int64_t kRows = 600;
+  {
+    std::vector<Row> rows;
+    rows.reserve(kRows);
+    for (int64_t i = 0; i < kRows; ++i) {
+      rows.push_back(Row{Value::Int64(i), Value::Double(i * 0.5)});
+    }
+    ASSERT_TRUE((*table)->InsertRows(rows).ok());
+  }
+  // Pre-snapshot EDITs so the pinned attached state is non-empty and the
+  // merge path (not just stripe pass-through) is what stays stable.
+  ASSERT_TRUE(StressUpdate(table->get(), 7, 0, 0.25).ok());
+
+  const dual::SnapshotPtr snapshot = (*table)->AcquireSnapshot();
+  auto baseline = CollectSnapshotRows(table->get(), snapshot);
+  ASSERT_TRUE(baseline.ok());
+  ASSERT_EQ(baseline->size(), static_cast<size_t>(kRows));
+  const std::string baseline_bytes = EncodeRows(*baseline);
+
+  std::atomic<bool> done{false};
+  std::thread writer([&table, &done] {
+    for (int round = 0; round < 110; ++round) {  // >= 100 EDIT statements
+      ASSERT_TRUE(StressUpdate(table->get(), 5, round % 5, 0.5).ok());
+      if (round == 55) ASSERT_TRUE((*table)->Compact().ok());
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  std::vector<std::thread> scanners;
+  scanners.reserve(3);
+  // Serial row path.
+  scanners.emplace_back([&table, &snapshot, &baseline_bytes, &done] {
+    do {
+      auto rows = CollectSnapshotRows(table->get(), snapshot);
+      ASSERT_TRUE(rows.ok());
+      ASSERT_EQ(EncodeRows(*rows), baseline_bytes);
+    } while (!done.load(std::memory_order_acquire));
+  });
+  // Serial batch path.
+  scanners.emplace_back([&table, &snapshot, &baseline_bytes, &done] {
+    do {
+      auto it = (*table)->ScanBatchesAt(snapshot, table::ScanSpec{});
+      ASSERT_TRUE(it.ok());
+      std::vector<Row> rows;
+      table::RowBatch batch;
+      while ((*it)->Next(&batch)) {
+        for (size_t i = 0; i < batch.size(); ++i) {
+          Row row;
+          batch.MaterializeRow(i, &row);
+          rows.push_back(std::move(row));
+        }
+      }
+      ASSERT_TRUE((*it)->status().ok());
+      ASSERT_EQ(EncodeRows(rows), baseline_bytes);
+    } while (!done.load(std::memory_order_acquire));
+  });
+  // Morsel-driven parallel path reading the same snapshot; CollectRows
+  // restores record-id order, so equality really is byte-identity with the
+  // serial acquisition-time scan.
+  scanners.emplace_back([&table, &pool, &snapshot, &baseline_bytes, &done] {
+    do {
+      exec::ParallelScanOptions popts;
+      popts.pool = &pool;
+      popts.parallelism = 3;
+      popts.snapshot = snapshot;
+      exec::ParallelScanner scanner(table->get(), table::ScanSpec{}, popts);
+      auto rows = scanner.CollectRows();
+      ASSERT_TRUE(rows.ok());
+      ASSERT_EQ(EncodeRows(*rows), baseline_bytes);
+    } while (!done.load(std::memory_order_acquire));
+  });
+  writer.join();
+  for (auto& t : scanners) t.join();
+
+  // A snapshot acquired after the storm sees every committed EDIT: same row
+  // set, values only grew (updates added positive bumps).
+  auto latest = CollectSnapshotRows(table->get(), (*table)->AcquireSnapshot());
+  ASSERT_TRUE(latest.ok());
+  ASSERT_EQ(latest->size(), static_cast<size_t>(kRows));
+  for (size_t i = 0; i < latest->size(); ++i) {
+    ASSERT_EQ((*latest)[i][0].AsInt64(), (*baseline)[i][0].AsInt64());
+    ASSERT_GE((*latest)[i][1].AsDouble(), (*baseline)[i][1].AsDouble());
+  }
 }
 
 // Register/unregister churn against a fast-polling scheduler: Unregister

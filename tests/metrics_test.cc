@@ -152,6 +152,13 @@ TEST(SessionObservabilityTest, SessionMeterFeedsGlobalAndStatsDump) {
   EXPECT_NE(dump.find("scan.rows"), std::string::npos);
   EXPECT_NE(dump.find("kv.puts{t}"), std::string::npos);
   EXPECT_NE(dump.find("cost_audit.records"), std::string::npos);
+  // Per-table MVCC snapshot views (DESIGN.md §11): the SELECT above took a
+  // statement snapshot, and nothing holds one now.
+  const obs::MetricsSnapshot snap2 = session->metrics()->Snapshot();
+  EXPECT_NE(dump.find("snapshot.acquired{t}"), std::string::npos);
+  EXPECT_NE(dump.find("snapshot.pinned_generations{t}"), std::string::npos);
+  EXPECT_GE(snap2.views.at("snapshot.acquired{t}"), 1.0);
+  EXPECT_EQ(snap2.views.at("snapshot.active{t}"), 0.0);
   std::string json = session->StatsDumpJson();
   EXPECT_NE(json.find("\"metrics\""), std::string::npos);
   EXPECT_NE(json.find("\"cost_audit\""), std::string::npos);

@@ -240,6 +240,7 @@ TEST_F(BatchScanTest, FullyDeletedBatchIsSkippedNotEmitted) {
   for (uint64_t r = 0; r < 4; ++r) {
     ASSERT_TRUE(table_->attached()->PutDeleteMarker(dual::MakeRecordId(file_id, r)).ok());
   }
+  table_->PublishEditCommit();
   auto batches = table_->ScanBatches(ScanSpec{});
   ASSERT_TRUE(batches.ok());
   RowBatch batch;
@@ -270,6 +271,7 @@ TEST_F(BatchScanTest, BatchPathMatchesLegacyRowPath) {
   ASSERT_TRUE(att->PutDeleteMarker(dual::MakeRecordId(files[1].file_id, 5)).ok());
   ASSERT_TRUE(att->PutUpdate(dual::MakeRecordId(files[1].file_id, 5), 1,
                              Value::Int64(7)).ok());  // stays deleted
+  table_->PublishEditCommit();
 
   ScanSpec spec;
   spec.projection = {0, 1};

@@ -65,6 +65,7 @@ TEST_F(UnionReadTest, OverlayAppliesOnlyToMatchingRecord) {
     if (n++ == 17) target = (*it)->record_id();
   }
   ASSERT_TRUE(table_->attached()->PutUpdate(target, 1, Value::Int64(999)).ok());
+  table_->PublishEditCommit();
 
   auto it2 = table_->Scan(table::ScanSpec{});
   int count = 0;
@@ -87,6 +88,7 @@ TEST_F(UnionReadTest, DeleteMarkerHidesExactlyOneRecord) {
   ASSERT_TRUE((*it)->Next());
   uint64_t first = (*it)->record_id();
   ASSERT_TRUE(table_->attached()->PutDeleteMarker(first).ok());
+  table_->PublishEditCommit();
 
   auto count = table_->CountRows();
   ASSERT_TRUE(count.ok());
@@ -100,6 +102,7 @@ TEST_F(UnionReadTest, UpdateAfterDeleteMarkerStaysHidden) {
   uint64_t rid = (*it)->record_id();
   ASSERT_TRUE(table_->attached()->PutDeleteMarker(rid).ok());
   ASSERT_TRUE(table_->attached()->PutUpdate(rid, 1, Value::Int64(5)).ok());
+  table_->PublishEditCommit();
   // The paper's semantics: the delete marker wins; updates to deleted
   // records do not resurrect them.
   EXPECT_EQ(*table_->CountRows(), 0u);
@@ -122,6 +125,7 @@ TEST_F(UnionReadTest, PerFileSplitsSeeOnlyTheirModifications) {
   ASSERT_TRUE(table_->attached()
                   ->PutUpdate(MakeRecordId(files[1].file_id, 7), 1, Value::Int64(222))
                   .ok());
+  table_->PublishEditCommit();
 
   auto splits = table_->CreateSplits(table::ScanSpec{});
   ASSERT_TRUE(splits.ok());
@@ -149,6 +153,7 @@ TEST_F(UnionReadTest, ProjectionStillAppliesOverlays) {
   auto it = table_->Scan(table::ScanSpec{});
   ASSERT_TRUE((*it)->Next());
   ASSERT_TRUE(table_->attached()->PutUpdate((*it)->record_id(), 1, Value::Int64(77)).ok());
+  table_->PublishEditCommit();
 
   table::ScanSpec narrow;
   narrow.projection = {1};
