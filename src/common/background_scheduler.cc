@@ -6,8 +6,24 @@
 
 namespace dtl {
 
-BackgroundScheduler::BackgroundScheduler(std::chrono::milliseconds poll_interval)
-    : poll_interval_(poll_interval) {
+void SteadySchedulerClock::WaitForRound(std::condition_variable& cv,
+                                        std::unique_lock<std::mutex>& lock,
+                                        std::chrono::milliseconds poll_interval,
+                                        const std::function<bool()>& wake) {
+  cv.wait_for(lock, poll_interval, wake);
+}
+
+void ManualSchedulerClock::WaitForRound(std::condition_variable& cv,
+                                        std::unique_lock<std::mutex>& lock,
+                                        std::chrono::milliseconds /*poll_interval*/,
+                                        const std::function<bool()>& wake) {
+  cv.wait(lock, wake);
+}
+
+BackgroundScheduler::BackgroundScheduler(std::chrono::milliseconds poll_interval,
+                                         std::unique_ptr<SchedulerClock> clock)
+    : poll_interval_(poll_interval), clock_(std::move(clock)) {
+  if (!clock_) clock_ = std::make_unique<SteadySchedulerClock>();
   thread_ = std::thread([this] { Loop(); });
 }
 
@@ -82,8 +98,8 @@ double BackgroundScheduler::last_round_seconds() const {
 void BackgroundScheduler::Loop() {
   std::unique_lock<std::mutex> lock(mu_);
   while (!stop_) {
-    cv_.wait_for(lock, poll_interval_,
-                 [this] { return stop_ || wake_requested_; });
+    clock_->WaitForRound(cv_, lock, poll_interval_,
+                         [this] { return stop_ || wake_requested_; });
     if (stop_) break;
     wake_requested_ = false;
     ++rounds_started_;

@@ -28,6 +28,39 @@
 
 namespace dtl {
 
+/// How the scheduler daemon waits between rounds. The default steady clock
+/// sleeps on the condition variable with a timeout (rounds fire on a wall
+/// cadence OR an explicit Wake); the manual clock waits with NO timeout, so
+/// rounds fire only on Wake/Quiesce/Shutdown — deterministic tests drive the
+/// scheduler tick-by-tick without ever sleeping.
+class SchedulerClock {
+ public:
+  virtual ~SchedulerClock() = default;
+  /// Blocks the daemon until `wake()` becomes true, or — for real-time
+  /// clocks — until `poll_interval` elapses. Called with `lock` held on the
+  /// scheduler mutex guarding the state `wake` reads.
+  virtual void WaitForRound(std::condition_variable& cv,
+                            std::unique_lock<std::mutex>& lock,
+                            std::chrono::milliseconds poll_interval,
+                            const std::function<bool()>& wake) = 0;
+};
+
+/// Production behavior: timed wait, rounds fire every poll interval.
+class SteadySchedulerClock final : public SchedulerClock {
+ public:
+  void WaitForRound(std::condition_variable& cv, std::unique_lock<std::mutex>& lock,
+                    std::chrono::milliseconds poll_interval,
+                    const std::function<bool()>& wake) override;
+};
+
+/// Test behavior: untimed wait; only Wake/Quiesce/Shutdown start a round.
+class ManualSchedulerClock final : public SchedulerClock {
+ public:
+  void WaitForRound(std::condition_variable& cv, std::unique_lock<std::mutex>& lock,
+                    std::chrono::milliseconds poll_interval,
+                    const std::function<bool()>& wake) override;
+};
+
 class BackgroundScheduler {
  public:
   /// A poll fn checks its job's trigger condition and does the work inline;
@@ -35,7 +68,8 @@ class BackgroundScheduler {
   using PollFn = std::function<void()>;
 
   explicit BackgroundScheduler(
-      std::chrono::milliseconds poll_interval = std::chrono::milliseconds(20));
+      std::chrono::milliseconds poll_interval = std::chrono::milliseconds(20),
+      std::unique_ptr<SchedulerClock> clock = nullptr);
   ~BackgroundScheduler();
 
   BackgroundScheduler(const BackgroundScheduler&) = delete;
@@ -91,6 +125,7 @@ class BackgroundScheduler {
   bool wake_requested_ = false;
   bool stop_ = false;
   std::chrono::milliseconds poll_interval_;
+  std::unique_ptr<SchedulerClock> clock_;
   std::thread thread_;
 };
 

@@ -29,6 +29,14 @@ struct CostModelParams {
   /// Size m of one delete marker in the attached table, bytes. Determined
   /// "via data sampling": 8-byte record-ID key + qualifier + framing.
   double delete_marker_bytes = 20.0;
+  /// Closed-loop calibration coefficients (DESIGN.md §12): each plan's
+  /// predicted seconds are multiplied by its scale before the EDIT-vs-
+  /// OVERWRITE comparison. 1.0 = the open-loop paper model; CostAudit
+  /// feedback (DualTable cost_calibration_gain) nudges the executed plan's
+  /// scale toward measured/predicted so the planner converges on observed
+  /// hardware.
+  double edit_cost_scale = 1.0;
+  double overwrite_cost_scale = 1.0;
 };
 
 /// Outcome of a plan decision, with both plan costs for logging/ablation.
@@ -63,6 +71,13 @@ class CostModel {
 
   /// Delete ratio at which Eq. 2 changes sign.
   double DeleteCrossoverRatio(uint64_t table_bytes, double avg_row_bytes) const;
+
+  /// One calibration step: multiplies the executed plan's scale by
+  /// (measured/predicted)^gain (a multiplicative EWMA in log space).
+  /// `predicted`/`measured` are the already-scaled prediction and the
+  /// modelled actuals of the SAME statement; `edit_plan` names which scale to
+  /// nudge. No-op when gain <= 0 or either input is non-positive.
+  void Calibrate(bool edit_plan, double predicted, double measured, double gain);
 
  private:
   double MasterRead(double bytes) const {

@@ -1,14 +1,55 @@
 #include "dualtable/dual_table.h"
 
 #include <algorithm>
+#include <sstream>
 
 #include "common/stopwatch.h"
 #include "dualtable/record_id.h"
 #include "obs/cost_audit.h"
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dtl::dual {
+
+size_t IncrementalCompactionPlan::selected_files() const {
+  size_t n = 0;
+  for (const FileCompactionPlan& f : files) n += f.selected ? 1 : 0;
+  return n;
+}
+
+uint64_t IncrementalCompactionPlan::total_delta_rows() const {
+  uint64_t n = 0;
+  for (const FileCompactionPlan& f : files) n += f.delta_rows;
+  return n;
+}
+
+std::string IncrementalCompactionPlan::ToString() const {
+  std::ostringstream out;
+  out << "incremental compact plan: threshold=" << threshold << " files="
+      << files.size() << " selected=" << selected_files() << " strays="
+      << stray_record_ids.size();
+  for (const FileCompactionPlan& f : files) {
+    out << "\n  f_" << f.file_id << ": rows=" << f.rows << " deltas="
+        << f.delta_rows << " density=" << f.density()
+        << (f.selected ? " REWRITE" : " keep") << " stripes[";
+    for (size_t s = 0; s < f.stripes.size(); ++s) {
+      if (s > 0) out << " ";
+      out << s << ":" << f.stripes[s].density();
+    }
+    out << "]";
+  }
+  return out.str();
+}
+
+std::string IncrementalCompactStats::ToString() const {
+  std::ostringstream out;
+  out << "rewrote " << files_selected << "/" << files_total << " files ("
+      << stripes_rewritten << " stripes re-encoded, " << stripes_copied
+      << " copied, " << rows_rewritten << " rows, " << mods_folded
+      << " mods folded)";
+  return out.str();
+}
 
 Result<std::shared_ptr<DualTable>> DualTable::Open(fs::SimFileSystem* fs,
                                                    MetadataTable* metadata,
@@ -33,19 +74,30 @@ Result<std::shared_ptr<DualTable>> DualTable::Open(fs::SimFileSystem* fs,
     dual->compact_hist_ = metrics->histogram(obs::names::kDualCompactSeconds, name);
     dual->union_read_rows_hist_ =
         metrics->histogram(obs::names::kDualUnionReadRows, name);
+    dual->incremental_compact_hist_ =
+        metrics->histogram(obs::names::kDualIncrementalCompactSeconds, name);
+    dual->stripe_density_hist_ =
+        metrics->histogram(obs::names::kDualStripeDensityPpm, name);
+    dual->stripes_rewritten_ctr_ =
+        metrics->counter(obs::names::kDualStripesRewritten, name);
+    dual->stripes_copied_ctr_ = metrics->counter(obs::names::kDualStripesCopied, name);
+    dual->mods_folded_ctr_ = metrics->counter(obs::names::kDualModsFolded, name);
+    dual->edit_scale_gauge_ = metrics->gauge(obs::names::kDualEditCostScalePpm, name);
+    dual->overwrite_scale_gauge_ =
+        metrics->gauge(obs::names::kDualOverwriteCostScalePpm, name);
+    dual->edit_scale_gauge_->Set(
+        static_cast<int64_t>(dual->options_.cost_params.edit_cost_scale * 1e6));
+    dual->overwrite_scale_gauge_->Set(
+        static_cast<int64_t>(dual->options_.cost_params.overwrite_cost_scale * 1e6));
   }
   if (dual->options_.scheduler != nullptr && dual->options_.background_compaction) {
-    // NeedsCompaction() used to surface only through scans, so compaction
-    // debt accumulated unobserved on write-only workloads; the scheduler
-    // polls it instead. The raw pointer is safe: ~DualTable unregisters
-    // (blocking out an in-flight poll) before members die.
+    // Maintenance used to surface only through scans, so compaction debt
+    // accumulated unobserved on write-only workloads; the scheduler polls it
+    // instead. The raw pointer is safe: ~DualTable unregisters (blocking out
+    // an in-flight poll) before members die.
     DualTable* raw = dual.get();
     dual->scheduler_job_ = dual->options_.scheduler->Register(
-        "compact:" + name, [raw] {
-          if (!raw->NeedsCompaction()) return;
-          DTL_IGNORE_STATUS(raw->Compact(),
-                            "background compaction failure is retried next round");
-        });
+        "compact:" + name, [raw] { raw->BackgroundMaintenance(); });
   }
   return dual;
 }
@@ -396,11 +448,18 @@ double DualTable::AvgRowBytes() const {
 }
 
 PlanDecision DualTable::PreviewUpdateDecision(double alpha) const {
+  std::lock_guard<std::mutex> lock(cost_model_mu_);
   return cost_model_.DecideUpdate(master_->TotalBytes(), alpha);
 }
 
 PlanDecision DualTable::PreviewDeleteDecision(double beta) const {
+  std::lock_guard<std::mutex> lock(cost_model_mu_);
   return cost_model_.DecideDelete(master_->TotalBytes(), beta, AvgRowBytes());
+}
+
+CostModelParams DualTable::cost_model_params() const {
+  std::lock_guard<std::mutex> lock(cost_model_mu_);
+  return cost_model_.params();
 }
 
 Result<table::DmlResult> DualTable::Update(
@@ -427,7 +486,7 @@ Result<table::DmlResult> DualTable::UpdateWithHint(
       break;
     case DualTableOptions::PlanMode::kCostModel:
       ratio = ResolveRatio(ratio_hint);
-      decision = cost_model_.DecideUpdate(master_->TotalBytes(), ratio);
+      decision = PreviewUpdateDecision(ratio);
       plan = decision.plan;
       audited = options_.cost_audit != nullptr;
       break;
@@ -562,7 +621,7 @@ Result<table::DmlResult> DualTable::DeleteWithHint(const table::ScanSpec& filter
       break;
     case DualTableOptions::PlanMode::kCostModel:
       ratio = ResolveRatio(ratio_hint);
-      decision = cost_model_.DecideDelete(master_->TotalBytes(), ratio, AvgRowBytes());
+      decision = PreviewDeleteDecision(ratio);
       plan = decision.plan;
       audited = options_.cost_audit != nullptr;
       break;
@@ -709,6 +768,320 @@ Status DualTable::Compact() {
   return Status::OK();
 }
 
+double DualTable::IncrementalDensityThreshold() const {
+  if (options_.incremental_density_override >= 0) {
+    return std::min(options_.incremental_density_override, 1.0);
+  }
+  // The update crossover ratio is the modification fraction where folding
+  // into the master (OVERWRITE economics) beats keeping deltas attached;
+  // files whose accumulated density reaches it are worth rewriting. The
+  // floor keeps a tiny master from making every stripe "dense".
+  std::lock_guard<std::mutex> lock(cost_model_mu_);
+  return std::clamp(cost_model_.UpdateCrossoverRatio(master_->TotalBytes()), 0.01, 1.0);
+}
+
+Result<IncrementalCompactionPlan> DualTable::PreviewIncrementalCompaction() {
+  return PreviewIncrementalCompactionAt(AcquireSnapshot());
+}
+
+Result<IncrementalCompactionPlan> DualTable::PreviewIncrementalCompactionAt(
+    const SnapshotPtr& snapshot) const {
+  IncrementalCompactionPlan plan;
+  plan.threshold = IncrementalDensityThreshold();
+  const std::vector<MasterFileInfo>& gen_files = snapshot->generation->files();
+  plan.files.reserve(gen_files.size());
+  for (const MasterFileInfo& info : gen_files) {
+    DTL_ASSIGN_OR_RETURN(auto reader,
+                         master_->OpenReader(snapshot->generation, info.file_id));
+    FileCompactionPlan f;
+    f.file_id = info.file_id;
+    f.rows = info.num_rows;
+    f.bytes = info.bytes;
+    f.stripes.reserve(reader->num_stripes());
+    for (size_t s = 0; s < reader->num_stripes(); ++s) {
+      const orc::StripeInfo& st = reader->stripe(s);
+      f.stripes.push_back(StripeDensity{info.file_id, s, st.first_row, st.num_rows, 0});
+    }
+    plan.files.push_back(std::move(f));
+  }
+  // One ascending pass over every pinned attached modification, binned
+  // two-pointer style: files ascend by ID and stripes tile each file's row
+  // space, so both cursors only ever move forward.
+  auto mods = attached_->NewScannerAt(snapshot->attached);
+  size_t fi = 0;
+  size_t si = 0;
+  while (mods->Next()) {
+    const uint64_t rid = mods->modification().record_id;
+    const uint64_t fid = RecordFileId(rid);
+    const uint64_t row = RecordRowNumber(rid);
+    while (fi < plan.files.size() && plan.files[fi].file_id < fid) {
+      ++fi;
+      si = 0;
+    }
+    if (fi >= plan.files.size() || plan.files[fi].file_id != fid) {
+      // No such master file (leftovers of an earlier rewrite): invisible to
+      // UNION READ; the next publish tombstones them.
+      plan.stray_record_ids.push_back(rid);
+      continue;
+    }
+    FileCompactionPlan& f = plan.files[fi];
+    while (si < f.stripes.size() && f.stripes[si].first_row + f.stripes[si].rows <= row) {
+      ++si;
+    }
+    if (si < f.stripes.size() && row >= f.stripes[si].first_row) {
+      ++f.stripes[si].delta_rows;
+      ++f.delta_rows;
+    } else {
+      // Row number beyond the file's stripes: also unreachable garbage.
+      plan.stray_record_ids.push_back(rid);
+    }
+  }
+  DTL_RETURN_NOT_OK(mods->status());
+  for (FileCompactionPlan& f : plan.files) {
+    f.selected = f.rows > 0 && f.delta_rows > 0 && f.density() >= plan.threshold;
+  }
+  return plan;
+}
+
+Status DualTable::RewriteFileIncremental(const SnapshotPtr& snapshot,
+                                         const FileCompactionPlan& file,
+                                         std::vector<MasterFileInfo>* new_files,
+                                         std::vector<uint64_t>* folded,
+                                         IncrementalCompactStats* stats) {
+  DTL_ASSIGN_OR_RETURN(auto reader,
+                       master_->OpenReader(snapshot->generation, file.file_id));
+  auto mods = attached_->NewScannerAt(snapshot->attached, MakeRecordId(file.file_id, 0),
+                                      MakeRecordId(file.file_id + 1, 0));
+  bool mod_valid = mods->Next();
+  // Lazy writer: a file whose every surviving row is deleted produces no
+  // replacement file at all.
+  std::unique_ptr<MasterFileWriter> writer;
+  for (size_t s = 0; s < reader->num_stripes(); ++s) {
+    const orc::StripeInfo& info = reader->stripe(s);
+    const bool dirty = s < file.stripes.size() && file.stripes[s].delta_rows > 0;
+    if (!dirty) {
+      // Clean stripe: carry the encoded bytes (and their CRCs/stats) across
+      // verbatim — no decode, no re-encode.
+      DTL_ASSIGN_OR_RETURN(std::string raw, reader->ReadRawStripe(s));
+      if (writer == nullptr) {
+        DTL_ASSIGN_OR_RETURN(writer, master_->NewFileWriter());
+      }
+      DTL_RETURN_NOT_OK(writer->AppendRawStripe(info, raw));
+      ++stats->stripes_copied;
+      continue;
+    }
+    // Dirty stripe: decode, patch updates, mask deletes, re-encode.
+    DTL_ASSIGN_OR_RETURN(orc::StripeBatch batch, reader->ReadStripe(s));
+    ++stats->stripes_rewritten;
+    stats->rows_rewritten += batch.num_rows;
+    for (size_t i = 0; i < batch.num_rows; ++i) {
+      const uint64_t rid = MakeRecordId(file.file_id, batch.first_row + i);
+      while (mod_valid && mods->modification().record_id < rid) {
+        // Mod for a row this walk already passed (cannot normally happen);
+        // its cells die with the file either way.
+        folded->push_back(mods->modification().record_id);
+        ++stats->mods_folded;
+        mod_valid = mods->Next();
+      }
+      bool deleted = false;
+      Row row;
+      if (mod_valid && mods->modification().record_id == rid) {
+        const RecordModification& mod = mods->modification();
+        folded->push_back(rid);
+        ++stats->mods_folded;
+        if (mod.deleted) {
+          deleted = true;
+        } else {
+          row = batch.GetRow(i);
+          for (const auto& [col, value] : mod.updates) row[col] = value;
+        }
+        mod_valid = mods->Next();
+      } else {
+        row = batch.GetRow(i);
+      }
+      if (deleted) continue;
+      if (writer == nullptr) {
+        DTL_ASSIGN_OR_RETURN(writer, master_->NewFileWriter());
+      }
+      DTL_RETURN_NOT_OK(writer->Append(row));
+    }
+  }
+  // Mods past the last stripe are unreachable garbage; fold them too.
+  while (mod_valid) {
+    folded->push_back(mods->modification().record_id);
+    ++stats->mods_folded;
+    mod_valid = mods->Next();
+  }
+  DTL_RETURN_NOT_OK(mods->status());
+  if (writer != nullptr) {
+    DTL_ASSIGN_OR_RETURN(auto info, writer->Close());
+    new_files->push_back(std::move(info));
+  }
+  return Status::OK();
+}
+
+Result<IncrementalCompactStats> DualTable::CompactIncremental(obs::Tracer* tracer) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  Stopwatch watch;
+  SnapshotPtr snapshot = AcquireSnapshot();
+  IncrementalCompactionPlan plan;
+  {
+    obs::Span span(tracer, obs::names::kSpanCompactPlan);
+    DTL_ASSIGN_OR_RETURN(plan, PreviewIncrementalCompactionAt(snapshot));
+    span.AddRows(plan.total_delta_rows());
+    span.SetDetail(std::to_string(plan.selected_files()) + "/" +
+                   std::to_string(plan.files.size()) + " files >= " +
+                   std::to_string(plan.threshold));
+  }
+  IncrementalCompactStats stats;
+  stats.files_total = plan.files.size();
+  stats.files_selected = plan.selected_files();
+  if (stats.files_selected == 0) {
+    if (!plan.stray_record_ids.empty()) {
+      // Nothing to rewrite, but reclaimable garbage exists: drop it without
+      // touching the master generation.
+      std::lock_guard<std::mutex> snap_lock(snapshot_mu_);
+      if (plan.total_delta_rows() == 0) {
+        // No live deltas anywhere, so the store holds nothing a reader can
+        // see besides the strays; dropping it wholesale is exact.
+        DTL_RETURN_NOT_OK(attached_->Clear());
+      } else {
+        for (uint64_t rid : plan.stray_record_ids) {
+          DTL_RETURN_NOT_OK(attached_->store()->DeleteRow(RecordIdKey(rid)));
+        }
+        // Tombstones alone would grow the byte debt they exist to reclaim;
+        // the KV merge drops them together with the cells they mask.
+        DTL_RETURN_NOT_OK(attached_->store()->Compact());
+      }
+      commit_ts_ = attached_->LastTimestamp();
+      stats.mods_folded += plan.stray_record_ids.size();
+    }
+    return stats;
+  }
+
+  std::vector<MasterFileInfo> new_files;
+  std::vector<uint64_t> folded = plan.stray_record_ids;
+  stats.mods_folded += plan.stray_record_ids.size();
+  {
+    obs::Span span(tracer, obs::names::kSpanCompactRewrite);
+    Status st = Status::OK();
+    for (const FileCompactionPlan& f : plan.files) {
+      if (!f.selected) continue;
+      st = RewriteFileIncremental(snapshot, f, &new_files, &folded, &stats);
+      if (!st.ok()) break;
+    }
+    if (!st.ok()) {
+      // Staged replacements never reached the manifest; delete them now
+      // rather than waiting for the next Open()'s garbage collection.
+      for (const MasterFileInfo& info : new_files) {
+        DTL_IGNORE_STATUS(fs_->Delete(info.path),
+                          "failed incremental COMPACT cleanup; next Open() collects");
+      }
+      return st;
+    }
+    span.AddRows(stats.rows_rewritten);
+  }
+  // Kept files carry over verbatim: same path, same file ID, so their record
+  // IDs — and their still-attached deltas — stay valid across the swap.
+  const std::vector<MasterFileInfo>& gen_files = snapshot->generation->files();
+  bool fold_complete = true;
+  for (size_t i = 0; i < gen_files.size(); ++i) {
+    if (plan.files[i].selected) continue;
+    new_files.push_back(gen_files[i]);
+    if (plan.files[i].delta_rows > 0) fold_complete = false;
+  }
+  DTL_RETURN_NOT_OK(
+      PublishIncrementalRewrite(std::move(new_files), folded, fold_complete));
+  if (incremental_compact_hist_ != nullptr) {
+    incremental_compact_hist_->ObserveSeconds(watch.ElapsedSeconds());
+  }
+  if (stripes_rewritten_ctr_ != nullptr) {
+    stripes_rewritten_ctr_->Inc(stats.stripes_rewritten);
+    stripes_copied_ctr_->Inc(stats.stripes_copied);
+    mods_folded_ctr_->Inc(stats.mods_folded);
+  }
+  return stats;
+}
+
+Status DualTable::PublishIncrementalRewrite(std::vector<MasterFileInfo> full_set,
+                                            const std::vector<uint64_t>& folded_record_ids,
+                                            bool fold_complete) {
+  // Caller holds mu_ (writers are serialized); snapshot_mu_ nests inside it.
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  DTL_RETURN_NOT_OK(master_->ReplaceAllFiles(std::move(full_set)));
+  // The manifest rename above is the commit point. Everything below only
+  // reclaims attached cells whose file IDs just died; a crash that loses the
+  // reclamation is harmless (UNION READ is master-driven, so cells with no
+  // master row never surface) and the next incremental COMPACT re-collects
+  // them as strays.
+  if (fold_complete) {
+    // The fold covered every live modification: the kept files had no deltas
+    // and the rewritten files' deltas are now baked into the master. Drop the
+    // store wholesale, exactly as a full COMPACT would.
+    DTL_RETURN_NOT_OK(attached_->Clear());
+  } else {
+    for (uint64_t rid : folded_record_ids) {
+      DTL_RETURN_NOT_OK(attached_->store()->DeleteRow(RecordIdKey(rid)));
+    }
+    // Physically reclaim the folded cells: tombstones alone would grow the
+    // byte debt NeedsCompaction() watches; the KV merge drops them together
+    // with the cells they mask, leaving only the kept files' live deltas.
+    DTL_RETURN_NOT_OK(attached_->store()->Compact());
+  }
+  // Publish the reclamation to future snapshots. No in-flight EDIT can be
+  // straddling this (mu_ serializes writers), so the store clock is quiescent.
+  commit_ts_ = attached_->LastTimestamp();
+  return Status::OK();
+}
+
+void DualTable::BackgroundMaintenance() {
+  Result<IncrementalCompactionPlan> plan = PreviewIncrementalCompaction();
+  if (!plan.ok()) return;  // transient failure; retried next round
+  if (stripe_density_hist_ != nullptr) {
+    for (const FileCompactionPlan& f : plan->files) {
+      for (const StripeDensity& s : f.stripes) {
+        stripe_density_hist_->Observe(static_cast<uint64_t>(s.density() * 1e6));
+      }
+    }
+  }
+  if (plan->selected_files() > 0 || !plan->stray_record_ids.empty()) {
+    // CompactIncremental re-plans under mu_, so a DML statement landing
+    // between this preview and the lock is still folded correctly.
+    Result<IncrementalCompactStats> done = CompactIncremental();
+    DTL_IGNORE_STATUS(done.status(),
+                      "background incremental compaction is retried next round");
+    return;
+  }
+  if (!NeedsCompaction()) return;
+  if (plan->total_delta_rows() > 0) {
+    // Attached bytes piled up without any single file crossing the density
+    // threshold (deltas spread thin): fall back to the full rewrite. The
+    // delta-rows guard keeps KV tombstone bloat alone from triggering a
+    // pointless full rewrite.
+    DTL_IGNORE_STATUS(Compact(), "background compaction failure is retried next round");
+    return;
+  }
+  // Bytes above the threshold but zero live modifications: pure tombstone
+  // bloat left behind by earlier partial folds. Reclaim it without touching
+  // the master generation.
+  ReclaimAttachedGarbage();
+}
+
+void DualTable::ReclaimAttachedGarbage() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  // Re-plan under the writer lock: a DML statement may have landed between
+  // the caller's lock-free preview and here.
+  SnapshotPtr snapshot = AcquireSnapshot();
+  Result<IncrementalCompactionPlan> plan = PreviewIncrementalCompactionAt(snapshot);
+  if (!plan.ok()) return;
+  if (plan->total_delta_rows() > 0 || !plan->stray_record_ids.empty()) return;
+  // The scanner surfaced nothing, so every cell in the store is a tombstone
+  // or masked by one; dropping the store wholesale is invisible to readers.
+  std::lock_guard<std::mutex> snap_lock(snapshot_mu_);
+  DTL_IGNORE_STATUS(attached_->Clear(),
+                    "attached garbage reclamation is retried next round");
+}
+
 void DualTable::RecordDmlObservation(const char* statement, table::DmlPlan plan,
                                      const PlanDecision& decision, double ratio,
                                      bool ratio_from_hint, bool audited,
@@ -733,6 +1106,23 @@ void DualTable::RecordDmlObservation(const char* statement, table::DmlPlan plan,
   if (cluster_ != nullptr) {
     record.measured_modeled_seconds =
         cluster_->JobSeconds(fs_->meter()->Snapshot() - io_before);
+  }
+  if (options_.cost_calibration_gain > 0 && record.measured_modeled_seconds > 0) {
+    // Closed loop (DESIGN.md §12): nudge the executed plan's cost scale
+    // toward measured/predicted so the next decision — and the incremental-
+    // compaction density threshold derived from the crossover — track
+    // observed behavior instead of the open-loop paper coefficients.
+    std::lock_guard<std::mutex> lock(cost_model_mu_);
+    cost_model_.Calibrate(plan == table::DmlPlan::kEdit,
+                          record.PredictedExecutedSeconds(),
+                          record.measured_modeled_seconds,
+                          options_.cost_calibration_gain);
+    if (edit_scale_gauge_ != nullptr) {
+      edit_scale_gauge_->Set(
+          static_cast<int64_t>(cost_model_.params().edit_cost_scale * 1e6));
+      overwrite_scale_gauge_->Set(
+          static_cast<int64_t>(cost_model_.params().overwrite_cost_scale * 1e6));
+    }
   }
   options_.cost_audit->Record(std::move(record));
 }

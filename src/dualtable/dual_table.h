@@ -24,11 +24,73 @@
 
 namespace dtl::obs {
 class CostAudit;
+class Counter;
+class Gauge;
 class Histogram;
 class MetricsRegistry;
+class Tracer;
 }  // namespace dtl::obs
 
 namespace dtl::dual {
+
+/// Delta density of one master stripe: the fraction of its rows with at
+/// least one attached modification. The incremental-COMPACT planner bins
+/// attached record IDs into stripe row windows to compute these.
+struct StripeDensity {
+  uint64_t file_id = 0;
+  size_t stripe_index = 0;
+  uint64_t first_row = 0;
+  uint64_t rows = 0;
+  uint64_t delta_rows = 0;  // modified records in [first_row, first_row+rows)
+
+  double density() const {
+    return rows == 0 ? 0.0 : static_cast<double>(delta_rows) / static_cast<double>(rows);
+  }
+};
+
+/// One master file's rollup in an incremental-COMPACT plan. The swap unit is
+/// the file (record IDs are immutable, so a stripe cannot move between files
+/// without invalidating its rows' attached keys); stripe densities decide
+/// which stripes inside a selected file are re-encoded vs raw-copied.
+struct FileCompactionPlan {
+  uint64_t file_id = 0;
+  uint64_t rows = 0;
+  uint64_t bytes = 0;
+  uint64_t delta_rows = 0;
+  bool selected = false;  // density() >= the plan threshold
+  std::vector<StripeDensity> stripes;
+
+  double density() const {
+    return rows == 0 ? 0.0 : static_cast<double>(delta_rows) / static_cast<double>(rows);
+  }
+};
+
+/// Read-only incremental-COMPACT plan: what CompactIncremental WOULD rewrite.
+/// EXPLAIN COMPACT INCREMENTAL renders it; the background maintenance job
+/// uses it to pick work; CompactIncremental executes it.
+struct IncrementalCompactionPlan {
+  double threshold = 0.0;  // density at/above which a file is rewritten
+  std::vector<FileCompactionPlan> files;  // ascending file_id
+  /// Attached record IDs whose file is not in the generation (leftovers from
+  /// earlier rewrites); invisible to UNION READ, tombstoned at publish.
+  std::vector<uint64_t> stray_record_ids;
+
+  size_t selected_files() const;
+  uint64_t total_delta_rows() const;
+  std::string ToString() const;  // EXPLAIN rendering, one line per file
+};
+
+/// What one CompactIncremental call actually did.
+struct IncrementalCompactStats {
+  size_t files_total = 0;
+  size_t files_selected = 0;
+  size_t stripes_rewritten = 0;  // decoded, patched, re-encoded
+  size_t stripes_copied = 0;     // clean: raw byte copy, no decode
+  uint64_t rows_rewritten = 0;   // rows in re-encoded stripes (pre-delete)
+  uint64_t mods_folded = 0;      // attached records folded into the master
+
+  std::string ToString() const;
+};
 
 struct DualTableOptions {
   orc::WriterOptions writer_options;
@@ -58,6 +120,19 @@ struct DualTableOptions {
   /// is the inline alternative).
   bool auto_compact = false;
 
+  /// Stripe delta density at/above which incremental COMPACT rewrites a
+  /// file. Negative (the default) derives the threshold from the cost
+  /// model's calibrated update crossover ratio — the density where folding
+  /// deltas into the master becomes cheaper than keeping them attached.
+  double incremental_density_override = -1.0;
+
+  /// Closed-loop cost-model calibration gain (DESIGN.md §12). After every
+  /// audited kCostModel statement, the executed plan's cost scale moves by
+  /// (measured/predicted)^gain. 0 (the default) keeps the open-loop paper
+  /// model. Requires `cost_audit` to be wired (the audit record carries the
+  /// modelled actuals the loop feeds on).
+  double cost_calibration_gain = 0.0;
+
   /// Route Scan/ScanBatches/CreateSplits/ScanAsOf through the vectorized
   /// UNION READ (RowBatch pipeline). Off = the original row-at-a-time merge,
   /// kept as the comparison baseline (see ScanLegacyRows).
@@ -74,8 +149,10 @@ struct DualTableOptions {
 
   /// Background maintenance scheduler. When set together with
   /// `background_compaction`, the table registers a poll job that runs
-  /// Compact() whenever NeedsCompaction() is true — so compaction debt is
-  /// paid even on write-only workloads that never scan.
+  /// BackgroundMaintenance() every round: incremental COMPACT of the densest
+  /// files when any cross the threshold, full COMPACT as the fallback when
+  /// attached bytes pile up below it — so compaction debt is paid even on
+  /// write-only workloads that never scan.
   std::shared_ptr<BackgroundScheduler> scheduler;
   bool background_compaction = false;
 
@@ -169,8 +246,34 @@ class DualTable : public table::StorageTable {
                                           std::optional<double> ratio_hint);
 
   /// COMPACT (paper §III-C): UNION READ into a new master generation, then
-  /// clear the attached table. Blocks every other operation on this table.
+  /// clear the attached table. Blocks every other writer on this table.
   Status Compact();
+
+  /// Incremental COMPACT: rewrites only the master files whose attached
+  /// delta density crosses the cost-model threshold (clean stripes inside a
+  /// rewritten file are raw-copied without decoding), publishes the swapped
+  /// file set through the same manifest commit as full COMPACT, then
+  /// tombstones exactly the folded records' attached cells. Kept files and
+  /// their attached deltas are untouched, so read-after-update latency stays
+  /// flat instead of saw-toothing on full rewrites. `tracer` (optional)
+  /// receives compact-plan / compact-rewrite spans for EXPLAIN ANALYZE.
+  Result<IncrementalCompactStats> CompactIncremental(obs::Tracer* tracer = nullptr);
+
+  /// Plan-only view of what CompactIncremental would do right now: per-file
+  /// and per-stripe delta densities plus the selection threshold. Makes no
+  /// writes; safe from any thread.
+  Result<IncrementalCompactionPlan> PreviewIncrementalCompaction();
+
+  /// The density at/above which a file is rewritten: the explicit override
+  /// when set, else the calibrated cost model's update crossover ratio for
+  /// the current master size.
+  double IncrementalDensityThreshold() const;
+
+  /// One background-scheduler round of maintenance: observes stripe
+  /// densities into the metrics histogram, runs incremental COMPACT when the
+  /// plan selects files, and falls back to full COMPACT when attached bytes
+  /// exceed the threshold without any single file being dense enough.
+  void BackgroundMaintenance();
 
   /// True when the attached table exceeds the compaction threshold.
   bool NeedsCompaction() const;
@@ -209,6 +312,9 @@ class DualTable : public table::StorageTable {
   MasterTable* master() { return master_.get(); }
   AttachedTable* attached() { return attached_.get(); }
   const CostModel& cost_model() const { return cost_model_; }
+  /// Point-in-time copy of the cost-model coefficients (the calibration loop
+  /// mutates them; a copy keeps cross-thread readers race-free).
+  CostModelParams cost_model_params() const;
   /// Plan used by the most recent UPDATE/DELETE.
   table::DmlPlan last_plan() const { return last_plan_; }
 
@@ -244,6 +350,39 @@ class DualTable : public table::StorageTable {
   /// AcquireSnapshot sees either the old (generation, deltas) pair or the
   /// new (generation, empty) pair, never a torn mix.
   Status PublishRewrite(std::vector<MasterFileInfo> new_files);
+
+  /// Incremental-COMPACT commit: swaps in `full_set` (kept files + rewritten
+  /// replacements), then reclaims the folded attached cells — deltas of kept
+  /// files survive. With `fold_complete` (no kept file held deltas) the store
+  /// is cleared wholesale like a full COMPACT; otherwise `folded_record_ids`
+  /// are tombstoned and the KV store merged to physically drop them. The
+  /// manifest rename inside ReplaceAllFiles is the commit point; the
+  /// reclamation is post-commit cleanup of cells whose file IDs just died
+  /// (invisible to UNION READ either way).
+  Status PublishIncrementalRewrite(std::vector<MasterFileInfo> full_set,
+                                   const std::vector<uint64_t>& folded_record_ids,
+                                   bool fold_complete);
+
+  /// Drops the attached store when it holds only dead weight (tombstones and
+  /// the cells they mask): re-plans under mu_ and clears the store iff the
+  /// scan surfaces zero modifications. Called by BackgroundMaintenance when
+  /// the byte debt crosses the compact threshold with no live deltas behind
+  /// it.
+  void ReclaimAttachedGarbage();
+
+  /// Plan computation against a pinned snapshot (one attached scan, binned
+  /// into stripe row windows two-pointer style).
+  Result<IncrementalCompactionPlan> PreviewIncrementalCompactionAt(
+      const SnapshotPtr& snapshot) const;
+
+  /// Rewrites one selected file into (at most) one replacement: dirty
+  /// stripes are decoded/patched/masked, clean stripes raw-copied. Appends
+  /// the replacement's info to `new_files` (nothing when every row was
+  /// deleted) and the folded record IDs to `folded`.
+  Status RewriteFileIncremental(const SnapshotPtr& snapshot, const FileCompactionPlan& file,
+                                std::vector<MasterFileInfo>* new_files,
+                                std::vector<uint64_t>* folded,
+                                IncrementalCompactStats* stats);
 
   /// Builds the scan spec a DML statement needs (filter + assignment inputs).
   table::ScanSpec DmlScanSpec(const table::ScanSpec& filter,
@@ -291,10 +430,22 @@ class DualTable : public table::StorageTable {
   DualTableOptions options_;
   const fs::ClusterModel* cluster_;
   CostModel cost_model_;
+  /// Guards cost_model_: the calibration loop mutates its params on the DML
+  /// thread while the scheduler thread reads crossover ratios for the
+  /// incremental threshold. Leaf lock — never held while taking mu_ or
+  /// snapshot_mu_.
+  mutable std::mutex cost_model_mu_;
   obs::Histogram* edit_hist_ = nullptr;       // EDIT-plan DML wall seconds
   obs::Histogram* overwrite_hist_ = nullptr;  // OVERWRITE-plan DML wall seconds
   obs::Histogram* compact_hist_ = nullptr;    // COMPACT wall seconds
   obs::Histogram* union_read_rows_hist_ = nullptr;  // rows per UNION READ scan
+  obs::Histogram* incremental_compact_hist_ = nullptr;  // incremental COMPACT wall s
+  obs::Histogram* stripe_density_hist_ = nullptr;       // density ppm per stripe
+  obs::Counter* stripes_rewritten_ctr_ = nullptr;
+  obs::Counter* stripes_copied_ctr_ = nullptr;
+  obs::Counter* mods_folded_ctr_ = nullptr;
+  obs::Gauge* edit_scale_gauge_ = nullptr;       // edit_cost_scale × 1e6
+  obs::Gauge* overwrite_scale_gauge_ = nullptr;  // overwrite_cost_scale × 1e6
   std::unique_ptr<MasterTable> master_;
   std::unique_ptr<AttachedTable> attached_;
   /// Serializes writers (DML, COMPACT). Reads no longer take it: they pin a

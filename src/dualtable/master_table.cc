@@ -83,6 +83,11 @@ bool StripeMayMatch(const orc::StripeInfo& stripe,
 
 Status MasterFileWriter::Append(const Row& row) { return writer_->Append(row); }
 
+Status MasterFileWriter::AppendRawStripe(const orc::StripeInfo& info,
+                                         const std::string& stripe_bytes) {
+  return writer_->AppendRawStripe(info, stripe_bytes);
+}
+
 Result<MasterFileInfo> MasterFileWriter::Close() {
   DTL_RETURN_NOT_OK(writer_->Close());
   // The writer staged the file at <path>.tmp; publish it with an atomic
@@ -403,19 +408,43 @@ Status MasterTable::ReplaceAllFiles(std::vector<MasterFileInfo> new_files) {
             [](const MasterFileInfo& a, const MasterFileInfo& b) {
               return a.file_id < b.file_id;
             });
+  {
+    // Files surviving into the new generation (incremental COMPACT keeps the
+    // ones it did not rewrite) carry their warmed readers forward so the swap
+    // does not cold-start their stripe caches.
+    std::lock_guard<std::mutex> cache_lock(current_->reader_cache_mu_);
+    for (const auto& f : next->files_) {
+      auto it = current_->reader_cache_.find(f.file_id);
+      if (it != current_->reader_cache_.end()) next->reader_cache_[f.file_id] = it->second;
+    }
+  }
   // Commit the new generation before dooming the old one: after a crash,
   // Open() serves whichever generation the manifest names and
   // garbage-collects the other.
   DTL_RETURN_NOT_OK(WriteManifest(*next));
-  // The replaced files stay on disk until the outgoing generation's last
+  // Replaced files stay on disk until the outgoing generation's last
   // snapshot pin drops (its destructor deletes them). Scans pinned to it
-  // keep reading byte-identical data; nothing tears.
+  // keep reading byte-identical data; nothing tears. Files carried into the
+  // new generation untouched (incremental COMPACT) must NOT be doomed: the
+  // new generation still reads them.
   std::vector<std::string> doomed;
   doomed.reserve(current_->files_.size());
-  for (const auto& f : current_->files_) doomed.push_back(f.path);
+  for (const auto& f : current_->files_) {
+    bool kept = false;
+    for (const auto& nf : next->files_) kept |= (nf.path == f.path);
+    if (!kept) doomed.push_back(f.path);
+  }
   current_->doomed_paths_ = std::move(doomed);
   current_ = std::move(next);
   return Status::OK();
+}
+
+Result<std::shared_ptr<orc::OrcReader>> MasterTable::OpenReader(
+    const MasterGenerationPtr& gen, uint64_t file_id) const {
+  for (const MasterFileInfo& info : gen->files()) {
+    if (info.file_id == file_id) return gen->OpenReader(info);
+  }
+  return Status::NotFound("no master file with ID " + std::to_string(file_id));
 }
 
 Result<std::unique_ptr<MasterScanIterator>> MasterTable::NewScanIterator(

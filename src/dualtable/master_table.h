@@ -95,6 +95,10 @@ struct ScanMorsel {
 class MasterFileWriter {
  public:
   Status Append(const Row& row);
+  /// Byte-copies one already-encoded stripe (CRC-verified by the reader that
+  /// produced it) into this file; incremental COMPACT uses it to carry clean
+  /// stripes across a rewrite without decoding them.
+  Status AppendRawStripe(const orc::StripeInfo& info, const std::string& stripe_bytes);
   /// Seals the ORC file and returns its directory entry.
   Result<MasterFileInfo> Close();
 
@@ -232,6 +236,12 @@ class MasterTable {
   /// then deletes current ones. The manifest rename is the commit point — a
   /// crash before it keeps the old generation, after it the new one.
   Status ReplaceAllFiles(std::vector<MasterFileInfo> new_files);
+
+  /// Opens (via the generation's cache) the ORC reader for one pinned file.
+  /// Incremental COMPACT uses it to walk stripe row windows and raw-copy
+  /// clean stripes without decoding them.
+  Result<std::shared_ptr<orc::OrcReader>> OpenReader(const MasterGenerationPtr& gen,
+                                                     uint64_t file_id) const;
 
   /// Test hook: when set, RegisterFile/ReplaceAllFiles delete the manifest
   /// instead of writing it, reverting Open() to the unsafe scan-everything

@@ -44,6 +44,23 @@ std::vector<CostAuditRecord> CostAudit::Records() const {
   return records_;
 }
 
+std::vector<CostAuditRecord> CostAudit::RecordsSince(size_t cursor) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (cursor >= records_.size()) return {};
+  return std::vector<CostAuditRecord>(records_.begin() + static_cast<long>(cursor),
+                                      records_.end());
+}
+
+double CostAudit::MeanPredictionErrorSince(size_t cursor) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (cursor >= records_.size()) return 0;
+  double sum = 0;
+  for (size_t i = cursor; i < records_.size(); ++i) {
+    sum += records_[i].PredictionErrorFraction();
+  }
+  return sum / static_cast<double>(records_.size() - cursor);
+}
+
 size_t CostAudit::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return records_.size();

@@ -53,6 +53,14 @@ class CostAudit {
 
   void Record(CostAuditRecord record);
   std::vector<CostAuditRecord> Records() const;
+  /// Records appended at or after index `cursor` — the calibration loop's
+  /// feedback accessor: callers remember the last size() they consumed and
+  /// pull only the delta.
+  std::vector<CostAuditRecord> RecordsSince(size_t cursor) const;
+  /// Mean PredictionErrorFraction() over records at or after `cursor`
+  /// (0 when the window is empty). Benches and tests use this to show the
+  /// calibrated model's error shrinking versus the open-loop window.
+  double MeanPredictionErrorSince(size_t cursor) const;
   size_t size() const;
   void Clear();
 

@@ -55,6 +55,25 @@ inline constexpr const char* kDualOverwriteSeconds = "dualtable.overwrite.second
 inline constexpr const char* kDualCompactSeconds = "dualtable.compact.seconds";
 inline constexpr const char* kDualUnionReadRows = "dualtable.union_read.rows";
 
+// --- Incremental compaction (labeled by table name) ---------------------------
+// Stripe delta density is observed in parts-per-million (density × 1e6) so the
+// integer-tick histogram keeps resolution below 1%.
+inline constexpr const char* kDualIncrementalCompactSeconds =
+    "dualtable.incremental_compact.seconds";
+inline constexpr const char* kDualStripeDensityPpm =
+    "dualtable.incremental_compact.stripe_density_ppm";
+inline constexpr const char* kDualStripesRewritten =
+    "dualtable.incremental_compact.stripes_rewritten";
+inline constexpr const char* kDualStripesCopied =
+    "dualtable.incremental_compact.stripes_copied";
+inline constexpr const char* kDualModsFolded =
+    "dualtable.incremental_compact.mods_folded";
+// Calibrated cost-model coefficients exported as gauges (scale × 1e6).
+inline constexpr const char* kDualEditCostScalePpm =
+    "dualtable.cost_model.edit_scale_ppm";
+inline constexpr const char* kDualOverwriteCostScalePpm =
+    "dualtable.cost_model.overwrite_scale_ppm";
+
 // --- MVCC snapshot views (labeled by table name) ------------------------------
 inline constexpr const char* kSnapshotAcquired = "snapshot.acquired";
 inline constexpr const char* kSnapshotActive = "snapshot.active";
@@ -76,6 +95,8 @@ inline constexpr const char* kSpanInsert = "insert";
 inline constexpr const char* kSpanUpdate = "update";
 inline constexpr const char* kSpanDelete = "delete";
 inline constexpr const char* kSpanCompact = "compact";
+inline constexpr const char* kSpanCompactPlan = "compact-plan";
+inline constexpr const char* kSpanCompactRewrite = "compact-rewrite";
 inline constexpr const char* kSpanMerge = "merge";
 
 // --- Operator trace-node names ------------------------------------------------

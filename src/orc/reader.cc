@@ -169,6 +169,36 @@ Result<StripeBatch> OrcReader::ReadStripe(size_t stripe_index,
   return batch;
 }
 
+Result<std::string> OrcReader::ReadRawStripe(size_t stripe_index) const {
+  if (stripe_index >= footer_.stripes.size()) {
+    return Status::OutOfRange("stripe index out of range");
+  }
+  const StripeInfo& info = footer_.stripes[stripe_index];
+  const size_t num_cols = footer_.schema.num_fields();
+  std::string raw;
+  DTL_RETURN_NOT_OK(file_->ReadAt(info.offset, info.length, &raw));
+  // Verify every column stream before handing the bytes out: the raw-copy
+  // path re-publishes them into a new file under the SAME footer CRCs, so a
+  // flipped bit here must surface now, not in some later scan.
+  uint64_t col_offset = 0;
+  for (size_t c = 0; c < num_cols; ++c) {
+    const StreamInfo& streams = info.streams[c];
+    const uint64_t len = streams.presence_length + streams.data_length;
+    if (col_offset + len > raw.size()) {
+      return Status::Corruption("stripe stream lengths overflow stripe in " + path_);
+    }
+    if (Crc32(raw.data() + col_offset, len) != streams.crc) {
+      return Status::Corruption("ORC stream checksum mismatch in " + path_);
+    }
+    col_offset += len;
+  }
+  if (col_offset != raw.size()) {
+    return Status::Corruption("stripe stream lengths disagree with stripe length in " +
+                              path_);
+  }
+  return raw;
+}
+
 Result<std::shared_ptr<const StripeBatch>> OrcReader::ReadStripeShared(
     size_t stripe_index, std::vector<size_t> projection) const {
   {

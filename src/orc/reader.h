@@ -75,6 +75,11 @@ class OrcReader {
   Result<std::shared_ptr<const StripeBatch>> ReadStripeShared(
       size_t stripe_index, std::vector<size_t> projection = {}) const;
 
+  /// Reads one stripe's encoded bytes verbatim (no decode), verifying every
+  /// column's CRC first so incremental COMPACT's raw stripe copy can never
+  /// propagate a corrupted stripe into a new master file.
+  Result<std::string> ReadRawStripe(size_t stripe_index) const;
+
  private:
   OrcReader(std::unique_ptr<fs::RandomAccessFile> file, FileFooter footer)
       : file_(std::move(file)), footer_(std::move(footer)) {}

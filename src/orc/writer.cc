@@ -40,6 +40,28 @@ Status OrcWriter::Append(const Row& row) {
   return Status::OK();
 }
 
+Status OrcWriter::AppendRawStripe(const StripeInfo& info, const std::string& stripe_bytes) {
+  if (closed_) return Status::IoError("append to closed ORC writer");
+  if (info.streams.size() != schema_.num_fields()) {
+    return Status::InvalidArgument("raw stripe column count " +
+                                   std::to_string(info.streams.size()) +
+                                   " does not match schema arity " +
+                                   std::to_string(schema_.num_fields()));
+  }
+  if (stripe_bytes.size() != info.length) {
+    return Status::InvalidArgument("raw stripe byte count disagrees with stripe length");
+  }
+  DTL_RETURN_NOT_OK(FlushStripe());
+  StripeInfo copy = info;
+  copy.offset = file_offset_;
+  copy.first_row = rows_written_;
+  DTL_RETURN_NOT_OK(file_->Append(stripe_bytes));
+  file_offset_ += stripe_bytes.size();
+  rows_written_ += info.num_rows;
+  footer_.stripes.push_back(std::move(copy));
+  return Status::OK();
+}
+
 Status OrcWriter::FlushStripe() {
   if (pending_.empty()) return Status::OK();
   const size_t num_cols = schema_.num_fields();

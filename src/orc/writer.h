@@ -31,6 +31,14 @@ class OrcWriter {
   /// Appends one row; must match the schema arity.
   Status Append(const Row& row);
 
+  /// Appends a whole stripe verbatim from another file with the same schema:
+  /// the encoded bytes land unchanged (stream lengths, per-column CRCs, and
+  /// column stats carry over), only the stripe's offset and first_row are
+  /// rebased into this file. Any buffered rows are flushed as their own
+  /// stripe first so row order is preserved. This is incremental COMPACT's
+  /// clean-stripe fast path: no decode, no re-encode.
+  Status AppendRawStripe(const StripeInfo& info, const std::string& stripe_bytes);
+
   /// Flushes the pending stripe, writes the footer, and seals the file.
   Status Close();
 

@@ -146,6 +146,9 @@ struct DeleteStmt {
 
 struct CompactStmt {
   std::string table;
+  /// COMPACT INCREMENTAL TABLE t: rewrite only the master files whose
+  /// attached delta density crosses the cost-model threshold.
+  bool incremental = false;
 };
 
 struct ShowTablesStmt {};

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <set>
+#include <sstream>
 
 #include "baseline/acid_table.h"
 #include "common/stopwatch.h"
@@ -955,6 +956,16 @@ Result<QueryResult> Engine::ExecuteDelete(const DeleteStmt& stmt) {
 
 Result<QueryResult> Engine::ExecuteCompact(const CompactStmt& stmt) {
   DTL_ASSIGN_OR_RETURN(auto entry, catalog_->Lookup(stmt.table));
+  QueryResult result;
+  if (stmt.incremental) {
+    if (entry.kind != table::TableKind::kDual) {
+      return Status::NotSupported("COMPACT INCREMENTAL supports dualtable tables only");
+    }
+    auto* dual = dynamic_cast<dual::DualTable*>(entry.table.get());
+    DTL_ASSIGN_OR_RETURN(auto stats, dual->CompactIncremental(exec_.tracer));
+    result.message = "incremental compact of " + stmt.table + ": " + stats.ToString();
+    return result;
+  }
   if (entry.kind == table::TableKind::kDual) {
     auto* dual = dynamic_cast<dual::DualTable*>(entry.table.get());
     DTL_RETURN_NOT_OK(dual->Compact());
@@ -964,7 +975,6 @@ Result<QueryResult> Engine::ExecuteCompact(const CompactStmt& stmt) {
   } else {
     return Status::NotSupported("COMPACT supports dualtable and acid tables only");
   }
-  QueryResult result;
   result.message = "compacted table " + stmt.table;
   return result;
 }
@@ -1186,6 +1196,20 @@ Result<QueryResult> Engine::ExecuteExplain(const ExplainStmt& stmt) {
     if (!select->group_by.empty() || select->having) emit("  hash aggregate");
     if (!select->order_by.empty()) emit("  sort");
     if (select->limit) emit("  limit " + std::to_string(*select->limit));
+    return result;
+  }
+  if (const auto* compact = std::get_if<CompactStmt>(stmt.inner.get())) {
+    DTL_ASSIGN_OR_RETURN(auto entry, catalog_->Lookup(compact->table));
+    if (compact->incremental && entry.kind == table::TableKind::kDual) {
+      auto* dual = dynamic_cast<dual::DualTable*>(entry.table.get());
+      emit("COMPACT INCREMENTAL " + compact->table);
+      DTL_ASSIGN_OR_RETURN(auto plan, dual->PreviewIncrementalCompaction());
+      std::istringstream lines(plan.ToString());
+      for (std::string line; std::getline(lines, line);) emit("  " + line);
+      return result;
+    }
+    emit(std::string(compact->incremental ? "COMPACT INCREMENTAL " : "COMPACT ") +
+         compact->table + " (" + table::TableKindName(entry.kind) + "): full rewrite");
     return result;
   }
   emit("statement executes directly (no plan choices)");

@@ -16,6 +16,7 @@ const std::unordered_set<std::string> kKeywords = {
     "into",   "values", "update", "set",   "delete", "create", "table",  "drop",
     "stored", "if",    "exists", "with",   "ratio",  "compact", "show",  "tables",
     "like",   "between", "merge", "overwrite", "load", "data", "inpath", "explain",
+    "incremental",
 };
 
 class Parser {
@@ -328,9 +329,14 @@ class Parser {
 
   Result<Statement> ParseCompact() {
     DTL_RETURN_NOT_OK(ExpectKeyword("compact"));
-    DTL_RETURN_NOT_OK(ExpectKeyword("table"));
     CompactStmt stmt;
+    // Both "COMPACT INCREMENTAL TABLE t" and "COMPACT TABLE t INCREMENTAL"
+    // are accepted; the trailing form reads like the Hive ALTER ... COMPACT
+    // modifiers.
+    if (AcceptKeyword("incremental")) stmt.incremental = true;
+    DTL_RETURN_NOT_OK(ExpectKeyword("table"));
     DTL_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
+    if (AcceptKeyword("incremental")) stmt.incremental = true;
     return Statement(std::move(stmt));
   }
 

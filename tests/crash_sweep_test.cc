@@ -596,6 +596,217 @@ TEST(CrashSweepTest, CompactGenerationSwapWithPinnedSnapshot) {
   }
 }
 
+// --- DualTable incremental-COMPACT sweep ------------------------------------------
+
+dual::DualTableOptions DualIncrementalSweepOptions() {
+  dual::DualTableOptions options = DualSweepOptions();
+  // Mid-bar selection: dense files fold, sparse files survive with their
+  // attached deltas — so every crash point lands inside a PARTIAL fold
+  // (kept files + rewritten files + per-record tombstoning).
+  options.incremental_density_override = 0.5;
+  return options;
+}
+
+std::vector<Row> RowsInRange(int64_t lo, int64_t hi) {
+  std::vector<Row> out;
+  for (int64_t id = lo; id < hi; ++id) {
+    out.push_back({Value::Int64(id), Value::Int64(0)});
+  }
+  return out;
+}
+
+/// EDITs at very different densities interleaved with incremental COMPACTs.
+/// The first compact folds only the dense file (the sparse file's deltas stay
+/// attached across the generation swap); the second folds the follow-up
+/// damage. Both are logical no-ops at every crash point.
+std::vector<Statement<DualEnv>> DualIncrementalStatements() {
+  auto update = [](int64_t value, std::function<bool(int64_t)> pred) {
+    return Statement<DualEnv>{
+        [value, pred](DualEnv* env) { return RunUpdate(env->table.get(), value, pred); },
+        [value, pred](State* state) { ApplyUpdate(state, value, pred); }};
+  };
+  auto remove = [](std::function<bool(int64_t)> pred) {
+    return Statement<DualEnv>{
+        [pred](DualEnv* env) { return RunDelete(env->table.get(), pred); },
+        [pred](State* state) { ApplyDelete(state, pred); }};
+  };
+  auto incremental = []() {
+    return Statement<DualEnv>{
+        [](DualEnv* env) { return env->table->CompactIncremental().status(); },
+        [](State*) {}};
+  };
+  std::vector<Statement<DualEnv>> statements;
+  statements.push_back(update(1, [](int64_t id) { return id < 50; }));             // dense, file 1
+  statements.push_back(update(2, [](int64_t id) { return id >= 60 && id < 66; })); // sparse, file 2
+  statements.push_back(incremental());
+  statements.push_back(remove([](int64_t id) { return id % 4 == 0; }));
+  statements.push_back(update(3, [](int64_t id) { return id >= 30 && id < 90; }));
+  statements.push_back(incremental());
+  return statements;
+}
+
+void RunDualIncrementalCrashSweep(double tear_fraction) {
+  static const std::vector<Statement<DualEnv>> statements = DualIncrementalStatements();
+  constexpr int64_t kRows = 120;
+
+  auto setup = [](fs::SimFileSystem* fs) -> std::unique_ptr<DualEnv> {
+    auto env = std::make_unique<DualEnv>();
+    auto metadata = dual::MetadataTable::Open(fs);
+    if (!metadata.ok()) return nullptr;
+    env->metadata = std::move(metadata.value());
+    auto table = dual::DualTable::Open(fs, env->metadata.get(), &env->cluster, "it",
+                                       TableSchema(), DualIncrementalSweepOptions());
+    if (!table.ok()) return nullptr;
+    env->table = std::move(table.value());
+    // Two master files, so incremental selection has both a fold target and
+    // a keeper at every point in the workload.
+    if (!env->table->InsertRows(RowsInRange(0, 60)).ok()) return nullptr;
+    if (!env->table->InsertRows(RowsInRange(60, kRows)).ok()) return nullptr;
+    return env;
+  };
+  auto statement = [](DualEnv* env, size_t i) { return statements[i].run(env); };
+  auto verify = MakeTableVerifier<DualEnv>(
+      &statements, kRows, /*statement_atomic=*/false,
+      [](fs::SimFileSystem* fs) -> Result<std::shared_ptr<table::StorageTable>> {
+        auto metadata = dual::MetadataTable::Open(fs);
+        if (!metadata.ok()) return metadata.status();
+        auto cluster = std::make_shared<fs::ClusterModel>();
+        auto table = dual::DualTable::Open(fs, metadata->get(), cluster.get(), "it",
+                                           TableSchema(), DualIncrementalSweepOptions());
+        if (!table.ok()) return table.status();
+        struct Holder {
+          std::unique_ptr<dual::MetadataTable> metadata;
+          std::shared_ptr<fs::ClusterModel> cluster;
+          std::shared_ptr<dual::DualTable> table;
+        };
+        auto holder = std::make_shared<Holder>();
+        holder->metadata = std::move(metadata.value());
+        holder->cluster = std::move(cluster);
+        holder->table = std::move(table.value());
+        return std::shared_ptr<table::StorageTable>(holder, holder->table.get());
+      });
+  RunCrashSweep<DualEnv>("dualtable incremental tear=" + std::to_string(tear_fraction),
+                         tear_fraction, statements.size(), setup, statement, verify);
+}
+
+TEST(CrashSweepTest, DualTableIncrementalCompact) { RunDualIncrementalCrashSweep(0.0); }
+
+TEST(CrashSweepTest, DualTableIncrementalCompactTornTail) {
+  RunDualIncrementalCrashSweep(0.5);
+}
+
+// Incremental COMPACT's generation swap racing a live snapshot pin, crashed
+// at every mutating op of the partial fold (stripe rewrite, raw stripe copy,
+// manifest rename, per-record tombstoning). Contracts at each crash point:
+//   * the pinned snapshot keeps reading its exact acquisition-time rows —
+//     kept files are shared between the old and new generations, so the swap
+//     must never tear a reader of either;
+//   * recovery lands on exactly ONE generation (duplicate-id check), with
+//     the sparse file's still-attached deltas intact;
+//   * after recovery's garbage collection, no orphan master file survives
+//     outside the committed manifest.
+TEST(CrashSweepTest, IncrementalCompactGenerationSwapWithPinnedSnapshot) {
+  constexpr int64_t kRows = 120;
+  const auto dense = [](int64_t id) { return id < 50; };
+  const auto sparse = [](int64_t id) { return id >= 60 && id < 66; };
+
+  auto setup = [&](fs::SimFileSystem* fs) -> std::unique_ptr<DualEnv> {
+    auto env = std::make_unique<DualEnv>();
+    auto metadata = dual::MetadataTable::Open(fs);
+    if (!metadata.ok()) return nullptr;
+    env->metadata = std::move(metadata.value());
+    auto table = dual::DualTable::Open(fs, env->metadata.get(), &env->cluster, "ipin",
+                                       TableSchema(), DualIncrementalSweepOptions());
+    if (!table.ok()) return nullptr;
+    env->table = std::move(table.value());
+    if (!env->table->InsertRows(RowsInRange(0, 60)).ok()) return nullptr;
+    if (!env->table->InsertRows(RowsInRange(60, kRows)).ok()) return nullptr;
+    if (!RunUpdate(env->table.get(), 1, dense).ok()) return nullptr;
+    if (!RunUpdate(env->table.get(), 2, sparse).ok()) return nullptr;
+    return env;
+  };
+
+  State expected = InitialState(kRows);
+  ApplyUpdate(&expected, 1, dense);
+  ApplyUpdate(&expected, 2, sparse);
+
+  uint64_t total_ops = 0;
+  {
+    fs::SimFileSystem fs;
+    auto env = setup(&fs);
+    ASSERT_NE(env, nullptr);
+    // The dry run must exercise the partial-fold shape this sweep targets.
+    auto plan = env->table->PreviewIncrementalCompaction();
+    ASSERT_TRUE(plan.ok());
+    ASSERT_EQ(plan->files.size(), 2u);
+    ASSERT_EQ(plan->selected_files(), 1u);
+    const uint64_t before = fs.MutatingOpCount();
+    auto stats = env->table->CompactIncremental();
+    ASSERT_TRUE(stats.ok());
+    ASSERT_EQ(stats->files_selected, 1u);
+    total_ops = fs.MutatingOpCount() - before;
+  }
+  ASSERT_GT(total_ops, 0u);
+
+  for (const uint64_t k : SelectCrashPoints(total_ops)) {
+    SCOPED_TRACE("incremental compact crash at mutating op " + std::to_string(k) + "/" +
+                 std::to_string(total_ops));
+    fs::SimFileSystem fs;
+    auto env = setup(&fs);
+    ASSERT_NE(env, nullptr);
+
+    dual::SnapshotPtr snapshot = env->table->AcquireSnapshot();
+    State baseline;
+    std::string why;
+    ASSERT_TRUE(TryReadSnapshotState(env->table.get(), snapshot, &baseline, &why)) << why;
+    ASSERT_EQ(baseline, expected);
+
+    FaultPolicy policy;
+    policy.mode = FaultMode::kCrash;
+    policy.trigger_after_ops = k;
+    fs.SetFaultPolicy(policy);
+    const Status compact_status = env->table->CompactIncremental().status();
+
+    // Live-process contract: the pinned view is byte-stable through the
+    // partial fold, committed or not.
+    State pinned;
+    ASSERT_TRUE(TryReadSnapshotState(env->table.get(), snapshot, &pinned, &why))
+        << why << " (incremental compact: " << compact_status.ToString() << ")";
+    EXPECT_EQ(pinned, baseline);
+
+    // Drop the pin and the process with the file system still down, then
+    // restart from the surviving bytes.
+    snapshot.reset();
+    env.reset();
+    fs.ClearFaultPolicy();
+
+    auto metadata = dual::MetadataTable::Open(&fs);
+    ASSERT_TRUE(metadata.ok());
+    fs::ClusterModel cluster;
+    auto reopened = dual::DualTable::Open(&fs, metadata->get(), &cluster, "ipin",
+                                          TableSchema(), DualIncrementalSweepOptions());
+    ASSERT_TRUE(reopened.ok()) << "recovery failed: " << reopened.status().ToString();
+    State recovered;
+    ASSERT_TRUE(TryReadState(reopened->get(), &recovered, &why))
+        << "reopened table unreadable (two live generations?): " << why;
+    EXPECT_EQ(recovered, expected) << FormatState(recovered);
+
+    // Orphan check: recovery's GC leaves exactly the committed manifest's
+    // files in the warehouse directory — no staged replacement and no
+    // doomed old-generation file survives.
+    auto names = fs.ListDir("/warehouse/ipin");
+    ASSERT_TRUE(names.ok());
+    const auto listed = (*reopened)->master()->files();
+    for (const std::string& name : *names) {
+      if (name.rfind("f_", 0) != 0 || name.find(".orc") == std::string::npos) continue;
+      const std::string path = "/warehouse/ipin/" + name;
+      bool in_manifest = false;
+      for (const auto& f : listed) in_manifest |= (f.path == path);
+      EXPECT_TRUE(in_manifest) << "orphan master file survived recovery: " << path;
+    }
+  }
+}
+
 // --- Hive ACID baseline sweep ---------------------------------------------------
 
 struct AcidEnv {

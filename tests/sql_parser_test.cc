@@ -99,6 +99,20 @@ TEST(ParserTest, CompactAndShow) {
   EXPECT_TRUE(std::holds_alternative<ShowTablesStmt>(*ParseStatement("SHOW TABLES")));
 }
 
+TEST(ParserTest, CompactIncrementalBothForms) {
+  auto plain = ParseStatement("COMPACT TABLE t");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_FALSE(std::get<CompactStmt>(*plain).incremental);
+  for (const char* sql :
+       {"COMPACT INCREMENTAL TABLE t", "COMPACT TABLE t INCREMENTAL"}) {
+    auto stmt = ParseStatement(sql);
+    ASSERT_TRUE(stmt.ok()) << sql;
+    const auto& compact = std::get<CompactStmt>(*stmt);
+    EXPECT_TRUE(compact.incremental) << sql;
+    EXPECT_EQ(compact.table, "t") << sql;
+  }
+}
+
 TEST(ParserTest, PrecedenceAndOverOr) {
   auto expr = ParseExpression("a or b and c");
   ASSERT_TRUE(expr.ok());
