@@ -24,6 +24,12 @@ ARRAY_SCHEMAS = {
         "snapshots_acquired", "live_generations",
     },
     "BENCH_scan.json": {"workload", "path", "rows", "seconds", "rows_per_sec"},
+    "BENCH_point_lookup.json": {
+        "path", "rows", "seconds", "lookups", "qps", "speedup_vs_scan",
+        "stripes_skipped", "stripes_skipped_bloom", "files_skipped",
+        "cache_hits", "cache_misses", "cache_hit_rate",
+        "index_lookups", "index_stale_dropped",
+    },
     "BENCH_parallel_scan.json": {
         "workload", "workers", "rows", "seconds",
         "wall_speedup", "modeled_speedup",

@@ -59,6 +59,16 @@ Result<std::optional<RecordModification>> AttachedTable::GetModification(
   return std::optional<RecordModification>();
 }
 
+Result<std::optional<RecordModification>> AttachedTable::GetModificationAt(
+    const kv::KvSnapshot& snapshot, uint64_t record_id) const {
+  auto scanner = NewScannerAt(snapshot, record_id, record_id + 1);
+  if (scanner->Next()) {
+    return std::optional<RecordModification>(scanner->modification());
+  }
+  DTL_RETURN_NOT_OK(scanner->status());
+  return std::optional<RecordModification>();
+}
+
 std::unique_ptr<ModificationScanner> AttachedTable::NewScanner(uint64_t start_id,
                                                                uint64_t end_id,
                                                                uint64_t as_of) {

@@ -67,6 +67,13 @@ class AttachedTable {
   /// paper credits for making UNION READ efficient.
   Result<std::optional<RecordModification>> GetModification(uint64_t record_id);
 
+  /// Snapshot-pinned random read: like GetModification but sees exactly the
+  /// pinned KV state. Index point lookups patch candidate rows through this,
+  /// so the patched values match what a UNION READ scan under the same
+  /// snapshot would produce.
+  Result<std::optional<RecordModification>> GetModificationAt(
+      const kv::KvSnapshot& snapshot, uint64_t record_id) const;
+
   /// Sorted scan over [start_id, end_id). Defaults cover everything.
   /// `as_of` limits visibility to modifications written at or before that
   /// store timestamp (time travel over the HBase versions; history written

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <unordered_set>
 
 #include "common/stopwatch.h"
 #include "dualtable/record_id.h"
@@ -61,12 +62,23 @@ Result<std::shared_ptr<DualTable>> DualTable::Open(fs::SimFileSystem* fs,
   DTL_ASSIGN_OR_RETURN(dual->master_,
                        MasterTable::Open(fs, metadata, name, std::move(schema),
                                          dual->options_.warehouse_dir,
-                                         dual->options_.writer_options));
+                                         dual->options_.writer_options,
+                                         dual->options_.stripe_cache));
   DTL_ASSIGN_OR_RETURN(dual->attached_,
                        AttachedTable::Open(fs, name, dual->options_.attached_options));
   // Everything recovered from the WAL was acknowledged before the crash, so
   // the initial commit timestamp is the recovered clock.
   dual->commit_ts_ = dual->attached_->LastTimestamp();
+  if (!dual->options_.indexed_columns.empty()) {
+    DTL_ASSIGN_OR_RETURN(
+        dual->index_,
+        SecondaryIndex::Open(fs, name, dual->options_.indexed_columns, dual->schema_,
+                             dual->options_.attached_options));
+    // Recovery: a crash between a table commit and its index meta write
+    // leaves a detectably stale index; rebuild it before serving lookups.
+    DTL_RETURN_NOT_OK(dual->EnsureIndexFresh());
+    dual->index_commit_ts_ = dual->index_->LastTimestamp();
+  }
   if (dual->options_.metrics != nullptr) {
     obs::MetricsRegistry* metrics = dual->options_.metrics;
     dual->edit_hist_ = metrics->histogram(obs::names::kDualEditSeconds, name);
@@ -120,6 +132,14 @@ SnapshotPtr DualTable::AcquireSnapshot() const {
     // statement already wrote (timestamps past commit_ts_) stay invisible
     // until its WAL sync publishes them.
     snap->attached.read_ts = std::min(snap->attached.read_ts, commit_ts_);
+    if (index_ != nullptr) {
+      // Same clamp for the index store: entries an in-flight statement wrote
+      // ahead of its commit stay invisible, so the index view and the table
+      // view agree under every snapshot.
+      snap->index = index_->GetSnapshot();
+      snap->index.read_ts = std::min(snap->index.read_ts, index_commit_ts_);
+      snap->has_index = true;
+    }
   }
   // Exact emptiness of the PINNED state — AttachedTable::Empty() reads the
   // live store, which a concurrent EDIT mutates. The pinned SST set is
@@ -138,16 +158,42 @@ SnapshotPtr DualTable::AcquireSnapshot() const {
 void DualTable::PublishEditCommit() {
   std::lock_guard<std::mutex> lock(snapshot_mu_);
   commit_ts_ = attached_->LastTimestamp();
+  // The statement's index entries were written (and synced) before its
+  // attached cells, so publishing both clocks together can only expose
+  // entries whose table state is already visible.
+  if (index_ != nullptr) index_commit_ts_ = index_->LastTimestamp();
 }
 
 Status DualTable::PublishRewrite(std::vector<MasterFileInfo> new_files) {
-  // Caller holds mu_ (writers are serialized); snapshot_mu_ nests inside it.
-  std::lock_guard<std::mutex> lock(snapshot_mu_);
-  DTL_RETURN_NOT_OK(master_->ReplaceAllFiles(std::move(new_files)));
-  // If Clear() fails after the generation swap the table is still correct:
-  // the new generation's files carry fresh file IDs, so leftover attached
-  // record IDs can never match a new-generation row.
-  return attached_->Clear();
+  // Caller holds mu_ (writers are serialized).
+  std::unordered_set<uint64_t> dead_files;
+  if (index_ != nullptr) {
+    // Index the staged files BEFORE the swap: once the new generation is
+    // visible, a snapshot may need their entries, and the stale-tolerant
+    // protocol only permits extra entries, never missing ones. A crash after
+    // this stage leaves entries for orphan files — harmless, verified away.
+    DTL_RETURN_NOT_OK(IndexStagedFiles(new_files));
+    DTL_RETURN_NOT_OK(index_->Sync());
+    for (const MasterFileInfo& f : master_->files()) dead_files.insert(f.file_id);
+  }
+  {
+    // snapshot_mu_ nests inside mu_.
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    DTL_RETURN_NOT_OK(master_->ReplaceAllFiles(std::move(new_files)));
+    // If Clear() fails after the generation swap the table is still correct:
+    // the new generation's files carry fresh file IDs, so leftover attached
+    // record IDs can never match a new-generation row.
+    DTL_RETURN_NOT_OK(attached_->Clear());
+    if (index_ != nullptr) index_commit_ts_ = index_->LastTimestamp();
+  }
+  if (index_ != nullptr) {
+    // Post-commit cleanup: entries of the replaced files are unreachable
+    // (their file IDs left the generation), fold them out and record the
+    // committed state. A crash here only costs an Open-time rebuild.
+    DTL_RETURN_NOT_OK(index_->FoldDeadFiles(dead_files));
+    DTL_RETURN_NOT_OK(CommitIndexMeta());
+  }
+  return Status::OK();
 }
 
 table::ScanSpec DualTable::MasterSpecFor(const table::ScanSpec& spec,
@@ -388,10 +434,24 @@ Status DualTable::InsertRows(const std::vector<Row>& rows) {
   DTL_ASSIGN_OR_RETURN(auto writer, master_->NewFileWriter());
   for (const Row& row : rows) DTL_RETURN_NOT_OK(writer->Append(row));
   DTL_ASSIGN_OR_RETURN(auto info, writer->Close());
+  if (index_ != nullptr) {
+    // Entries first, visibility second: the new file's entries must be
+    // durable and published before RegisterFile makes its rows reachable.
+    // Until RegisterFile lands, the entries point at a file outside every
+    // generation and lookups drop them as stale.
+    const uint64_t file_id = info.file_id;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      DTL_RETURN_NOT_OK(index_->AddRow(rows[i], MakeRecordId(file_id, i)));
+    }
+    DTL_RETURN_NOT_OK(index_->Sync());
+    std::lock_guard<std::mutex> snap_lock(snapshot_mu_);
+    index_commit_ts_ = index_->LastTimestamp();
+  }
   // RegisterFile publishes the successor generation on its own: an INSERT
   // never touches the attached store, so there is no torn pairing for a
   // concurrent AcquireSnapshot to observe.
-  return master_->RegisterFile(std::move(info));
+  DTL_RETURN_NOT_OK(master_->RegisterFile(std::move(info)));
+  return CommitIndexMeta();
 }
 
 Status DualTable::OverwriteRows(const std::vector<Row>& rows) {
@@ -526,21 +586,42 @@ Result<table::DmlResult> DualTable::ExecuteEditUpdate(
   DTL_ASSIGN_OR_RETURN(auto it, NewUnionRead(snapshot, spec));
   table::DmlResult result;
   result.plan = table::DmlPlan::kEdit;
+  struct PendingUpdate {
+    uint64_t record_id;
+    uint32_t column;
+    Value value;
+  };
+  std::vector<PendingUpdate> pending;
   while (it->Next()) {
     ++result.rows_matched;  // predicate applied inside the union read
     for (const table::Assignment& a : assignments) {
-      DTL_RETURN_NOT_OK(attached_->PutUpdate(it->record_id(),
-                                             static_cast<uint32_t>(a.column),
-                                             a.compute(it->row())));
+      pending.push_back(PendingUpdate{it->record_id(), static_cast<uint32_t>(a.column),
+                                      a.compute(it->row())});
     }
   }
   DTL_RETURN_NOT_OK(it->status());
+  if (index_ != nullptr) {
+    // Index entries for the new values go in (and sync) before the attached
+    // cells: a crash in between leaves extra entries that lookups verify
+    // away, whereas the reverse order could leave a visible update with no
+    // entry — the one hazard the stale-tolerant protocol excludes.
+    for (const PendingUpdate& p : pending) {
+      if (index_->IndexesColumn(p.column)) {
+        DTL_RETURN_NOT_OK(index_->Add(p.column, p.value, p.record_id));
+      }
+    }
+    DTL_RETURN_NOT_OK(index_->Sync());
+  }
+  for (const PendingUpdate& p : pending) {
+    DTL_RETURN_NOT_OK(attached_->PutUpdate(p.record_id, p.column, p.value));
+  }
   // The statement is acknowledged on return, so its attached-table cells
   // must be WAL-durable first: a crash after the ack must replay them.
   DTL_RETURN_NOT_OK(attached_->Sync());
   // Only now do the cells become visible — a snapshot acquired during the
   // statement reads the pre-statement commit timestamp.
   PublishEditCommit();
+  DTL_RETURN_NOT_OK(CommitIndexMeta());
   result.rows_scanned = snapshot->generation->TotalRows();
   return result;
 }
@@ -665,6 +746,10 @@ Result<table::DmlResult> DualTable::ExecuteEditDelete(const table::ScanSpec& fil
   // Same durability contract as ExecuteEditUpdate: sync before the ack.
   DTL_RETURN_NOT_OK(attached_->Sync());
   PublishEditCommit();
+  // Deletes add no index entries (the deleted rows' entries become stale and
+  // are dropped at verify time), but the meta row must track the commit or
+  // the next Open would rebuild for nothing.
+  DTL_RETURN_NOT_OK(CommitIndexMeta());
   result.rows_scanned = snapshot->generation->TotalRows();
   return result;
 }
@@ -955,6 +1040,9 @@ Result<IncrementalCompactStats> DualTable::CompactIncremental(obs::Tracer* trace
       }
       commit_ts_ = attached_->LastTimestamp();
       stats.mods_folded += plan.stray_record_ids.size();
+      // Record the new attached clock so the next Open's freshness check
+      // doesn't mistake this reclamation for a lost commit.
+      DTL_RETURN_NOT_OK(CommitIndexMeta());
     }
     return stats;
   }
@@ -1006,7 +1094,26 @@ Result<IncrementalCompactStats> DualTable::CompactIncremental(obs::Tracer* trace
 Status DualTable::PublishIncrementalRewrite(std::vector<MasterFileInfo> full_set,
                                             const std::vector<uint64_t>& folded_record_ids,
                                             bool fold_complete) {
-  // Caller holds mu_ (writers are serialized); snapshot_mu_ nests inside it.
+  // Caller holds mu_ (writers are serialized).
+  std::unordered_set<uint64_t> dead_files;
+  if (index_ != nullptr) {
+    // Replacement files are the ones not yet stamped with a birth
+    // generation; kept files carry their original stamp and their entries
+    // are already in the index. Same entries-before-visibility ordering as
+    // PublishRewrite.
+    std::vector<MasterFileInfo> fresh;
+    std::unordered_set<uint64_t> surviving;
+    for (const MasterFileInfo& f : full_set) {
+      if (f.born_generation == 0) fresh.push_back(f);
+      surviving.insert(f.file_id);
+    }
+    DTL_RETURN_NOT_OK(IndexStagedFiles(fresh));
+    DTL_RETURN_NOT_OK(index_->Sync());
+    for (const MasterFileInfo& f : master_->files()) {
+      if (surviving.count(f.file_id) == 0) dead_files.insert(f.file_id);
+    }
+  }
+  // snapshot_mu_ nests inside mu_.
   std::lock_guard<std::mutex> lock(snapshot_mu_);
   DTL_RETURN_NOT_OK(master_->ReplaceAllFiles(std::move(full_set)));
   // The manifest rename above is the commit point. Everything below only
@@ -1031,6 +1138,13 @@ Status DualTable::PublishIncrementalRewrite(std::vector<MasterFileInfo> full_set
   // Publish the reclamation to future snapshots. No in-flight EDIT can be
   // straddling this (mu_ serializes writers), so the store clock is quiescent.
   commit_ts_ = attached_->LastTimestamp();
+  if (index_ != nullptr) {
+    index_commit_ts_ = index_->LastTimestamp();
+    // Post-commit fold + meta, as in PublishRewrite. snapshot_mu_ is still
+    // held, which is fine: the fold touches only the index store.
+    DTL_RETURN_NOT_OK(index_->FoldDeadFiles(dead_files));
+    DTL_RETURN_NOT_OK(CommitIndexMeta());
+  }
   return Status::OK();
 }
 
@@ -1077,9 +1191,13 @@ void DualTable::ReclaimAttachedGarbage() {
   if (plan->total_delta_rows() > 0 || !plan->stray_record_ids.empty()) return;
   // The scanner surfaced nothing, so every cell in the store is a tombstone
   // or masked by one; dropping the store wholesale is invisible to readers.
-  std::lock_guard<std::mutex> snap_lock(snapshot_mu_);
-  DTL_IGNORE_STATUS(attached_->Clear(),
-                    "attached garbage reclamation is retried next round");
+  {
+    std::lock_guard<std::mutex> snap_lock(snapshot_mu_);
+    DTL_IGNORE_STATUS(attached_->Clear(),
+                      "attached garbage reclamation is retried next round");
+  }
+  DTL_IGNORE_STATUS(CommitIndexMeta(),
+                    "stale index meta only costs an Open-time rebuild");
 }
 
 void DualTable::RecordDmlObservation(const char* statement, table::DmlPlan plan,
@@ -1139,9 +1257,174 @@ bool DualTable::NeedsCompaction() const {
          options_.compact_threshold * static_cast<double>(master_bytes);
 }
 
+Status DualTable::CommitIndexMeta() {
+  if (index_ == nullptr) return Status::OK();
+  return index_->WriteMeta(master_->CurrentGeneration()->number(),
+                           attached_->LastTimestamp());
+}
+
+Status DualTable::EnsureIndexFresh() {
+  DTL_ASSIGN_OR_RETURN(auto meta, index_->ReadMeta());
+  if (meta.has_value() &&
+      meta->master_generation == master_->CurrentGeneration()->number() &&
+      meta->attached_ts == attached_->LastTimestamp() &&
+      meta->columns == index_->columns()) {
+    return Status::OK();
+  }
+  return RebuildIndex();
+}
+
+Status DualTable::RebuildIndex() {
+  // Only sound at Open time, before snapshots exist: ClearAll() exposes
+  // missing entries to any snapshot pinned mid-rebuild. Rebuilding from the
+  // UNION READ view (updated values, deleted rows absent) is exact for every
+  // snapshot that can still be acquired — pre-crash history is gone.
+  index_->stats().rebuilds.fetch_add(1, std::memory_order_relaxed);
+  DTL_RETURN_NOT_OK(index_->ClearAll());
+  SnapshotPtr snapshot = AcquireSnapshot();
+  table::ScanSpec all;  // every column, no predicate
+  DTL_ASSIGN_OR_RETURN(auto it, NewUnionRead(snapshot, all));
+  while (it->Next()) {
+    DTL_RETURN_NOT_OK(index_->AddRow(it->row(), it->record_id()));
+  }
+  DTL_RETURN_NOT_OK(it->status());
+  DTL_RETURN_NOT_OK(index_->Sync());
+  return CommitIndexMeta();
+}
+
+Status DualTable::IndexStagedFiles(const std::vector<MasterFileInfo>& files) {
+  for (const MasterFileInfo& info : files) {
+    // Staged files are not part of any generation yet; open them directly.
+    DTL_ASSIGN_OR_RETURN(auto reader, orc::OrcReader::Open(fs_, info.path));
+    for (size_t s = 0; s < reader->num_stripes(); ++s) {
+      DTL_ASSIGN_OR_RETURN(orc::StripeBatch batch,
+                           reader->ReadStripe(s, index_->columns()));
+      for (size_t i = 0; i < batch.num_rows; ++i) {
+        const uint64_t rid = MakeRecordId(info.file_id, batch.first_row + i);
+        for (size_t c = 0; c < batch.projection.size(); ++c) {
+          DTL_RETURN_NOT_OK(
+              index_->Add(batch.projection[c], batch.columns[c][i], rid));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::pair<uint64_t, Row>>> DualTable::IndexLookupAt(
+    const SnapshotPtr& snapshot, size_t column, const std::vector<Value>& probes,
+    const table::ScanSpec& spec) {
+  if (index_ == nullptr || !index_->IndexesColumn(column)) {
+    return Status::InvalidArgument("no secondary index on the probed column");
+  }
+  if (snapshot == nullptr || !snapshot->has_index) {
+    return Status::InvalidArgument("snapshot does not pin the secondary index");
+  }
+  // Candidate record IDs across all probes, deduplicated and ascending —
+  // record-ID order is scan order, so the verified output matches what a
+  // full UNION READ with the same predicate would emit.
+  std::vector<uint64_t> rids;
+  for (const Value& probe : probes) {
+    DTL_ASSIGN_OR_RETURN(std::vector<uint64_t> part,
+                         index_->LookupAt(snapshot->index, column, probe));
+    rids.insert(rids.end(), part.begin(), part.end());
+  }
+  std::sort(rids.begin(), rids.end());
+  rids.erase(std::unique(rids.begin(), rids.end()), rids.end());
+
+  const size_t num_fields = schema_.num_fields();
+  std::vector<size_t> required = spec.RequiredColumns(num_fields);
+  if (!required.empty() &&
+      std::find(required.begin(), required.end(), column) == required.end()) {
+    // The verify step must read the indexed column even when the consumer
+    // doesn't project it.
+    required.push_back(column);
+    std::sort(required.begin(), required.end());
+  }
+
+  SecondaryIndex::Stats& stats = index_->stats();
+  std::vector<std::pair<uint64_t, Row>> out;
+  const std::vector<MasterFileInfo>& files = snapshot->generation->files();
+  size_t file_pos = 0;  // ascending rids -> the file cursor only moves forward
+  std::shared_ptr<orc::OrcReader> reader;
+  std::shared_ptr<const orc::StripeBatch> stripe;
+  for (uint64_t rid : rids) {
+    const uint64_t file_id = RecordFileId(rid);
+    const uint64_t row_no = RecordRowNumber(rid);
+    while (file_pos < files.size() && files[file_pos].file_id < file_id) ++file_pos;
+    if (file_pos >= files.size() || files[file_pos].file_id != file_id) {
+      // Entry for a file outside the pinned generation (replaced by a
+      // COMPACT, or staged by an uncommitted INSERT): stale, drop.
+      stats.stale_dropped.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (reader == nullptr || reader->file_id() != file_id) {
+      DTL_ASSIGN_OR_RETURN(reader, master_->OpenReader(snapshot->generation, file_id));
+      stripe.reset();
+    }
+    if (row_no >= reader->num_rows()) {
+      stats.stale_dropped.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    DTL_ASSIGN_OR_RETURN(auto mod, attached_->GetModificationAt(snapshot->attached, rid));
+    if (mod.has_value() && mod->deleted) {
+      stats.stale_dropped.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (stripe == nullptr || row_no < stripe->first_row ||
+        row_no >= stripe->first_row + stripe->num_rows) {
+      // Binary-search the stripe that holds the row, then fetch it through
+      // the shared cache: hot stripes decode once per generation process-wide.
+      size_t lo = 0;
+      size_t hi = reader->num_stripes();
+      while (lo + 1 < hi) {
+        const size_t mid = (lo + hi) / 2;
+        if (reader->stripe(mid).first_row <= row_no) {
+          lo = mid;
+        } else {
+          hi = mid;
+        }
+      }
+      DTL_ASSIGN_OR_RETURN(stripe, reader->ReadStripeShared(lo, required));
+    }
+    const size_t local = static_cast<size_t>(row_no - stripe->first_row);
+    Row row(num_fields, Value::Null());
+    for (size_t c = 0; c < stripe->projection.size(); ++c) {
+      row[stripe->projection[c]] = stripe->columns[c][local];
+    }
+    if (mod.has_value()) {
+      // Patch every updated column, matching UNION READ exactly (it patches
+      // beyond the required set too).
+      for (const auto& [col, value] : mod->updates) {
+        if (col < num_fields) row[col] = value;
+      }
+    }
+    // Re-verify the indexed column against the probes: stale entries (the
+    // value moved off the probe since the entry was written) are dropped
+    // here, never served. This is what makes extra entries harmless.
+    bool matches = false;
+    if (!row[column].is_null()) {
+      for (const Value& probe : probes) {
+        if (row[column].Compare(probe) == 0) {
+          matches = true;
+          break;
+        }
+      }
+    }
+    if (!matches) {
+      stats.stale_dropped.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (spec.predicate && !spec.predicate(row)) continue;
+    out.emplace_back(rid, std::move(row));
+  }
+  return out;
+}
+
 Status DualTable::Drop() {
   std::lock_guard<std::recursive_mutex> lock(mu_);
   DTL_RETURN_NOT_OK(master_->Drop());
+  if (index_ != nullptr) DTL_RETURN_NOT_OK(index_->Drop());
   return attached_->Drop();
 }
 

@@ -17,6 +17,7 @@
 #include "dualtable/cost_model.h"
 #include "dualtable/master_table.h"
 #include "dualtable/metadata.h"
+#include "dualtable/secondary_index.h"
 #include "dualtable/snapshot.h"
 #include "dualtable/union_read.h"
 #include "fs/cluster_model.h"
@@ -155,6 +156,16 @@ struct DualTableOptions {
   /// write-only workloads that never scan.
   std::shared_ptr<BackgroundScheduler> scheduler;
   bool background_compaction = false;
+
+  /// Column ordinals to maintain a KV-hosted secondary index over (point
+  /// lookup serving tier). Only int64/date/string columns are indexable;
+  /// Open rejects anything else. Empty = no index.
+  std::vector<size_t> indexed_columns;
+
+  /// Shared decoded-stripe cache for this table's master readers. nullptr =
+  /// the process-wide StripeCache::Default(). Not owned; must outlive the
+  /// table.
+  orc::StripeCache* stripe_cache = nullptr;
 
   /// Observability hooks (both optional, not owned; must outlive the table).
   /// `metrics` receives the EDIT/OVERWRITE/COMPACT duration histograms and
@@ -309,6 +320,25 @@ class DualTable : public table::StorageTable {
   PlanDecision PreviewUpdateDecision(double alpha) const;
   PlanDecision PreviewDeleteDecision(double beta) const;
 
+  // --- Secondary index (point-lookup serving tier) ---
+
+  /// Index-driven point lookup: resolves candidate record IDs for the probe
+  /// values through the pinned index snapshot, fetches exactly the stripes
+  /// holding them (through the shared stripe cache), patches attached
+  /// modifications, and re-verifies the indexed column against the probes —
+  /// so stale index entries are dropped, never served. Results are
+  /// (record_id, row) pairs in ascending record-ID order, i.e. exactly the
+  /// order and content a full UNION READ scan with `WHERE col IN (probes)`
+  /// under the same snapshot would produce. Rows are projected per
+  /// spec.projection (full width when empty) and filtered by spec.predicate.
+  /// Fails when `column` is not indexed.
+  Result<std::vector<std::pair<uint64_t, Row>>> IndexLookupAt(
+      const SnapshotPtr& snapshot, size_t column, const std::vector<Value>& probes,
+      const table::ScanSpec& spec);
+
+  /// nullptr when options.indexed_columns is empty.
+  SecondaryIndex* secondary_index() { return index_.get(); }
+
   MasterTable* master() { return master_.get(); }
   AttachedTable* attached() { return attached_.get(); }
   const CostModel& cost_model() const { return cost_model_; }
@@ -384,6 +414,24 @@ class DualTable : public table::StorageTable {
                                 std::vector<uint64_t>* folded,
                                 IncrementalCompactStats* stats);
 
+  /// Open-time index recovery: compares the index meta row against the
+  /// table's (master generation, attached clock, column set) and rebuilds
+  /// from a full UNION READ scan on any mismatch — the crash-consistency
+  /// backstop for the stale-tolerant maintenance protocol.
+  Status EnsureIndexFresh();
+  Status RebuildIndex();
+
+  /// Indexes freshly written (not yet visible) master files by streaming
+  /// their indexed-column projection straight from ORC. Called BEFORE the
+  /// generation swap so no snapshot can need entries that are not yet
+  /// synced.
+  Status IndexStagedFiles(const std::vector<MasterFileInfo>& files);
+
+  /// Records the just-committed table state in the index meta row. Called
+  /// after every visibility event; a crash beforehand only costs an
+  /// Open-time rebuild.
+  Status CommitIndexMeta();
+
   /// Builds the scan spec a DML statement needs (filter + assignment inputs).
   table::ScanSpec DmlScanSpec(const table::ScanSpec& filter,
                               const std::vector<table::Assignment>& assignments) const;
@@ -448,6 +496,8 @@ class DualTable : public table::StorageTable {
   obs::Gauge* overwrite_scale_gauge_ = nullptr;  // overwrite_cost_scale × 1e6
   std::unique_ptr<MasterTable> master_;
   std::unique_ptr<AttachedTable> attached_;
+  /// KV-hosted secondary index; nullptr when no columns are indexed.
+  std::unique_ptr<SecondaryIndex> index_;
   /// Serializes writers (DML, COMPACT). Reads no longer take it: they pin a
   /// snapshot and scan immutable state, so scans and COMPACT coexist.
   mutable std::recursive_mutex mu_;
@@ -457,6 +507,10 @@ class DualTable : public table::StorageTable {
   /// Commit timestamp of the last acknowledged (WAL-synced) EDIT; snapshots
   /// read the attached store as of this clock value.
   uint64_t commit_ts_ = 0;
+  /// Commit timestamp for the index store, advanced under snapshot_mu_ in
+  /// the same critical section as the event whose entries it covers, so a
+  /// snapshot's index view and table view always agree.
+  uint64_t index_commit_ts_ = 0;
   std::shared_ptr<SnapshotTracker> snapshot_tracker_ =
       std::make_shared<SnapshotTracker>();
   table::DmlPlan last_plan_ = table::DmlPlan::kEdit;

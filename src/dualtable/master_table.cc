@@ -7,6 +7,7 @@
 
 #include "common/coding.h"
 #include "dualtable/record_id.h"
+#include "orc/stripe_cache.h"
 #include "table/scan_stats.h"
 
 namespace dtl::dual {
@@ -24,6 +25,14 @@ std::string ManifestPath(const std::string& dir) { return fs::JoinPath(dir, "man
 bool HasSuffix(const std::string& name, const char* suffix) {
   const size_t n = std::strlen(suffix);
   return name.size() >= n && name.compare(name.size() - n, n, suffix) == 0;
+}
+
+/// Bloom keys are Value::EncodeTo bytes, so a probe is only meaningful when
+/// the literal's kind matches the column's stored kind; cross-kind numeric
+/// equality (int64 column vs double literal) must fall back to min/max.
+bool SameValueKind(const Value& a, const Value& b) {
+  return (a.is_int64() && b.is_int64()) || (a.is_double() && b.is_double()) ||
+         (a.is_string() && b.is_string()) || (a.is_bool() && b.is_bool());
 }
 
 }  // namespace
@@ -63,18 +72,34 @@ Result<std::shared_ptr<orc::OrcReader>> MasterGeneration::OpenReader(
   if (it != reader_cache_.end()) return it->second;
   DTL_ASSIGN_OR_RETURN(auto reader, orc::OrcReader::Open(fs_, info.path));
   std::shared_ptr<orc::OrcReader> shared = std::move(reader);
+  if (stripe_cache_ != nullptr) {
+    // Keyed by the file's birth generation, not this generation: a file kept
+    // across COMPACT swaps stays warm, while a replacement file (new id, new
+    // birth) can never be served the replaced file's stripes.
+    shared->SetSharedCache(stripe_cache_, cache_owner_, info.born_generation);
+  }
   reader_cache_[info.file_id] = shared;
   return shared;
 }
 
 bool StripeMayMatch(const orc::StripeInfo& stripe,
-                    const std::vector<table::ColumnBound>& bounds) {
+                    const std::vector<table::ColumnBound>& bounds,
+                    bool* bloom_pruned) {
+  if (bloom_pruned != nullptr) *bloom_pruned = false;
   for (const table::ColumnBound& bound : bounds) {
     if (bound.column >= stripe.stats.size()) continue;
     const orc::ColumnStats& stats = stripe.stats[bound.column];
     if (!stats.has_min_max) continue;  // all-null stripe: cannot prune safely
     if (bound.lower.has_value() && stats.max.Compare(*bound.lower) < 0) return false;
     if (bound.upper.has_value() && stats.min.Compare(*bound.upper) > 0) return false;
+    // Equality bounds get a second chance to prune: min/max admit any value
+    // inside the range, the bloom filter rules out values never written.
+    if (bound.lower.has_value() && bound.upper.has_value() &&
+        bound.lower->Compare(*bound.upper) == 0 && !stats.bloom.empty() &&
+        SameValueKind(*bound.lower, stats.min) && !stats.BloomMayContain(*bound.lower)) {
+      if (bloom_pruned != nullptr) *bloom_pruned = true;
+      return false;
+    }
   }
   return true;
 }
@@ -117,15 +142,23 @@ bool MasterScanIterator::LoadNextBatch() {
   while (file_index_ < readers_.size()) {
     const orc::OrcReader* reader = readers_[file_index_].get();
     if (stripe_index_ >= reader->num_stripes()) {
+      if (reader->num_stripes() > 0 && survivors_in_file_ == 0) {
+        (spec_.meter != nullptr ? *spec_.meter : table::GlobalScanMeter()).AddSkippedFile();
+      }
       ++file_index_;
       stripe_index_ = 0;
+      survivors_in_file_ = 0;
       continue;
     }
     const orc::StripeInfo& info = reader->stripe(stripe_index_);
-    if (!StripeMayMatch(info, spec_.bounds)) {
+    bool bloom_pruned = false;
+    if (!StripeMayMatch(info, spec_.bounds, &bloom_pruned)) {
+      (spec_.meter != nullptr ? *spec_.meter : table::GlobalScanMeter())
+          .AddSkippedStripe(bloom_pruned);
       ++stripe_index_;
       continue;
     }
+    ++survivors_in_file_;
     auto batch = reader->ReadStripe(stripe_index_, required_);
     if (!batch.ok()) {
       status_ = batch.status();
@@ -163,14 +196,15 @@ bool MasterScanIterator::Next() {
 MasterScanBatchIterator::MasterScanBatchIterator(
     std::vector<std::shared_ptr<orc::OrcReader>> readers, std::vector<uint64_t> file_ids,
     table::ScanSpec spec, size_t num_fields, bool apply_predicate, size_t batch_rows,
-    size_t stripe_begin, size_t stripe_end)
+    size_t stripe_begin, size_t stripe_end, bool count_skips)
     : readers_(std::move(readers)),
       file_ids_(std::move(file_ids)),
       spec_(std::move(spec)),
       num_fields_(num_fields),
       apply_predicate_(apply_predicate),
       batch_rows_(std::max<size_t>(1, batch_rows)),
-      stripe_end_limit_(stripe_end) {
+      stripe_end_limit_(stripe_end),
+      count_skips_(count_skips) {
   required_ = spec_.RequiredColumns(num_fields_);
   stripe_index_ = stripe_begin;
   DTL_DCHECK(stripe_begin == 0 || readers_.size() <= 1);
@@ -180,15 +214,25 @@ bool MasterScanBatchIterator::LoadNextStripe() {
   while (file_index_ < readers_.size()) {
     const orc::OrcReader* reader = readers_[file_index_].get();
     if (stripe_index_ >= std::min(stripe_end_limit_, reader->num_stripes())) {
+      if (count_skips_ && reader->num_stripes() > 0 && survivors_in_file_ == 0) {
+        (spec_.meter != nullptr ? *spec_.meter : table::GlobalScanMeter()).AddSkippedFile();
+      }
       ++file_index_;
       stripe_index_ = 0;
+      survivors_in_file_ = 0;
       continue;
     }
     const orc::StripeInfo& info = reader->stripe(stripe_index_);
-    if (!StripeMayMatch(info, spec_.bounds)) {
+    bool bloom_pruned = false;
+    if (!StripeMayMatch(info, spec_.bounds, &bloom_pruned)) {
+      if (count_skips_) {
+        (spec_.meter != nullptr ? *spec_.meter : table::GlobalScanMeter())
+            .AddSkippedStripe(bloom_pruned);
+      }
       ++stripe_index_;
       continue;
     }
+    ++survivors_in_file_;
     auto read = reader->ReadStripeShared(stripe_index_, required_);
     if (!read.ok()) {
       status_ = read.status();
@@ -233,11 +277,15 @@ Result<std::unique_ptr<MasterTable>> MasterTable::Open(fs::SimFileSystem* fs,
                                                        const std::string& table_name,
                                                        Schema schema,
                                                        const std::string& warehouse_dir,
-                                                       orc::WriterOptions writer_options) {
+                                                       orc::WriterOptions writer_options,
+                                                       orc::StripeCache* stripe_cache) {
   std::string dir = fs::JoinPath(warehouse_dir, table_name);
   DTL_RETURN_NOT_OK(fs->CreateDir(dir));
   auto master = std::unique_ptr<MasterTable>(new MasterTable(
       fs, metadata, table_name, std::move(schema), dir, writer_options));
+  master->stripe_cache_ =
+      stripe_cache != nullptr ? stripe_cache : orc::StripeCache::Default();
+  master->cache_owner_ = orc::StripeCache::NewOwnerToken();
 
   // Staged-but-uncommitted leftovers (torn file writes, half-written
   // manifest updates) are garbage from a crash; discard them first.
@@ -315,9 +363,14 @@ Result<std::unique_ptr<MasterTable>> MasterTable::Open(fs::SimFileSystem* fs,
             [](const MasterFileInfo& a, const MasterFileInfo& b) {
               return a.file_id < b.file_id;
             });
+  // Recovery stamps every file with the recovered generation number; cache
+  // keys stay sound because this MasterTable holds a fresh owner token.
+  for (MasterFileInfo& f : files) f.born_generation = gen_number;
   auto gen = std::shared_ptr<MasterGeneration>(new MasterGeneration());
   gen->fs_ = fs;
   gen->number_ = gen_number;
+  gen->stripe_cache_ = master->stripe_cache_;
+  gen->cache_owner_ = master->cache_owner_;
   gen->files_ = std::move(files);
   gen->live_counter_ = master->live_generations_;
   gen->live_counter_->fetch_add(1, std::memory_order_relaxed);
@@ -359,6 +412,8 @@ std::shared_ptr<MasterGeneration> MasterTable::NewGenerationLocked() const {
   auto next = std::shared_ptr<MasterGeneration>(new MasterGeneration());
   next->fs_ = fs_;
   next->number_ = current_->number_ + 1;
+  next->stripe_cache_ = stripe_cache_;
+  next->cache_owner_ = cache_owner_;
   next->live_counter_ = live_generations_;
   next->live_counter_->fetch_add(1, std::memory_order_relaxed);
   return next;
@@ -381,6 +436,7 @@ Result<std::unique_ptr<MasterFileWriter>> MasterTable::NewFileWriter() {
 Status MasterTable::RegisterFile(MasterFileInfo info) {
   std::lock_guard<std::mutex> lock(gen_mu_);
   auto next = NewGenerationLocked();
+  info.born_generation = next->number_;
   next->files_ = current_->files_;
   next->files_.push_back(std::move(info));
   std::sort(next->files_.begin(), next->files_.end(),
@@ -404,6 +460,13 @@ Status MasterTable::ReplaceAllFiles(std::vector<MasterFileInfo> new_files) {
   std::lock_guard<std::mutex> lock(gen_mu_);
   auto next = NewGenerationLocked();
   next->files_ = std::move(new_files);
+  // Newly written files (born_generation still the 0 sentinel — real
+  // generation numbers start at 1) are born here; files carried over from
+  // the pinned generation keep their birth so their cached stripes stay
+  // valid across the swap.
+  for (MasterFileInfo& f : next->files_) {
+    if (f.born_generation == 0) f.born_generation = next->number_;
+  }
   std::sort(next->files_.begin(), next->files_.end(),
             [](const MasterFileInfo& a, const MasterFileInfo& b) {
               return a.file_id < b.file_id;
@@ -531,13 +594,24 @@ Result<std::vector<ScanMorsel>> MasterTable::PlanMorsels(
     size_t stripes_per_morsel) const {
   stripes_per_morsel = std::max<size_t>(1, stripes_per_morsel);
   std::vector<ScanMorsel> morsels;
+  // Pruning is metered HERE, once per plan, and the morsel iterators are
+  // built with count_skips=false: the merged worker meters must equal a
+  // serial scan's no matter how stripes land in morsel windows.
+  table::ScanMeter& meter = spec.meter != nullptr ? *spec.meter : table::GlobalScanMeter();
   for (const MasterFileInfo& info : gen->files()) {
     DTL_ASSIGN_OR_RETURN(auto reader, gen->OpenReader(info));
     ScanMorsel cur;
     size_t surviving = 0;
+    size_t bounds_survivors = 0;
     for (size_t s = 0; s < reader->num_stripes(); ++s) {
       const orc::StripeInfo& stripe = reader->stripe(s);
-      if (stripe.num_rows == 0 || !StripeMayMatch(stripe, spec.bounds)) continue;
+      bool bloom_pruned = false;
+      if (!StripeMayMatch(stripe, spec.bounds, &bloom_pruned)) {
+        meter.AddSkippedStripe(bloom_pruned);
+        continue;
+      }
+      ++bounds_survivors;
+      if (stripe.num_rows == 0) continue;
       if (surviving == 0) {
         cur = ScanMorsel();
         cur.file_id = info.file_id;
@@ -553,6 +627,7 @@ Result<std::vector<ScanMorsel>> MasterTable::PlanMorsels(
       }
     }
     if (surviving > 0) morsels.push_back(cur);
+    if (reader->num_stripes() > 0 && bounds_survivors == 0) meter.AddSkippedFile();
   }
   return morsels;
 }
@@ -565,9 +640,14 @@ Result<std::unique_ptr<MasterScanBatchIterator>> MasterTable::NewMorselBatchScan
     DTL_ASSIGN_OR_RETURN(auto reader, gen->OpenReader(info));
     return std::unique_ptr<MasterScanBatchIterator>(new MasterScanBatchIterator(
         {std::move(reader)}, {morsel.file_id}, spec, schema_.num_fields(),
-        apply_predicate, batch_rows, morsel.stripe_begin, morsel.stripe_end));
+        apply_predicate, batch_rows, morsel.stripe_begin, morsel.stripe_end,
+        /*count_skips=*/false));
   }
   return Status::NotFound("no master file with ID " + std::to_string(morsel.file_id));
+}
+
+MasterTable::~MasterTable() {
+  if (stripe_cache_ != nullptr) stripe_cache_->EraseOwner(cache_owner_);
 }
 
 Status MasterTable::Drop() {
@@ -577,6 +657,7 @@ Status MasterTable::Drop() {
     std::lock_guard<std::mutex> lock(gen_mu_);
     current_ = NewGenerationLocked();
   }
+  if (stripe_cache_ != nullptr) stripe_cache_->EraseOwner(cache_owner_);
   return fs_->DeleteRecursively(dir_);
 }
 

@@ -28,6 +28,12 @@ struct MasterFileInfo {
   std::string path;
   uint64_t num_rows = 0;
   uint64_t bytes = 0;
+  /// Master generation number that first registered this file; part of the
+  /// shared StripeCache key so a file produced by a later COMPACT can never
+  /// be served another file's cached stripes. Not persisted: recovery stamps
+  /// every file with the recovered generation, which is safe because a fresh
+  /// MasterTable also gets a fresh cache owner token.
+  uint64_t born_generation = 0;
 };
 
 class MasterTable;
@@ -60,6 +66,10 @@ class MasterGeneration {
 
   fs::SimFileSystem* fs_ = nullptr;
   uint64_t number_ = 0;
+  /// Shared decoded-stripe cache (null = per-reader LRU) and the owning
+  /// table's process-unique cache token; stamped onto every reader opened.
+  orc::StripeCache* stripe_cache_ = nullptr;
+  uint64_t cache_owner_ = 0;
   std::vector<MasterFileInfo> files_;  // ascending file_id
   /// Files this generation replaced; deleted when the generation dies.
   std::vector<std::string> doomed_paths_;
@@ -144,6 +154,9 @@ class MasterScanIterator {
 
   size_t file_index_ = 0;
   size_t stripe_index_ = 0;
+  /// Stripes of the current file that passed StripeMayMatch; a file that
+  /// ends with zero survivors is charged to the meter as a skipped file.
+  size_t survivors_in_file_ = 0;
   orc::StripeBatch batch_;
   bool batch_loaded_ = false;
   size_t index_in_batch_ = 0;
@@ -168,7 +181,8 @@ class MasterScanBatchIterator : public table::BatchIterator {
   MasterScanBatchIterator(std::vector<std::shared_ptr<orc::OrcReader>> readers,
                           std::vector<uint64_t> file_ids, table::ScanSpec spec,
                           size_t num_fields, bool apply_predicate, size_t batch_rows,
-                          size_t stripe_begin = 0, size_t stripe_end = SIZE_MAX);
+                          size_t stripe_begin = 0, size_t stripe_end = SIZE_MAX,
+                          bool count_skips = true);
 
   /// Decodes the next surviving stripe; false at end or error.
   bool LoadNextStripe();
@@ -184,9 +198,15 @@ class MasterScanBatchIterator : public table::BatchIterator {
   /// Stripe window for morsel scans; only meaningful for single-file
   /// iterators (multi-file scans always cover every stripe).
   size_t stripe_end_limit_;
+  /// False for morsel-window iterators: PlanMorsels already charged every
+  /// pruned stripe/file to the meter, so recounting here would make the
+  /// merged parallel meters disagree with a serial scan.
+  bool count_skips_;
 
   size_t file_index_ = 0;
   size_t stripe_index_ = 0;
+  /// See MasterScanIterator::survivors_in_file_.
+  size_t survivors_in_file_ = 0;
   std::shared_ptr<const orc::StripeBatch> stripe_;
   size_t offset_in_stripe_ = 0;
   Row scratch_;
@@ -201,10 +221,20 @@ class MasterTable {
   /// files and generations that never reached their manifest commit are
   /// garbage-collected here. Directories that predate the manifest are
   /// indexed by scanning and committed on the spot.
+  /// `stripe_cache` null routes decoded stripes through the process-wide
+  /// StripeCache::Default(); pass a dedicated cache to isolate (tests).
   static Result<std::unique_ptr<MasterTable>> Open(
       fs::SimFileSystem* fs, MetadataTable* metadata, const std::string& table_name,
       Schema schema, const std::string& warehouse_dir = "/warehouse",
-      orc::WriterOptions writer_options = orc::WriterOptions());
+      orc::WriterOptions writer_options = orc::WriterOptions(),
+      orc::StripeCache* stripe_cache = nullptr);
+
+  ~MasterTable();
+
+  /// Process-unique cache-owner token (stable for this MasterTable's life).
+  uint64_t cache_owner() const { return cache_owner_; }
+  /// The shared stripe cache this table's readers publish into.
+  orc::StripeCache* stripe_cache() const { return stripe_cache_; }
 
   const Schema& schema() const { return schema_; }
   /// Latest-visible file set (a copy of the current generation's list).
@@ -329,6 +359,10 @@ class MasterTable {
   Schema schema_;
   std::string dir_;
   orc::WriterOptions writer_options_;
+  /// Shared decoded-stripe cache + this table's owner token (see
+  /// MasterFileInfo::born_generation for the full cache-key story).
+  orc::StripeCache* stripe_cache_ = nullptr;
+  uint64_t cache_owner_ = 0;
   bool unsafe_commit_for_tests_ = false;
   /// Guards generation publication. Held only for pointer swaps and manifest
   /// writes, never across scans.
@@ -343,8 +377,11 @@ class MasterTable {
 };
 
 /// True when the stripe's statistics cannot rule out rows satisfying every
-/// bound. Exposed for tests.
+/// bound. Equality bounds additionally probe the stripe's bloom filter;
+/// `bloom_pruned` (optional) is set when min/max alone would have admitted
+/// the stripe but the bloom refuted it. Exposed for tests.
 bool StripeMayMatch(const orc::StripeInfo& stripe,
-                    const std::vector<table::ColumnBound>& bounds);
+                    const std::vector<table::ColumnBound>& bounds,
+                    bool* bloom_pruned = nullptr);
 
 }  // namespace dtl::dual

@@ -1,0 +1,149 @@
+// KV-hosted secondary index (ROADMAP: point-lookup serving tier). Maps an
+// indexed column's value to the record IDs that carry it, stored in a
+// dedicated KvStore so lookups inherit the LSM's memtable/SSTable machinery,
+// WAL durability, and — crucially — its snapshot pinning: a lookup executed
+// against a pinned KvSnapshot sees exactly the entries visible at that
+// snapshot's timestamp, which DualTable clamps to the same commit timestamp
+// as the attached store.
+//
+// Consistency model (stale-tolerant): index entries are written and synced
+// BEFORE the table mutation they describe becomes visible, so the index may
+// briefly contain entries for values no snapshot can observe yet, but never
+// lacks an entry a snapshot needs. Readers re-verify every candidate row
+// against the pinned table state (generation membership, delete markers,
+// current column value), so extra entries cost one probe each and wrong
+// results are impossible. Dead entries are folded out after COMPACT.
+//
+// Entry key layout (memcmp-ordered, prefix-free):
+//   [column ordinal : 4B BE] [kind tag : 1B] [payload] [record id : 8B BE]
+//   int64/date payload: 8B BE of (uint64)v XOR sign bit  → numeric order
+//   string payload:     bytes with 0x00 escaped as 0x00 0xFF, terminated
+//                       by 0x00 0x00 → lexicographic order, prefix-free
+// The qualifier is always 0 and the value empty: the key IS the entry.
+// A single meta row keyed 0xFFFFFFFF "meta" (sorting after every entry —
+// column ordinals are bounded by the attached table's reserved qualifiers)
+// records the (master generation, attached timestamp, column set) the index
+// was last known consistent with; Open-time recovery rebuilds on mismatch.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/status.h"
+#include "common/value.h"
+#include "fs/filesystem.h"
+#include "kv/store.h"
+
+namespace dtl::dual {
+
+class SecondaryIndex {
+ public:
+  /// Relaxed atomics; concurrent lookups and maintenance bump them lock-free.
+  struct Stats {
+    std::atomic<uint64_t> lookups{0};
+    std::atomic<uint64_t> entries_added{0};
+    std::atomic<uint64_t> entries_folded{0};
+    std::atomic<uint64_t> candidate_rows{0};
+    std::atomic<uint64_t> stale_dropped{0};
+    std::atomic<uint64_t> rebuilds{0};
+  };
+
+  /// What the meta row records: the table state the entry set is known to
+  /// cover. A mismatch at Open (crash between a table commit and the meta
+  /// write, or a DDL change to the column set) triggers a rebuild.
+  struct Meta {
+    uint64_t master_generation = 0;
+    uint64_t attached_ts = 0;
+    std::vector<size_t> columns;
+  };
+
+  /// Opens (creating if absent) the index store at /hbase/<name>_index.
+  /// `columns` must be valid ordinals of indexable type in `schema`.
+  static Result<std::unique_ptr<SecondaryIndex>> Open(
+      fs::SimFileSystem* fs, const std::string& table_name,
+      std::vector<size_t> columns, const Schema& schema,
+      kv::KvStoreOptions base_options = {});
+
+  /// Only types with a total memcmp-preserving encoding are indexable.
+  static bool IndexableType(DataType type) {
+    return type == DataType::kInt64 || type == DataType::kDate ||
+           type == DataType::kString;
+  }
+
+  const std::vector<size_t>& columns() const { return columns_; }
+  bool IndexesColumn(size_t column) const {
+    for (size_t c : columns_) {
+      if (c == column) return true;
+    }
+    return false;
+  }
+
+  /// Adds one entry. Nulls are not indexed (a lookup probe is never null);
+  /// silently ignored so callers can stream rows without branching.
+  Status Add(size_t column, const Value& value, uint64_t record_id);
+
+  /// Adds entries for every indexed column of a full-width row.
+  Status AddRow(const Row& row, uint64_t record_id);
+
+  /// Record IDs whose entry for `column` equals `value` in the pinned
+  /// snapshot, ascending. Candidates only — the caller must re-verify
+  /// against the pinned table state.
+  Result<std::vector<uint64_t>> LookupAt(const kv::KvSnapshot& snapshot,
+                                         size_t column, const Value& value) const;
+
+  /// Pins the entry set (pair with the table's commit-timestamp clamp).
+  kv::KvSnapshot GetSnapshot() const { return store_->GetSnapshot(); }
+  uint64_t LastTimestamp() const { return store_->LastTimestamp(); }
+
+  /// WAL-syncs pending entries. Called before the mutation they describe
+  /// becomes visible, keeping the no-missing-entries invariant across
+  /// crashes.
+  Status Sync() { return store_->SyncWal(); }
+
+  /// Drops every entry whose record ID lives in a dead master file
+  /// (post-COMPACT fold), then compacts the store so the tombstones and the
+  /// masked entries physically disappear.
+  Status FoldDeadFiles(const std::unordered_set<uint64_t>& dead_file_ids);
+
+  /// Meta-row round trip. Returns nullopt when the row is absent (fresh
+  /// store, or crash before the first meta write).
+  Result<std::optional<Meta>> ReadMeta();
+  Status WriteMeta(uint64_t master_generation, uint64_t attached_ts);
+
+  /// Drops all entries AND the meta row (rebuild prologue). Never call on a
+  /// table serving snapshots: a reader pinned mid-rebuild would see missing
+  /// entries, the one hazard the design excludes. Open-time recovery only.
+  Status ClearAll() { return store_->Clear(); }
+
+  /// Removes backing storage entirely.
+  Status Drop();
+
+  Stats& stats() const { return stats_; }
+  kv::KvStore* store() { return store_.get(); }
+
+ private:
+  SecondaryIndex(fs::SimFileSystem* fs, std::string dir,
+                 std::unique_ptr<kv::KvStore> store, std::vector<size_t> columns)
+      : fs_(fs),
+        dir_(std::move(dir)),
+        store_(std::move(store)),
+        columns_(std::move(columns)) {}
+
+  /// Encodes [column][tag][payload] — the lookup prefix. Returns false for
+  /// nulls and non-indexable kinds.
+  static bool EncodePrefix(size_t column, const Value& value, std::string* dst);
+
+  fs::SimFileSystem* fs_;
+  std::string dir_;
+  std::unique_ptr<kv::KvStore> store_;
+  std::vector<size_t> columns_;
+  mutable Stats stats_;
+};
+
+}  // namespace dtl::dual

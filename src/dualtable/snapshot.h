@@ -80,6 +80,12 @@ struct Snapshot {
   /// case where master stripe-stat pruning is sound (attached updates can
   /// move values across stripe-stat boundaries).
   bool attached_empty = false;
+  /// Pinned secondary-index store state, clamped to the index commit
+  /// timestamp (set only for tables with indexed columns). Index lookups
+  /// read exactly this state, so a lookup and a UNION READ scan under the
+  /// same Snapshot can never disagree.
+  kv::KvSnapshot index;
+  bool has_index = false;
 
   Snapshot() = default;
   Snapshot(const Snapshot&) = delete;

@@ -29,6 +29,16 @@ inline constexpr const char* kScanPatchedRows = "scan.patched_rows";
 inline constexpr const char* kScanMaskedRows = "scan.masked_rows";
 inline constexpr const char* kScanPredicateDrops = "scan.predicate_drops";
 inline constexpr const char* kScanMaterializedRows = "scan.materialized_rows";
+inline constexpr const char* kScanStripesSkipped = "scan.stripes_skipped";
+inline constexpr const char* kScanStripesSkippedBloom = "scan.stripes_skipped_bloom";
+inline constexpr const char* kScanFilesSkipped = "scan.files_skipped";
+
+// --- orc::StripeCache (process-wide decoded-stripe cache) ---------------------
+inline constexpr const char* kStripeCacheHits = "stripe_cache.hits";
+inline constexpr const char* kStripeCacheMisses = "stripe_cache.misses";
+inline constexpr const char* kStripeCacheBytes = "stripe_cache.bytes";
+inline constexpr const char* kStripeCacheEntries = "stripe_cache.entries";
+inline constexpr const char* kStripeCacheEvictions = "stripe_cache.evictions";
 
 // --- kv::KvStore views (labeled by table name) --------------------------------
 inline constexpr const char* kKvPuts = "kv.puts";
@@ -74,6 +84,14 @@ inline constexpr const char* kDualEditCostScalePpm =
 inline constexpr const char* kDualOverwriteCostScalePpm =
     "dualtable.cost_model.overwrite_scale_ppm";
 
+// --- Secondary index (labeled by table name) ----------------------------------
+inline constexpr const char* kIndexLookups = "dualtable.index.lookups";
+inline constexpr const char* kIndexEntriesAdded = "dualtable.index.entries_added";
+inline constexpr const char* kIndexEntriesFolded = "dualtable.index.entries_folded";
+inline constexpr const char* kIndexCandidateRows = "dualtable.index.candidate_rows";
+inline constexpr const char* kIndexStaleDropped = "dualtable.index.stale_dropped";
+inline constexpr const char* kIndexRebuilds = "dualtable.index.rebuilds";
+
 // --- MVCC snapshot views (labeled by table name) ------------------------------
 inline constexpr const char* kSnapshotAcquired = "snapshot.acquired";
 inline constexpr const char* kSnapshotActive = "snapshot.active";
@@ -108,5 +126,6 @@ inline constexpr const char* kOpJoin = "hash-join";
 inline constexpr const char* kOpAggregate = "hash-aggregate";
 inline constexpr const char* kOpSort = "sort";
 inline constexpr const char* kOpLimit = "limit";
+inline constexpr const char* kOpIndexLookup = "index-lookup";
 
 }  // namespace dtl::obs::names

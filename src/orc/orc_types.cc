@@ -1,5 +1,6 @@
 #include "orc/orc_types.h"
 
+#include "common/bloom.h"
 #include "common/coding.h"
 
 namespace dtl::orc {
@@ -20,11 +21,28 @@ void ColumnStats::Update(const Value& v) {
   if (v.Compare(max) > 0) max = v;
 }
 
+bool ColumnStats::BloomMayContain(const Value& v) const {
+  if (bloom.empty()) return true;
+  std::string key;
+  v.EncodeTo(&key);
+  return BloomFilter::Deserialize(bloom).MayContain(key);
+}
+
 void ColumnStats::EncodeTo(std::string* dst) const {
-  dst->push_back(has_min_max ? 1 : 0);
+  // The leading byte is a flag set; legacy files wrote exactly 0 or 1, so
+  // bit 0 keeps its historical has_min_max meaning and old footers decode
+  // unchanged (no bloom bit, no bloom bytes follow).
+  uint8_t flags = 0;
+  if (has_min_max) flags |= 1;
+  if (!bloom.empty()) flags |= 2;
+  dst->push_back(static_cast<char>(flags));
   if (has_min_max) {
     min.EncodeTo(dst);
     max.EncodeTo(dst);
+  }
+  if (!bloom.empty()) {
+    PutVarint64(dst, bloom.size());
+    dst->append(bloom);
   }
   PutVarint64(dst, null_count);
   PutVarint64(dst, value_count);
@@ -32,11 +50,20 @@ void ColumnStats::EncodeTo(std::string* dst) const {
 
 Status ColumnStats::DecodeFrom(Slice* input, ColumnStats* out) {
   if (input->empty()) return Status::Corruption("truncated column stats");
-  out->has_min_max = (*input)[0] != 0;
+  const uint8_t flags = static_cast<uint8_t>((*input)[0]);
   input->RemovePrefix(1);
+  out->has_min_max = (flags & 1) != 0;
   if (out->has_min_max) {
     DTL_RETURN_NOT_OK(Value::DecodeFrom(input, &out->min));
     DTL_RETURN_NOT_OK(Value::DecodeFrom(input, &out->max));
+  }
+  out->bloom.clear();
+  if ((flags & 2) != 0) {
+    uint64_t bloom_len = 0;
+    DTL_RETURN_NOT_OK(GetVarint64(input, &bloom_len));
+    if (input->size() < bloom_len) return Status::Corruption("truncated bloom filter");
+    out->bloom.assign(input->data(), bloom_len);
+    input->RemovePrefix(bloom_len);
   }
   DTL_RETURN_NOT_OK(GetVarint64(input, &out->null_count));
   DTL_RETURN_NOT_OK(GetVarint64(input, &out->value_count));

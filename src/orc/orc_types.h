@@ -22,16 +22,25 @@ namespace dtl::orc {
 inline constexpr uint32_t kOrcMagic = 0x31524F44;  // "DOR1" little-endian
 
 /// Min/max/null statistics for one column within one stripe; drives
-/// stripe-level predicate pruning.
+/// stripe-level predicate pruning. May additionally carry a serialized
+/// bloom filter over the encoded non-null values, so equality predicates
+/// can skip stripes whose min/max range covers the probe value.
 struct ColumnStats {
   bool has_min_max = false;
   Value min;
   Value max;
   uint64_t null_count = 0;
   uint64_t value_count = 0;  // includes nulls
+  /// Serialized dtl::BloomFilter over Value::EncodeTo bytes of the stripe's
+  /// non-null values; empty = no filter (legacy files, or bloom disabled).
+  std::string bloom;
 
   /// Folds one observed cell into the stats.
   void Update(const Value& v);
+
+  /// Bloom-probe for an equality predicate. True (may match) when no filter
+  /// is present; false only when the filter proves the value absent.
+  bool BloomMayContain(const Value& v) const;
 
   void EncodeTo(std::string* dst) const;
   static Status DecodeFrom(Slice* input, ColumnStats* out);

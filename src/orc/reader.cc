@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "common/coding.h"
 #include "orc/encoding.h"
+#include "orc/stripe_cache.h"
 #include "table/scan_stats.h"
 
 namespace dtl::orc {
@@ -201,6 +202,18 @@ Result<std::string> OrcReader::ReadRawStripe(size_t stripe_index) const {
 
 Result<std::shared_ptr<const StripeBatch>> OrcReader::ReadStripeShared(
     size_t stripe_index, std::vector<size_t> projection) const {
+  if (shared_cache_ != nullptr) {
+    if (auto hit = shared_cache_->Lookup(cache_owner_, file_id(), cache_generation_,
+                                         stripe_index, projection)) {
+      return hit;
+    }
+    auto read = ReadStripe(stripe_index, projection);
+    if (!read.ok()) return read.status();
+    auto batch = std::make_shared<const StripeBatch>(std::move(read).value());
+    shared_cache_->Insert(cache_owner_, file_id(), cache_generation_, stripe_index,
+                          std::move(projection), batch);
+    return batch;
+  }
   {
     std::lock_guard<std::mutex> lock(cache_mu_);
     for (auto it = cache_.begin(); it != cache_.end(); ++it) {

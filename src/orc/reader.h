@@ -20,6 +20,8 @@
 
 namespace dtl::orc {
 
+class StripeCache;
+
 /// Decoded, projected columns of one stripe. Column i of `columns` holds the
 /// values (nulls included) of schema ordinal `projection[i]`.
 struct StripeBatch {
@@ -80,6 +82,18 @@ class OrcReader {
   /// propagate a corrupted stripe into a new master file.
   Result<std::string> ReadRawStripe(size_t stripe_index) const;
 
+  /// Routes ReadStripeShared through a process-wide StripeCache instead of
+  /// the per-reader LRU. `owner` is the owning table's unique token and
+  /// `generation` the master generation that first registered this file;
+  /// both become part of the cache key, so a recycled file id or path after
+  /// COMPACT can never be served a pre-swap stripe. Call once right after
+  /// Open (before any concurrent reads).
+  void SetSharedCache(StripeCache* cache, uint64_t owner, uint64_t generation) {
+    shared_cache_ = cache;
+    cache_owner_ = owner;
+    cache_generation_ = generation;
+  }
+
  private:
   OrcReader(std::unique_ptr<fs::RandomAccessFile> file, FileFooter footer)
       : file_(std::move(file)), footer_(std::move(footer)) {}
@@ -96,6 +110,10 @@ class OrcReader {
   std::unique_ptr<fs::RandomAccessFile> file_;
   std::string path_;
   FileFooter footer_;
+  /// Shared cache routing (null = legacy per-reader LRU below).
+  StripeCache* shared_cache_ = nullptr;
+  uint64_t cache_owner_ = 0;
+  uint64_t cache_generation_ = 0;
   mutable std::mutex cache_mu_;
   mutable std::list<CachedStripe> cache_;  // front = most recently used
 };

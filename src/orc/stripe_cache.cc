@@ -1,0 +1,123 @@
+#include "orc/stripe_cache.h"
+
+namespace dtl::orc {
+
+StripeCache::StripeCache(size_t capacity_bytes, size_t shards)
+    : capacity_bytes_(capacity_bytes == 0 ? 1 : capacity_bytes) {
+  if (shards == 0) shards = 1;
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) shards_.push_back(std::make_unique<Shard>());
+}
+
+StripeCache* StripeCache::Default() {
+  static StripeCache cache;
+  return &cache;
+}
+
+uint64_t StripeCache::NewOwnerToken() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+StripeCache::Shard& StripeCache::ShardFor(const Key& key) {
+  // owner/file/stripe mix; generation deliberately excluded so one file's
+  // generations land in the same shard (EraseOwner still scans all shards).
+  const uint64_t h = key.owner * 0x9E3779B97F4A7C15ull + key.file_id * 1315423911ull +
+                     key.stripe_index;
+  return *shards_[h % shards_.size()];
+}
+
+size_t StripeCache::Charge(const StripeBatch& batch) {
+  size_t charge = sizeof(StripeBatch);
+  for (const auto& col : batch.columns) {
+    for (const Value& v : col) charge += v.ByteSize();
+  }
+  return charge;
+}
+
+std::shared_ptr<const StripeBatch> StripeCache::Lookup(
+    uint64_t owner, uint64_t file_id, uint64_t generation, size_t stripe_index,
+    const std::vector<size_t>& projection) {
+  Key key{owner, file_id, generation, stripe_index, projection};
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->batch;
+}
+
+void StripeCache::Insert(uint64_t owner, uint64_t file_id, uint64_t generation,
+                         size_t stripe_index, const std::vector<size_t>& projection,
+                         std::shared_ptr<const StripeBatch> batch) {
+  if (batch == nullptr) return;
+  Key key{owner, file_id, generation, stripe_index, projection};
+  Entry entry;
+  entry.charge = Charge(*batch);
+  entry.batch = std::move(batch);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    // Refresh in place (a concurrent reader decoded the same stripe).
+    shard.bytes -= it->second->charge;
+    bytes_.fetch_sub(it->second->charge, std::memory_order_relaxed);
+    it->second->charge = entry.charge;
+    it->second->batch = std::move(entry.batch);
+    shard.bytes += entry.charge;
+    bytes_.fetch_add(entry.charge, std::memory_order_relaxed);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  entry.key = key;
+  shard.bytes += entry.charge;
+  bytes_.fetch_add(entry.charge, std::memory_order_relaxed);
+  entries_.fetch_add(1, std::memory_order_relaxed);
+  shard.lru.push_front(std::move(entry));
+  shard.index.emplace(std::move(key), shard.lru.begin());
+  // Per-shard capacity slice keeps eviction shard-local (no global lock).
+  const size_t shard_capacity = capacity_bytes_ / shards_.size() + 1;
+  while (shard.bytes > shard_capacity && shard.lru.size() > 1) {
+    Entry& victim = shard.lru.back();
+    shard.bytes -= victim.charge;
+    bytes_.fetch_sub(victim.charge, std::memory_order_relaxed);
+    entries_.fetch_sub(1, std::memory_order_relaxed);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    shard.index.erase(victim.key);
+    shard.lru.pop_back();
+  }
+}
+
+void StripeCache::EraseOwner(uint64_t owner) {
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+      if (it->key.owner != owner) {
+        ++it;
+        continue;
+      }
+      shard.bytes -= it->charge;
+      bytes_.fetch_sub(it->charge, std::memory_order_relaxed);
+      entries_.fetch_sub(1, std::memory_order_relaxed);
+      shard.index.erase(it->key);
+      it = shard.lru.erase(it);
+    }
+  }
+}
+
+StripeCacheStats StripeCache::Stats() const {
+  StripeCacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.bytes = bytes_.load(std::memory_order_relaxed);
+  s.entries = entries_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace dtl::orc

@@ -1,0 +1,119 @@
+// Process-wide sharded LRU cache for hot decoded stripes, generalizing
+// OrcReader's per-reader cache (LLAP-style): decoded stripes are shared
+// across every reader, session, and scan in the process, so a hot point-
+// lookup working set is decoded once and served from memory thereafter.
+//
+// Key design: file IDs are unique within one MetadataTable but CAN collide
+// across independent DualTable universes in one process (tests open many
+// SimFileSystems), and a COMPACT may produce a new file under a recycled
+// path. The key is therefore (owner, file_id, generation, stripe,
+// projection): `owner` is a process-unique token per MasterTable, and
+// `generation` is the master generation number that first registered the
+// file — a post-COMPACT replacement file gets a fresh file_id AND a fresh
+// generation, so a stale pre-swap stripe can never be served for it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "orc/reader.h"
+
+namespace dtl::orc {
+
+/// Snapshot of one cache's counters (relaxed reads).
+struct StripeCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t bytes = 0;      // decoded payload bytes currently resident
+  uint64_t entries = 0;    // stripes currently resident
+  uint64_t evictions = 0;  // entries dropped to stay under capacity
+
+  double HitRate() const {
+    const uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+/// Sharded LRU over decoded stripes, keyed by
+/// (owner, file_id, generation, stripe_index, projection). Thread-safe;
+/// lookups and inserts take one shard mutex. Capacity is measured in
+/// decoded-payload bytes (Value::ByteSize sum), evicting least-recently-used
+/// entries shard-locally.
+class StripeCache {
+ public:
+  /// ~64MB default capacity: a few thousand hot stripes at bench sizes.
+  explicit StripeCache(size_t capacity_bytes = 64ull << 20, size_t shards = 8);
+
+  /// The process-wide instance every MasterTable uses unless its options
+  /// inject a private one (tests size theirs small to force eviction).
+  static StripeCache* Default();
+
+  /// Allocates a process-unique owner token (one per MasterTable).
+  static uint64_t NewOwnerToken();
+
+  /// Returns the cached stripe or nullptr. A hit promotes the entry.
+  std::shared_ptr<const StripeBatch> Lookup(uint64_t owner, uint64_t file_id,
+                                            uint64_t generation, size_t stripe_index,
+                                            const std::vector<size_t>& projection);
+
+  /// Inserts (or refreshes) a decoded stripe, evicting LRU entries if needed.
+  void Insert(uint64_t owner, uint64_t file_id, uint64_t generation,
+              size_t stripe_index, const std::vector<size_t>& projection,
+              std::shared_ptr<const StripeBatch> batch);
+
+  /// Drops every entry belonging to `owner` (table drop / destruction).
+  void EraseOwner(uint64_t owner);
+
+  StripeCacheStats Stats() const;
+
+  size_t capacity_bytes() const { return capacity_bytes_; }
+
+ private:
+  struct Key {
+    uint64_t owner = 0;
+    uint64_t file_id = 0;
+    uint64_t generation = 0;
+    size_t stripe_index = 0;
+    std::vector<size_t> projection;
+
+    bool operator<(const Key& rhs) const {
+      if (owner != rhs.owner) return owner < rhs.owner;
+      if (file_id != rhs.file_id) return file_id < rhs.file_id;
+      if (generation != rhs.generation) return generation < rhs.generation;
+      if (stripe_index != rhs.stripe_index) return stripe_index < rhs.stripe_index;
+      return projection < rhs.projection;
+    }
+  };
+
+  struct Entry {
+    Key key;
+    std::shared_ptr<const StripeBatch> batch;
+    size_t charge = 0;  // decoded bytes this entry counts against capacity
+  };
+
+  struct Shard {
+    std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    std::map<Key, std::list<Entry>::iterator> index;
+    size_t bytes = 0;
+  };
+
+  Shard& ShardFor(const Key& key);
+  static size_t Charge(const StripeBatch& batch);
+
+  const size_t capacity_bytes_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> bytes_{0};
+  std::atomic<uint64_t> entries_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace dtl::orc

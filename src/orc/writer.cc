@@ -1,5 +1,6 @@
 #include "orc/writer.h"
 
+#include "common/bloom.h"
 #include "common/coding.h"
 #include "orc/encoding.h"
 
@@ -137,6 +138,24 @@ Status OrcWriter::FlushStripe() {
       case DataType::kNull:
         return Status::InvalidArgument("column " + schema_.field(col).name +
                                        " has unsupported type null");
+    }
+
+    // Bloom filters only pay off where equality probes happen: integer,
+    // date, and string keys. Doubles and bools are left to min/max.
+    if (options_.bloom_filters && stats.value_count > stats.null_count &&
+        (type == DataType::kInt64 || type == DataType::kDate ||
+         type == DataType::kString)) {
+      BloomFilter filter(stats.value_count - stats.null_count,
+                         options_.bloom_bits_per_key);
+      std::string key;
+      for (const Row& r : pending_) {
+        const Value& v = r[col];
+        if (v.is_null()) continue;
+        key.clear();
+        v.EncodeTo(&key);
+        filter.Add(key);
+      }
+      stats.bloom = filter.Serialize();
     }
 
     EncodeBoolStream(presence, &presence_stream);

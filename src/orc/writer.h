@@ -15,6 +15,12 @@ namespace dtl::orc {
 struct WriterOptions {
   /// Rows buffered per stripe before encoding and flushing.
   uint64_t stripe_rows = 64 * 1024;
+  /// Write per-stripe bloom filters over int64/date/string columns so
+  /// equality predicates can skip stripes their min/max range admits.
+  /// Filters live in the footer's ColumnStats; legacy readers ignore them.
+  bool bloom_filters = true;
+  /// Bloom sizing; 10 bits/key ≈ 1% false positives.
+  int bloom_bits_per_key = 10;
 };
 
 /// Buffers rows column-wise, flushes encoded stripes, and finishes the file

@@ -112,6 +112,7 @@ struct CreateTableStmt {
   std::string table;
   std::vector<ColumnDef> columns;
   std::string stored_as;  // empty = "dualtable"
+  std::vector<std::string> index_columns;  // INDEX (col, ...), DualTable only
   bool if_not_exists = false;
 };
 

@@ -87,6 +87,64 @@ size_t TableOf(const std::vector<TableSlot>& slots, size_t ordinal) {
   return slots.size();
 }
 
+/// Scans `conjuncts` for one the secondary index can answer: `col = lit` or a
+/// non-negated `col IN (lit, ...)` where `col` is indexed and every literal's
+/// kind matches the column type exactly (mixed-kind comparisons fall back to
+/// the scan path, which owns the coercion semantics). NULL literals never
+/// match a row, so they contribute no probe. Returns false when no conjunct
+/// qualifies.
+bool FindIndexProbe(const std::vector<const Expr*>& conjuncts, const Scope& scope,
+                    const Schema& schema, const dual::SecondaryIndex& index,
+                    size_t* column, std::vector<Value>* probes) {
+  for (const Expr* c : conjuncts) {
+    const Expr* col_ref = nullptr;
+    std::vector<const Value*> lits;
+    if (c->kind == Expr::Kind::kBinary && c->op == "=") {
+      const Expr* lhs = c->args[0].get();
+      const Expr* rhs = c->args[1].get();
+      if (lhs->kind == Expr::Kind::kLiteral && rhs->kind == Expr::Kind::kColumnRef) {
+        std::swap(lhs, rhs);
+      }
+      if (lhs->kind == Expr::Kind::kColumnRef && rhs->kind == Expr::Kind::kLiteral) {
+        col_ref = lhs;
+        lits.push_back(&rhs->literal);
+      }
+    } else if (c->kind == Expr::Kind::kInList && !c->negated &&
+               c->args[0]->kind == Expr::Kind::kColumnRef) {
+      col_ref = c->args[0].get();
+      for (size_t i = 1; i < c->args.size() && col_ref != nullptr; ++i) {
+        if (c->args[i]->kind != Expr::Kind::kLiteral) {
+          col_ref = nullptr;
+        } else {
+          lits.push_back(&c->args[i]->literal);
+        }
+      }
+    }
+    if (col_ref == nullptr) continue;
+    auto ordinal = scope.Resolve(col_ref->qualifier, col_ref->column);
+    if (!ordinal.ok() || !index.IndexesColumn(*ordinal)) continue;
+    const DataType type = schema.field(*ordinal).type;
+    bool kinds_ok = true;
+    std::vector<Value> vals;
+    for (const Value* lit : lits) {
+      if (lit->is_null()) continue;
+      const bool kind_match =
+          (lit->is_int64() && (type == DataType::kInt64 || type == DataType::kDate)) ||
+          (lit->is_string() && type == DataType::kString);
+      if (!kind_match) {
+        kinds_ok = false;
+        break;
+      }
+      vals.push_back(*lit);
+    }
+    if (!kinds_ok) continue;
+    *column = *ordinal;
+    *probes = std::move(vals);
+    return true;
+  }
+  return false;
+}
+
 /// Row-at-a-time trace decorator: charges each Next()'s wall time and the
 /// emitted row to a flat child node of the execute node. Only inserted when
 /// the session tracer is active, so untraced queries pay nothing.
@@ -512,6 +570,75 @@ Result<QueryResult> Engine::ExecuteSelect(const SelectStmt& stmt) {
     }
   }
 
+  // ---- index point-lookup fast path ----
+  // `WHERE <indexed col> = <lit>` (or IN (...)) on a single DualTable resolves
+  // through the secondary index: candidate record ids -> targeted stripe
+  // fetches through the shared cache -> delta patch -> probe re-verify. All
+  // pushed conjuncts still run as the residual predicate and record-id order
+  // equals scan order, so the output is identical to the full-scan plan.
+  if (stmt.joins.empty() && slots.size() == 1 && slots[0].storage != nullptr &&
+      !has_aggregate && order_exprs.empty() && slots[0].snapshot != nullptr &&
+      slots[0].snapshot->has_index && !pushed[0].empty()) {
+    const TableSlot& slot = slots[0];
+    auto* dual = static_cast<dual::DualTable*>(slot.storage.get());
+    Scope local = local_scope(slot);
+    size_t probe_column = 0;
+    std::vector<Value> probes;
+    if (dual->secondary_index() != nullptr &&
+        FindIndexProbe(pushed[0], local, slot.storage->schema(),
+                       *dual->secondary_index(), &probe_column, &probes)) {
+      table::ScanSpec spec;
+      spec.meter = exec_.scan_meter;
+      for (size_t ord : needed) spec.projection.push_back(ord);
+      if (spec.projection.empty()) spec.projection.push_back(0);
+      std::vector<exec::ValueFn> fns;
+      std::set<size_t> pred_cols;
+      for (const Expr* c : pushed[0]) {
+        DTL_ASSIGN_OR_RETURN(BoundExpr bound, BindScalar(*c, local));
+        fns.push_back(std::move(bound.fn));
+        pred_cols.insert(bound.columns.begin(), bound.columns.end());
+      }
+      spec.predicate = [fns](const Row& row) {
+        for (const auto& fn : fns) {
+          if (!ValueIsTrue(fn(row))) return false;
+        }
+        return true;
+      };
+      spec.predicate_columns.assign(pred_cols.begin(), pred_cols.end());
+      std::vector<exec::ValueFn> output_fns;
+      for (const Expr* e : select_exprs) {
+        DTL_ASSIGN_OR_RETURN(BoundExpr bound, BindScalar(*e, scope));
+        output_fns.push_back(std::move(bound.fn));
+      }
+      obs::TraceNode* lookup_node = nullptr;
+      if (traced) {
+        tracer->AddLeaf(obs::names::kSpanBind, bind_watch.ElapsedSeconds());
+        exec_node = tracer->AddNode(obs::names::kSpanExecute);
+        lookup_node = tracer->AddNode(obs::names::kOpIndexLookup, slot.qualifier,
+                                      exec_node);
+      }
+      obs::Span exec_span(tracer, exec_node);
+      Stopwatch lookup_watch;
+      DTL_ASSIGN_OR_RETURN(auto matches,
+                           dual->IndexLookupAt(slot.snapshot, probe_column, probes, spec));
+      if (lookup_node != nullptr) {
+        lookup_node->stats.wall_seconds += lookup_watch.ElapsedSeconds();
+        lookup_node->stats.rows += matches.size();
+      }
+      QueryResult result;
+      result.column_names = std::move(column_names);
+      for (auto& [rid, row] : matches) {
+        (void)rid;
+        if (stmt.limit.has_value() && result.rows.size() >= *stmt.limit) break;
+        Row out_row;
+        out_row.reserve(output_fns.size());
+        for (const auto& fn : output_fns) out_row.push_back(fn(row));
+        result.rows.push_back(std::move(out_row));
+      }
+      return result;
+    }
+  }
+
   // ---- vectorized fast path ----
   // Single-table SELECT with no join/aggregate/order runs batch-at-a-time:
   // storage batches (predicate applied inside the scan, same contract as the
@@ -788,7 +915,20 @@ Result<QueryResult> Engine::ExecuteCreate(const CreateTableStmt& stmt) {
   if (!stmt.stored_as.empty()) {
     DTL_ASSIGN_OR_RETURN(kind, table::ParseTableKind(stmt.stored_as));
   }
-  DTL_ASSIGN_OR_RETURN(auto storage, factory_(stmt.table, kind, schema));
+  std::vector<size_t> indexed_columns;
+  if (!stmt.index_columns.empty()) {
+    if (kind != table::TableKind::kDual) {
+      return Status::InvalidArgument("INDEX (...) requires a dualtable");
+    }
+    for (const std::string& name : stmt.index_columns) {
+      const std::optional<size_t> ordinal = schema.IndexOf(name);
+      if (!ordinal.has_value()) {
+        return Status::InvalidArgument("INDEX names unknown column: " + name);
+      }
+      indexed_columns.push_back(*ordinal);
+    }
+  }
+  DTL_ASSIGN_OR_RETURN(auto storage, factory_(stmt.table, kind, schema, indexed_columns));
   DTL_RETURN_NOT_OK(catalog_->Register(stmt.table, kind, std::move(storage)));
   QueryResult result;
   result.message = "created " + std::string(table::TableKindName(kind)) + " table " +
@@ -1192,6 +1332,26 @@ Result<QueryResult> Engine::ExecuteExplain(const ExplainStmt& stmt) {
       SplitConjuncts(*select->where, &conjuncts);
       emit("  filter: " + std::to_string(conjuncts.size()) +
            " conjunct(s), single-table terms pushed into scans");
+      // Surface the index point-lookup route when the single-table plan
+      // would take it (same detection the executor runs).
+      if (select->joins.empty() && select->from.subquery == nullptr) {
+        auto entry = catalog_->Lookup(select->from.table);
+        if (entry.ok() && entry->kind == table::TableKind::kDual) {
+          auto* dual = dynamic_cast<dual::DualTable*>(entry->table.get());
+          if (dual != nullptr && dual->secondary_index() != nullptr) {
+            Scope probe_scope;
+            probe_scope.AddTable(select->from.EffectiveName(), entry->table->schema());
+            size_t col = 0;
+            std::vector<Value> probes;
+            if (FindIndexProbe(conjuncts, probe_scope, entry->table->schema(),
+                               *dual->secondary_index(), &col, &probes)) {
+              emit("  index lookup: column '" +
+                   entry->table->schema().field(col).name + "', " +
+                   std::to_string(probes.size()) + " probe(s)");
+            }
+          }
+        }
+      }
     }
     if (!select->group_by.empty() || select->having) emit("  hash aggregate");
     if (!select->order_by.empty()) emit("  sort");

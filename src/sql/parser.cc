@@ -224,9 +224,23 @@ class Parser {
       if (!AcceptOp(",")) break;
     }
     DTL_RETURN_NOT_OK(ExpectOp(")"));
-    if (AcceptKeyword("stored")) {
-      DTL_RETURN_NOT_OK(ExpectKeyword("as"));
-      DTL_ASSIGN_OR_RETURN(stmt.stored_as, ExpectIdentifier("storage kind"));
+    while (true) {
+      if (AcceptKeyword("stored")) {
+        DTL_RETURN_NOT_OK(ExpectKeyword("as"));
+        DTL_ASSIGN_OR_RETURN(stmt.stored_as, ExpectIdentifier("storage kind"));
+        continue;
+      }
+      if (AcceptKeyword("index")) {
+        DTL_RETURN_NOT_OK(ExpectOp("("));
+        while (true) {
+          DTL_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier("indexed column"));
+          stmt.index_columns.push_back(std::move(col));
+          if (!AcceptOp(",")) break;
+        }
+        DTL_RETURN_NOT_OK(ExpectOp(")"));
+        continue;
+      }
+      break;
     }
     return Statement(std::move(stmt));
   }

@@ -2,6 +2,7 @@
 
 #include "kv/store.h"
 #include "obs/metric_names.h"
+#include "orc/stripe_cache.h"
 
 namespace dtl::sql {
 
@@ -26,8 +27,10 @@ Result<std::unique_ptr<Session>> Session::Create(SessionOptions options) {
   Session* self = session.get();
   session->engine_ = std::make_unique<Engine>(
       &session->catalog_,
-      [self](const std::string& name, table::TableKind kind,
-             const Schema& schema) { return self->MakeTable(name, kind, schema); },
+      [self](const std::string& name, table::TableKind kind, const Schema& schema,
+             const std::vector<size_t>& indexed_columns) {
+        return self->MakeTable(name, kind, schema, indexed_columns);
+      },
       session->fs_.get());
   ExecOptions exec;
   exec.pool = session->pool_.get();
@@ -94,6 +97,30 @@ void Session::RegisterSessionViews() {
             [](const table::ScanSnapshot& s) { return s.predicate_drops; });
   scan_view(obs::names::kScanMaterializedRows,
             [](const table::ScanSnapshot& s) { return s.materialized_rows; });
+  scan_view(obs::names::kScanStripesSkipped,
+            [](const table::ScanSnapshot& s) { return s.stripes_skipped; });
+  scan_view(obs::names::kScanStripesSkippedBloom,
+            [](const table::ScanSnapshot& s) { return s.stripes_skipped_bloom; });
+  scan_view(obs::names::kScanFilesSkipped,
+            [](const table::ScanSnapshot& s) { return s.files_skipped; });
+
+  // Tables in this process share the default decoded-stripe cache unless
+  // their options point elsewhere; these views expose its hit economics.
+  auto cache_view = [this](const char* name, auto read) {
+    metrics_.RegisterView(name, [read]() -> double {
+      return static_cast<double>(read(orc::StripeCache::Default()->Stats()));
+    });
+  };
+  cache_view(obs::names::kStripeCacheHits,
+             [](const orc::StripeCacheStats& s) { return s.hits; });
+  cache_view(obs::names::kStripeCacheMisses,
+             [](const orc::StripeCacheStats& s) { return s.misses; });
+  cache_view(obs::names::kStripeCacheBytes,
+             [](const orc::StripeCacheStats& s) { return s.bytes; });
+  cache_view(obs::names::kStripeCacheEntries,
+             [](const orc::StripeCacheStats& s) { return s.entries; });
+  cache_view(obs::names::kStripeCacheEvictions,
+             [](const orc::StripeCacheStats& s) { return s.evictions; });
 
   if (scheduler_ != nullptr) {
     BackgroundScheduler* sched = scheduler_.get();
@@ -159,6 +186,37 @@ void Session::RegisterSnapshotViews(const std::string& label,
       [](dual::DualTable* t) { return t->master()->LiveGenerations(); });
   add(obs::names::kSnapshotOldestSeconds,
       [](dual::DualTable* t) { return t->snapshot_tracker()->OldestSeconds(); });
+
+  auto index_stat = [&](const char* name, auto read) {
+    metrics_.RegisterView(
+        name,
+        [table, read]() -> double {
+          dual::DualTable* t = table();
+          dual::SecondaryIndex* idx = t == nullptr ? nullptr : t->secondary_index();
+          return idx == nullptr
+                     ? 0.0
+                     : static_cast<double>(read(idx->stats()));
+        },
+        label);
+  };
+  index_stat(obs::names::kIndexLookups, [](const dual::SecondaryIndex::Stats& s) {
+    return s.lookups.load(std::memory_order_relaxed);
+  });
+  index_stat(obs::names::kIndexEntriesAdded, [](const dual::SecondaryIndex::Stats& s) {
+    return s.entries_added.load(std::memory_order_relaxed);
+  });
+  index_stat(obs::names::kIndexEntriesFolded, [](const dual::SecondaryIndex::Stats& s) {
+    return s.entries_folded.load(std::memory_order_relaxed);
+  });
+  index_stat(obs::names::kIndexCandidateRows, [](const dual::SecondaryIndex::Stats& s) {
+    return s.candidate_rows.load(std::memory_order_relaxed);
+  });
+  index_stat(obs::names::kIndexStaleDropped, [](const dual::SecondaryIndex::Stats& s) {
+    return s.stale_dropped.load(std::memory_order_relaxed);
+  });
+  index_stat(obs::names::kIndexRebuilds, [](const dual::SecondaryIndex::Stats& s) {
+    return s.rebuilds.load(std::memory_order_relaxed);
+  });
 }
 
 std::string Session::StatsDump() const {
@@ -180,14 +238,16 @@ Session::~Session() {
   if (scheduler_ != nullptr) scheduler_->Shutdown();
 }
 
-Result<std::shared_ptr<table::StorageTable>> Session::MakeTable(const std::string& name,
-                                                                table::TableKind kind,
-                                                                const Schema& schema) {
+Result<std::shared_ptr<table::StorageTable>> Session::MakeTable(
+    const std::string& name, table::TableKind kind, const Schema& schema,
+    const std::vector<size_t>& indexed_columns) {
   switch (kind) {
     case table::TableKind::kDual: {
+      dual::DualTableOptions dual_options = options_.dual_defaults;
+      if (!indexed_columns.empty()) dual_options.indexed_columns = indexed_columns;
       DTL_ASSIGN_OR_RETURN(auto t, dual::DualTable::Open(fs_.get(), metadata_.get(),
                                                          &cluster_, name, schema,
-                                                         options_.dual_defaults));
+                                                         dual_options));
       if (options_.observability) {
         std::weak_ptr<dual::DualTable> weak = t;
         RegisterKvViews(name, [weak]() -> kv::KvStore* {

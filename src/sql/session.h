@@ -115,9 +115,9 @@ class Session {
   explicit Session(SessionOptions options)
       : options_(std::move(options)), cluster_(options_.cluster) {}
 
-  Result<std::shared_ptr<table::StorageTable>> MakeTable(const std::string& name,
-                                                         table::TableKind kind,
-                                                         const Schema& schema);
+  Result<std::shared_ptr<table::StorageTable>> MakeTable(
+      const std::string& name, table::TableKind kind, const Schema& schema,
+      const std::vector<size_t>& indexed_columns);
 
   /// Registers the labeled kv.* view family for one table's KV store. The
   /// weak_ptr keeps views of dropped tables from dangling: they read 0.

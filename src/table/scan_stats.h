@@ -20,6 +20,9 @@ struct ScanSnapshot {
   uint64_t masked_rows = 0;        // rows hidden by attached delete markers
   uint64_t predicate_drops = 0;    // rows removed by selection-vector filters
   uint64_t materialized_rows = 0;  // rows copied out as Row objects (adapters)
+  uint64_t stripes_skipped = 0;    // stripes pruned by min/max or bloom stats
+  uint64_t stripes_skipped_bloom = 0;  // subset pruned only by the bloom probe
+  uint64_t files_skipped = 0;      // files whose every stripe was pruned
 
   ScanSnapshot operator-(const ScanSnapshot& rhs) const {
     ScanSnapshot d;
@@ -31,6 +34,9 @@ struct ScanSnapshot {
     d.masked_rows = masked_rows - rhs.masked_rows;
     d.predicate_drops = predicate_drops - rhs.predicate_drops;
     d.materialized_rows = materialized_rows - rhs.materialized_rows;
+    d.stripes_skipped = stripes_skipped - rhs.stripes_skipped;
+    d.stripes_skipped_bloom = stripes_skipped_bloom - rhs.stripes_skipped_bloom;
+    d.files_skipped = files_skipped - rhs.files_skipped;
     return d;
   }
 
@@ -48,6 +54,9 @@ struct ScanSnapshot {
     d.masked_rows = masked_rows / n;
     d.predicate_drops = predicate_drops / n;
     d.materialized_rows = materialized_rows / n;
+    d.stripes_skipped = stripes_skipped / n;
+    d.stripes_skipped_bloom = stripes_skipped_bloom / n;
+    d.files_skipped = files_skipped / n;
     return d;
   }
 
@@ -66,7 +75,10 @@ struct ScanSnapshot {
            " patched=" + std::to_string(patched_rows) +
            " masked=" + std::to_string(masked_rows) +
            " dropped=" + std::to_string(predicate_drops) +
-           " materialized=" + std::to_string(materialized_rows) + "}";
+           " materialized=" + std::to_string(materialized_rows) +
+           " stripes_skipped=" + std::to_string(stripes_skipped) +
+           " bloom_skipped=" + std::to_string(stripes_skipped_bloom) +
+           " files_skipped=" + std::to_string(files_skipped) + "}";
   }
 };
 
@@ -110,6 +122,17 @@ class ScanMeter {
     materialized_rows_.fetch_add(n, std::memory_order_relaxed);
     if (forward_ != nullptr) forward_->AddMaterializedRows(n);
   }
+  /// `bloom` marks a stripe whose min/max range admitted the probe but the
+  /// bloom filter ruled it out — the pruning only the filter can do.
+  void AddSkippedStripe(bool bloom) {
+    stripes_skipped_.fetch_add(1, std::memory_order_relaxed);
+    if (bloom) stripes_skipped_bloom_.fetch_add(1, std::memory_order_relaxed);
+    if (forward_ != nullptr) forward_->AddSkippedStripe(bloom);
+  }
+  void AddSkippedFile() {
+    files_skipped_.fetch_add(1, std::memory_order_relaxed);
+    if (forward_ != nullptr) forward_->AddSkippedFile();
+  }
 
   ScanSnapshot Snapshot() const {
     ScanSnapshot s;
@@ -121,6 +144,9 @@ class ScanMeter {
     s.masked_rows = masked_rows_.load(std::memory_order_relaxed);
     s.predicate_drops = predicate_drops_.load(std::memory_order_relaxed);
     s.materialized_rows = materialized_rows_.load(std::memory_order_relaxed);
+    s.stripes_skipped = stripes_skipped_.load(std::memory_order_relaxed);
+    s.stripes_skipped_bloom = stripes_skipped_bloom_.load(std::memory_order_relaxed);
+    s.files_skipped = files_skipped_.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -136,6 +162,10 @@ class ScanMeter {
     masked_rows_.fetch_add(s.masked_rows, std::memory_order_relaxed);
     predicate_drops_.fetch_add(s.predicate_drops, std::memory_order_relaxed);
     materialized_rows_.fetch_add(s.materialized_rows, std::memory_order_relaxed);
+    stripes_skipped_.fetch_add(s.stripes_skipped, std::memory_order_relaxed);
+    stripes_skipped_bloom_.fetch_add(s.stripes_skipped_bloom,
+                                     std::memory_order_relaxed);
+    files_skipped_.fetch_add(s.files_skipped, std::memory_order_relaxed);
     if (forward_ != nullptr) forward_->Add(s);
   }
 
@@ -157,6 +187,9 @@ class ScanMeter {
     masked_rows_.store(0, std::memory_order_relaxed);
     predicate_drops_.store(0, std::memory_order_relaxed);
     materialized_rows_.store(0, std::memory_order_relaxed);
+    stripes_skipped_.store(0, std::memory_order_relaxed);
+    stripes_skipped_bloom_.store(0, std::memory_order_relaxed);
+    files_skipped_.store(0, std::memory_order_relaxed);
   }
 
  private:
@@ -169,6 +202,9 @@ class ScanMeter {
   std::atomic<uint64_t> masked_rows_{0};
   std::atomic<uint64_t> predicate_drops_{0};
   std::atomic<uint64_t> materialized_rows_{0};
+  std::atomic<uint64_t> stripes_skipped_{0};
+  std::atomic<uint64_t> stripes_skipped_bloom_{0};
+  std::atomic<uint64_t> files_skipped_{0};
 };
 
 /// The process-wide scan meter (scans of every table feed it, mirroring how

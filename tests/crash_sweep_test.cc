@@ -476,6 +476,93 @@ TEST(CrashSweepTest, DualTableEditAndCompact) { RunDualCrashSweep(0.0); }
 
 TEST(CrashSweepTest, DualTableEditAndCompactTornTail) { RunDualCrashSweep(0.5); }
 
+// --- Indexed-dual sweep: EDIT/COMPACT with a secondary index --------------------
+
+// Same EDIT/COMPACT workload, but with a secondary index on `id`. The index
+// adds its own mutating file-system operations (entry puts, WAL syncs, the
+// meta commit, fold+compact during the generation swap), so the sweep lands
+// crash points inside every window of index publication. The recovery
+// contract: after reopen — which rebuilds the index whenever its persisted
+// meta does not match the recovered table — every surviving row is reachable
+// through an index point lookup with exactly its table value, and no phantom
+// row is served for a key the table does not hold.
+void RunIndexedDualCrashSweep(double tear_fraction) {
+  static const std::vector<Statement<DualEnv>> statements = DualStatements();
+  constexpr int64_t kRows = 100;
+
+  auto options = []() {
+    dual::DualTableOptions opt = DualSweepOptions();
+    opt.indexed_columns = {0};
+    return opt;
+  };
+  auto setup = [options](fs::SimFileSystem* fs) -> std::unique_ptr<DualEnv> {
+    auto env = std::make_unique<DualEnv>();
+    auto metadata = dual::MetadataTable::Open(fs);
+    if (!metadata.ok()) return nullptr;
+    env->metadata = std::move(metadata.value());
+    auto table = dual::DualTable::Open(fs, env->metadata.get(), &env->cluster, "t",
+                                       TableSchema(), options());
+    if (!table.ok()) return nullptr;
+    env->table = std::move(table.value());
+    if (!env->table->InsertRows(InitialRows(kRows)).ok()) return nullptr;
+    return env;
+  };
+  auto statement = [](DualEnv* env, size_t i) { return statements[i].run(env); };
+  auto reopen = [options](fs::SimFileSystem* fs)
+      -> Result<std::shared_ptr<table::StorageTable>> {
+    auto metadata = dual::MetadataTable::Open(fs);
+    if (!metadata.ok()) return metadata.status();
+    auto cluster = std::make_shared<fs::ClusterModel>();
+    auto table = dual::DualTable::Open(fs, metadata->get(), cluster.get(), "t",
+                                       TableSchema(), options());
+    if (!table.ok()) return table.status();
+    struct Holder {
+      std::unique_ptr<dual::MetadataTable> metadata;
+      std::shared_ptr<fs::ClusterModel> cluster;
+      std::shared_ptr<dual::DualTable> table;
+    };
+    auto holder = std::make_shared<Holder>();
+    holder->metadata = std::move(metadata.value());
+    holder->cluster = std::move(cluster);
+    holder->table = std::move(table.value());
+    return std::shared_ptr<table::StorageTable>(holder, holder->table.get());
+  };
+  auto base_verify =
+      MakeTableVerifier<DualEnv>(&statements, kRows, /*statement_atomic=*/false, reopen);
+  auto verify = [base_verify, reopen](fs::SimFileSystem* fs, size_t acked, size_t total) {
+    base_verify(fs, acked, total);
+    if (::testing::Test::HasFailure()) return;
+    auto table = reopen(fs);
+    ASSERT_TRUE(table.ok()) << table.status().ToString();
+    auto* dual = dynamic_cast<dual::DualTable*>(table->get());
+    ASSERT_NE(dual, nullptr);
+    ASSERT_NE(dual->secondary_index(), nullptr);
+    State actual;
+    std::string why;
+    ASSERT_TRUE(TryReadState(table->get(), &actual, &why)) << why;
+    dual::SnapshotPtr snap = dual->AcquireSnapshot();
+    for (const auto& [id, v] : actual) {
+      auto looked = dual->IndexLookupAt(snap, 0, {Value::Int64(id)}, table::ScanSpec());
+      ASSERT_TRUE(looked.ok()) << looked.status().ToString();
+      ASSERT_EQ(looked->size(), 1u) << "index lost or duplicated id " << id;
+      EXPECT_EQ(looked->front().second[1].AsInt64(), v) << "stale value for id " << id;
+    }
+    for (const int64_t id : {int64_t{-5}, int64_t{99999}}) {
+      auto looked = dual->IndexLookupAt(snap, 0, {Value::Int64(id)}, table::ScanSpec());
+      ASSERT_TRUE(looked.ok());
+      EXPECT_TRUE(looked->empty()) << "phantom index hit for id " << id;
+    }
+  };
+  RunCrashSweep<DualEnv>("indexed-dualtable tear=" + std::to_string(tear_fraction),
+                         tear_fraction, statements.size(), setup, statement, verify);
+}
+
+TEST(CrashSweepTest, IndexedDualTableEditAndCompact) { RunIndexedDualCrashSweep(0.0); }
+
+TEST(CrashSweepTest, IndexedDualTableEditAndCompactTornTail) {
+  RunIndexedDualCrashSweep(0.5);
+}
+
 // --- Generation-pin sweep (snapshot vs COMPACT publish) ---------------------------
 
 /// Reads a snapshot's row set into id -> v through the MVCC scan path.

@@ -211,6 +211,62 @@ TEST(OrcFileTest, StripeStatsMinMax) {
   EXPECT_EQ((*reader)->stripe(1).first_row, 100u);
 }
 
+TEST(OrcFileTest, StripeBloomFilterRoundTrip) {
+  fs::SimFileSystem fs;
+  WriterOptions options;
+  options.stripe_rows = 100;
+  Schema schema({{"v", DataType::kInt64}, {"s", DataType::kString}});
+  auto writer = OrcWriter::Create(&fs, "/t/bloom.orc", schema, 1, options);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE((*writer)
+                    ->Append({Value::Int64(i), Value::String("s" + std::to_string(i))})
+                    .ok());
+  }
+  ASSERT_TRUE((*writer)->Close().ok());
+
+  auto reader = OrcReader::Open(&fs, "/t/bloom.orc");
+  ASSERT_TRUE(reader.ok());
+  ASSERT_EQ((*reader)->num_stripes(), 2u);
+  for (size_t s = 0; s < 2; ++s) {
+    const StripeInfo& stripe = (*reader)->stripe(s);
+    ASSERT_FALSE(stripe.stats[0].bloom.empty());
+    ASSERT_FALSE(stripe.stats[1].bloom.empty());
+    // Every written value must pass its own stripe's filter (no false
+    // negatives, ever).
+    const int64_t base = static_cast<int64_t>(s) * 100;
+    for (int64_t v = base; v < base + 100; ++v) {
+      EXPECT_TRUE(stripe.stats[0].BloomMayContain(Value::Int64(v)));
+      EXPECT_TRUE(
+          stripe.stats[1].BloomMayContain(Value::String("s" + std::to_string(v))));
+    }
+  }
+  // Values far outside the data are overwhelmingly refuted (~1% FP rate at
+  // 10 bits/key; over 200 distinct probes at least one must be refuted, and
+  // in practice nearly all are).
+  size_t refuted = 0;
+  for (int64_t v = 10000; v < 10200; ++v) {
+    if (!(*reader)->stripe(0).stats[0].BloomMayContain(Value::Int64(v))) ++refuted;
+  }
+  EXPECT_GT(refuted, 150u);
+}
+
+TEST(OrcFileTest, BloomFiltersCanBeDisabled) {
+  fs::SimFileSystem fs;
+  WriterOptions options;
+  options.stripe_rows = 50;
+  options.bloom_filters = false;
+  Schema schema({{"v", DataType::kInt64}});
+  auto writer = OrcWriter::Create(&fs, "/t/nobloom.orc", schema, 1, options);
+  for (int i = 0; i < 50; ++i) ASSERT_TRUE((*writer)->Append({Value::Int64(i)}).ok());
+  ASSERT_TRUE((*writer)->Close().ok());
+  auto reader = OrcReader::Open(&fs, "/t/nobloom.orc");
+  ASSERT_TRUE(reader.ok());
+  const ColumnStats& stats = (*reader)->stripe(0).stats[0];
+  EXPECT_TRUE(stats.bloom.empty());
+  // Without a filter the probe must answer "may match" for anything.
+  EXPECT_TRUE(stats.BloomMayContain(Value::Int64(999)));
+}
+
 TEST(OrcFileTest, CorruptFooterDetected) {
   fs::SimFileSystem fs;
   auto writer = OrcWriter::Create(&fs, "/t/bad.orc", TestSchema(), 1);
