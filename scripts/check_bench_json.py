@@ -34,6 +34,11 @@ ARRAY_SCHEMAS = {
         "workload", "workers", "rows", "seconds",
         "wall_speedup", "modeled_speedup",
     },
+    "BENCH_observability.json": {
+        "workload", "scan", "rows", "rows_per_sec_on", "rows_per_sec_off",
+        "overhead_pct", "cost_audit_records",
+        "hist_observe_ns", "hist_rotate_ns", "recorder_samples",
+    },
 }
 OBJECT_SCHEMAS = {
     "BENCH_incremental_compact.json": {
@@ -49,6 +54,18 @@ OBJECT_SCHEMAS = {
         "calibration": {
             "gain", "statements", "first_half_mean_error",
             "second_half_mean_error", "edit_cost_scale", "overwrite_cost_scale",
+        },
+    },
+    "BENCH_adaptive_maintenance.json": {
+        "rounds": {
+            "mode", "round", "burst", "read_modeled_seconds",
+            "read_wall_seconds", "maintenance_modeled_seconds", "attached_bytes",
+        },
+        "summary": {
+            "mode", "read_p50", "read_p99", "read_p99_over_p50",
+            "maintenance_modeled_total", "rounds", "preview_scans", "skips",
+            "incremental_compacts", "triggers_density", "triggers_latency",
+            "triggers_bytes",
         },
     },
 }

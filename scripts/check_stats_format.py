@@ -1,0 +1,189 @@
+#!/usr/bin/env python3
+"""Validate the telemetry dump formats the Session writes for operators:
+
+  dtl-stats.jsonl   one JSON object per line — {"t_us": <int>, "metrics": {...}}
+                    with non-decreasing timestamps (the recorder's sample ring)
+  dtl-stats.prom    Prometheus text exposition — `# TYPE` comments plus
+                    `name{label="x"} value` sample lines with finite values
+
+Both files are hand-rendered in C++ (no serializer dependency), so a refactor
+can silently break what a scraper or the evaluation tooling parses. This gate
+fails CI when either emitted file stops conforming.
+
+Usage:
+  check_stats_format.py --self-test     validator sanity (static-checks CI)
+  check_stats_format.py <dir>           validate both dtl-stats.* under <dir>
+  check_stats_format.py <file>...       validate files by extension
+"""
+import json
+import math
+import os
+import re
+import sys
+
+PROM_COMMENT_RE = re.compile(r"^#( (TYPE|HELP) [a-zA-Z_:][a-zA-Z0-9_:]* ?.*)?$")
+PROM_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\""
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\})?"
+    r" (?P<value>\S+)$")
+
+
+def check_jsonl(text, name):
+    errors = []
+    last_t = None
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        return [f"{name}: empty — the recorder captured nothing"]
+    for i, line in enumerate(lines, 1):
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            errors.append(f"{name}:{i}: invalid JSON: {exc}")
+            continue
+        if not isinstance(obj, dict):
+            errors.append(f"{name}:{i}: expected an object per line")
+            continue
+        t = obj.get("t_us")
+        if not isinstance(t, int) or t < 0:
+            errors.append(f"{name}:{i}: missing or non-integer 't_us'")
+        elif last_t is not None and t < last_t:
+            errors.append(f"{name}:{i}: 't_us' went backwards ({t} < {last_t})")
+        else:
+            last_t = t
+        if not isinstance(obj.get("metrics"), dict):
+            errors.append(f"{name}:{i}: missing 'metrics' object")
+    return errors
+
+
+def check_prom(text, name):
+    errors = []
+    typed = set()    # families with a # TYPE line
+    sampled = set()  # families that emitted at least one sample
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        return [f"{name}: empty — nothing exposed"]
+    for i, line in enumerate(lines, 1):
+        if line.startswith("#"):
+            if not PROM_COMMENT_RE.match(line):
+                errors.append(f"{name}:{i}: malformed comment: {line!r}")
+            elif line.startswith("# TYPE "):
+                parts = line.split(" ")
+                typed.add(parts[2])
+                if parts[3] not in ("counter", "gauge", "histogram", "summary",
+                                    "untyped"):
+                    errors.append(f"{name}:{i}: unknown metric type {parts[3]!r}")
+            continue
+        m = PROM_SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f"{name}:{i}: malformed sample line: {line!r}")
+            continue
+        try:
+            value = float(m.group("value"))
+        except ValueError:
+            errors.append(f"{name}:{i}: non-numeric value {m.group('value')!r}")
+            continue
+        if not math.isfinite(value):
+            errors.append(f"{name}:{i}: non-finite value {m.group('value')!r}")
+        # Histogram series (_bucket/_sum/_count) are typed under the base name.
+        family = re.sub(r"_(bucket|sum|count)$", "", m.group("name"))
+        sampled.add(m.group("name"))
+        sampled.add(family)
+    if not typed:
+        errors.append(f"{name}: no # TYPE comments — not an exposition dump")
+    for fam in sorted(typed):
+        if fam not in sampled:
+            errors.append(f"{name}: # TYPE {fam} has no sample lines")
+    return errors
+
+
+def check_path(path):
+    name = os.path.basename(path)
+    try:
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+    except OSError as exc:
+        return [f"{name}: unreadable: {exc}"]
+    if name.endswith(".jsonl"):
+        return check_jsonl(text, name)
+    if name.endswith(".prom"):
+        return check_prom(text, name)
+    return [f"{name}: unknown telemetry format (expected .jsonl or .prom)"]
+
+
+GOOD_JSONL = """\
+{"t_us":1000,"metrics":{"counters":{"scan.rows":5},"gauges":{},"histograms":{},"views":{}}}
+{"t_us":2000,"metrics":{"counters":{"scan.rows":2},"gauges":{},"histograms":{},"views":{}}}
+"""
+BAD_JSONL = [
+    '{"t_us":1000}\n',                                # no metrics
+    '{"metrics":{}}\n',                               # no t_us
+    '{"t_us":2000,"metrics":{}}\n{"t_us":1000,"metrics":{}}\n',  # backwards
+    'not json\n',
+    '',
+]
+GOOD_PROM = """\
+# TYPE dtl_scan_rows counter
+dtl_scan_rows 42
+# TYPE dtl_maintenance_rounds counter
+dtl_maintenance_rounds{label="t"} 3
+# TYPE dtl_dualtable_union_read_seconds histogram
+dtl_dualtable_union_read_seconds_bucket{label="t",le="0"} 1
+dtl_dualtable_union_read_seconds_bucket{label="t",le="+Inf"} 2
+dtl_dualtable_union_read_seconds_sum{label="t"} 3
+dtl_dualtable_union_read_seconds_count{label="t"} 2
+"""
+BAD_PROM = [
+    "dtl_scan_rows 42\n",                             # no TYPE anywhere
+    "# TYPE dtl_scan_rows counter\ndtl_scan_rows nan\n",
+    "# TYPE dtl_scan_rows counter\ndtl_scan_rows{broken 42\n",
+    "# TYPE dtl_scan_rows counter\n",                 # typed but never sampled
+    "",
+]
+
+
+def self_test():
+    failures = []
+    if check_jsonl(GOOD_JSONL, "good.jsonl"):
+        failures.append("valid JSON-lines fixture rejected: "
+                        + "; ".join(check_jsonl(GOOD_JSONL, "good.jsonl")))
+    for i, bad in enumerate(BAD_JSONL):
+        if not check_jsonl(bad, f"bad{i}.jsonl"):
+            failures.append(f"invalid JSON-lines fixture {i} accepted")
+    if check_prom(GOOD_PROM, "good.prom"):
+        failures.append("valid Prometheus fixture rejected: "
+                        + "; ".join(check_prom(GOOD_PROM, "good.prom")))
+    for i, bad in enumerate(BAD_PROM):
+        if not check_prom(bad, f"bad{i}.prom"):
+            failures.append(f"invalid Prometheus fixture {i} accepted")
+    for f in failures:
+        print(f"check_stats_format self-test: {f}", file=sys.stderr)
+    print(f"check_stats_format: self-test "
+          f"{'FAILED' if failures else 'ok'} "
+          f"({len(BAD_JSONL) + len(BAD_PROM) + 2} fixtures)")
+    return 1 if failures else 0
+
+
+def main(argv):
+    if len(argv) > 1 and argv[1] == "--self-test":
+        return self_test()
+    targets = argv[1:] or ["."]
+    paths = []
+    for t in targets:
+        if os.path.isdir(t):
+            for name in ("dtl-stats.jsonl", "dtl-stats.prom"):
+                paths.append(os.path.join(t, name))
+        else:
+            paths.append(t)
+    failures = []
+    for path in paths:
+        errors = check_path(path)
+        print(f"{'FAIL' if errors else 'ok':4s}  {path}")
+        failures.extend(errors)
+    for error in failures:
+        print(f"  {error}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

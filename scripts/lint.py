@@ -28,7 +28,11 @@ Enforced invariants (see DESIGN.md §7):
                       src/obs/metric_names.h, never from inline string
                       literals: counter("foo") drifts, counter(kFoo) cannot.
                       (Span/AddNode detail strings — the 2nd argument — stay
-                      free-form.)
+                      free-form.) The registry itself must stay well-formed:
+                      every declared name is lowercase dot-separated
+                      ([a-z0-9_-] segments) and no two constants alias the
+                      same string, so the telemetry surface is enumerable
+                      from that one header.
   7. no-raw-clock     Outside dtl::Stopwatch (src/common/stopwatch.h) and the
                       obs layer, nothing reads std::chrono clocks directly;
                       all timing flows through the stopwatch so traces,
@@ -86,6 +90,13 @@ METRIC_LITERAL_RES = [
     re.compile(r"\bSpan\s+\w+\s*\(\s*[^,()]+,\s*\""),
 ]
 METRIC_HYGIENE_EXEMPT = ("src/obs/",)  # the layer that defines the names
+
+# Rule 6b: the declaration side of metric hygiene. Matches the one sanctioned
+# declaration form in metric_names.h (possibly wrapped across lines).
+METRIC_NAMES_HEADER = "src/obs/metric_names.h"
+METRIC_DECL_RE = re.compile(
+    r'inline\s+constexpr\s+const\s+char\*\s+(k\w+)\s*=\s*"([^"]*)"\s*;')
+METRIC_NAME_FORMAT_RE = re.compile(r"^[a-z][a-z0-9_-]*(\.[a-z0-9_-]+)*$")
 
 # Rule 7: direct chrono clock reads. Stopwatch is the one sanctioned reader.
 RAW_CLOCK_RE = re.compile(
@@ -246,6 +257,34 @@ def check_writable_file_surface(findings):
                              f"surface {sorted(WRITABLE_FILE_ALLOWED)}"))
 
 
+def check_metric_name_registry(findings):
+    """Rule 6b: metric_names.h itself is well-formed. Every declared name
+    follows the naming scheme (lowercase dot-separated; hyphens only inside
+    span/operator segments), and no two constants alias one string — an alias
+    silently splits a logical series across two identifiers."""
+    path = REPO / METRIC_NAMES_HEADER
+    text = path.read_text()
+    rp = rel(path)
+    seen = {}
+    for m in METRIC_DECL_RE.finditer(text):
+        ident, value = m.groups()
+        lineno = text[: m.start()].count("\n") + 1
+        if not METRIC_NAME_FORMAT_RE.match(value):
+            findings.append((rp, lineno, "metric-hygiene",
+                             f'{ident} = "{value}" violates the naming scheme '
+                             "(lowercase, dot-separated [a-z0-9_-] segments)"))
+        if value in seen:
+            findings.append((rp, lineno, "metric-hygiene",
+                             f'{ident} aliases "{value}", already declared as '
+                             f"{seen[value]}"))
+        else:
+            seen[value] = ident
+    if not seen:
+        findings.append((rp, 1, "metric-hygiene",
+                         "no metric-name declarations parsed — the declaration "
+                         "form changed under the lint"))
+
+
 def check_file(path: Path, findings):
     raw = path.read_text()
     text = strip_comments_and_strings(raw)
@@ -386,6 +425,7 @@ def main(argv):
 
     findings = []
     check_writable_file_surface(findings)
+    check_metric_name_registry(findings)
     for f in files:
         check_file(f, findings)
 

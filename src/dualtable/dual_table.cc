@@ -9,6 +9,7 @@
 #include "obs/cost_audit.h"
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
+#include "obs/telemetry_clock.h"
 #include "obs/trace.h"
 
 namespace dtl::dual {
@@ -74,6 +75,8 @@ Result<std::shared_ptr<DualTable>> DualTable::Open(fs::SimFileSystem* fs,
         dual->index_,
         SecondaryIndex::Open(fs, name, dual->options_.indexed_columns, dual->schema_,
                              dual->options_.attached_options));
+    // Bind before the recovery check so an Open-time rebuild is counted.
+    dual->index_->BindMetrics(dual->options_.metrics, name);
     // Recovery: a crash between a table commit and its index meta write
     // leaves a detectably stale index; rebuild it before serving lookups.
     DTL_RETURN_NOT_OK(dual->EnsureIndexFresh());
@@ -86,6 +89,8 @@ Result<std::shared_ptr<DualTable>> DualTable::Open(fs::SimFileSystem* fs,
     dual->compact_hist_ = metrics->histogram(obs::names::kDualCompactSeconds, name);
     dual->union_read_rows_hist_ =
         metrics->histogram(obs::names::kDualUnionReadRows, name);
+    dual->union_read_seconds_hist_ =
+        metrics->histogram(obs::names::kDualUnionReadSeconds, name);
     dual->incremental_compact_hist_ =
         metrics->histogram(obs::names::kDualIncrementalCompactSeconds, name);
     dual->stripe_density_hist_ =
@@ -101,6 +106,23 @@ Result<std::shared_ptr<DualTable>> DualTable::Open(fs::SimFileSystem* fs,
         static_cast<int64_t>(dual->options_.cost_params.edit_cost_scale * 1e6));
     dual->overwrite_scale_gauge_->Set(
         static_cast<int64_t>(dual->options_.cost_params.overwrite_cost_scale * 1e6));
+    dual->maint_rounds_ctr_ = metrics->counter(obs::names::kMaintenanceRounds, name);
+    dual->maint_skips_ctr_ = metrics->counter(obs::names::kMaintenanceSkips, name);
+    dual->maint_preview_scans_ctr_ =
+        metrics->counter(obs::names::kMaintenancePreviewScans, name);
+    dual->maint_incremental_ctr_ =
+        metrics->counter(obs::names::kMaintenanceIncrementalCompacts, name);
+    dual->maint_full_ctr_ = metrics->counter(obs::names::kMaintenanceFullCompacts, name);
+    dual->maint_reclaims_ctr_ = metrics->counter(obs::names::kMaintenanceReclaims, name);
+    dual->maint_trigger_density_ctr_ =
+        metrics->counter(obs::names::kMaintenanceTriggers, "density");
+    dual->maint_trigger_latency_ctr_ =
+        metrics->counter(obs::names::kMaintenanceTriggers, "latency");
+    dual->maint_trigger_bytes_ctr_ =
+        metrics->counter(obs::names::kMaintenanceTriggers, "bytes");
+    dual->maint_p95_gauge_ = metrics->gauge(obs::names::kMaintenanceUnionReadP95Us, name);
+    dual->maint_density_gauge_ =
+        metrics->gauge(obs::names::kMaintenanceDeltaDensityPpm, name);
   }
   if (dual->options_.scheduler != nullptr && dual->options_.background_compaction) {
     // Maintenance used to surface only through scans, so compaction debt
@@ -310,15 +332,20 @@ Result<std::unique_ptr<UnionReadBatchIterator>> DualTable::NewUnionReadBatchForM
 
 namespace {
 
-// Counts the rows a UNION READ scan emits and reports the total into the
-// per-table histogram when the scan ends (destruction = end of scan, whether
-// drained or abandoned).
+// Counts the rows a UNION READ scan emits and reports the total — plus the
+// scan's wall seconds, construction to destruction — into the per-table
+// histograms when the scan ends (destruction = end of scan, whether drained
+// or abandoned). The seconds histogram's window ring is what the adaptive
+// maintenance latency trigger reads.
 class RowsObservingBatchIterator : public table::BatchIterator {
  public:
   RowsObservingBatchIterator(std::unique_ptr<table::BatchIterator> inner,
-                             obs::Histogram* hist)
-      : inner_(std::move(inner)), hist_(hist) {}
-  ~RowsObservingBatchIterator() override { hist_->Observe(rows_); }
+                             obs::Histogram* rows_hist, obs::Histogram* seconds_hist)
+      : inner_(std::move(inner)), rows_hist_(rows_hist), seconds_hist_(seconds_hist) {}
+  ~RowsObservingBatchIterator() override {
+    rows_hist_->Observe(rows_);
+    if (seconds_hist_ != nullptr) seconds_hist_->ObserveSeconds(watch_.ElapsedSeconds());
+  }
 
   bool Next(table::RowBatch* batch) override {
     if (!inner_->Next(batch)) return false;
@@ -329,8 +356,10 @@ class RowsObservingBatchIterator : public table::BatchIterator {
 
  private:
   std::unique_ptr<table::BatchIterator> inner_;
-  obs::Histogram* hist_;
+  obs::Histogram* rows_hist_;
+  obs::Histogram* seconds_hist_;
   uint64_t rows_ = 0;
+  Stopwatch watch_;
 };
 
 }  // namespace
@@ -338,8 +367,8 @@ class RowsObservingBatchIterator : public table::BatchIterator {
 std::unique_ptr<table::BatchIterator> DualTable::ObserveUnionReadRows(
     std::unique_ptr<table::BatchIterator> it) {
   if (union_read_rows_hist_ == nullptr) return it;
-  return std::make_unique<RowsObservingBatchIterator>(std::move(it),
-                                                      union_read_rows_hist_);
+  return std::make_unique<RowsObservingBatchIterator>(
+      std::move(it), union_read_rows_hist_, union_read_seconds_hist_);
 }
 
 Result<std::unique_ptr<table::RowIterator>> DualTable::Scan(const table::ScanSpec& spec) {
@@ -1148,7 +1177,65 @@ Status DualTable::PublishIncrementalRewrite(std::vector<MasterFileInfo> full_set
   return Status::OK();
 }
 
+const char* DualTable::AdaptiveTriggerReason() {
+  // Delta-density proxy without a preview scan: attached cells over master
+  // rows. Overcounts rows carrying several modified columns, so it fires
+  // earlier than the exact per-file density — a conservative trigger; the
+  // preview that follows still ranks files by the exact densities.
+  const uint64_t master_rows = master_->TotalRows();
+  const uint64_t cells = attached_->ApproximateCellCount();
+  double density = master_rows == 0
+                       ? (cells > 0 ? 1.0 : 0.0)
+                       : static_cast<double>(cells) / static_cast<double>(master_rows);
+  if (density > 1.0) density = 1.0;
+  if (maint_density_gauge_ != nullptr) {
+    maint_density_gauge_->Set(static_cast<int64_t>(density * 1e6));
+  }
+
+  uint64_t window_count = 0;
+  uint64_t p95_us = 0;
+  if (union_read_seconds_hist_ != nullptr) {
+    obs::TelemetryClock* clock = options_.telemetry_clock != nullptr
+                                     ? options_.telemetry_clock
+                                     : obs::DefaultTelemetryClock();
+    const uint64_t now_us = clock->NowMicros();
+    union_read_seconds_hist_->MaybeRotate(now_us);
+    const obs::HistogramSnapshot window = union_read_seconds_hist_->WindowSnapshot(
+        static_cast<uint64_t>(options_.adaptive_window_seconds * 1e6), now_us);
+    window_count = window.count;
+    p95_us = window.ValueAtQuantile(0.95);
+    if (maint_p95_gauge_ != nullptr) {
+      maint_p95_gauge_->Set(static_cast<int64_t>(p95_us));
+    }
+  }
+
+  if (density >= IncrementalDensityThreshold()) return "density";
+  if (window_count >= options_.adaptive_min_window_count &&
+      static_cast<double>(p95_us) > options_.adaptive_latency_slo_seconds * 1e6) {
+    return "latency";
+  }
+  if (NeedsCompaction()) return "bytes";
+  return nullptr;
+}
+
 void DualTable::BackgroundMaintenance() {
+  if (maint_rounds_ctr_ != nullptr) maint_rounds_ctr_->Inc();
+  if (options_.adaptive_maintenance) {
+    const char* reason = AdaptiveTriggerReason();
+    if (reason == nullptr) {
+      // Nothing in the telemetry says work is needed: skip without scanning
+      // the attached store at all (the preview scan below is the per-round
+      // cost this mode exists to eliminate).
+      if (maint_skips_ctr_ != nullptr) maint_skips_ctr_->Inc();
+      return;
+    }
+    if (maint_trigger_density_ctr_ != nullptr) {
+      if (reason[0] == 'd') maint_trigger_density_ctr_->Inc();
+      if (reason[0] == 'l') maint_trigger_latency_ctr_->Inc();
+      if (reason[0] == 'b') maint_trigger_bytes_ctr_->Inc();
+    }
+  }
+  if (maint_preview_scans_ctr_ != nullptr) maint_preview_scans_ctr_->Inc();
   Result<IncrementalCompactionPlan> plan = PreviewIncrementalCompaction();
   if (!plan.ok()) return;  // transient failure; retried next round
   if (stripe_density_hist_ != nullptr) {
@@ -1161,6 +1248,7 @@ void DualTable::BackgroundMaintenance() {
   if (plan->selected_files() > 0 || !plan->stray_record_ids.empty()) {
     // CompactIncremental re-plans under mu_, so a DML statement landing
     // between this preview and the lock is still folded correctly.
+    if (maint_incremental_ctr_ != nullptr) maint_incremental_ctr_->Inc();
     Result<IncrementalCompactStats> done = CompactIncremental();
     DTL_IGNORE_STATUS(done.status(),
                       "background incremental compaction is retried next round");
@@ -1172,12 +1260,14 @@ void DualTable::BackgroundMaintenance() {
     // threshold (deltas spread thin): fall back to the full rewrite. The
     // delta-rows guard keeps KV tombstone bloat alone from triggering a
     // pointless full rewrite.
+    if (maint_full_ctr_ != nullptr) maint_full_ctr_->Inc();
     DTL_IGNORE_STATUS(Compact(), "background compaction failure is retried next round");
     return;
   }
   // Bytes above the threshold but zero live modifications: pure tombstone
   // bloat left behind by earlier partial folds. Reclaim it without touching
   // the master generation.
+  if (maint_reclaims_ctr_ != nullptr) maint_reclaims_ctr_->Inc();
   ReclaimAttachedGarbage();
 }
 
@@ -1279,7 +1369,7 @@ Status DualTable::RebuildIndex() {
   // missing entries to any snapshot pinned mid-rebuild. Rebuilding from the
   // UNION READ view (updated values, deleted rows absent) is exact for every
   // snapshot that can still be acquired — pre-crash history is gone.
-  index_->stats().rebuilds.fetch_add(1, std::memory_order_relaxed);
+  index_->CountRebuild();
   DTL_RETURN_NOT_OK(index_->ClearAll());
   SnapshotPtr snapshot = AcquireSnapshot();
   table::ScanSpec all;  // every column, no predicate
@@ -1342,7 +1432,6 @@ Result<std::vector<std::pair<uint64_t, Row>>> DualTable::IndexLookupAt(
     std::sort(required.begin(), required.end());
   }
 
-  SecondaryIndex::Stats& stats = index_->stats();
   std::vector<std::pair<uint64_t, Row>> out;
   const std::vector<MasterFileInfo>& files = snapshot->generation->files();
   size_t file_pos = 0;  // ascending rids -> the file cursor only moves forward
@@ -1355,7 +1444,7 @@ Result<std::vector<std::pair<uint64_t, Row>>> DualTable::IndexLookupAt(
     if (file_pos >= files.size() || files[file_pos].file_id != file_id) {
       // Entry for a file outside the pinned generation (replaced by a
       // COMPACT, or staged by an uncommitted INSERT): stale, drop.
-      stats.stale_dropped.fetch_add(1, std::memory_order_relaxed);
+      index_->CountStaleSkipped();
       continue;
     }
     if (reader == nullptr || reader->file_id() != file_id) {
@@ -1363,12 +1452,12 @@ Result<std::vector<std::pair<uint64_t, Row>>> DualTable::IndexLookupAt(
       stripe.reset();
     }
     if (row_no >= reader->num_rows()) {
-      stats.stale_dropped.fetch_add(1, std::memory_order_relaxed);
+      index_->CountStaleSkipped();
       continue;
     }
     DTL_ASSIGN_OR_RETURN(auto mod, attached_->GetModificationAt(snapshot->attached, rid));
     if (mod.has_value() && mod->deleted) {
-      stats.stale_dropped.fetch_add(1, std::memory_order_relaxed);
+      index_->CountStaleSkipped();
       continue;
     }
     if (stripe == nullptr || row_no < stripe->first_row ||
@@ -1412,7 +1501,7 @@ Result<std::vector<std::pair<uint64_t, Row>>> DualTable::IndexLookupAt(
       }
     }
     if (!matches) {
-      stats.stale_dropped.fetch_add(1, std::memory_order_relaxed);
+      index_->CountStaleSkipped();
       continue;
     }
     if (spec.predicate && !spec.predicate(row)) continue;

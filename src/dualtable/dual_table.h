@@ -29,6 +29,7 @@ class Counter;
 class Gauge;
 class Histogram;
 class MetricsRegistry;
+class TelemetryClock;
 class Tracer;
 }  // namespace dtl::obs
 
@@ -157,6 +158,26 @@ struct DualTableOptions {
   std::shared_ptr<BackgroundScheduler> scheduler;
   bool background_compaction = false;
 
+  /// Obs-driven adaptive maintenance (DESIGN.md §14). When on, a maintenance
+  /// round first consults live telemetry — the attached-delta density gauge,
+  /// the windowed union-read latency p95 vs the SLO below, and the byte
+  /// debt — and SKIPS the round without any preview scan unless a trigger
+  /// fires; once triggered, the preview still ranks stripes exactly as
+  /// before. Off (the default) keeps the preview-every-round behavior.
+  /// Requires `metrics` (the triggers read registry histograms).
+  bool adaptive_maintenance = false;
+  /// Latency trigger: fires when the union-read wall-seconds p95 over the
+  /// window exceeds this.
+  double adaptive_latency_slo_seconds = 0.050;
+  /// How far back the latency window looks.
+  double adaptive_window_seconds = 8.0;
+  /// Minimum observations inside the window before the latency trigger may
+  /// fire (a p95 of three reads is noise).
+  uint64_t adaptive_min_window_count = 16;
+  /// Clock driving window rotation in maintenance rounds. nullptr = the
+  /// process steady clock; tests inject a ManualTelemetryClock.
+  obs::TelemetryClock* telemetry_clock = nullptr;
+
   /// Column ordinals to maintain a KV-hosted secondary index over (point
   /// lookup serving tier). Only int64/date/string columns are indexable;
   /// Open rejects anything else. Empty = no index.
@@ -283,7 +304,10 @@ class DualTable : public table::StorageTable {
   /// One background-scheduler round of maintenance: observes stripe
   /// densities into the metrics histogram, runs incremental COMPACT when the
   /// plan selects files, and falls back to full COMPACT when attached bytes
-  /// exceed the threshold without any single file being dense enough.
+  /// exceed the threshold without any single file being dense enough. With
+  /// options_.adaptive_maintenance the round starts with a telemetry check
+  /// (AdaptiveTriggerReason) and skips all of the above — preview scan
+  /// included — until a trigger fires.
   void BackgroundMaintenance();
 
   /// True when the attached table exceeds the compaction threshold.
@@ -400,6 +424,13 @@ class DualTable : public table::StorageTable {
   /// it.
   void ReclaimAttachedGarbage();
 
+  /// Adaptive-maintenance decision (DESIGN.md §14): rotates the union-read
+  /// latency window to "now", updates the decision gauges, and returns the
+  /// trigger reason — "density" / "latency" / "bytes" — or nullptr when the
+  /// round should be skipped. Reads only O(1) gauges and the histogram ring;
+  /// never scans the attached store.
+  const char* AdaptiveTriggerReason();
+
   /// Plan computation against a pinned snapshot (one attached scan, binned
   /// into stripe row windows two-pointer style).
   Result<IncrementalCompactionPlan> PreviewIncrementalCompactionAt(
@@ -487,6 +518,7 @@ class DualTable : public table::StorageTable {
   obs::Histogram* overwrite_hist_ = nullptr;  // OVERWRITE-plan DML wall seconds
   obs::Histogram* compact_hist_ = nullptr;    // COMPACT wall seconds
   obs::Histogram* union_read_rows_hist_ = nullptr;  // rows per UNION READ scan
+  obs::Histogram* union_read_seconds_hist_ = nullptr;  // wall seconds per UNION READ
   obs::Histogram* incremental_compact_hist_ = nullptr;  // incremental COMPACT wall s
   obs::Histogram* stripe_density_hist_ = nullptr;       // density ppm per stripe
   obs::Counter* stripes_rewritten_ctr_ = nullptr;
@@ -494,6 +526,19 @@ class DualTable : public table::StorageTable {
   obs::Counter* mods_folded_ctr_ = nullptr;
   obs::Gauge* edit_scale_gauge_ = nullptr;       // edit_cost_scale × 1e6
   obs::Gauge* overwrite_scale_gauge_ = nullptr;  // overwrite_cost_scale × 1e6
+  // Adaptive-maintenance decision instruments (maintenance.*, DESIGN.md §14).
+  // Counters/gauges are labeled by table; the trigger counters by reason.
+  obs::Counter* maint_rounds_ctr_ = nullptr;
+  obs::Counter* maint_skips_ctr_ = nullptr;
+  obs::Counter* maint_preview_scans_ctr_ = nullptr;
+  obs::Counter* maint_incremental_ctr_ = nullptr;
+  obs::Counter* maint_full_ctr_ = nullptr;
+  obs::Counter* maint_reclaims_ctr_ = nullptr;
+  obs::Counter* maint_trigger_density_ctr_ = nullptr;
+  obs::Counter* maint_trigger_latency_ctr_ = nullptr;
+  obs::Counter* maint_trigger_bytes_ctr_ = nullptr;
+  obs::Gauge* maint_p95_gauge_ = nullptr;      // windowed union-read p95, µs
+  obs::Gauge* maint_density_gauge_ = nullptr;  // attached-delta density, ppm
   std::unique_ptr<MasterTable> master_;
   std::unique_ptr<AttachedTable> attached_;
   /// KV-hosted secondary index; nullptr when no columns are indexed.

@@ -5,6 +5,8 @@
 
 #include "common/coding.h"
 #include "dualtable/record_id.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
 
 namespace dtl::dual {
 
@@ -107,9 +109,32 @@ Status SecondaryIndex::AddRow(const Row& row, uint64_t record_id) {
   return Status::OK();
 }
 
+void SecondaryIndex::BindMetrics(obs::MetricsRegistry* metrics,
+                                 const std::string& label) {
+  if (metrics == nullptr) return;
+  lookups_ctr_ = metrics->counter(obs::names::kIndexCounterLookups, label);
+  stale_skipped_ctr_ = metrics->counter(obs::names::kIndexCounterStaleSkipped, label);
+  rebuilds_ctr_ = metrics->counter(obs::names::kIndexCounterRebuilds, label);
+}
+
+void SecondaryIndex::CountLookup() const {
+  stats_.lookups.fetch_add(1, std::memory_order_relaxed);
+  if (lookups_ctr_ != nullptr) lookups_ctr_->Inc();
+}
+
+void SecondaryIndex::CountStaleSkipped() const {
+  stats_.stale_dropped.fetch_add(1, std::memory_order_relaxed);
+  if (stale_skipped_ctr_ != nullptr) stale_skipped_ctr_->Inc();
+}
+
+void SecondaryIndex::CountRebuild() const {
+  stats_.rebuilds.fetch_add(1, std::memory_order_relaxed);
+  if (rebuilds_ctr_ != nullptr) rebuilds_ctr_->Inc();
+}
+
 Result<std::vector<uint64_t>> SecondaryIndex::LookupAt(
     const kv::KvSnapshot& snapshot, size_t column, const Value& value) const {
-  stats_.lookups.fetch_add(1, std::memory_order_relaxed);
+  CountLookup();
   std::vector<uint64_t> out;
   std::string prefix;
   if (!EncodePrefix(column, value, &prefix)) return out;

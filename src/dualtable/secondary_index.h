@@ -40,6 +40,11 @@
 #include "fs/filesystem.h"
 #include "kv/store.h"
 
+namespace dtl::obs {
+class Counter;
+class MetricsRegistry;
+}  // namespace dtl::obs
+
 namespace dtl::dual {
 
 class SecondaryIndex {
@@ -127,6 +132,19 @@ class SecondaryIndex {
   Stats& stats() const { return stats_; }
   kv::KvStore* store() { return store_.get(); }
 
+  /// Wires the `index.*` registry counters (lookups / stale_entries_skipped /
+  /// rebuilds), labeled by table name. The `dualtable.index.*` views read the
+  /// Stats atomics through the owning session; these counters live in the
+  /// registry itself, so they survive the table object and show up in every
+  /// dump path. Optional; unbound indexes count only into Stats.
+  void BindMetrics(obs::MetricsRegistry* metrics, const std::string& label);
+
+  /// Stat bumps that also feed the bound registry counters. Callers must use
+  /// these (not the raw Stats atomics) for the three bound events.
+  void CountLookup() const;
+  void CountStaleSkipped() const;
+  void CountRebuild() const;
+
  private:
   SecondaryIndex(fs::SimFileSystem* fs, std::string dir,
                  std::unique_ptr<kv::KvStore> store, std::vector<size_t> columns)
@@ -144,6 +162,9 @@ class SecondaryIndex {
   std::unique_ptr<kv::KvStore> store_;
   std::vector<size_t> columns_;
   mutable Stats stats_;
+  obs::Counter* lookups_ctr_ = nullptr;
+  obs::Counter* stale_skipped_ctr_ = nullptr;
+  obs::Counter* rebuilds_ctr_ = nullptr;
 };
 
 }  // namespace dtl::dual

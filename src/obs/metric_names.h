@@ -64,6 +64,7 @@ inline constexpr const char* kDualEditSeconds = "dualtable.edit.seconds";
 inline constexpr const char* kDualOverwriteSeconds = "dualtable.overwrite.seconds";
 inline constexpr const char* kDualCompactSeconds = "dualtable.compact.seconds";
 inline constexpr const char* kDualUnionReadRows = "dualtable.union_read.rows";
+inline constexpr const char* kDualUnionReadSeconds = "dualtable.union_read.seconds";
 
 // --- Incremental compaction (labeled by table name) ---------------------------
 // Stripe delta density is observed in parts-per-million (density × 1e6) so the
@@ -91,12 +92,40 @@ inline constexpr const char* kIndexEntriesFolded = "dualtable.index.entries_fold
 inline constexpr const char* kIndexCandidateRows = "dualtable.index.candidate_rows";
 inline constexpr const char* kIndexStaleDropped = "dualtable.index.stale_dropped";
 inline constexpr const char* kIndexRebuilds = "dualtable.index.rebuilds";
+// Registry counters bumped inline by SecondaryIndex (the `dualtable.index.*`
+// names above are views over its Stats atomics; these count even when the
+// owning table object has been dropped and the views unregistered).
+inline constexpr const char* kIndexCounterLookups = "index.lookups";
+inline constexpr const char* kIndexCounterStaleSkipped = "index.stale_entries_skipped";
+inline constexpr const char* kIndexCounterRebuilds = "index.rebuilds";
 
 // --- MVCC snapshot views (labeled by table name) ------------------------------
 inline constexpr const char* kSnapshotAcquired = "snapshot.acquired";
 inline constexpr const char* kSnapshotActive = "snapshot.active";
 inline constexpr const char* kSnapshotPinnedGenerations = "snapshot.pinned_generations";
 inline constexpr const char* kSnapshotOldestSeconds = "snapshot.oldest_seconds";
+
+// --- Obs-driven adaptive maintenance (labeled by table name; DESIGN.md §14) ---
+// `maintenance.triggers` is additionally labeled by reason:
+// `maintenance.triggers{density}` / `{latency}` / `{bytes}` count what fired.
+inline constexpr const char* kMaintenanceRounds = "maintenance.rounds";
+inline constexpr const char* kMaintenanceTriggers = "maintenance.triggers";
+inline constexpr const char* kMaintenanceSkips = "maintenance.skips";
+inline constexpr const char* kMaintenancePreviewScans = "maintenance.preview_scans";
+inline constexpr const char* kMaintenanceIncrementalCompacts =
+    "maintenance.incremental_compacts";
+inline constexpr const char* kMaintenanceFullCompacts = "maintenance.full_compacts";
+inline constexpr const char* kMaintenanceReclaims = "maintenance.reclaims";
+// Decision inputs exported as gauges at each round.
+inline constexpr const char* kMaintenanceUnionReadP95Us =
+    "maintenance.union_read_p95_us";
+inline constexpr const char* kMaintenanceDeltaDensityPpm =
+    "maintenance.delta_density_ppm";
+
+// --- Telemetry pipeline (recorder + structured query log) ---------------------
+inline constexpr const char* kRecorderSamples = "recorder.samples";
+inline constexpr const char* kQueryLogRecords = "query_log.records";
+inline constexpr const char* kQueryLogSlow = "query_log.slow";
 
 // --- Parallel scan ------------------------------------------------------------
 inline constexpr const char* kParallelScans = "parallel_scan.scans";

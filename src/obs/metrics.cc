@@ -26,13 +26,94 @@ void AppendJsonString(std::ostringstream* out, std::string_view s) {
 }  // namespace
 
 void Histogram::Observe(uint64_t value) {
+  const size_t bucket = BucketIndex(value);
   count_.fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(value, std::memory_order_relaxed);
-  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
   uint64_t prev = max_.load(std::memory_order_relaxed);
   while (prev < value &&
          !max_.compare_exchange_weak(prev, value, std::memory_order_relaxed)) {
   }
+  // Windowed ring: same relaxed atomics into the active slot. A rotation
+  // racing this lands the observation in the just-retired slot, which is
+  // still inside any window that covers "now" — accepted and documented.
+  WindowSlot& slot = slots_[active_slot_.load(std::memory_order_relaxed)];
+  slot.count.fetch_add(1, std::memory_order_relaxed);
+  slot.sum.fetch_add(value, std::memory_order_relaxed);
+  slot.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+bool Histogram::MaybeRotate(uint64_t now_us) {
+  const uint64_t width = slot_width_us_.load(std::memory_order_relaxed);
+  {
+    const uint32_t active = active_slot_.load(std::memory_order_relaxed);
+    const uint64_t start = slots_[active].start_us.load(std::memory_order_relaxed);
+    if (now_us < start + width) return false;  // hot early-exit, no lock
+  }
+  std::lock_guard<std::mutex> lock(rotate_mu_);
+  const uint32_t active = active_slot_.load(std::memory_order_relaxed);
+  const uint64_t start = slots_[active].start_us.load(std::memory_order_relaxed);
+  if (now_us < start + width) return false;  // lost the race to another ticker
+  if (!window_started_) {
+    // First tick anchors the ring at `now_us` instead of rotating away data
+    // observed before any clock source was attached (slot 0 starts at 0,
+    // which would otherwise look expired under a steady clock).
+    window_started_ = true;
+    slots_[active].start_us.store(now_us, std::memory_order_relaxed);
+    return false;
+  }
+  const uint32_t next = (active + 1) % kWindowSlots;
+  WindowSlot& slot = slots_[next];
+  slot.count.store(0, std::memory_order_relaxed);
+  slot.sum.store(0, std::memory_order_relaxed);
+  for (auto& b : slot.buckets) b.store(0, std::memory_order_relaxed);
+  slot.start_us.store(now_us, std::memory_order_relaxed);
+  active_slot_.store(next, std::memory_order_relaxed);
+  return true;
+}
+
+HistogramSnapshot Histogram::WindowSnapshot(uint64_t window_us,
+                                            uint64_t now_us) const {
+  HistogramSnapshot snap;
+  snap.buckets.resize(kNumBuckets);
+  // Slots do not track their own max; report the lifetime max as an upper
+  // bound (quantiles clamp to it).
+  snap.max = max_.load(std::memory_order_relaxed);
+  const uint64_t width = slot_width_us_.load(std::memory_order_relaxed);
+  const uint32_t active = active_slot_.load(std::memory_order_relaxed);
+  const uint64_t cutoff = now_us >= window_us ? now_us - window_us : 0;
+  for (size_t i = 0; i < kWindowSlots; ++i) {
+    const WindowSlot& slot = slots_[i];
+    const uint64_t start = slot.start_us.load(std::memory_order_relaxed);
+    // The active slot is "current" by definition; retired slots count only
+    // while any part of [start, start + width) overlaps the window.
+    if (i != active && start + width <= cutoff) continue;
+    snap.count += slot.count.load(std::memory_order_relaxed);
+    snap.sum += slot.sum.load(std::memory_order_relaxed);
+    for (size_t b = 0; b < kNumBuckets; ++b) {
+      snap.buckets[b] += slot.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return snap;
+}
+
+uint64_t HistogramSnapshot::ValueAtQuantile(double q) const {
+  if (count == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  uint64_t target = static_cast<uint64_t>(q * static_cast<double>(count));
+  if (target < 1) target = 1;
+  if (target > count) target = count;
+  uint64_t cum = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    cum += buckets[i];
+    if (cum < target) continue;
+    if (i == 0) return 0;  // bucket 0 holds only the value 0
+    const uint64_t upper =
+        i >= 64 ? max : (uint64_t{1} << i) - 1;  // bucket i spans [2^(i-1), 2^i)
+    return max != 0 && upper > max ? max : upper;
+  }
+  return max;
 }
 
 HistogramSnapshot Histogram::Snapshot() const {
@@ -142,8 +223,79 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
   return snap;
 }
 
-std::string MetricsRegistry::RenderText() const {
-  const MetricsSnapshot snap = Snapshot();
+size_t MetricsRegistry::RotateWindows(uint64_t now_us) const {
+  // Collect the stable pointers under the lock, rotate outside it: rotation
+  // takes each histogram's own rotate_mu_, which must not nest under mu_
+  // (same discipline as view evaluation in Snapshot()).
+  std::vector<Histogram*> hists;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    hists.reserve(histograms_.size());
+    for (const auto& [name, h] : histograms_) hists.push_back(h.get());
+  }
+  size_t rotated = 0;
+  for (Histogram* h : hists) {
+    if (h->MaybeRotate(now_us)) ++rotated;
+  }
+  return rotated;
+}
+
+std::map<std::string, HistogramSnapshot> MetricsRegistry::WindowSnapshots(
+    uint64_t window_us, uint64_t now_us) const {
+  std::vector<std::pair<std::string, Histogram*>> hists;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    hists.reserve(histograms_.size());
+    for (const auto& [name, h] : histograms_) hists.emplace_back(name, h.get());
+  }
+  std::map<std::string, HistogramSnapshot> out;
+  for (const auto& [name, h] : hists) {
+    out[name] = h->WindowSnapshot(window_us, now_us);
+  }
+  return out;
+}
+
+Histogram* MetricsRegistry::FindHistogram(const char* name,
+                                          std::string_view label) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(Key(name, label));
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+namespace {
+bool InFamily(const std::string& key, std::string_view name) {
+  if (key == name) return true;
+  return key.size() > name.size() + 1 && key.compare(0, name.size(), name) == 0 &&
+         key[name.size()] == '{';
+}
+}  // namespace
+
+uint64_t MetricsRegistry::SumCounterFamily(const char* name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t sum = 0;
+  // Maps are name-ordered: jump to the family's first key and stop past it.
+  for (auto it = counters_.lower_bound(name); it != counters_.end(); ++it) {
+    if (!InFamily(it->first, name)) break;
+    sum += it->second->value();
+  }
+  return sum;
+}
+
+double MetricsRegistry::MaxViewFamily(const char* name) const {
+  std::vector<ViewFn> fns;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = views_.lower_bound(name); it != views_.end(); ++it) {
+      if (!InFamily(it->first, name)) break;
+      fns.push_back(it->second);
+    }
+  }
+  double max_value = 0;
+  for (const ViewFn& fn : fns) max_value = std::max(max_value, fn());
+  return max_value;
+}
+
+std::string RenderMetricsText(const MetricsSnapshot& snap) {
   std::ostringstream out;
   for (const auto& [name, v] : snap.counters) out << name << " " << v << "\n";
   for (const auto& [name, v] : snap.gauges) out << name << " " << v << "\n";
@@ -155,8 +307,9 @@ std::string MetricsRegistry::RenderText() const {
   return out.str();
 }
 
-std::string MetricsRegistry::RenderJson() const {
-  const MetricsSnapshot snap = Snapshot();
+std::string MetricsRegistry::RenderText() const { return RenderMetricsText(Snapshot()); }
+
+std::string RenderMetricsJson(const MetricsSnapshot& snap) {
   std::ostringstream out;
   out << "{\"counters\":{";
   bool first = true;
@@ -194,5 +347,7 @@ std::string MetricsRegistry::RenderJson() const {
   out << "}}";
   return out.str();
 }
+
+std::string MetricsRegistry::RenderJson() const { return RenderMetricsJson(Snapshot()); }
 
 }  // namespace dtl::obs

@@ -54,16 +54,33 @@ struct HistogramSnapshot {
   std::vector<uint64_t> buckets;  // buckets[i] counts values in [2^(i-1), 2^i)
 
   double Mean() const { return count == 0 ? 0.0 : static_cast<double>(sum) / count; }
+  /// Approximate value at quantile q in [0,1]: the upper bound of the bucket
+  /// holding the q-th observation, clamped to the observed max. Power-of-two
+  /// buckets bound the relative error by 2x, which is enough for p50/p95/p99
+  /// trigger decisions.
+  uint64_t ValueAtQuantile(double q) const;
   HistogramSnapshot operator-(const HistogramSnapshot& base) const;
 };
 
 /// Exponential (power-of-two) bucket histogram over non-negative integer
-/// "ticks". Observe is three relaxed atomics plus a CAS loop only when a new
-/// maximum is seen. Seconds are recorded as integer microseconds via
+/// "ticks". Observe is a handful of relaxed atomics plus a CAS loop only when
+/// a new maximum is seen. Seconds are recorded as integer microseconds via
 /// ObserveSeconds so the bucket math stays integral.
+///
+/// Besides the lifetime aggregate, every histogram keeps a rotating ring of
+/// kWindowSlots timed sub-histograms so `p95 over the last N seconds` is
+/// queryable without sampling the hot path. Observe writes into the active
+/// slot with the same relaxed atomics; rotation (MaybeRotate) is driven
+/// externally — by MetricsRecorder ticks or an explicit RotateWindows — and
+/// takes a small mutex only when a slot actually expires. An observation
+/// racing a rotation may land in the just-retired slot; that is benign (the
+/// slot is still inside the window) and every access is atomic, so the race
+/// is TSan-clean by construction.
 class Histogram {
  public:
   static constexpr size_t kNumBuckets = 64;
+  static constexpr size_t kWindowSlots = 8;
+  static constexpr uint64_t kDefaultSlotWidthMicros = 1'000'000;
 
   void Observe(uint64_t value);
   void ObserveSeconds(double seconds) {
@@ -74,11 +91,42 @@ class Histogram {
   HistogramSnapshot Snapshot() const;
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
 
+  /// Advance the slot ring if the active slot is older than the slot width at
+  /// `now_us`. Returns true when a rotation happened. Safe to call from any
+  /// thread; concurrent callers serialize on a rotation-only mutex that the
+  /// Observe hot path never touches.
+  bool MaybeRotate(uint64_t now_us);
+
+  /// Merge every slot that overlaps [now_us - window_us, now_us] into one
+  /// snapshot (max is the lifetime max — slots do not track their own).
+  HistogramSnapshot WindowSnapshot(uint64_t window_us, uint64_t now_us) const;
+
+  /// Slot width used by MaybeRotate; settable before traffic for tests.
+  void set_slot_width_micros(uint64_t w) {
+    slot_width_us_.store(w == 0 ? 1 : w, std::memory_order_relaxed);
+  }
+  uint64_t slot_width_micros() const {
+    return slot_width_us_.load(std::memory_order_relaxed);
+  }
+
  private:
+  struct WindowSlot {
+    std::atomic<uint64_t> start_us{0};
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum{0};
+    std::atomic<uint64_t> buckets[kNumBuckets] = {};
+  };
+
   std::atomic<uint64_t> count_{0};
   std::atomic<uint64_t> sum_{0};
   std::atomic<uint64_t> max_{0};
   std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+
+  std::atomic<uint32_t> active_slot_{0};
+  std::atomic<uint64_t> slot_width_us_{kDefaultSlotWidthMicros};
+  WindowSlot slots_[kWindowSlots];
+  std::mutex rotate_mu_;       // rotation only; never taken by Observe
+  bool window_started_ = false;  // guarded by rotate_mu_; first tick anchors
 };
 
 /// Callback view: a value computed at render/snapshot time from external
@@ -97,6 +145,12 @@ struct MetricsSnapshot {
   MetricsSnapshot operator-(const MetricsSnapshot& base) const;
 };
 
+/// Render a captured snapshot as sorted `name value` lines / one JSON object.
+/// Free functions so the recorder can render stored deltas without holding a
+/// registry pointer.
+std::string RenderMetricsText(const MetricsSnapshot& snap);
+std::string RenderMetricsJson(const MetricsSnapshot& snap);
+
 /// Named-instrument registry. Thread-safe; instrument pointers are stable for
 /// the registry's lifetime. Re-registering the same name{label} returns the
 /// existing instrument (views overwrite — re-registration rebinds the
@@ -114,6 +168,30 @@ class MetricsRegistry {
   void UnregisterView(const char* name, std::string_view label = {});
 
   MetricsSnapshot Snapshot() const;
+
+  /// Advance every histogram's window ring to `now_us` (see
+  /// Histogram::MaybeRotate). Called from MetricsRecorder ticks and the
+  /// adaptive-maintenance trigger. Returns the number of histograms rotated.
+  size_t RotateWindows(uint64_t now_us) const;
+
+  /// Windowed snapshot of every histogram: merged slots covering the last
+  /// `window_us` microseconds ending at `now_us`.
+  std::map<std::string, HistogramSnapshot> WindowSnapshots(uint64_t window_us,
+                                                           uint64_t now_us) const;
+
+  /// The registered histogram for name{label}, or nullptr. Unlike
+  /// histogram(), never creates — usable from decision paths that must not
+  /// mutate the registry.
+  Histogram* FindHistogram(const char* name, std::string_view label = {}) const;
+
+  /// Sum over the counters keyed `name` or `name{...}` — the cheap
+  /// per-statement read the query log uses: O(#counters) string checks and
+  /// relaxed loads, no view evaluation, no histogram copying.
+  uint64_t SumCounterFamily(const char* name) const;
+
+  /// Max over the views keyed `name` or `name{...}`, evaluating only that
+  /// family's callbacks (outside the registry lock, like Snapshot()).
+  double MaxViewFamily(const char* name) const;
 
   /// `name value` lines sorted by name; histograms render count/mean/max.
   std::string RenderText() const;

@@ -1,0 +1,154 @@
+#include "obs/recorder.h"
+
+#include <sstream>
+
+#include "obs/metric_names.h"
+
+namespace dtl::obs {
+
+namespace {
+
+// `name{label}` registry key -> ("name", "label").
+std::pair<std::string_view, std::string_view> SplitKey(std::string_view key) {
+  const size_t brace = key.find('{');
+  if (brace == std::string_view::npos || key.back() != '}') return {key, {}};
+  return {key.substr(0, brace), key.substr(brace + 1, key.size() - brace - 2)};
+}
+
+void AppendPromName(std::ostringstream* out, std::string_view name) {
+  *out << "dtl_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    *out << (ok ? c : '_');
+  }
+}
+
+void AppendPromKey(std::ostringstream* out, std::string_view key) {
+  const auto [name, label] = SplitKey(key);
+  AppendPromName(out, name);
+  if (!label.empty()) *out << "{label=\"" << label << "\"}";
+}
+
+// Emit one `# TYPE` line per family (bare name); map iteration is sorted, so
+// family members (`name`, `name{a}`, `name{b}`) are adjacent.
+void MaybeType(std::ostringstream* out, std::string_view key, const char* type,
+               std::string* last_family) {
+  const auto [name, label] = SplitKey(key);
+  if (*last_family == name) return;
+  *last_family = std::string(name);
+  *out << "# TYPE ";
+  AppendPromName(out, name);
+  *out << " " << type << "\n";
+}
+
+}  // namespace
+
+MetricsRecorder::MetricsRecorder(MetricsRegistry* registry, RecorderOptions options)
+    : registry_(registry),
+      options_(options),
+      clock_(options.clock != nullptr ? options.clock : DefaultTelemetryClock()),
+      samples_counter_(registry->counter(names::kRecorderSamples)) {
+  if (options_.capacity == 0) options_.capacity = 1;
+}
+
+void MetricsRecorder::Tick() {
+  const uint64_t now = clock_->NowMicros();
+  registry_->RotateWindows(now);
+  samples_counter_->Inc();  // counted before capture so the delta includes it
+  MetricsSnapshot snap = registry_->Snapshot();
+  std::lock_guard<std::mutex> lock(mu_);
+  RecorderSample sample;
+  sample.t_us = now;
+  sample.delta = has_last_ ? snap - last_ : snap;
+  last_ = std::move(snap);
+  has_last_ = true;
+  ring_.push_back(std::move(sample));
+  if (ring_.size() > options_.capacity) ring_.pop_front();
+  ++total_;
+}
+
+std::vector<RecorderSample> MetricsRecorder::Samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {ring_.begin(), ring_.end()};
+}
+
+size_t MetricsRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+uint64_t MetricsRecorder::total_samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+std::map<std::string, HistogramSnapshot> MetricsRecorder::WindowSnapshots() const {
+  return registry_->WindowSnapshots(options_.window_us, clock_->NowMicros());
+}
+
+std::string MetricsRecorder::RenderJsonLines() const {
+  const std::vector<RecorderSample> samples = Samples();
+  std::ostringstream out;
+  for (const RecorderSample& s : samples) {
+    out << "{\"t_us\":" << s.t_us << ",\"metrics\":" << RenderMetricsJson(s.delta)
+        << "}\n";
+  }
+  return out.str();
+}
+
+std::string RenderPrometheusText(const MetricsSnapshot& snap) {
+  std::ostringstream out;
+  std::string last_family;
+  for (const auto& [key, v] : snap.counters) {
+    MaybeType(&out, key, "counter", &last_family);
+    AppendPromKey(&out, key);
+    out << " " << v << "\n";
+  }
+  last_family.clear();
+  for (const auto& [key, v] : snap.gauges) {
+    MaybeType(&out, key, "gauge", &last_family);
+    AppendPromKey(&out, key);
+    out << " " << v << "\n";
+  }
+  last_family.clear();
+  for (const auto& [key, v] : snap.views) {
+    MaybeType(&out, key, "gauge", &last_family);
+    AppendPromKey(&out, key);
+    out << " " << v << "\n";
+  }
+  last_family.clear();
+  for (const auto& [key, h] : snap.histograms) {
+    MaybeType(&out, key, "histogram", &last_family);
+    const auto [name, label] = SplitKey(key);
+    size_t highest = 0;
+    for (size_t i = 0; i < h.buckets.size(); ++i) {
+      if (h.buckets[i] != 0) highest = i;
+    }
+    uint64_t cum = 0;
+    for (size_t i = 0; i <= highest && i < h.buckets.size(); ++i) {
+      cum += h.buckets[i];
+      // Bucket i spans [2^(i-1), 2^i); `le` is its inclusive upper bound.
+      const uint64_t le = i == 0 ? 0 : (uint64_t{1} << i) - 1;
+      AppendPromName(&out, name);
+      out << "_bucket{";
+      if (!label.empty()) out << "label=\"" << label << "\",";
+      out << "le=\"" << le << "\"} " << cum << "\n";
+    }
+    AppendPromName(&out, name);
+    out << "_bucket{";
+    if (!label.empty()) out << "label=\"" << label << "\",";
+    out << "le=\"+Inf\"} " << h.count << "\n";
+    AppendPromName(&out, name);
+    out << "_sum";
+    if (!label.empty()) out << "{label=\"" << label << "\"}";
+    out << " " << h.sum << "\n";
+    AppendPromName(&out, name);
+    out << "_count";
+    if (!label.empty()) out << "{label=\"" << label << "\"}";
+    out << " " << h.count << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace dtl::obs

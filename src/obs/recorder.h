@@ -1,0 +1,77 @@
+// MetricsRecorder: a background sampler over a MetricsRegistry. Each Tick()
+// rotates every histogram's window ring and captures the registry delta since
+// the previous tick into a bounded in-memory ring of timed samples, which
+// stream out as JSON-lines (one object per sample) or feed the windowed
+// SHOW STATS surface. Ticks are driven by the BackgroundScheduler in a live
+// session, or manually (with a ManualTelemetryClock) in tests.
+//
+// RenderPrometheusText is the exposition-format renderer for the *current*
+// registry state — counters/gauges/views as `dtl_<name>{label="x"} value`
+// lines, histograms as cumulative `_bucket{le=...}` series.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/telemetry_clock.h"
+
+namespace dtl::obs {
+
+struct RecorderOptions {
+  size_t capacity = 240;            // samples kept; oldest dropped on overflow
+  uint64_t window_us = 10'000'000;  // default window for WindowSnapshots()
+  TelemetryClock* clock = nullptr;  // nullptr -> DefaultTelemetryClock()
+};
+
+/// One captured sample: the registry movement since the previous tick.
+struct RecorderSample {
+  uint64_t t_us = 0;
+  MetricsSnapshot delta;
+};
+
+class MetricsRecorder {
+ public:
+  MetricsRecorder(MetricsRegistry* registry, RecorderOptions options = {});
+
+  /// Rotate histogram windows, capture the delta since the last tick, and
+  /// push it into the ring (dropping the oldest sample when full).
+  void Tick();
+
+  std::vector<RecorderSample> Samples() const;
+  size_t size() const;
+  uint64_t total_samples() const;
+
+  /// Windowed histogram snapshots at the recorder's clock "now", using the
+  /// configured default window.
+  std::map<std::string, HistogramSnapshot> WindowSnapshots() const;
+
+  uint64_t NowMicros() const { return clock_->NowMicros(); }
+  uint64_t window_micros() const { return options_.window_us; }
+
+  /// One JSON object per line: {"t_us":...,"metrics":{...delta...}}.
+  std::string RenderJsonLines() const;
+
+ private:
+  MetricsRegistry* registry_;
+  RecorderOptions options_;
+  TelemetryClock* clock_;
+  Counter* samples_counter_;
+
+  mutable std::mutex mu_;
+  MetricsSnapshot last_;
+  bool has_last_ = false;
+  std::deque<RecorderSample> ring_;
+  uint64_t total_ = 0;
+};
+
+/// Prometheus-style text exposition of a captured snapshot. Names are
+/// prefixed `dtl_` with dots mapped to underscores; a `name{label}` registry
+/// key renders as `dtl_name{label="label"}`. Histograms emit cumulative
+/// `_bucket{le="2^i-1"}` series up to the highest occupied bucket, then
+/// `+Inf`, `_sum`, and `_count`.
+std::string RenderPrometheusText(const MetricsSnapshot& snap);
+
+}  // namespace dtl::obs

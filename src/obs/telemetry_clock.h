@@ -1,0 +1,55 @@
+// Clock source for the telemetry pipeline: histogram window rotation, the
+// metrics recorder, and the adaptive-maintenance trigger all read time
+// through this interface so tests can drive them deterministically with a
+// manual clock (the same pattern as kv::SchedulerClock).
+//
+// Lives in src/obs, which is exempt from the no-raw-clock lint (rule 7):
+// this is the one place wall time may be read directly.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace dtl::obs {
+
+/// Monotonic microsecond clock.
+class TelemetryClock {
+ public:
+  virtual ~TelemetryClock() = default;
+  virtual uint64_t NowMicros() = 0;
+};
+
+/// Real steady clock.
+class SystemTelemetryClock final : public TelemetryClock {
+ public:
+  uint64_t NowMicros() override {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+};
+
+/// Test clock: time moves only when told to. Thread-safe so TSan stress
+/// tests can advance it while observers read it.
+class ManualTelemetryClock final : public TelemetryClock {
+ public:
+  explicit ManualTelemetryClock(uint64_t start_us = 0) : now_us_(start_us) {}
+  uint64_t NowMicros() override { return now_us_.load(std::memory_order_relaxed); }
+  void Advance(uint64_t delta_us) {
+    now_us_.fetch_add(delta_us, std::memory_order_relaxed);
+  }
+  void Set(uint64_t now_us) { now_us_.store(now_us, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> now_us_;
+};
+
+/// Process-wide default used when no clock is injected.
+inline TelemetryClock* DefaultTelemetryClock() {
+  static SystemTelemetryClock clock;
+  return &clock;
+}
+
+}  // namespace dtl::obs

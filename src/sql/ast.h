@@ -154,6 +154,15 @@ struct CompactStmt {
 
 struct ShowTablesStmt {};
 
+/// SHOW STATS [HISTOGRAMS | QUERIES] — the live-telemetry SQL surface
+/// (DESIGN.md §14). The bare form renders the registry's counters, gauges,
+/// and views; HISTOGRAMS adds lifetime + windowed percentiles per histogram;
+/// QUERIES tails the structured query log.
+struct ShowStatsStmt {
+  enum class What { kSummary, kHistograms, kQueries };
+  What what = What::kSummary;
+};
+
 /// MERGE INTO t ON (key columns) VALUES (...), ... [WITH RATIO r]
 /// Source tuples whose key matches an existing row update it (all non-key
 /// columns); the rest are inserted. This is the proprietary MERGE INTO the
@@ -177,7 +186,7 @@ struct ExplainStmt;
 
 using Statement = std::variant<SelectStmt, CreateTableStmt, DropTableStmt, InsertStmt,
                                UpdateStmt, DeleteStmt, CompactStmt, ShowTablesStmt,
-                               MergeStmt, LoadStmt, ExplainStmt>;
+                               ShowStatsStmt, MergeStmt, LoadStmt, ExplainStmt>;
 
 /// EXPLAIN <statement> — describes the plan without running it. For
 /// DualTable DML this surfaces the §IV cost-model evaluation (both plan

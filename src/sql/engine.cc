@@ -11,6 +11,9 @@
 #include "exec/operators.h"
 #include "exec/parallel_scan.h"
 #include "obs/metric_names.h"
+#include "obs/query_log.h"
+#include "obs/recorder.h"
+#include "orc/stripe_cache.h"
 #include "table/csv.h"
 #include "sql/binder.h"
 #include "sql/parser.h"
@@ -243,10 +246,99 @@ Result<QueryResult> Engine::Execute(const std::string& sql) {
   Stopwatch parse_watch;
   DTL_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
   last_parse_seconds_ = parse_watch.ElapsedSeconds();
-  return ExecuteStatement(stmt);
+  last_sql_ = sql;
+  auto result = ExecuteStatement(stmt);
+  last_sql_.clear();
+  return result;
 }
 
+namespace {
+
+const char* StatementKindName(const Statement& stmt) {
+  if (std::get_if<SelectStmt>(&stmt)) return "select";
+  if (std::get_if<CreateTableStmt>(&stmt)) return "create";
+  if (std::get_if<DropTableStmt>(&stmt)) return "drop";
+  if (std::get_if<InsertStmt>(&stmt)) return "insert";
+  if (std::get_if<UpdateStmt>(&stmt)) return "update";
+  if (std::get_if<DeleteStmt>(&stmt)) return "delete";
+  if (std::get_if<CompactStmt>(&stmt)) return "compact";
+  if (std::get_if<ShowTablesStmt>(&stmt)) return "show_tables";
+  if (std::get_if<ShowStatsStmt>(&stmt)) return "show_stats";
+  if (std::get_if<MergeStmt>(&stmt)) return "merge";
+  if (std::get_if<LoadStmt>(&stmt)) return "load";
+  if (const auto* e = std::get_if<ExplainStmt>(&stmt)) {
+    return e->analyze ? "explain_analyze" : "explain";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
 Result<QueryResult> Engine::ExecuteStatement(const Statement& stmt) {
+  obs::QueryLog* log = exec_.query_log;
+  // The SHOW introspection forms are excluded: logging SHOW STATS QUERIES
+  // would make the log describe itself.
+  const bool capture = log != nullptr && !std::holds_alternative<ShowTablesStmt>(stmt) &&
+                       !std::holds_alternative<ShowStatsStmt>(stmt);
+  if (!capture) return DispatchStatement(stmt);
+
+  // Capture reads individual meters, NOT MetricsRegistry::Snapshot(): a full
+  // snapshot evaluates every view and copies every histogram, which costs
+  // more than a small SELECT — the observability-overhead contract
+  // (DESIGN.md §10) rules it out of the statement path.
+  const table::ScanMeter* scan_meter =
+      exec_.scan_meter != nullptr ? exec_.scan_meter : &table::GlobalScanMeter();
+  const table::ScanSnapshot scan_before = scan_meter->Snapshot();
+  const orc::StripeCacheStats cache_before = orc::StripeCache::Default()->Stats();
+  const uint64_t probes_before =
+      exec_.metrics != nullptr
+          ? exec_.metrics->SumCounterFamily(obs::names::kIndexCounterLookups)
+          : 0;
+  fs::IoSnapshot io_before;
+  const bool modeled = exec_.tracer != nullptr && exec_.tracer->io() != nullptr &&
+                       exec_.tracer->cluster() != nullptr;
+  if (modeled) io_before = exec_.tracer->io()->Snapshot();
+
+  Stopwatch wall;
+  auto result = DispatchStatement(stmt);
+
+  obs::QueryLogRecord record;
+  record.kind = StatementKindName(stmt);
+  record.sql = last_sql_;
+  record.wall_seconds = wall.ElapsedSeconds();
+  if (modeled) {
+    record.modeled_seconds =
+        exec_.tracer->cluster()->JobSeconds(exec_.tracer->io()->Snapshot() - io_before);
+  }
+  if (result.ok()) {
+    record.ok = true;
+    record.rows = result->rows.size() + result->affected_rows;
+  } else {
+    record.ok = false;
+    record.error = result.status().message();
+  }
+  record.bytes_decoded = (scan_meter->Snapshot() - scan_before).bytes;
+  const orc::StripeCacheStats cache_after = orc::StripeCache::Default()->Stats();
+  record.stripe_cache_hits = cache_after.hits - cache_before.hits;
+  if (exec_.metrics != nullptr) {
+    record.index_probes =
+        exec_.metrics->SumCounterFamily(obs::names::kIndexCounterLookups) -
+        probes_before;
+    // The age is a point-in-time view, and evaluating the family invokes a
+    // view callback (table lookup + tracker mutex) per registered table —
+    // too dear for every fast statement. Slow statements are the ones whose
+    // records get read for diagnosis, so only they pay for the deep context.
+    const double slow_at = log->slow_threshold_seconds();
+    if (slow_at > 0 && record.wall_seconds >= slow_at) {
+      record.snapshot_age_seconds =
+          exec_.metrics->MaxViewFamily(obs::names::kSnapshotOldestSeconds);
+    }
+  }
+  log->Append(std::move(record));
+  return result;
+}
+
+Result<QueryResult> Engine::DispatchStatement(const Statement& stmt) {
   // One unlabeled increment per statement plus a per-kind labeled counter
   // for the statement kinds that also open trace spans.
   if (exec_.metrics != nullptr) {
@@ -285,6 +377,7 @@ Result<QueryResult> Engine::ExecuteStatement(const Statement& stmt) {
     return ExecuteCompact(*s);
   }
   if (std::get_if<ShowTablesStmt>(&stmt)) return ExecuteShowTables();
+  if (const auto* s = std::get_if<ShowStatsStmt>(&stmt)) return ExecuteShowStats(*s);
   if (const auto* s = std::get_if<MergeStmt>(&stmt)) {
     count(obs::names::kSpanMerge);
     obs::Span span(exec_.tracer, obs::names::kSpanMerge);
@@ -1415,6 +1508,78 @@ Result<QueryResult> Engine::ExecuteShowTables() {
     if (!entry.ok()) continue;
     result.rows.push_back(
         Row{Value::String(name), Value::String(table::TableKindName(entry->kind))});
+  }
+  return result;
+}
+
+Result<QueryResult> Engine::ExecuteShowStats(const ShowStatsStmt& stmt) {
+  QueryResult result;
+  if (stmt.what == ShowStatsStmt::What::kQueries) {
+    if (exec_.query_log == nullptr) {
+      return Status::InvalidArgument(
+          "SHOW STATS QUERIES requires the session query log (observability on)");
+    }
+    result.column_names = {"kind",       "wall_seconds",  "modeled_seconds",
+                           "rows",       "bytes_decoded", "stripe_cache_hits",
+                           "index_probes", "snapshot_age_seconds", "slow",
+                           "ok",         "sql"};
+    for (const obs::QueryLogRecord& r : exec_.query_log->Tail(50)) {
+      result.rows.push_back(Row{
+          Value::String(r.kind), Value::Double(r.wall_seconds),
+          Value::Double(r.modeled_seconds), Value::Int64(static_cast<int64_t>(r.rows)),
+          Value::Int64(static_cast<int64_t>(r.bytes_decoded)),
+          Value::Int64(static_cast<int64_t>(r.stripe_cache_hits)),
+          Value::Int64(static_cast<int64_t>(r.index_probes)),
+          Value::Double(r.snapshot_age_seconds), Value::Bool(r.slow),
+          Value::Bool(r.ok), Value::String(r.ok ? r.sql : r.sql + " -- " + r.error)});
+    }
+    return result;
+  }
+
+  if (exec_.metrics == nullptr) {
+    return Status::InvalidArgument(
+        "SHOW STATS requires the session metrics registry (observability on)");
+  }
+  const obs::MetricsSnapshot snap = exec_.metrics->Snapshot();
+
+  if (stmt.what == ShowStatsStmt::What::kHistograms) {
+    // Windowed percentiles come from the recorder's window when one is wired
+    // (its clock drives slot rotation); lifetime percentiles always render.
+    std::map<std::string, obs::HistogramSnapshot> window;
+    if (exec_.recorder != nullptr) window = exec_.recorder->WindowSnapshots();
+    result.column_names = {"histogram",  "count",      "p50",        "p95",
+                           "p99",        "max",        "window_count",
+                           "window_p50", "window_p95", "window_p99"};
+    for (const auto& [name, h] : snap.histograms) {
+      obs::HistogramSnapshot w;
+      auto it = window.find(name);
+      if (it != window.end()) w = it->second;
+      result.rows.push_back(Row{
+          Value::String(name), Value::Int64(static_cast<int64_t>(h.count)),
+          Value::Int64(static_cast<int64_t>(h.ValueAtQuantile(0.50))),
+          Value::Int64(static_cast<int64_t>(h.ValueAtQuantile(0.95))),
+          Value::Int64(static_cast<int64_t>(h.ValueAtQuantile(0.99))),
+          Value::Int64(static_cast<int64_t>(h.max)),
+          Value::Int64(static_cast<int64_t>(w.count)),
+          Value::Int64(static_cast<int64_t>(w.ValueAtQuantile(0.50))),
+          Value::Int64(static_cast<int64_t>(w.ValueAtQuantile(0.95))),
+          Value::Int64(static_cast<int64_t>(w.ValueAtQuantile(0.99)))});
+    }
+    return result;
+  }
+
+  result.column_names = {"metric", "kind", "value"};
+  for (const auto& [name, v] : snap.counters) {
+    result.rows.push_back(Row{Value::String(name), Value::String("counter"),
+                              Value::Double(static_cast<double>(v))});
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    result.rows.push_back(Row{Value::String(name), Value::String("gauge"),
+                              Value::Double(static_cast<double>(v))});
+  }
+  for (const auto& [name, v] : snap.views) {
+    result.rows.push_back(
+        Row{Value::String(name), Value::String("view"), Value::Double(v)});
   }
   return result;
 }

@@ -20,6 +20,11 @@
 #include "sql/ast.h"
 #include "table/catalog.h"
 
+namespace dtl::obs {
+class MetricsRecorder;
+class QueryLog;
+}  // namespace dtl::obs
+
 namespace dtl::sql {
 
 /// Execution knobs for parallel DualTable scans. Only order-insensitive
@@ -42,6 +47,12 @@ struct ExecOptions {
   /// Session scan meter; substituted into every ScanSpec the engine builds
   /// with no explicit meter. Null keeps the process-global meter.
   table::ScanMeter* scan_meter = nullptr;
+  /// Structured query log: every executed statement (except the SHOW
+  /// introspection forms) appends one record with wall/modeled seconds and
+  /// the registry deltas it caused.
+  obs::QueryLog* query_log = nullptr;
+  /// Background metrics recorder; SHOW STATS HISTOGRAMS reads its window.
+  obs::MetricsRecorder* recorder = nullptr;
 };
 
 struct QueryResult {
@@ -77,6 +88,9 @@ class Engine {
   const ExecOptions& exec_options() const { return exec_; }
 
  private:
+  /// The per-kind dispatch body. ExecuteStatement wraps it with query-log
+  /// capture (wall clock, registry delta, modeled seconds).
+  Result<QueryResult> DispatchStatement(const Statement& stmt);
   Result<QueryResult> ExecuteSelect(const SelectStmt& stmt);
   Result<QueryResult> ExecuteCreate(const CreateTableStmt& stmt);
   Result<QueryResult> ExecuteDrop(const DropTableStmt& stmt);
@@ -85,6 +99,7 @@ class Engine {
   Result<QueryResult> ExecuteDelete(const DeleteStmt& stmt);
   Result<QueryResult> ExecuteCompact(const CompactStmt& stmt);
   Result<QueryResult> ExecuteShowTables();
+  Result<QueryResult> ExecuteShowStats(const ShowStatsStmt& stmt);
   Result<QueryResult> ExecuteMerge(const MergeStmt& stmt);
   Result<QueryResult> ExecuteLoad(const LoadStmt& stmt);
   Result<QueryResult> ExecuteExplain(const ExplainStmt& stmt);
@@ -97,6 +112,9 @@ class Engine {
   /// Wall seconds Execute() spent parsing the most recent statement; EXPLAIN
   /// ANALYZE reports it as the retrospective `parse` leaf of the trace.
   double last_parse_seconds_ = 0;
+  /// SQL text of the statement Execute() is currently running; the query log
+  /// records it (empty for statements executed via ExecuteStatement directly).
+  std::string last_sql_;
 };
 
 /// Coerces a value to a column type (int→double widening, int↔date).

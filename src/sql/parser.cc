@@ -402,8 +402,20 @@ class Parser {
 
   Result<Statement> ParseShow() {
     DTL_RETURN_NOT_OK(ExpectKeyword("show"));
-    DTL_RETURN_NOT_OK(ExpectKeyword("tables"));
-    return Statement(ShowTablesStmt{});
+    if (AcceptKeyword("tables")) return Statement(ShowTablesStmt{});
+    // STATS / HISTOGRAMS / QUERIES are contextual (like ANALYZE), so they
+    // stay usable as identifiers elsewhere.
+    if (AcceptKeyword("stats")) {
+      ShowStatsStmt stmt;
+      if (AcceptKeyword("histograms")) {
+        stmt.what = ShowStatsStmt::What::kHistograms;
+      } else if (AcceptKeyword("queries")) {
+        stmt.what = ShowStatsStmt::What::kQueries;
+      }
+      return Statement(std::move(stmt));
+    }
+    return Status::InvalidArgument("expected TABLES or STATS near '" + Peek().text +
+                                   "'");
   }
 
   // --- expressions (precedence climbing) ---

@@ -1,5 +1,7 @@
 #include "sql/session.h"
 
+#include <fstream>
+
 #include "kv/store.h"
 #include "obs/metric_names.h"
 #include "orc/stripe_cache.h"
@@ -41,12 +43,35 @@ Result<std::unique_ptr<Session>> Session::Create(SessionOptions options) {
     // histograms and cost-model audit records into the session's instruments.
     session->options_.dual_defaults.metrics = &session->metrics_;
     session->options_.dual_defaults.cost_audit = &session->cost_audit_;
+    session->options_.dual_defaults.telemetry_clock = session->options_.telemetry_clock;
     exec.metrics = &session->metrics_;
     exec.tracer = &session->tracer_;
     exec.scan_meter = &session->scan_meter_;
     session->tracer_.Configure(session->fs_->meter(), &session->scan_meter_,
                                &session->cluster_);
     session->RegisterSessionViews();
+
+    obs::QueryLogOptions log_options;
+    log_options.capacity = session->options_.query_log_capacity;
+    log_options.slow_threshold_seconds = session->options_.slow_query_seconds;
+    session->query_log_ =
+        std::make_unique<obs::QueryLog>(log_options, &session->metrics_);
+    obs::RecorderOptions rec_options;
+    rec_options.capacity = session->options_.recorder_capacity;
+    rec_options.window_us = static_cast<uint64_t>(
+        session->options_.recorder_window_seconds * 1e6);
+    rec_options.clock = session->options_.telemetry_clock;
+    session->recorder_ =
+        std::make_unique<obs::MetricsRecorder>(&session->metrics_, rec_options);
+    exec.query_log = session->query_log_.get();
+    exec.recorder = session->recorder_.get();
+    if (session->scheduler_ != nullptr) {
+      // One registry sample per scheduler round; ~Session shuts the
+      // scheduler down before the recorder is destroyed.
+      obs::MetricsRecorder* recorder = session->recorder_.get();
+      session->scheduler_->Register("metrics-recorder",
+                                    [recorder]() { recorder->Tick(); });
+    }
   }
   session->engine_->set_exec_options(exec);
   session->MarkIo();
@@ -228,6 +253,27 @@ std::string Session::StatsDump() const {
 std::string Session::StatsDumpJson() const {
   return "{\"metrics\":" + metrics_.RenderJson() +
          ",\"cost_audit\":" + cost_audit_.RenderJson() + "}";
+}
+
+std::string Session::StatsDumpPrometheus() const {
+  return obs::RenderPrometheusText(metrics_.Snapshot());
+}
+
+std::string Session::StatsDumpJsonLines() const {
+  return recorder_ == nullptr ? std::string() : recorder_->RenderJsonLines();
+}
+
+Status Session::WriteStatsFiles(const std::string& dir) const {
+  auto write = [](const std::string& path, const std::string& body) -> Status {
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) return Status::IoError("cannot open " + path);
+    out << body;
+    out.close();
+    if (!out) return Status::IoError("cannot write " + path);
+    return Status::OK();
+  };
+  DTL_RETURN_NOT_OK(write(dir + "/dtl-stats.jsonl", StatsDumpJsonLines()));
+  return write(dir + "/dtl-stats.prom", StatsDumpPrometheus());
 }
 
 Session::~Session() {

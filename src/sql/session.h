@@ -18,6 +18,9 @@
 #include "fs/filesystem.h"
 #include "obs/cost_audit.h"
 #include "obs/metrics.h"
+#include "obs/query_log.h"
+#include "obs/recorder.h"
+#include "obs/telemetry_clock.h"
 #include "obs/trace.h"
 #include "sql/engine.h"
 #include "table/catalog.h"
@@ -46,6 +49,18 @@ struct SessionOptions {
   /// meter. Off = none of it is connected, which is the bench baseline for
   /// the instrumentation-overhead contract (DESIGN.md §10).
   bool observability = true;
+  /// Structured query-log depth and slow-statement threshold (seconds; <= 0
+  /// never flags). Wired only when `observability` is on.
+  size_t query_log_capacity = 256;
+  double slow_query_seconds = 0.1;
+  /// Metrics-recorder sample-ring depth and the window (seconds) behind the
+  /// windowed percentiles in SHOW STATS HISTOGRAMS and adaptive maintenance.
+  size_t recorder_capacity = 240;
+  double recorder_window_seconds = 10.0;
+  /// Telemetry clock for window rotation and recorder timestamps (not
+  /// owned; must outlive the session). Null = process steady clock. Tests
+  /// install a ManualTelemetryClock for deterministic rotation.
+  obs::TelemetryClock* telemetry_clock = nullptr;
   /// Defaults applied to tables created through SQL / factory helpers.
   dual::DualTableOptions dual_defaults;
   baseline::HiveTableOptions hive_defaults;
@@ -101,6 +116,19 @@ class Session {
   std::string StatsDump() const;
   /// The same report as one JSON object: {"metrics":…, "cost_audit":[…]}.
   std::string StatsDumpJson() const;
+  /// Prometheus-style text exposition of the current registry state.
+  std::string StatsDumpPrometheus() const;
+  /// The recorder's sample ring as JSON-lines (one delta object per tick);
+  /// empty when observability is off.
+  std::string StatsDumpJsonLines() const;
+  /// Writes `dtl-stats.jsonl` (recorder samples) and `dtl-stats.prom`
+  /// (Prometheus exposition) under `dir` on the HOST filesystem — the dump
+  /// path benches and operators scrape.
+  Status WriteStatsFiles(const std::string& dir) const;
+
+  /// Null when observability is off.
+  obs::MetricsRecorder* recorder() { return recorder_.get(); }
+  obs::QueryLog* query_log() { return query_log_.get(); }
 
   // --- I/O metering for benches ---
   /// Remembers the current meter state; IoDelta() reports I/O since then.
@@ -141,6 +169,8 @@ class Session {
   obs::CostAudit cost_audit_;
   table::ScanMeter scan_meter_{&table::GlobalScanMeter()};
   obs::Tracer tracer_;
+  std::unique_ptr<obs::MetricsRecorder> recorder_;
+  std::unique_ptr<obs::QueryLog> query_log_;
   std::unique_ptr<Engine> engine_;
   fs::IoSnapshot io_mark_;
 };

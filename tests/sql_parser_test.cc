@@ -99,6 +99,20 @@ TEST(ParserTest, CompactAndShow) {
   EXPECT_TRUE(std::holds_alternative<ShowTablesStmt>(*ParseStatement("SHOW TABLES")));
 }
 
+TEST(ParserTest, ShowStatsForms) {
+  auto summary = ParseStatement("SHOW STATS");
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(std::get<ShowStatsStmt>(*summary).what, ShowStatsStmt::What::kSummary);
+  auto hist = ParseStatement("SHOW STATS HISTOGRAMS");
+  ASSERT_TRUE(hist.ok());
+  EXPECT_EQ(std::get<ShowStatsStmt>(*hist).what, ShowStatsStmt::What::kHistograms);
+  auto queries = ParseStatement("show stats queries");
+  ASSERT_TRUE(queries.ok());
+  EXPECT_EQ(std::get<ShowStatsStmt>(*queries).what, ShowStatsStmt::What::kQueries);
+  // STATS stays contextual: it is still a legal identifier.
+  EXPECT_TRUE(ParseStatement("SELECT stats FROM t").ok());
+}
+
 TEST(ParserTest, CompactIncrementalBothForms) {
   auto plain = ParseStatement("COMPACT TABLE t");
   ASSERT_TRUE(plain.ok());
